@@ -1,0 +1,1 @@
+bench/common.ml: Array Dps_core Dps_injection Dps_interference Dps_network Dps_prelude Dps_sim Dps_sinr Dps_static Int List Unix

@@ -1,0 +1,1 @@
+bench/exp_a1.ml: Channel Common Dps_static Driver Graph Int List Measure Option Oracle Protocol Rng Routing Stochastic Tbl Topology

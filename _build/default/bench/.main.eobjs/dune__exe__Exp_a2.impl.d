@@ -1,0 +1,1 @@
+bench/exp_a2.ml: Common Dps_static Driver Float Graph List Measure Option Oracle Printf Protocol Rng Routing Stochastic Tbl Topology

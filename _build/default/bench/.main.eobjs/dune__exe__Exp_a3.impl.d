@@ -1,0 +1,1 @@
+bench/exp_a3.ml: Common Dps_prelude Dps_static Driver Graph List Measure Option Oracle Protocol Rng Routing Stochastic Tbl Topology

@@ -1,0 +1,1 @@
+bench/exp_a4.ml: Common Dps_core Dps_mac Dps_network Dps_static Driver Float Graph List Measure Option Oracle Protocol Rng Routing Stochastic Tbl Topology

@@ -1,0 +1,1 @@
+bench/exp_a5.ml: Common Dps_core Dps_mac Dps_network Dps_static Driver Float Graph List Measure Option Oracle Protocol Rng Routing Sinr_measure Stability Stochastic Tbl Topology

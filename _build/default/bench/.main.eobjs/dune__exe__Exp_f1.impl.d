@@ -1,0 +1,1 @@
+bench/exp_f1.ml: Common Dps_core Float List Rng Tbl

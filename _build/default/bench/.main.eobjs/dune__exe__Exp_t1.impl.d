@@ -1,0 +1,1 @@
+bench/exp_t1.ml: Algorithm Array Channel Common Dps_core Dps_static Graph List Oracle Printf Request Rng Sinr_measure Tbl

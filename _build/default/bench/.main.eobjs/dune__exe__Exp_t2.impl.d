@@ -1,0 +1,1 @@
+bench/exp_t2.ml: Common Dps_static Driver List Oracle Printf Protocol Rng Sinr_measure Stability Tbl Topology

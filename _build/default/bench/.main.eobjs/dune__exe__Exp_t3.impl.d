@@ -1,0 +1,1 @@
+bench/exp_t3.ml: Common Dps_prelude Dps_static Driver List Option Oracle Printf Protocol Rng Routing Sinr_measure Stochastic Tbl Topology

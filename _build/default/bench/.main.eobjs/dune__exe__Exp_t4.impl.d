@@ -1,0 +1,1 @@
+bench/exp_t4.ml: Common Dps_injection Dps_static Driver List Option Oracle Printf Protocol Rng Routing Sinr_measure Tbl Topology

@@ -1,0 +1,1 @@
+bench/exp_t5.ml: Array Common Dps_static Float Graph List Measure Rng Sinr_measure Tbl

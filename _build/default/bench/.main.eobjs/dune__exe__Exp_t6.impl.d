@@ -1,0 +1,1 @@
+bench/exp_t6.ml: Common Dps_mac Dps_network Driver Float List Oracle Printf Protocol Rng Stochastic Tbl Topology

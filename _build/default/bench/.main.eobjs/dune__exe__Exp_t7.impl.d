@@ -1,0 +1,1 @@
+bench/exp_t7.ml: Algorithm Array Channel Common Dps_interference Dps_static Graph List Oracle Printf Request Rng Tbl Topology

@@ -1,0 +1,1 @@
+bench/exp_t8.ml: Algorithm Array Channel Common Dps_sinr Dps_static Graph List Oracle Params Physics Power Printf Request Rng Sinr_measure Tbl

@@ -1,0 +1,1 @@
+bench/tbl.ml: Fun Int List Printf String

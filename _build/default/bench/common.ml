@@ -1,0 +1,102 @@
+(* Shared setup code for the experiments. *)
+
+module Rng = Dps_prelude.Rng
+module Graph = Dps_network.Graph
+module Routing = Dps_network.Routing
+module Path = Dps_network.Path
+module Topology = Dps_network.Topology
+module Measure = Dps_interference.Measure
+module Params = Dps_sinr.Params
+module Power = Dps_sinr.Power
+module Physics = Dps_sinr.Physics
+module Sinr_measure = Dps_sinr.Sinr_measure
+module Oracle = Dps_sim.Oracle
+module Channel = Dps_sim.Channel
+module Request = Dps_static.Request
+module Algorithm = Dps_static.Algorithm
+module Stochastic = Dps_injection.Stochastic
+module Protocol = Dps_core.Protocol
+module Driver = Dps_core.Driver
+module Stability = Dps_core.Stability
+
+(* A random geometric SINR network with roughly the requested number of
+   links (retries with growing radius until the graph is dense enough). *)
+let geometric_network rng ~target_links =
+  let rec attempt nodes radius tries =
+    let g = Topology.random_geometric rng ~nodes ~side:60. ~radius in
+    if Graph.link_count g >= target_links || tries > 12 then g
+    else attempt (nodes + 4) (radius *. 1.15) (tries + 1)
+  in
+  attempt (Int.max 8 (target_links / 3)) 14. 0
+
+let linear_physics g =
+  Physics.make (Params.make ~alpha:3. ~beta:1. ~noise:1e-9 ()) (Power.linear 2.) g
+
+let sqrt_physics g =
+  Physics.make
+    (Params.make ~alpha:3. ~beta:1. ~noise:1e-9 ())
+    (Power.square_root 2.) g
+
+(* [k] packets per link. *)
+let replicated_requests ~m ~k =
+  Array.init (k * m) (fun i -> Request.make ~link:(i mod m) ~key:i)
+
+(* Random multi-hop shortest-path traffic calibrated to [target]. *)
+let traffic rng g measure ~flows ~target ~max_hops =
+  let routing = Routing.make g in
+  let n = Graph.node_count g in
+  let gens = ref [] in
+  let tries = ref 0 in
+  while List.length !gens < flows && !tries < 200 * flows do
+    incr tries;
+    let src = Rng.int rng n and dst = Rng.int rng n in
+    if src <> dst then
+      match Routing.path routing ~src ~dst with
+      | Some p when Path.length p <= max_hops -> gens := [ (p, 0.005) ] :: !gens
+      | _ -> ()
+  done;
+  Stochastic.calibrate (Stochastic.make !gens) measure ~target
+
+let verdict (r : Protocol.report) =
+  Stability.to_string (Stability.assess r.Protocol.in_system)
+
+(* Largest lambda for which the protocol can be configured — the empirical
+   1/f(m) threshold of the algorithm/measure pair. The feasible rates form
+   an interval: very small rates also fail (their Chernoff concentration
+   floor exceeds the frame cap), so scan a geometric grid for the largest
+   feasible point, then refine upward by bisection. *)
+let max_configurable_rate ?(epsilon = 0.5) ~algorithm ~measure ~max_hops () =
+  let feasible lambda =
+    match
+      Protocol.configure ~epsilon ~algorithm ~measure ~lambda ~max_hops ()
+    with
+    | _ -> true
+    | exception Invalid_argument _ -> false
+  in
+  let rec scan best lambda =
+    if lambda > 4. then best
+    else scan (if feasible lambda then Some lambda else best) (lambda *. 1.3)
+  in
+  match scan None 1e-3 with
+  | None -> 0.
+  | Some best ->
+    let lo = ref best and hi = ref (best *. 1.3) in
+    for _ = 1 to 25 do
+      let mid = (!lo +. !hi) /. 2. in
+      if feasible mid then lo := mid else hi := mid
+    done;
+    !lo
+
+(* Greedy maximal SINR-feasible set: an OPT single-slot proxy. *)
+let greedy_feasible_set phys =
+  let m = Physics.size phys in
+  let active = ref [] in
+  for e = 0 to m - 1 do
+    if Physics.feasible_set phys (e :: !active) then active := e :: !active
+  done;
+  !active
+
+let time_it f =
+  let t0 = Unix.gettimeofday () in
+  let x = f () in
+  (x, Unix.gettimeofday () -. t0)

@@ -1,0 +1,64 @@
+(* A2 — ablation: frame dimensioning.
+
+   The protocol's frame length and its phase-1 budget are a matched pair
+   (the fixed point of Protocol.configure). This ablation deliberately
+   mis-dimensions them: the frame is stretched while the phase-1 budget
+   stays at its design value, so each frame accumulates more arrivals than
+   phase 1 can serve. Small mismatches are absorbed by the clean-up phase;
+   large ones overwhelm its 1/m drift and the system diverges — the
+   quantitative version of the paper's "sufficiently long time frames"
+   requirement being about the *pair*, not the frame alone. *)
+
+open Common
+module Oneshot = Dps_static.Oneshot
+
+let run () =
+  let g = Topology.line ~nodes:5 ~spacing:1. in
+  let m = Graph.link_count g in
+  ignore m;
+  let r = Routing.make g in
+  let path src dst = Option.get (Routing.path r ~src ~dst) in
+  let measure = Measure.identity m in
+  let lambda = 0.3 in
+  let base =
+    Protocol.configure ~epsilon:0.5 ~algorithm:Oneshot.algorithm ~measure
+      ~lambda ~max_hops:4 ()
+  in
+  (* Traffic at 0.8 of the design rate — comfortably stable when the frame
+     and budget agree. *)
+  let inj =
+    Stochastic.make [ [ (path 0 4, 0.12) ]; [ (path 4 0, 0.12) ] ]
+  in
+  let rows =
+    List.map
+      (fun mult ->
+        let frame =
+          int_of_float (Float.ceil (mult *. float_of_int base.Protocol.frame))
+        in
+        (* Stretch the frame; keep the design budgets. *)
+        let cfg = { base with Protocol.frame } in
+        let rng = Rng.create ~seed:1401 () in
+        let rep =
+          Driver.run ~config:cfg ~oracle:Oracle.Wireline
+            ~source:(Driver.Stochastic inj) ~frames:200 ~rng
+        in
+        [ Tbl.F2 mult;
+          Tbl.I frame;
+          Tbl.I cfg.Protocol.phase1_budget;
+          Tbl.I rep.Protocol.failed_events;
+          Tbl.I rep.Protocol.max_queue;
+          Tbl.S (verdict rep) ])
+      [ 1.0; 2.0; 3.0; 4.0; 6.0 ]
+  in
+  Tbl.print
+    ~title:
+      (Printf.sprintf
+         "A2 (ablation): frame stretched beyond its phase-1 budget (design \
+          T = %d, budget %d, traffic at 0.8·λ*)"
+         base.Protocol.frame base.Protocol.phase1_budget)
+    ~header:[ "T/T*"; "T"; "budget"; "failures"; "max-queue"; "verdict" ]
+    rows;
+  Tbl.note
+    "shape check: matched frame/budget runs failure-free; mild stretching \
+     is absorbed by the clean-up phase; beyond ~budget/(λ·T) arrivals \
+     outpace phase 1 every frame and the system diverges\n"

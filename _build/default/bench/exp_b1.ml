@@ -1,0 +1,79 @@
+(* B1 — engineering micro-benchmarks of the core primitives (Bechamel).
+
+   Not a paper experiment: measures the cost of the operations everything
+   else is built from — the interference measure, the SINR feasibility
+   check, affectance-matrix construction, and one full protocol frame. *)
+
+open Common
+open Bechamel
+open Toolkit
+
+let make_tests () =
+  let rng = Rng.create ~seed:1100 () in
+  let g = geometric_network rng ~target_links:64 in
+  let m = Graph.link_count g in
+  let phys = linear_physics g in
+  let measure = Sinr_measure.linear_power phys in
+  let load = Array.init m (fun i -> float_of_int (i mod 5)) in
+  let active = List.init (Int.min 16 m) (fun i -> i * m / 16) in
+  let t_interference =
+    (* [open Bechamel] shadows Common's Measure alias; qualify fully. *)
+    Test.make ~name:"interference ||W·R||_inf (m=64)"
+      (Staged.stage (fun () ->
+           Dps_interference.Measure.interference measure load))
+  in
+  let t_feasible =
+    Test.make ~name:"SINR feasibility (16 active)"
+      (Staged.stage (fun () -> Dps_sinr.Physics.feasible_set phys active))
+  in
+  let t_measure_build =
+    Test.make ~name:"affectance matrix build (m=64)"
+      (Staged.stage (fun () -> ignore (Sinr_measure.linear_power phys)))
+  in
+  let frame_bench =
+    let design = 0.04 in
+    let algorithm = Dps_static.Delay_select.make ~c:4. () in
+    let config =
+      Protocol.configure ~algorithm ~measure ~lambda:design ~max_hops:6 ()
+    in
+    let inj = traffic rng g measure ~flows:8 ~target:design ~max_hops:6 in
+    let channel = Channel.create ~oracle:(Oracle.Sinr phys) ~m () in
+    let protocol = Protocol.create config ~channel in
+    let frame_rng = Rng.create ~seed:1101 () in
+    let inject_slot slot =
+      List.map
+        (fun p -> (p, 0))
+        (Stochastic.draw inj frame_rng ~slot)
+    in
+    Test.make
+      ~name:(Printf.sprintf "one protocol frame (T=%d)" config.Protocol.frame)
+      (Staged.stage (fun () -> Protocol.run_frame protocol frame_rng ~inject_slot))
+  in
+  [ t_interference; t_feasible; t_measure_build; frame_bench ]
+
+let run () =
+  Printf.printf "\n=== B1: micro-benchmarks (Bechamel OLS estimates) ===\n";
+  let tests = make_tests () in
+  let cfg =
+    Benchmark.cfg ~limit:3000 ~quota:(Time.second 1.5) ~kde:None ()
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let analysis =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  Printf.printf "%-36s %16s %10s\n" "benchmark" "ns/run" "r²";
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let estimates = Analyze.all analysis Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols ->
+          let time =
+            match Analyze.OLS.estimates ols with
+            | Some (t :: _) -> t
+            | _ -> Float.nan
+          in
+          let r2 = Option.value ~default:Float.nan (Analyze.OLS.r_square ols) in
+          Printf.printf "%-36s %16.1f %10.3f\n" name time r2)
+        estimates)
+    tests

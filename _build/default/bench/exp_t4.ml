@@ -1,0 +1,63 @@
+(* T4 — Theorem 11: stability under (w,λ)-bounded adversaries.
+
+   SINR grid; burst / smooth / sawtooth adversaries at fractions of the
+   dimensioned rate, driven through the Section 5 random-initial-delay
+   wrapper. Each adversary's declared bound is verified mechanically. *)
+
+open Common
+module Adversary = Dps_injection.Adversary
+
+let run () =
+  let g = Topology.grid ~rows:3 ~cols:3 ~spacing:10. in
+  let phys = linear_physics g in
+  let measure = Sinr_measure.linear_power phys in
+  let design = 0.05 in
+  let algorithm = Dps_static.Delay_select.make ~c:4. () in
+  let config =
+    Protocol.configure ~algorithm ~measure ~lambda:design ~max_hops:8 ()
+  in
+  let w = 2 * config.Protocol.frame in
+  let routing = Routing.make g in
+  let path src dst = Option.get (Routing.path routing ~src ~dst) in
+  let paths = [ path 0 8; path 8 0; path 2 6; path 6 2 ] in
+  let adversaries factor =
+    let rate = factor *. design in
+    [ ("burst", Adversary.burst ~measure ~w ~rate ~paths);
+      ("smooth", Adversary.smooth ~measure ~w ~rate ~paths);
+      ("sawtooth", Adversary.sawtooth ~measure ~w ~rate ~paths) ]
+  in
+  let rows =
+    List.concat_map
+      (fun factor ->
+        List.map
+          (fun (name, adv) ->
+            let rng = Rng.create ~seed:600 () in
+            let r =
+              Driver.run ~config ~oracle:(Oracle.Sinr phys)
+                ~source:(Driver.Adversarial adv) ~frames:200 ~rng
+            in
+            let declared = Adversary.rate adv in
+            let measured = Adversary.verify adv measure ~horizon:(10 * w) in
+            [ Tbl.S name;
+              Tbl.F2 factor;
+              Tbl.F4 declared;
+              Tbl.F4 measured;
+              Tbl.I r.Protocol.injected;
+              Tbl.I r.Protocol.delivered;
+              Tbl.I r.Protocol.max_queue;
+              Tbl.S (verdict r) ])
+          (adversaries factor))
+      [ 0.5; 0.8 ]
+  in
+  Tbl.print
+    ~title:
+      (Printf.sprintf
+         "T4 (Theorem 11): adversarial injection (T = %d, w = %d slots)"
+         config.Protocol.frame w)
+    ~header:
+      [ "adversary"; "λ/λ*"; "declared"; "measured"; "injected"; "delivered";
+        "max-queue"; "verdict" ]
+    rows;
+  Tbl.note
+    "shape check: every (w,λ)-bounded adversary below the design rate stays \
+     stable once smeared by the random initial delay\n"

@@ -1,0 +1,64 @@
+(* T5 — Corollaries 12 and 13: competitiveness across network sizes.
+
+   For growing networks, compare the protocol's sustainable rate λ* (largest
+   rate the frame fixed-point admits) against a single-slot OPT proxy: the
+   interference measure I(S) of a greedy maximal SINR-feasible set S — an
+   upper bound on what any protocol can clear per slot, in measure units.
+
+   Linear powers (Corollary 12): I(S) = O(1), λ* = Ω(1) — the ratio stays
+   constant as m grows. Monotone sublinear powers (Corollary 13): the ratio
+   may grow, but only polylogarithmically in m. *)
+
+open Common
+
+let run () =
+  let row target_links seed =
+    let rng = Rng.create ~seed () in
+    let g = geometric_network rng ~target_links in
+    let m = Graph.link_count g in
+    let measure_ratio phys measure =
+      let algorithm = Dps_static.Delay_select.make ~c:4. () in
+      let lambda_star =
+        max_configurable_rate ~algorithm ~measure ~max_hops:8 ()
+      in
+      let opt_proxy =
+        let s = greedy_feasible_set phys in
+        let load = Array.make m 0. in
+        List.iter (fun e -> load.(e) <- 1.) s;
+        Measure.interference measure load
+      in
+      (lambda_star, opt_proxy, opt_proxy /. Float.max lambda_star 1e-9)
+    in
+    let lin_phys = linear_physics g in
+    let l_star, l_opt, l_ratio =
+      measure_ratio lin_phys (Sinr_measure.linear_power lin_phys)
+    in
+    let mono_phys = sqrt_physics g in
+    let m_star, m_opt, m_ratio =
+      measure_ratio mono_phys (Sinr_measure.monotone_sublinear mono_phys)
+    in
+    [ Tbl.I m;
+      Tbl.F4 l_star;
+      Tbl.F2 l_opt;
+      Tbl.F2 l_ratio;
+      Tbl.F4 m_star;
+      Tbl.F2 m_opt;
+      Tbl.F2 m_ratio ]
+  in
+  let rows =
+    List.map2 row [ 16; 32; 64; 128 ] [ 701; 702; 703; 704 ]
+  in
+  Tbl.print
+    ~title:
+      "T5 (Corollaries 12/13): sustainable rate λ* vs single-slot OPT proxy, \
+       by network size"
+    ~header:
+      [ "m"; "lin λ*"; "lin OPT"; "lin ratio"; "mono λ*"; "mono OPT";
+        "mono ratio" ]
+    rows;
+  Tbl.note
+    "shape check: 'lin ratio' stays O(1) as m grows (Cor. 12). On random \
+     geometric instances the monotone measure behaves like the linear one; \
+     the O(log² m) gap of Cor. 13 is only realized by adversarial \
+     multi-scale instances (lower bounds of Kesselheim-Vöcking 2010), not \
+     by geometric placement.\n"

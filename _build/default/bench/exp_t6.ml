@@ -1,0 +1,75 @@
+(* T6 — Corollaries 16 and 18: multiple-access-channel thresholds.
+
+   Symmetric stations (Algorithm 2 / decay) are stable for λ < 1/e; stations
+   with ids (Round-Robin-Withholding) for λ < 1. The sweep crosses both
+   thresholds; "beyond capacity" marks rates for which no stable frame
+   exists (the protocol itself refuses). *)
+
+open Common
+module Path = Dps_network.Path
+
+let stations = 8
+
+let injection g ~rate =
+  let per = rate /. float_of_int stations in
+  Stochastic.make
+    (List.init stations (fun i -> [ (Path.of_links g [ i ], per) ]))
+
+let try_configure algorithm measure ~lambda =
+  let rec attempt = function
+    | [] -> None
+    | (epsilon, slack) :: rest -> (
+      try
+        Some
+          (Protocol.configure ~epsilon ~chernoff_slack:slack ~algorithm
+             ~measure ~lambda ~max_hops:1 ())
+      with Invalid_argument _ -> attempt rest)
+  in
+  attempt [ (0.5, 12.); (0.3, 12.); (0.2, 8.); (0.1, 6.); (0.05, 4.) ]
+
+let run_point name algorithm ~lambda ~seed =
+  let g = Topology.mac_channel ~stations in
+  let measure = Dps_mac.Mac_measure.make ~m:stations in
+  match try_configure algorithm measure ~lambda with
+  | None ->
+    [ Tbl.S name; Tbl.F2 lambda; Tbl.S "-"; Tbl.S "-"; Tbl.S "-";
+      Tbl.S "beyond capacity" ]
+  | Some config ->
+    let rng = Rng.create ~seed () in
+    let inj = injection g ~rate:lambda in
+    let r =
+      Driver.run ~config ~oracle:Oracle.Mac ~source:(Driver.Stochastic inj)
+        ~frames:80 ~rng
+    in
+    [ Tbl.S name;
+      Tbl.F2 lambda;
+      Tbl.I config.Protocol.frame;
+      Tbl.S (Printf.sprintf "%d/%d" r.Protocol.delivered r.Protocol.injected);
+      Tbl.I r.Protocol.max_queue;
+      Tbl.S (verdict r) ]
+
+let run () =
+  (* δ = 0.1: the decay stage-1 retains its drift (ALOHA window success
+     1/e ≥ 1/(e(1+δ))) while the capacity 1/((1+δ)(1+ε)e) stays close to
+     the theoretical 1/e. *)
+  let decay = Dps_mac.Decay.make ~delta:0.1 () in
+  let rows =
+    List.map
+      (fun lambda -> run_point "decay" decay ~lambda ~seed:801)
+      [ 0.10; 0.20; 0.28; 0.36; 0.45 ]
+    @ List.map
+        (fun lambda ->
+          run_point "rrw" Dps_mac.Round_robin.algorithm ~lambda ~seed:802)
+        [ 0.30; 0.60; 0.80; 0.90; 1.10 ]
+  in
+  Tbl.print
+    ~title:
+      (Printf.sprintf
+         "T6 (Corollaries 16/18): MAC thresholds, %d stations (1/e = %.3f)"
+         stations
+         (1. /. Float.exp 1.))
+    ~header:[ "protocol"; "λ"; "T"; "delivered"; "max-queue"; "verdict" ]
+    rows;
+  Tbl.note
+    "shape check: symmetric decay survives below 1/e ≈ 0.37 and fails \
+     beyond; id-based round-robin survives to λ close to 1\n"

@@ -1,0 +1,51 @@
+(* Benchmark harness: regenerates every experiment of EXPERIMENTS.md.
+
+   Usage:
+     dune exec bench/main.exe            # all experiments
+     dune exec bench/main.exe -- t2 f1   # a subset
+*)
+
+let experiments =
+  [ ("t1", "Theorem 1: transformation scaling", Exp_t1.run);
+    ("t2", "Theorem 3: stochastic stability", Exp_t2.run);
+    ("t3", "Theorem 8: latency vs path length", Exp_t3.run);
+    ("t4", "Theorem 11: adversarial stability", Exp_t4.run);
+    ("t5", "Corollaries 12/13: SINR competitiveness", Exp_t5.run);
+    ("t6", "Corollaries 16/18: MAC thresholds", Exp_t6.run);
+    ("t7", "Theorem 19: conflict-graph scheduling", Exp_t7.run);
+    ("t8", "Corollary 14: power control", Exp_t8.run);
+    ("f1", "Theorem 20: clock lower bound", Exp_f1.run);
+    ("a1", "ablation: clean-up probability", Exp_a1.run);
+    ("a2", "ablation: frame length", Exp_a2.run);
+    ("a3", "extension: unreliable links", Exp_a3.run);
+    ("a4", "calibration: measured vs configured threshold", Exp_a4.run);
+    ("a5", "baseline: competitive ratio vs max-weight", Exp_a5.run);
+    ("b1", "micro-benchmarks", Exp_b1.run) ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map (fun (id, _, _) -> id) experiments
+  in
+  let unknown =
+    List.filter
+      (fun r -> not (List.exists (fun (id, _, _) -> id = r) experiments))
+      requested
+  in
+  (match unknown with
+  | [] -> ()
+  | names ->
+    Printf.eprintf "unknown experiment(s): %s\navailable: %s\n"
+      (String.concat ", " names)
+      (String.concat ", " (List.map (fun (id, _, _) -> id) experiments));
+    exit 2);
+  List.iter
+    (fun (id, title, run) ->
+      if List.mem id requested then begin
+        Printf.printf "\n[%s] %s\n%!" id title;
+        let t0 = Unix.gettimeofday () in
+        run ();
+        Printf.printf "[%s] done in %.1fs\n%!" id (Unix.gettimeofday () -. t0)
+      end)
+    experiments

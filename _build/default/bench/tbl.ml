@@ -1,0 +1,35 @@
+(* Column-aligned plain-text tables for the experiment reports. *)
+
+type cell = S of string | I of int | F of float | F2 of float | F4 of float
+
+let string_of_cell = function
+  | S s -> s
+  | I i -> string_of_int i
+  | F x -> Printf.sprintf "%g" x
+  | F2 x -> Printf.sprintf "%.2f" x
+  | F4 x -> Printf.sprintf "%.4f" x
+
+let print ~title ~header rows =
+  Printf.printf "\n=== %s ===\n" title;
+  let rows = List.map (List.map string_of_cell) rows in
+  let all = header :: rows in
+  let cols = List.length header in
+  let width c =
+    List.fold_left (fun acc row -> Int.max acc (String.length (List.nth row c))) 0 all
+  in
+  let widths = List.init cols width in
+  let print_row row =
+    List.iteri
+      (fun c cell ->
+        let pad = List.nth widths c - String.length cell in
+        if c > 0 then print_string "  ";
+        print_string cell;
+        print_string (String.make pad ' '))
+      row;
+    print_newline ()
+  in
+  print_row header;
+  print_row (List.map (fun w -> String.make w '-') (List.map (fun c -> List.nth widths c) (List.init cols Fun.id)) |> List.map (fun s -> s));
+  List.iter print_row rows
+
+let note fmt = Printf.printf fmt

@@ -1,0 +1,292 @@
+(* dps_run — command-line front end for ad-hoc protocol runs.
+
+   Pick a topology, an interference model, a static algorithm and an
+   injection source; the tool sizes the protocol, runs it, and prints the
+   stability report.
+
+   Examples:
+     dps_run --model sinr-linear --topology grid:4x4 --rate 0.04
+     dps_run --model mac --algorithm decay --stations 8 --rate 0.2
+     dps_run --model wireline --topology line:8 --rate 0.3 --adversary burst
+*)
+
+module Rng = Dps_prelude.Rng
+module Graph = Dps_network.Graph
+module Routing = Dps_network.Routing
+module Path = Dps_network.Path
+module Topology = Dps_network.Topology
+module Measure = Dps_interference.Measure
+module Conflict_graph = Dps_interference.Conflict_graph
+module Params = Dps_sinr.Params
+module Power = Dps_sinr.Power
+module Physics = Dps_sinr.Physics
+module Sinr_measure = Dps_sinr.Sinr_measure
+module Oracle = Dps_sim.Oracle
+module Delay_select = Dps_static.Delay_select
+module Contention = Dps_static.Contention
+module Oneshot = Dps_static.Oneshot
+module Algorithm = Dps_static.Algorithm
+module Stochastic = Dps_injection.Stochastic
+module Adversary = Dps_injection.Adversary
+module Protocol = Dps_core.Protocol
+module Driver = Dps_core.Driver
+module Stability = Dps_core.Stability
+
+type model =
+  | Sinr_linear
+  | Sinr_sqrt
+  | Sinr_pc
+  | Conflict_d2
+  | Node_constraint
+  | Radio
+  | Mac
+  | Wireline
+
+let parse_topology s ~stations =
+  match String.split_on_char ':' s with
+  | [ "grid"; dims ] -> (
+    match String.split_on_char 'x' dims with
+    | [ r; c ] ->
+      Topology.grid ~rows:(int_of_string r) ~cols:(int_of_string c) ~spacing:10.
+    | _ -> failwith "grid topology must be grid:RxC")
+  | [ "line"; n ] -> Topology.line ~nodes:(int_of_string n) ~spacing:10.
+  | [ "random"; n ] ->
+    let rng = Rng.create ~seed:1 () in
+    Topology.random_geometric rng ~nodes:(int_of_string n) ~side:60. ~radius:18.
+  | [ "mac" ] -> Topology.mac_channel ~stations
+  | _ -> failwith "unknown topology (grid:RxC | line:N | random:N | mac)"
+
+let build_model model g =
+  match model with
+  | Sinr_linear ->
+    let phys = Physics.make (Params.make ~noise:1e-9 ()) (Power.linear 2.) g in
+    (Sinr_measure.linear_power phys, Oracle.Sinr phys)
+  | Sinr_sqrt ->
+    let phys =
+      Physics.make (Params.make ~noise:1e-9 ()) (Power.square_root 2.) g
+    in
+    (Sinr_measure.monotone_sublinear phys, Oracle.Sinr phys)
+  | Sinr_pc ->
+    let prm = Params.make ~noise:1e-9 () in
+    let phys = Physics.make prm (Power.uniform 1.) g in
+    (Sinr_measure.power_control phys, Oracle.Sinr_power_control (prm, g))
+  | Conflict_d2 ->
+    let cg = Conflict_graph.distance2 g in
+    let order = Conflict_graph.degeneracy_order cg in
+    (Conflict_graph.to_measure cg ~order, Oracle.Conflict cg)
+  | Node_constraint ->
+    let cg = Conflict_graph.node_constraint g in
+    let order = Conflict_graph.degeneracy_order cg in
+    (Conflict_graph.to_measure cg ~order, Oracle.Conflict cg)
+  | Radio ->
+    let cg = Conflict_graph.radio_model g in
+    let order = Conflict_graph.degeneracy_order cg in
+    (Conflict_graph.to_measure cg ~order, Oracle.Conflict cg)
+  | Mac -> (Measure.complete (Graph.link_count g), Oracle.Mac)
+  | Wireline -> (Measure.identity (Graph.link_count g), Oracle.Wireline)
+
+let build_algorithm ?g name =
+  match name with
+  | "measure-greedy" -> (
+    match g with
+    | Some g -> Dps_static.Measure_greedy.make ~priority:(Graph.link_length g) ()
+    | None -> failwith "measure-greedy needs a geometric topology")
+  | "delay-select" -> Delay_select.make ~c:4. ()
+  | "contention" -> Contention.make ~c:4. ()
+  | "contention-transformed" -> Dps_core.Transform.apply (Contention.make ~c:4. ())
+  | "oneshot" -> Oneshot.algorithm
+  | "decay" -> Dps_mac.Decay.make ~delta:0.3 ()
+  | "round-robin" -> Dps_mac.Round_robin.algorithm
+  | other -> failwith ("unknown algorithm: " ^ other)
+
+let build_traffic rng g measure ~flows ~rate ~max_hops ~mac =
+  if mac then begin
+    let m = Graph.link_count g in
+    let per = rate /. float_of_int m in
+    Stochastic.make (List.init m (fun i -> [ (Path.of_links g [ i ], per) ]))
+  end
+  else begin
+    let routing = Routing.make g in
+    let n = Graph.node_count g in
+    let gens = ref [] in
+    let tries = ref 0 in
+    while List.length !gens < flows && !tries < 500 * flows do
+      incr tries;
+      let src = Rng.int rng n and dst = Rng.int rng n in
+      if src <> dst then
+        match Routing.path routing ~src ~dst with
+        | Some p when Path.length p <= max_hops ->
+          gens := [ (p, 0.001) ] :: !gens
+        | _ -> ()
+    done;
+    if !gens = [] then failwith "no routable flows in this topology";
+    Stochastic.calibrate (Stochastic.make !gens) measure ~target:rate
+  end
+
+let run model_name topology algorithm_name rate epsilon frames flows adversary
+    stations loss seed =
+  let model =
+    match model_name with
+    | "sinr-linear" -> Sinr_linear
+    | "sinr-sqrt" -> Sinr_sqrt
+    | "sinr-pc" -> Sinr_pc
+    | "radio" -> Radio
+    | "conflict-d2" -> Conflict_d2
+    | "node-constraint" -> Node_constraint
+    | "mac" -> Mac
+    | "wireline" -> Wireline
+    | other -> failwith ("unknown model: " ^ other)
+  in
+  let topology = if model = Mac then "mac" else topology in
+  let g = parse_topology topology ~stations in
+  let measure, oracle = build_model model g in
+  let oracle =
+    if loss > 0. then Oracle.Lossy (oracle, loss) else oracle
+  in
+  let algorithm =
+    build_algorithm ~g
+      (match algorithm_name with
+      | Some a -> a
+      | None -> (
+        match model with
+        | Sinr_linear | Sinr_sqrt -> "delay-select"
+        | Sinr_pc -> "measure-greedy"
+        | Conflict_d2 | Node_constraint | Radio -> "contention"
+        | Mac -> "decay"
+        | Wireline -> "oneshot"))
+  in
+  let max_hops = if model = Mac then 1 else 8 in
+  let rng = Rng.create ~seed () in
+  let config =
+    Protocol.configure ~epsilon ~algorithm ~measure ~lambda:rate ~max_hops ()
+  in
+  Printf.printf
+    "model=%s topology=%s m=%d algorithm=%s rate=%.4f\nframe T=%d (phase1 %d, \
+     clean-up %d)\n"
+    model_name topology (Measure.size measure) algorithm.Algorithm.name rate
+    config.Protocol.frame config.Protocol.phase1_budget
+    config.Protocol.cleanup_budget;
+  let source =
+    match adversary with
+    | None ->
+      Driver.Stochastic
+        (build_traffic rng g measure ~flows ~rate ~max_hops ~mac:(model = Mac))
+    | Some kind ->
+      let routing = Routing.make g in
+      let n = Graph.node_count g in
+      let paths = ref [] in
+      for src = 0 to n - 1 do
+        for dst = 0 to n - 1 do
+          if src <> dst && List.length !paths < flows then
+            match Routing.path routing ~src ~dst with
+            | Some p when Path.length p <= max_hops -> paths := p :: !paths
+            | _ -> ()
+        done
+      done;
+      let w = 2 * config.Protocol.frame in
+      let adv =
+        match kind with
+        | "burst" -> Adversary.burst ~measure ~w ~rate ~paths:!paths
+        | "smooth" -> Adversary.smooth ~measure ~w ~rate ~paths:!paths
+        | "sawtooth" -> Adversary.sawtooth ~measure ~w ~rate ~paths:!paths
+        | "single-target" -> Adversary.single_target ~measure ~w ~rate ~paths:!paths
+        | "rotating" -> Adversary.rotating ~measure ~w ~rate ~paths:!paths
+        | other -> failwith ("unknown adversary: " ^ other)
+      in
+      Driver.Adversarial adv
+  in
+  let r = Driver.run ~config ~oracle ~source ~frames ~rng in
+  Format.printf "@\n%a@\n"
+    (Dps_core.Report_pp.pp ~frame:config.Protocol.frame)
+    r
+
+open Cmdliner
+
+let model =
+  Arg.(
+    value
+    & opt string "sinr-linear"
+    & info [ "model" ] ~docv:"MODEL"
+        ~doc:
+          "Interference model: sinr-linear, sinr-sqrt, sinr-pc, conflict-d2, \
+           node-constraint, radio, mac, wireline.")
+
+let topology =
+  Arg.(
+    value
+    & opt string "grid:4x4"
+    & info [ "topology" ] ~docv:"TOPO"
+        ~doc:"Topology: grid:RxC, line:N, random:N (mac model ignores this).")
+
+let algorithm =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "algorithm" ] ~docv:"ALGO"
+        ~doc:
+          "Static algorithm: delay-select, contention, \
+           contention-transformed, oneshot, decay, round-robin, \
+           measure-greedy. Default: model-appropriate.")
+
+let rate =
+  Arg.(
+    value & opt float 0.04
+    & info [ "rate" ] ~docv:"LAMBDA" ~doc:"Injection rate λ = ||W·F||_inf.")
+
+let epsilon =
+  Arg.(
+    value & opt float 0.5
+    & info [ "epsilon" ] ~docv:"EPS" ~doc:"Protocol headroom ε in (0, 1].")
+
+let frames =
+  Arg.(
+    value & opt int 150
+    & info [ "frames" ] ~docv:"N" ~doc:"Number of time frames to simulate.")
+
+let flows =
+  Arg.(
+    value & opt int 10
+    & info [ "flows" ] ~docv:"N" ~doc:"Number of source-destination flows.")
+
+let adversary =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "adversary" ] ~docv:"KIND"
+        ~doc:
+          "Replace stochastic traffic by a window adversary: burst, smooth, \
+           sawtooth, single-target, rotating.")
+
+let stations =
+  Arg.(
+    value & opt int 8
+    & info [ "stations" ] ~docv:"N" ~doc:"Stations for the mac model.")
+
+let loss =
+  Arg.(
+    value & opt float 0.
+    & info [ "loss" ]
+        ~docv:"P"
+        ~doc:"Per-transmission loss probability (unreliable networks).")
+
+let seed =
+  Arg.(value & opt int 2012 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
+
+let run_safely model_name topology algorithm_name rate epsilon frames flows
+    adversary stations loss seed =
+  try
+    run model_name topology algorithm_name rate epsilon frames flows adversary
+      stations loss seed
+  with Invalid_argument msg | Failure msg ->
+    Printf.eprintf "dps_run: %s\n" msg;
+    exit 1
+
+let cmd =
+  let doc = "dynamic packet scheduling in wireless networks (PODC 2012)" in
+  Cmd.v
+    (Cmd.info "dps_run" ~doc)
+    Term.(
+      const run_safely $ model $ topology $ algorithm $ rate $ epsilon $ frames
+      $ flows $ adversary $ stations $ loss $ seed)
+
+let () = exit (Cmd.eval cmd)

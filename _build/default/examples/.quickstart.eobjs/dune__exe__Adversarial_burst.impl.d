@@ -1,0 +1,1 @@
+examples/adversarial_burst.ml: Dps_core Dps_injection Dps_interference Dps_network Dps_prelude Dps_sim Dps_static List Option Printf

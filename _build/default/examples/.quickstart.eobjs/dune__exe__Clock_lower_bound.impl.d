@@ -1,0 +1,1 @@
+examples/clock_lower_bound.ml: Dps_core Dps_prelude Float List Printf

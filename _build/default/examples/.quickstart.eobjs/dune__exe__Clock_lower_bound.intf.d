@@ -1,0 +1,1 @@
+examples/clock_lower_bound.mli:

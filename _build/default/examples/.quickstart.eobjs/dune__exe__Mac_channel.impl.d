@@ -1,0 +1,1 @@
+examples/mac_channel.ml: Array Dps_core Dps_injection Dps_mac Dps_network Dps_prelude Dps_sim Dps_static Float List Printf

@@ -1,0 +1,1 @@
+examples/power_control.ml: Array Dps_core Dps_injection Dps_network Dps_prelude Dps_sim Dps_sinr Dps_static Format List Printf

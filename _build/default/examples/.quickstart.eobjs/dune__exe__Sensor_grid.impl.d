@@ -1,0 +1,1 @@
+examples/sensor_grid.ml: Dps_core Dps_injection Dps_network Dps_prelude Dps_sim Dps_sinr Dps_static Float List Option Printf

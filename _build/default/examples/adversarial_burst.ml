@@ -1,0 +1,90 @@
+(* Adversarial injection (Section 5): a (w, λ)-bounded window adversary
+   attacks a wireless grid with worst-case burst timing; the protocol's
+   random initial delays smear the bursts and keep the system stable.
+
+   For contrast, the same adversary is also run WITHOUT the random-delay
+   wrapper (every packet released at the next frame), showing the burst
+   pressure the wrapper absorbs.
+
+   Run with: dune exec examples/adversarial_burst.exe *)
+
+module Rng = Dps_prelude.Rng
+module Graph = Dps_network.Graph
+module Routing = Dps_network.Routing
+module Topology = Dps_network.Topology
+module Measure = Dps_interference.Measure
+module Oracle = Dps_sim.Oracle
+module Oneshot = Dps_static.Oneshot
+module Adversary = Dps_injection.Adversary
+module Protocol = Dps_core.Protocol
+module Driver = Dps_core.Driver
+module Adversarial = Dps_core.Adversarial
+module Stability = Dps_core.Stability
+
+let run_with_wrapper config oracle adv ~frames ~rng =
+  Driver.run ~config ~oracle ~source:(Driver.Adversarial adv) ~frames ~rng
+
+(* Same adversary, but packets enter at the next frame with no smearing. *)
+let run_without_wrapper config oracle adv ~frames ~rng =
+  let channel =
+    Dps_sim.Channel.create ~oracle
+      ~m:(Measure.size config.Protocol.measure) ()
+  in
+  let protocol = Protocol.create config ~channel in
+  for _ = 1 to frames do
+    Protocol.run_frame protocol rng ~inject_slot:(fun slot ->
+        List.map (fun p -> (p, 0)) (Adversary.injections adv ~slot))
+  done;
+  Protocol.report protocol
+
+let describe name (r : Protocol.report) =
+  Printf.printf "%-18s injected=%6d delivered=%6d failures=%5d max-queue=%5d  %s\n"
+    name r.Protocol.injected r.Protocol.delivered r.Protocol.failed_events
+    r.Protocol.max_queue
+    (Stability.to_string (Stability.assess r.Protocol.in_system))
+
+let () =
+  let g = Topology.grid ~rows:3 ~cols:4 ~spacing:1. in
+  let m = Graph.link_count g in
+  let measure = Measure.identity m in
+  let routing = Routing.make g in
+  let path src dst = Option.get (Routing.path routing ~src ~dst) in
+  let paths = [ path 0 11; path 11 0; path 3 8; path 8 3 ] in
+
+  let lambda = 0.3 in
+  let config =
+    Protocol.configure ~epsilon:0.5 ~algorithm:Oneshot.algorithm ~measure
+      ~lambda ~max_hops:8 ()
+  in
+  let w = 4 * config.Protocol.frame in
+  Printf.printf
+    "grid with %d links; frame T = %d, adversary window w = %d slots\n" m
+    config.Protocol.frame w;
+  let delta =
+    Adversarial.delta_max ~epsilon:config.Protocol.epsilon ~max_hops:8
+      ~window:w ~frame:config.Protocol.frame
+  in
+  Printf.printf "wrapper initial delay: uniform over [0, %d) frames\n\n" delta;
+
+  Printf.printf "%-18s %s\n" "adversary" "outcome";
+  List.iter
+    (fun (name, adv) ->
+      let rng = Rng.create ~seed:99 () in
+      describe (name ^ "+wrapper") (run_with_wrapper config Oracle.Wireline adv ~frames:250 ~rng);
+      let rng = Rng.create ~seed:99 () in
+      describe (name ^ "/raw") (run_without_wrapper config Oracle.Wireline adv ~frames:250 ~rng);
+      print_newline ())
+    [ ("burst", Adversary.burst ~measure ~w ~rate:(0.5 *. lambda) ~paths);
+      ("smooth", Adversary.smooth ~measure ~w ~rate:(0.5 *. lambda) ~paths);
+      ("sawtooth", Adversary.sawtooth ~measure ~w ~rate:(0.8 *. lambda) ~paths) ];
+
+  (* Verify the adversaries' declared bounds mechanically. *)
+  Printf.printf "declared vs empirical (w,lambda)-bounds over 20 windows:\n";
+  List.iter
+    (fun (name, adv) ->
+      Printf.printf "  %-9s declared %.3f, measured %.3f\n" name
+        (Adversary.rate adv)
+        (Adversary.verify adv measure ~horizon:(20 * w)))
+    [ ("burst", Adversary.burst ~measure ~w ~rate:(0.5 *. lambda) ~paths);
+      ("smooth", Adversary.smooth ~measure ~w ~rate:(0.5 *. lambda) ~paths);
+      ("sawtooth", Adversary.sawtooth ~measure ~w ~rate:(0.8 *. lambda) ~paths) ]

@@ -1,0 +1,90 @@
+(* Quickstart: the smallest end-to-end use of the library.
+
+   Build a random geometric network, derive the SINR interference measure
+   for a linear power assignment, calibrate stochastic traffic to a target
+   injection rate, size the dynamic protocol for that rate, run it, and
+   print the stability report.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Rng = Dps_prelude.Rng
+module Histogram = Dps_prelude.Histogram
+module Graph = Dps_network.Graph
+module Routing = Dps_network.Routing
+module Topology = Dps_network.Topology
+module Params = Dps_sinr.Params
+module Power = Dps_sinr.Power
+module Physics = Dps_sinr.Physics
+module Sinr_measure = Dps_sinr.Sinr_measure
+module Oracle = Dps_sim.Oracle
+module Delay_select = Dps_static.Delay_select
+module Stochastic = Dps_injection.Stochastic
+module Protocol = Dps_core.Protocol
+module Driver = Dps_core.Driver
+module Stability = Dps_core.Stability
+
+let () =
+  let rng = Rng.create ~seed:2012 () in
+
+  (* 1. A wireless network: 18 nodes in a 50x50 area, links within range 16. *)
+  let graph = Topology.random_geometric rng ~nodes:18 ~side:50. ~radius:16. in
+  Printf.printf "network: %d nodes, %d links\n" (Graph.node_count graph)
+    (Graph.link_count graph);
+
+  (* 2. SINR physics with a linear power assignment (Corollary 12 regime)
+     and the matching affectance measure W. *)
+  let phys =
+    Physics.make (Params.make ~alpha:3. ~beta:1. ~noise:1e-9 ()) (Power.linear 2.)
+      graph
+  in
+  let measure = Sinr_measure.linear_power phys in
+
+  (* 3. Multi-hop traffic: ten random source-destination flows on shortest
+     paths, calibrated so the injection rate lambda = ||W.F||_inf is 0.04. *)
+  let routing = Routing.make graph in
+  let nodes = Graph.node_count graph in
+  let flows = ref [] in
+  while List.length !flows < 10 do
+    let src = Rng.int rng nodes and dst = Rng.int rng nodes in
+    if src <> dst then
+      match Routing.path routing ~src ~dst with
+      | Some path when Dps_network.Path.length path <= 6 ->
+        flows := [ (path, 0.01) ] :: !flows
+      | _ -> ()
+  done;
+  let lambda = 0.04 in
+  let injection =
+    Stochastic.calibrate (Stochastic.make !flows) measure ~target:lambda
+  in
+  Printf.printf "injection rate lambda = %.3f over %d flows\n"
+    (Stochastic.rate injection measure)
+    (Stochastic.generators injection);
+
+  (* 4. Size the dynamic protocol for that rate and run 150 frames. *)
+  let config =
+    Protocol.configure ~algorithm:(Delay_select.make ~c:4. ()) ~measure
+      ~lambda ~max_hops:6 ()
+  in
+  Printf.printf "frame length T = %d slots (phase 1: %d, clean-up: %d)\n"
+    config.Protocol.frame config.Protocol.phase1_budget
+    config.Protocol.cleanup_budget;
+  let report =
+    Driver.run ~config ~oracle:(Oracle.Sinr phys)
+      ~source:(Driver.Stochastic injection) ~frames:150 ~rng
+  in
+
+  (* 5. The stability report. *)
+  Printf.printf "\nafter %d frames (%d slots):\n" report.Protocol.frames
+    (report.Protocol.frames * config.Protocol.frame);
+  Printf.printf "  injected   %d packets\n" report.Protocol.injected;
+  Printf.printf "  delivered  %d packets\n" report.Protocol.delivered;
+  Printf.printf "  failures   %d phase-1 failures (served by clean-up)\n"
+    report.Protocol.failed_events;
+  Printf.printf "  max queue  %d packets\n" report.Protocol.max_queue;
+  if Histogram.count report.Protocol.latency > 0 then
+    Printf.printf "  latency    p50 = %.0f, p99 = %.0f slots (frame = %d)\n"
+      (Histogram.quantile report.Protocol.latency 0.5)
+      (Histogram.quantile report.Protocol.latency 0.99)
+      config.Protocol.frame;
+  Printf.printf "  verdict    %s\n"
+    (Stability.to_string (Stability.assess report.Protocol.in_system))

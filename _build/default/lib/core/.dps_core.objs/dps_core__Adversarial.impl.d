@@ -1,0 +1,1 @@
+lib/core/adversarial.ml: Dps_injection Dps_prelude Float Int List

@@ -1,0 +1,1 @@
+lib/core/adversarial.mli: Dps_injection Dps_network Dps_prelude

@@ -1,0 +1,1 @@
+lib/core/driver.ml: Adversarial Dps_injection Dps_interference Dps_prelude Dps_sim List Protocol

@@ -1,0 +1,1 @@
+lib/core/driver.mli: Dps_injection Dps_prelude Dps_sim Protocol

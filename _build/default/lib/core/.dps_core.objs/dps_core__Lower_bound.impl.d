@@ -1,0 +1,1 @@
+lib/core/lower_bound.ml: Array Dps_network Dps_prelude Dps_sim Dps_sinr Int List Stability

@@ -1,0 +1,1 @@
+lib/core/max_weight.ml: Array Dps_network Dps_prelude Dps_sim Fun Int List Option Queue Stability

@@ -1,0 +1,1 @@
+lib/core/max_weight.mli: Dps_network Dps_prelude Dps_sim Stability

@@ -1,0 +1,1 @@
+lib/core/protocol.ml: Array Dps_interference Dps_network Dps_prelude Dps_sim Dps_static Float Int List Option Queue

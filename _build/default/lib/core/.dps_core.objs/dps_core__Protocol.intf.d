@@ -1,0 +1,1 @@
+lib/core/protocol.mli: Dps_interference Dps_network Dps_prelude Dps_sim Dps_static

@@ -1,0 +1,1 @@
+lib/core/report_pp.ml: Dps_prelude Format Printf Protocol Stability

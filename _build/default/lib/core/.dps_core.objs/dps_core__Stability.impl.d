@@ -1,0 +1,1 @@
+lib/core/stability.ml: Dps_prelude Float

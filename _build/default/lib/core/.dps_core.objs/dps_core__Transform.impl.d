@@ -1,0 +1,1 @@
+lib/core/transform.ml: Array Dps_interference Dps_prelude Dps_static Float Int List Printf

@@ -1,0 +1,20 @@
+module Rng = Dps_prelude.Rng
+module Adversary = Dps_injection.Adversary
+
+let delta_max ~epsilon ~max_hops ~window ~frame =
+  assert (epsilon > 0. && max_hops >= 1 && window >= 1 && frame >= 1);
+  (* The paper states δ_max = ⌈2(D + w)/ε⌉, mixing the adversary's window
+     (slots) into a frame count. Its own derivation in Theorem 11 only needs
+     the per-frame smearing to absorb D frames of path progress plus w/T
+     frames of window granularity, so we use ⌈2(D + w/T)/ε⌉ — identical
+     when w is measured in frames, and not artificially huge when w ≪ T. *)
+  let w_frames = float_of_int window /. float_of_int frame in
+  Int.max 1
+    (int_of_float
+       (Float.ceil (2. *. (float_of_int max_hops +. w_frames) /. epsilon)))
+
+let inject_slot adversary rng ~delta_max slot =
+  assert (delta_max >= 1);
+  List.map
+    (fun path -> (path, Rng.int rng delta_max))
+    (Adversary.injections adversary ~slot)

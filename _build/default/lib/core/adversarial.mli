@@ -1,0 +1,26 @@
+(** The adversarial-injection wrapper (Section 5, Theorem 11).
+
+    A packet injected by a (w, λ)-bounded adversary is held at its generator
+    for a uniformly random initial delay of δ ∈ [0, δ_max) frames,
+    δ_max = ⌈2(D + w)/ε⌉, and only then treated like a stochastic arrival.
+    The random smearing turns any admissible adversarial pattern into a
+    per-frame load that satisfies the Chernoff bound of Claim 5 with rate
+    (1 - ε/2)/f(m), so the stability and latency results of Section 4
+    carry over; the price is the added expected delay of O(D·w·T/ε). *)
+
+(** [delta_max ~epsilon ~max_hops ~window ~frame] — the initial-delay range
+    in frames: [⌈2(D + w/T)/ε⌉] for a window of [window] slots and frames of
+    [frame] slots. (The paper writes [⌈2(D + w)/ε⌉] with [w] read in frames;
+    expressing the window in frames keeps the wrapper's added latency
+    proportional to the actual smearing the proof needs.) *)
+val delta_max : epsilon:float -> max_hops:int -> window:int -> frame:int -> int
+
+(** [inject_slot adversary rng ~delta_max slot] — an [inject_slot] function
+    for {!Protocol.run_frame}: the adversary's injections at [slot], each
+    with an independent uniform delay in [0, delta_max). *)
+val inject_slot :
+  Dps_injection.Adversary.t ->
+  Dps_prelude.Rng.t ->
+  delta_max:int ->
+  int ->
+  (Dps_network.Path.t * int) list

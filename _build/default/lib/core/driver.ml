@@ -1,0 +1,41 @@
+module Rng = Dps_prelude.Rng
+module Channel = Dps_sim.Channel
+module Measure = Dps_interference.Measure
+module Stochastic = Dps_injection.Stochastic
+module Adversary = Dps_injection.Adversary
+
+type source =
+  | Stochastic of Stochastic.t
+  | Adversarial of Adversary.t
+  | Silent
+
+let inject_fn source ~config ~rng =
+  match source with
+  | Silent -> fun _slot -> []
+  | Stochastic inj ->
+    fun slot ->
+      List.map (fun path -> (path, 0)) (Stochastic.draw inj rng ~slot)
+  | Adversarial adv ->
+    let delta_max =
+      Adversarial.delta_max ~epsilon:config.Protocol.epsilon
+        ~max_hops:config.Protocol.max_hops ~window:(Adversary.window adv)
+        ~frame:config.Protocol.frame
+    in
+    fun slot -> Adversarial.inject_slot adv rng ~delta_max slot
+
+let run_protocol ~protocol ~source ~frames ~rng =
+  let inject_slot =
+    inject_fn source ~config:(Protocol.config protocol) ~rng
+  in
+  for _ = 1 to frames do
+    Protocol.run_frame protocol rng ~inject_slot
+  done;
+  Protocol.report protocol
+
+let run ~config ~oracle ~source ~frames ~rng =
+  let channel =
+    Channel.create ~rng:(Rng.split rng) ~oracle
+      ~m:(Measure.size config.Protocol.measure) ()
+  in
+  let protocol = Protocol.create config ~channel in
+  run_protocol ~protocol ~source ~frames ~rng

@@ -1,0 +1,30 @@
+(** One-call simulation driver: protocol + channel + injection source.
+
+    Wires a configured protocol to a fresh channel, feeds it from either
+    injection model for a number of frames, and returns the report. This is
+    the entry point the examples, the CLI and the benchmark harness share. *)
+
+type source =
+  | Stochastic of Dps_injection.Stochastic.t
+  | Adversarial of Dps_injection.Adversary.t
+      (** driven through the Section 5 random-initial-delay wrapper *)
+  | Silent  (** no traffic; useful for draining tests *)
+
+(** [run ~config ~oracle ~source ~frames ~rng] — run the protocol for
+    [frames] frames and report. A fresh channel is created from [oracle]. *)
+val run :
+  config:Protocol.config ->
+  oracle:Dps_sim.Oracle.t ->
+  source:source ->
+  frames:int ->
+  rng:Dps_prelude.Rng.t ->
+  Protocol.report
+
+(** [run_protocol ~protocol ~source ~frames ~rng] — same, against existing
+    protocol state (continue a run, e.g. to drain after load). *)
+val run_protocol :
+  protocol:Protocol.t ->
+  source:source ->
+  frames:int ->
+  rng:Dps_prelude.Rng.t ->
+  Protocol.report

@@ -1,0 +1,51 @@
+(** The Theorem 20 lower-bound experiment (Figure 1).
+
+    The instance: [m - 1] short links that always succeed regardless of
+    other traffic, and one long link that succeeds only when every short
+    link is silent. With a global clock the even/odd protocol (short links
+    transmit in even slots, the long link in odd slots) is stable for every
+    λ < 1/2. Without a global clock — modelled by giving every link an
+    independent random phase for the {e same} even/odd rule — roughly half
+    the short links are "on" in any slot, the long link almost never finds
+    silence, and for λ ≥ ln m / m its queue grows without bound: no
+    acknowledgment-based local-clock protocol can be m/2·ln m-competitive.
+
+    Packets here are single-hop (one per link), so the experiment runs a
+    bespoke slot-level loop rather than the frame protocol. *)
+
+type clock =
+  | Global  (** common slot parity: short links even, long link odd *)
+  | Local
+      (** same rule, but each link applies it to its own randomly
+          phase-shifted clock *)
+
+type result = {
+  slots : int;
+  injected : int;
+  delivered : int;
+  long_queue_final : int;
+  long_queue : Dps_prelude.Timeseries.t;  (** sampled along the run *)
+  total_queue : Dps_prelude.Timeseries.t;
+  verdict : Stability.verdict;  (** assessed on the total queue series *)
+}
+
+(** [physics ~m] — the Figure-1 instance under uniform powers
+    (α = 3, β = 1, noise set so the long link succeeds exactly when alone).
+    The long link has id [m - 1]. *)
+val physics : m:int -> Dps_sinr.Physics.t
+
+(** [run ?phys ~m ~clock ~lambda ~slots rng] — simulate; every link receives
+    a packet independently with probability λ per slot. [phys] defaults to
+    [physics ~m] (pass it explicitly to amortize construction across runs). *)
+val run :
+  ?phys:Dps_sinr.Physics.t ->
+  m:int ->
+  clock:clock ->
+  lambda:float ->
+  slots:int ->
+  Dps_prelude.Rng.t ->
+  result
+
+(** [critical_rate ~m] — ln m / m, the instability threshold of the local
+    clock protocol in Theorem 20. *)
+val critical_rate : m:int -> float

@@ -1,0 +1,279 @@
+module Rng = Dps_prelude.Rng
+module Timeseries = Dps_prelude.Timeseries
+module Histogram = Dps_prelude.Histogram
+module Measure = Dps_interference.Measure
+module Path = Dps_network.Path
+module Channel = Dps_sim.Channel
+module Packet = Dps_sim.Packet
+module Algorithm = Dps_static.Algorithm
+module Request = Dps_static.Request
+
+type config = {
+  algorithm : Algorithm.t;
+  measure : Measure.t;
+  epsilon : float;
+  frame : int;
+  phase1_budget : int;
+  cleanup_budget : int;
+  cleanup_prob : float;
+  max_hops : int;
+}
+
+let budgets_for (algorithm : Algorithm.t) measure ~epsilon ~lambda ~frame =
+  let m = Measure.size measure in
+  let j = (1. +. epsilon) *. lambda *. float_of_int frame in
+  let n = Int.max 1 (int_of_float (Float.ceil (float_of_int m *. j))) in
+  let phase1 = algorithm.Algorithm.duration ~m ~i:(Float.max j 1.) ~n in
+  let cleanup = algorithm.Algorithm.duration ~m ~i:1. ~n in
+  (phase1, cleanup)
+
+let max_frame = 1 lsl 20
+
+let configure ?(epsilon = 0.5) ?(chernoff_slack = 12.) ?cleanup_prob
+    ~algorithm ~measure ~lambda ~max_hops () =
+  if epsilon <= 0. || epsilon > 1. then
+    invalid_arg "Protocol.configure: epsilon outside (0, 1]";
+  if lambda <= 0. then invalid_arg "Protocol.configure: lambda <= 0";
+  if max_hops < 1 then invalid_arg "Protocol.configure: max_hops < 1";
+  let m = Measure.size measure in
+  let cleanup_prob =
+    Option.value ~default:(1. /. float_of_int m) cleanup_prob
+  in
+  (* The paper's T >= 100·f(m)/ε³ exists to make per-frame loads
+     concentrate: overload events beyond (1+ε)·λ·T must be rare enough for
+     the 1/m-rate clean-up phase to absorb them. The engineering version of
+     that requirement is λ·T >= chernoff_slack/ε², i.e. the Chernoff
+     exponent ε²·λT/3 is a decent constant. *)
+  let concentration_floor =
+    int_of_float (Float.ceil (chernoff_slack /. (epsilon *. epsilon *. lambda)))
+  in
+  (* Smallest frame (up to geometric granularity) that fits both phases:
+     T >= T'(T) + cleanup(T) + 1. *)
+  let rec search frame =
+    if frame > max_frame then
+      invalid_arg
+        "Protocol.configure: no stable frame length; lambda exceeds the \
+         algorithm's sustainable rate"
+    else begin
+      let phase1, cleanup =
+        budgets_for algorithm measure ~epsilon ~lambda ~frame
+      in
+      if phase1 + cleanup + 1 <= frame && frame >= concentration_floor then
+        { algorithm;
+          measure;
+          epsilon;
+          frame;
+          phase1_budget = phase1;
+          cleanup_budget = cleanup;
+          cleanup_prob;
+          max_hops }
+      else search (Int.max (frame + 1) (frame * 13 / 10))
+    end
+  in
+  search 8
+
+let configure_with_frame ?(epsilon = 0.5) ?cleanup_prob ~algorithm ~measure
+    ~lambda ~max_hops ~frame () =
+  if epsilon <= 0. || epsilon > 1. then
+    invalid_arg "Protocol.configure_with_frame: epsilon outside (0, 1]";
+  if lambda <= 0. then invalid_arg "Protocol.configure_with_frame: lambda <= 0";
+  if max_hops < 1 then invalid_arg "Protocol.configure_with_frame: max_hops < 1";
+  let m = Measure.size measure in
+  let cleanup_prob =
+    Option.value ~default:(1. /. float_of_int m) cleanup_prob
+  in
+  let phase1, cleanup = budgets_for algorithm measure ~epsilon ~lambda ~frame in
+  if phase1 + cleanup + 1 > frame then
+    invalid_arg "Protocol.configure_with_frame: frame too short for budgets";
+  { algorithm;
+    measure;
+    epsilon;
+    frame;
+    phase1_budget = phase1;
+    cleanup_budget = cleanup;
+    cleanup_prob;
+    max_hops }
+
+type report = {
+  frames : int;
+  injected : int;
+  delivered : int;
+  failed_events : int;
+  in_system : Timeseries.t;
+  failed_queue : Timeseries.t;
+  potential : Timeseries.t;
+  latency : Histogram.t;
+  max_queue : int;
+}
+
+type t = {
+  cfg : config;
+  channel : Channel.t;
+  mutable frame_idx : int;
+  mutable live : Packet.t list;  (* never-failed, undelivered; newest first *)
+  failed : Packet.t Queue.t array;  (* per link, oldest failure first *)
+  mutable injected : int;
+  mutable delivered : int;
+  mutable failed_events : int;
+  mutable next_id : int;
+  in_system : Timeseries.t;
+  failed_queue : Timeseries.t;
+  potential : Timeseries.t;
+  latency : Histogram.t;
+  mutable max_queue : int;
+}
+
+let create cfg ~channel =
+  if Channel.size channel <> Measure.size cfg.measure then
+    invalid_arg "Protocol.create: channel and measure sizes differ";
+  { cfg;
+    channel;
+    frame_idx = 0;
+    live = [];
+    failed = Array.init (Measure.size cfg.measure) (fun _ -> Queue.create ());
+    injected = 0;
+    delivered = 0;
+    failed_events = 0;
+    next_id = 0;
+    in_system = Timeseries.create ();
+    failed_queue = Timeseries.create ();
+    potential = Timeseries.create ();
+    latency = Histogram.create ~reservoir:65536 ();
+    max_queue = 0 }
+
+let config t = t.cfg
+
+let frame_index t = t.frame_idx
+
+let failed_count t =
+  Array.fold_left (fun acc q -> acc + Queue.length q) 0 t.failed
+
+let in_flight t = List.length t.live + failed_count t
+
+let record_delivery t rng packet =
+  t.delivered <- t.delivered + 1;
+  match Packet.latency packet with
+  | Some l -> Histogram.add t.latency rng (float_of_int l)
+  | None -> assert false
+
+(* Phase 1: one shot of the static algorithm on every participating live
+   packet's next hop. Failures become "failed" and join their link buffer. *)
+let phase1 t rng =
+  let participating, waiting =
+    List.partition (fun p -> p.Packet.release_frame <= t.frame_idx) t.live
+  in
+  let parts = Array.of_list participating in
+  let requests =
+    Array.mapi
+      (fun idx p -> Request.make ~link:(Packet.next_link p) ~key:idx)
+      parts
+  in
+  let outcome =
+    if Array.length requests = 0 then
+      { Algorithm.served = [||]; slots_used = 0 }
+    else
+      t.cfg.algorithm.Algorithm.run ~channel:t.channel ~rng
+        ~measure:t.cfg.measure ~requests ~budget:t.cfg.phase1_budget
+  in
+  let now = Channel.now t.channel in
+  let still_live = ref waiting in
+  Array.iteri
+    (fun idx p ->
+      if outcome.Algorithm.served.(idx) then begin
+        Packet.advance p ~slot:now;
+        if Packet.delivered p then record_delivery t rng p
+        else still_live := p :: !still_live
+      end
+      else begin
+        t.failed_events <- t.failed_events + 1;
+        p.Packet.failed <- true;
+        Queue.add p t.failed.(Packet.next_link p)
+      end)
+    parts;
+  t.live <- !still_live
+
+(* Clean-up: each link with failed packets independently offers its oldest
+   one with probability [cleanup_prob]; one more execution of the static
+   algorithm serves the offered set. *)
+let cleanup t rng =
+  let offered = ref [] in
+  Array.iteri
+    (fun link q ->
+      if (not (Queue.is_empty q)) && Rng.bernoulli rng t.cfg.cleanup_prob then
+        offered := (link, Queue.peek q) :: !offered)
+    t.failed;
+  match !offered with
+  | [] -> ()
+  | offers ->
+    let offers = Array.of_list offers in
+    let requests =
+      Array.mapi (fun idx (link, _) -> Request.make ~link ~key:idx) offers
+    in
+    let outcome =
+      t.cfg.algorithm.Algorithm.run ~channel:t.channel ~rng
+        ~measure:t.cfg.measure ~requests ~budget:t.cfg.cleanup_budget
+    in
+    let now = Channel.now t.channel in
+    Array.iteri
+      (fun idx (link, p) ->
+        if outcome.Algorithm.served.(idx) then begin
+          let popped = Queue.pop t.failed.(link) in
+          assert (popped == p);
+          Packet.advance p ~slot:now;
+          if Packet.delivered p then record_delivery t rng p
+          else Queue.add p t.failed.(Packet.next_link p)
+        end)
+      offers
+
+let inject_packet t path ~slot ~extra_delay =
+  if Path.length path > t.cfg.max_hops then
+    invalid_arg "Protocol: injected path longer than max_hops";
+  if Path.length path = 0 then invalid_arg "Protocol: empty path";
+  let p = Packet.make ~id:t.next_id ~path ~injected_slot:slot in
+  t.next_id <- t.next_id + 1;
+  p.Packet.release_frame <- t.frame_idx + 1 + extra_delay;
+  t.injected <- t.injected + 1;
+  t.live <- p :: t.live
+
+let run_frame t rng ~inject_slot =
+  let frame_start = Channel.now t.channel in
+  (* Traffic arriving during this frame: drawn up front (arrivals are
+     independent of the channel), stamped with their true arrival slot. *)
+  for off = 0 to t.cfg.frame - 1 do
+    let slot = frame_start + off in
+    List.iter
+      (fun (path, extra_delay) ->
+        assert (extra_delay >= 0);
+        inject_packet t path ~slot ~extra_delay)
+      (inject_slot slot)
+  done;
+  phase1 t rng;
+  cleanup t rng;
+  let consumed = Channel.now t.channel - frame_start in
+  assert (consumed <= t.cfg.frame);
+  Channel.idle t.channel ~slots:(t.cfg.frame - consumed);
+  (* Frame statistics. *)
+  let fq = failed_count t in
+  let total = List.length t.live + fq in
+  let phi =
+    Array.fold_left
+      (fun acc q ->
+        Queue.fold (fun acc p -> acc + Packet.remaining_hops p) acc q)
+      0 t.failed
+  in
+  Timeseries.add t.in_system (float_of_int total);
+  Timeseries.add t.failed_queue (float_of_int fq);
+  Timeseries.add t.potential (float_of_int phi);
+  if total > t.max_queue then t.max_queue <- total;
+  t.frame_idx <- t.frame_idx + 1
+
+let report t =
+  { frames = t.frame_idx;
+    injected = t.injected;
+    delivered = t.delivered;
+    failed_events = t.failed_events;
+    in_system = t.in_system;
+    failed_queue = t.failed_queue;
+    potential = t.potential;
+    latency = t.latency;
+    max_queue = t.max_queue }

@@ -1,0 +1,115 @@
+(** The dynamic scheduling protocol (Section 4).
+
+    Time is divided into frames of [T] slots. A packet injected during frame
+    [k] starts participating in frame [k + 1] (plus any initial delay the
+    adversarial wrapper assigns). Every frame has two phases:
+
+    - {b Phase 1}: the static algorithm is executed on the next hop of every
+      live (never-failed) participating packet, for
+      [T' = duration(m, J, m·J)] slots where [J = (1+ε)·λ·T] dimensions the
+      expected per-frame interference. Packets that don't get through are
+      marked {e failed} and join the failed buffer of the link they needed
+      to cross.
+    - {b Clean-up}: every link with a non-empty failed buffer independently
+      selects, with probability [1/m], its longest-failed packet; the static
+      algorithm is executed once more on the selected set. A cleaned-up
+      packet that still has hops to go moves to the failed buffer of its
+      next link — once failed, a packet completes its journey through
+      clean-up phases only, exactly as in the paper.
+
+    The remainder of the frame idles so frames stay aligned.
+
+    Stability (Theorem 3) holds for λ < 1/f(m); latency (Theorem 8) is
+    O(d·T) for never-failed packets of path length d. *)
+
+type config = {
+  algorithm : Dps_static.Algorithm.t;
+  measure : Dps_interference.Measure.t;
+  epsilon : float;  (** headroom: the protocol is dimensioned for (1-ε)/f(m) *)
+  frame : int;  (** T, in slots *)
+  phase1_budget : int;  (** T' *)
+  cleanup_budget : int;
+  cleanup_prob : float;  (** per-link selection probability, paper: 1/m *)
+  max_hops : int;  (** D: longest admissible path *)
+}
+
+(** [configure ?epsilon ?chernoff_slack ?cleanup_prob ~algorithm ~measure
+    ~lambda ~max_hops ()] sizes the frame for injection rate [lambda]: it
+    finds the smallest [T] with
+    [T >= duration(m, (1+ε)λT, m·(1+ε)λT) + cleanup + 1] (fixed-point
+    search) that also satisfies the concentration floor
+    [λ·T >= chernoff_slack/ε²] — the engineering form of the paper's
+    [T >= 100·f(m)/ε³] requirement, making per-frame overloads rare enough
+    for the clean-up phase. Raises [Invalid_argument] if no such [T] exists
+    below 2^20 slots — i.e. [lambda] exceeds what the algorithm can sustain
+    (its effective 1/f(m)). Defaults: [epsilon = 0.5],
+    [chernoff_slack = 12.], [cleanup_prob = 1/m]. *)
+val configure :
+  ?epsilon:float ->
+  ?chernoff_slack:float ->
+  ?cleanup_prob:float ->
+  algorithm:Dps_static.Algorithm.t ->
+  measure:Dps_interference.Measure.t ->
+  lambda:float ->
+  max_hops:int ->
+  unit ->
+  config
+
+(** [configure_with_frame ... ~frame ()] — like {!configure} but with an
+    explicitly chosen frame length (used by the frame-sizing ablation).
+    Budgets are recomputed for that frame; raises [Invalid_argument] when
+    they do not fit. No concentration floor is enforced. *)
+val configure_with_frame :
+  ?epsilon:float ->
+  ?cleanup_prob:float ->
+  algorithm:Dps_static.Algorithm.t ->
+  measure:Dps_interference.Measure.t ->
+  lambda:float ->
+  max_hops:int ->
+  frame:int ->
+  unit ->
+  config
+
+(** Per-run report. All series have one point per frame. *)
+type report = {
+  frames : int;
+  injected : int;
+  delivered : int;
+  failed_events : int;  (** phase-1 failures (packets, counted once) *)
+  in_system : Dps_prelude.Timeseries.t;  (** undelivered packets *)
+  failed_queue : Dps_prelude.Timeseries.t;  (** Σ failed-buffer sizes *)
+  potential : Dps_prelude.Timeseries.t;
+      (** Φ: Σ remaining hops over failed packets *)
+  latency : Dps_prelude.Histogram.t;  (** delivery latency, in slots *)
+  max_queue : int;
+}
+
+type t
+
+(** [create config ~channel] — fresh protocol state bound to a channel.
+    Raises [Invalid_argument] if the channel and measure disagree on [m]. *)
+val create : config -> channel:Dps_sim.Channel.t -> t
+
+val config : t -> config
+
+(** [run_frame t rng ~inject_slot] — execute one full frame.
+    [inject_slot slot] is called once per slot of the frame, in order, and
+    returns the traffic arriving at that slot as [(path, extra_delay)]
+    pairs: the packet starts participating [extra_delay] frames after the
+    next frame boundary ([0] for plain injection; the adversarial wrapper
+    of Section 5 passes its random initial delay here). Raises
+    [Invalid_argument] if a path exceeds [max_hops]. *)
+val run_frame :
+  t ->
+  Dps_prelude.Rng.t ->
+  inject_slot:(int -> (Dps_network.Path.t * int) list) ->
+  unit
+
+(** [report t] — snapshot of the statistics so far. *)
+val report : t -> report
+
+(** Current frame index (frames completed). *)
+val frame_index : t -> int
+
+(** Packets currently in the system (live + failed + waiting). *)
+val in_flight : t -> int

@@ -1,0 +1,41 @@
+module Histogram = Dps_prelude.Histogram
+
+let delivery_ratio (r : Protocol.report) =
+  if r.Protocol.injected = 0 then 1.
+  else float_of_int r.Protocol.delivered /. float_of_int r.Protocol.injected
+
+let throughput (r : Protocol.report) ~frame =
+  assert (frame > 0);
+  if r.Protocol.frames = 0 then 0.
+  else float_of_int r.Protocol.delivered /. float_of_int (r.Protocol.frames * frame)
+
+let verdict_string (r : Protocol.report) =
+  Stability.to_string (Stability.assess r.Protocol.in_system)
+
+let summary_line (r : Protocol.report) =
+  Printf.sprintf "inj=%d del=%d failed=%d maxq=%d verdict=%s"
+    r.Protocol.injected r.Protocol.delivered r.Protocol.failed_events
+    r.Protocol.max_queue (verdict_string r)
+
+let pp ?frame ppf (r : Protocol.report) =
+  Format.fprintf ppf "after %d frames:@\n" r.Protocol.frames;
+  Format.fprintf ppf "  injected   %d@\n" r.Protocol.injected;
+  Format.fprintf ppf "  delivered  %d (%.1f%%)@\n" r.Protocol.delivered
+    (100. *. delivery_ratio r);
+  Format.fprintf ppf "  failures   %d@\n" r.Protocol.failed_events;
+  Format.fprintf ppf "  max queue  %d@\n" r.Protocol.max_queue;
+  if Histogram.count r.Protocol.latency > 0 then begin
+    let q p = Histogram.quantile r.Protocol.latency p in
+    match frame with
+    | Some t when t > 0 ->
+      Format.fprintf ppf
+        "  latency    p50=%.0f p90=%.0f p99=%.0f slots (%.1f/%.1f/%.1f frames)@\n"
+        (q 0.5) (q 0.9) (q 0.99)
+        (q 0.5 /. float_of_int t)
+        (q 0.9 /. float_of_int t)
+        (q 0.99 /. float_of_int t)
+    | _ ->
+      Format.fprintf ppf "  latency    p50=%.0f p90=%.0f p99=%.0f slots@\n"
+        (q 0.5) (q 0.9) (q 0.99)
+  end;
+  Format.fprintf ppf "  verdict    %s" (verdict_string r)

@@ -1,0 +1,20 @@
+(** Human-readable rendering of protocol reports.
+
+    One formatter shared by the CLI, the examples and ad-hoc debugging, so
+    every tool prints runs the same way. *)
+
+(** [pp ?frame ppf report] — multi-line summary: counters, failure and queue
+    figures, latency quantiles (scaled by [frame] when given) and the
+    stability verdict. *)
+val pp : ?frame:int -> Format.formatter -> Protocol.report -> unit
+
+(** [summary_line report] — one-line digest
+    ["inj=… del=… failed=… maxq=… verdict=…"], for tables and logs. *)
+val summary_line : Protocol.report -> string
+
+(** [throughput report ~frame] — delivered packets per slot. *)
+val throughput : Protocol.report -> frame:int -> float
+
+(** [delivery_ratio report] — delivered / injected ([1.] when nothing was
+    injected). *)
+val delivery_ratio : Protocol.report -> float

@@ -1,0 +1,27 @@
+module Timeseries = Dps_prelude.Timeseries
+
+type verdict = Stable | Unstable | Marginal
+
+let growth_per_frame series = Timeseries.tail_slope series ~fraction:0.5
+
+let assess series =
+  let n = Timeseries.length series in
+  if n < 10 then Marginal
+  else begin
+    let level = Timeseries.tail_mean series ~fraction:0.5 in
+    let slope = growth_per_frame series in
+    let projected = slope *. (float_of_int n /. 2.) in
+    (* A series growing linearly from zero has projected/level = 2/3
+       (slope·(n/2) against a tail mean of slope·(3n/4)); an equilibrated
+       series has projected ≈ 0. The cuts sit between those regimes. *)
+    let ratio = projected /. Float.max level 1. in
+    if Timeseries.max series <= 5. then Stable
+    else if ratio >= 0.4 then Unstable
+    else if ratio <= 0.15 || projected <= 4. then Stable
+    else Marginal
+  end
+
+let to_string = function
+  | Stable -> "stable"
+  | Unstable -> "unstable"
+  | Marginal -> "marginal"

@@ -1,0 +1,23 @@
+(** Empirical stability verdicts.
+
+    The paper's stability notion — bounded expected queue lengths — is
+    checked on a finite run by looking at the tail of the in-system series:
+    a stable protocol's queue fluctuates around a constant, an unstable
+    one's grows linearly with time. *)
+
+type verdict = Stable | Unstable | Marginal
+
+(** [assess series] — verdict from the final half of the series. The tail
+    slope is extrapolated over half the horizon and compared to the tail
+    level; a series growing linearly from zero scores 2/3 on that ratio, an
+    equilibrated one scores ≈ 0. Ratio ≥ 0.4 is [Unstable]; ratio ≤ 0.15 —
+    or absolute projected growth ≤ 4 packets, or a series that never
+    exceeds 5 — is [Stable]; in between is [Marginal]. Series shorter than
+    10 points are [Marginal]. *)
+val assess : Dps_prelude.Timeseries.t -> verdict
+
+(** [to_string v] — ["stable" | "unstable" | "marginal"]. *)
+val to_string : verdict -> string
+
+(** [growth_per_frame series] — tail slope of the series (packets/frame). *)
+val growth_per_frame : Dps_prelude.Timeseries.t -> float

@@ -1,0 +1,36 @@
+type outcome = {
+  critical : float;
+  stable_at : float list;
+  unstable_at : float list;
+}
+
+let critical_rate ~probe ~lo ~hi ~tolerance =
+  if not (lo < hi) then invalid_arg "Sweep.critical_rate: lo >= hi";
+  if tolerance <= 0. then invalid_arg "Sweep.critical_rate: tolerance <= 0";
+  let stable = ref [] and unstable = ref [] in
+  let check rate =
+    let ok = probe rate in
+    if ok then stable := rate :: !stable else unstable := rate :: !unstable;
+    ok
+  in
+  if not (check lo) then
+    invalid_arg "Sweep.critical_rate: lower bound is already unstable";
+  if check hi then
+    { critical = hi; stable_at = !stable; unstable_at = !unstable }
+  else begin
+    let lo = ref lo and hi = ref hi in
+    while !hi -. !lo > tolerance do
+      let mid = (!lo +. !hi) /. 2. in
+      if check mid then lo := mid else hi := mid
+    done;
+    { critical = !lo; stable_at = !stable; unstable_at = !unstable }
+  end
+
+let protocol_probe ~configure ~run rate =
+  match configure rate with
+  | exception Invalid_argument _ -> false
+  | config -> (
+    let report = run config in
+    match Stability.assess report.Protocol.in_system with
+    | Stability.Stable -> true
+    | Stability.Unstable | Stability.Marginal -> false)

@@ -1,0 +1,32 @@
+(** Empirical threshold search.
+
+    The theory gives rate thresholds up to constants; this module measures
+    them: bisect over the injection rate on actual protocol runs, using the
+    {!Stability} verdict of each run as the predicate. Used by the
+    competitiveness experiments and handy for dimensioning real
+    deployments. *)
+
+type outcome = {
+  critical : float;
+      (** largest rate that assessed stable (within [tolerance]) *)
+  stable_at : float list;  (** rates probed and found stable *)
+  unstable_at : float list;  (** rates probed and found not stable *)
+}
+
+(** [critical_rate ~probe ~lo ~hi ~tolerance] — bisect on
+    [probe rate = true] (stable). Requires [probe lo = true] (raises
+    [Invalid_argument] otherwise); if [probe hi] is already stable, returns
+    [hi]. Marginal verdicts should be mapped by the caller (a conservative
+    probe treats them as unstable). The probe is called O(log((hi-lo)/
+    tolerance)) times; make it deterministic for reproducible sweeps. *)
+val critical_rate :
+  probe:(float -> bool) -> lo:float -> hi:float -> tolerance:float -> outcome
+
+(** [protocol_probe ~configure ~run rate] — convenience predicate: configure
+    at [rate] (an exception from [configure] counts as unstable), run, and
+    require a {!Stability.Stable} verdict. *)
+val protocol_probe :
+  configure:(float -> Protocol.config) ->
+  run:(Protocol.config -> Protocol.report) ->
+  float ->
+  bool

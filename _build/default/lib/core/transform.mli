@@ -1,0 +1,31 @@
+(** Algorithm 1 (Section 3, Theorem 1): the static-to-dense transformation.
+
+    Takes a static algorithm [A(I, n)] with schedule length [f(n)·I] (whp)
+    and produces one whose length is [2·f(mχ)·I + O(log n · f(mχ) +
+    f(n)·log n·log m)] — linear in [I] for dense instances, because the
+    per-packet cost no longer grows with the number of packets [n].
+
+    Mechanics: for [ξ = ⌈log(I/2φχ·log n)⌉] iterations, every remaining
+    packet draws a uniformly random delay below [⌈2^(1-i)·I/χ⌉]; the inner
+    algorithm is executed on each delay class, each class having interference
+    measure ≈ χ = O(log m) w.h.p. Each iteration halves the remaining
+    interference measure (w.h.p.), so after the loop only an
+    [O(χ·log n)]-measure residue is left, which [⌈φ⌉+1] plain executions
+    of [A] clear.
+
+    The paper's proof constant is χ = 6(ln m + 9); the default here is the
+    engineering value χ = 2(ln m + 1) (see DESIGN.md on constants), both
+    reachable through [chi_factor]/[chi_offset]. *)
+
+(** [apply ?chi_factor ?chi_offset ?phi a] — the transformed algorithm.
+    Defaults: [chi_factor = 2.], [chi_offset = 1.], [phi = 1.]. *)
+val apply :
+  ?chi_factor:float ->
+  ?chi_offset:float ->
+  ?phi:float ->
+  Dps_static.Algorithm.t ->
+  Dps_static.Algorithm.t
+
+(** [chi ~chi_factor ~chi_offset ~m] — the per-class interference budget
+    [chi_factor · (ln m + chi_offset)]. *)
+val chi : chi_factor:float -> chi_offset:float -> m:int -> float

@@ -1,0 +1,1 @@
+lib/geometry/placement.ml: Array Dps_prelude Float Point

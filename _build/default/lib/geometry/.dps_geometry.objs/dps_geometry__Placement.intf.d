@@ -1,0 +1,1 @@
+lib/geometry/placement.mli: Dps_prelude Point

@@ -1,0 +1,34 @@
+module Rng = Dps_prelude.Rng
+
+let line ~n ~spacing =
+  assert (n >= 0 && spacing > 0.);
+  Array.init n (fun i -> Point.make (float_of_int i *. spacing) 0.)
+
+let grid ~rows ~cols ~spacing =
+  assert (rows >= 0 && cols >= 0 && spacing > 0.);
+  Array.init (rows * cols) (fun idx ->
+      let r = idx / cols and c = idx mod cols in
+      Point.make (float_of_int c *. spacing) (float_of_int r *. spacing))
+
+let uniform rng ~n ~side =
+  assert (n >= 0 && side > 0.);
+  Array.init n (fun _ -> Point.make (Rng.float rng side) (Rng.float rng side))
+
+let clusters rng ~clusters ~per_cluster ~side ~radius =
+  assert (clusters >= 0 && per_cluster >= 0 && side > 0. && radius > 0.);
+  let points = Array.make (clusters * per_cluster) Point.origin in
+  for c = 0 to clusters - 1 do
+    let center = Point.make (Rng.float rng side) (Rng.float rng side) in
+    for i = 0 to per_cluster - 1 do
+      let r = radius *. sqrt (Rng.float rng 1.) in
+      let angle = Rng.float rng (2. *. Float.pi) in
+      points.((c * per_cluster) + i) <- Point.on_circle ~center ~radius:r ~angle
+    done
+  done;
+  points
+
+let ring ~n ~radius ~center =
+  assert (n > 0 && radius > 0.);
+  Array.init n (fun i ->
+      let angle = 2. *. Float.pi *. float_of_int i /. float_of_int n in
+      Point.on_circle ~center ~radius ~angle)

@@ -1,0 +1,27 @@
+(** Node placement generators for synthetic topologies. *)
+
+(** [line ~n ~spacing] places [n] points on the x-axis at multiples of
+    [spacing], starting at the origin. *)
+val line : n:int -> spacing:float -> Point.t array
+
+(** [grid ~rows ~cols ~spacing] places [rows * cols] points on an axis-aligned
+    grid, row-major. *)
+val grid : rows:int -> cols:int -> spacing:float -> Point.t array
+
+(** [uniform rng ~n ~side] places [n] points independently and uniformly in
+    the square [0, side]². *)
+val uniform : Dps_prelude.Rng.t -> n:int -> side:float -> Point.t array
+
+(** [clusters rng ~clusters ~per_cluster ~side ~radius] places cluster centers
+    uniformly in [0, side]² and [per_cluster] points uniformly within distance
+    [radius] of each center. *)
+val clusters :
+  Dps_prelude.Rng.t ->
+  clusters:int ->
+  per_cluster:int ->
+  side:float ->
+  radius:float ->
+  Point.t array
+
+(** [ring ~n ~radius ~center] places [n] points evenly on a circle. *)
+val ring : n:int -> radius:float -> center:Point.t -> Point.t array

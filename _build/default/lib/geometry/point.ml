@@ -1,0 +1,20 @@
+type t = { x : float; y : float }
+
+let origin = { x = 0.; y = 0. }
+let make x y = { x; y }
+
+let distance_sq a b =
+  let dx = a.x -. b.x and dy = a.y -. b.y in
+  (dx *. dx) +. (dy *. dy)
+
+let distance a b = sqrt (distance_sq a b)
+let midpoint a b = { x = (a.x +. b.x) /. 2.; y = (a.y +. b.y) /. 2. }
+let translate p ~dx ~dy = { x = p.x +. dx; y = p.y +. dy }
+
+let on_circle ~center ~radius ~angle =
+  { x = center.x +. (radius *. cos angle); y = center.y +. (radius *. sin angle) }
+
+let equal ?(eps = 1e-12) a b =
+  Float.abs (a.x -. b.x) <= eps && Float.abs (a.y -. b.y) <= eps
+
+let pp ppf p = Format.fprintf ppf "(%g, %g)" p.x p.y

@@ -1,0 +1,35 @@
+(** Points of the 2-D Euclidean plane.
+
+    The SINR model places network nodes in a metric space; this library uses
+    the Euclidean plane, which is the standard instantiation in the SINR
+    scheduling literature. *)
+
+type t = { x : float; y : float }
+
+(** The origin [(0, 0)]. *)
+val origin : t
+
+(** [make x y] is the point [(x, y)]. *)
+val make : float -> float -> t
+
+(** Euclidean distance between two points. *)
+val distance : t -> t -> float
+
+(** Squared Euclidean distance (no square root). *)
+val distance_sq : t -> t -> float
+
+(** [midpoint a b] is the point halfway between [a] and [b]. *)
+val midpoint : t -> t -> t
+
+(** [translate p ~dx ~dy] shifts [p] by the given offsets. *)
+val translate : t -> dx:float -> dy:float -> t
+
+(** [on_circle ~center ~radius ~angle] is the point at the given polar
+    coordinates around [center]; [angle] in radians. *)
+val on_circle : center:t -> radius:float -> angle:float -> t
+
+(** [equal ?eps a b] compares coordinates up to absolute tolerance [eps]
+    (default [1e-12]). *)
+val equal : ?eps:float -> t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/injection/adversary.ml: Array Dps_interference Dps_network Float Int List

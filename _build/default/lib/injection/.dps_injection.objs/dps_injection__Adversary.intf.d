@@ -1,0 +1,1 @@
+lib/injection/adversary.mli: Dps_interference Dps_network

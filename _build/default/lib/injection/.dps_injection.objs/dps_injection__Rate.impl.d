@@ -1,0 +1,1 @@
+lib/injection/rate.ml: Array Dps_interference Dps_network List

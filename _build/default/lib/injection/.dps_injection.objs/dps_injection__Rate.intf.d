@@ -1,0 +1,1 @@
+lib/injection/rate.mli: Dps_interference Dps_network

@@ -1,0 +1,1 @@
+lib/injection/stochastic.ml: Array Dps_interference Dps_network Dps_prelude Int List Rate

@@ -1,0 +1,1 @@
+lib/injection/stochastic.mli: Dps_interference Dps_network Dps_prelude

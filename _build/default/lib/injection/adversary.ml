@@ -1,0 +1,117 @@
+module Measure = Dps_interference.Measure
+module Load = Dps_interference.Load
+module Path = Dps_network.Path
+
+type t = { window : int; rate : float; schedule : slot:int -> Path.t list }
+
+let window t = t.window
+let rate t = t.rate
+let injections t ~slot = t.schedule ~slot
+
+let of_schedule ~w ~rate schedule =
+  assert (w > 0 && rate >= 0.);
+  { window = w; rate; schedule }
+
+let max_path_length t ~horizon =
+  let best = ref 0 in
+  for slot = 0 to horizon - 1 do
+    List.iter
+      (fun p -> best := Int.max !best (Path.length p))
+      (t.schedule ~slot)
+  done;
+  !best
+
+let verify t measure ~horizon =
+  let m = Measure.size measure in
+  let per_slot =
+    Array.init horizon (fun slot -> Load.of_paths m (t.schedule ~slot))
+  in
+  let worst = ref 0. in
+  for start = 0 to horizon - t.window do
+    let window_load = Array.make m 0. in
+    for slot = start to start + t.window - 1 do
+      Array.iteri
+        (fun e x -> window_load.(e) <- window_load.(e) +. x)
+        per_slot.(slot)
+    done;
+    let i = Measure.interference measure window_load in
+    worst := Float.max !worst (i /. float_of_int t.window)
+  done;
+  !worst
+
+(* Largest prefix-repetition of [paths] whose load keeps ||W·R||_inf within
+   [budget]. Cycles the path list so the batch is balanced across paths. *)
+let batch_within measure ~budget ~paths =
+  match paths with
+  | [] -> []
+  | _ ->
+    let m = Measure.size measure in
+    let arr = Array.of_list paths in
+    let load = Array.make m 0. in
+    let rec grow acc k =
+      let p = arr.(k mod Array.length arr) in
+      for i = 0 to Path.length p - 1 do
+        let e = Path.hop p i in
+        load.(e) <- load.(e) +. 1.
+      done;
+      if Measure.interference measure load <= budget then grow (p :: acc) (k + 1)
+      else acc
+    in
+    List.rev (grow [] 0)
+
+let burst ~measure ~w ~rate ~paths =
+  assert (w > 0 && rate >= 0.);
+  let batch =
+    batch_within measure ~budget:(rate *. float_of_int w) ~paths
+  in
+  of_schedule ~w ~rate (fun ~slot -> if slot mod w = 0 then batch else [])
+
+let smooth ~measure ~w ~rate ~paths =
+  assert (w > 0 && rate >= 0.);
+  let batch =
+    Array.of_list (batch_within measure ~budget:(rate *. float_of_int w) ~paths)
+  in
+  let k = Array.length batch in
+  let schedule ~slot =
+    (* Item j of each window goes to slot ⌊j·w/k⌋ within the window. *)
+    let off = slot mod w in
+    let items = ref [] in
+    for j = 0 to k - 1 do
+      if j * w / k = off then items := batch.(j) :: !items
+    done;
+    !items
+  in
+  of_schedule ~w ~rate schedule
+
+let single_target ~measure ~w ~rate ~paths =
+  assert (w > 0 && rate >= 0.);
+  let target = match paths with [] -> [] | p :: _ -> [ p ] in
+  let batch =
+    batch_within measure ~budget:(rate *. float_of_int w) ~paths:target
+  in
+  of_schedule ~w ~rate (fun ~slot -> if slot mod w = 0 then batch else [])
+
+let rotating ~measure ~w ~rate ~paths =
+  assert (w > 0 && rate >= 0.);
+  let batches =
+    Array.of_list
+      (List.map
+         (fun p ->
+           batch_within measure ~budget:(rate *. float_of_int w) ~paths:[ p ])
+         paths)
+  in
+  let k = Array.length batches in
+  let schedule ~slot =
+    if k = 0 || slot mod w <> 0 then [] else batches.((slot / w) mod k)
+  in
+  of_schedule ~w ~rate schedule
+
+let sawtooth ~measure ~w ~rate ~paths =
+  assert (w > 0 && rate >= 0.);
+  let batch =
+    batch_within measure ~budget:(rate *. float_of_int w) ~paths
+  in
+  let schedule ~slot =
+    if slot mod (2 * w) = 0 then batch else []
+  in
+  of_schedule ~w ~rate schedule

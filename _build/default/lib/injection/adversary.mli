@@ -1,0 +1,85 @@
+(** The (w, λ)-bounded window adversary (Section 2.1).
+
+    During any interval of [w] consecutive slots the adversary may inject
+    packets whose paths induce a per-link load [R] with
+    [||W·R||_inf ≤ w·λ]. An adversary here is a deterministic injection
+    schedule (slot → paths) plus its declared bound; {!verify} checks the
+    declaration against the schedule mechanically over a horizon. *)
+
+type t
+
+(** Declared window size [w]. *)
+val window : t -> int
+
+(** Declared rate bound λ. *)
+val rate : t -> float
+
+(** [injections t ~slot] — the paths injected at the given slot. *)
+val injections : t -> slot:int -> Dps_network.Path.t list
+
+(** Longest path the adversary ever injects within the given horizon. *)
+val max_path_length : t -> horizon:int -> int
+
+(** [verify t measure ~horizon] — the empirical rate: the maximum over all
+    windows of [w] slots inside [0, horizon) of [||W·R_window||_inf / w].
+    The adversary is honestly (w, λ)-bounded iff this is ≤ λ. *)
+val verify : t -> Dps_interference.Measure.t -> horizon:int -> float
+
+(** {1 Strategies}
+
+    Each builder takes the target [paths] (cycled through round-robin), the
+    window [w] and the budget fraction [rate]; all are (w, rate)-bounded by
+    construction for loads measured with [measure]. *)
+
+(** [burst] — injects the whole window budget in the first slot of every
+    window: the classic worst case for queue spikes. *)
+val burst :
+  measure:Dps_interference.Measure.t ->
+  w:int ->
+  rate:float ->
+  paths:Dps_network.Path.t list ->
+  t
+
+(** [smooth] — spreads the window budget evenly over the window. *)
+val smooth :
+  measure:Dps_interference.Measure.t ->
+  w:int ->
+  rate:float ->
+  paths:Dps_network.Path.t list ->
+  t
+
+(** [sawtooth] — alternates loaded and silent windows: the full per-window
+    budget lands in the first slot of every even window, odd windows stay
+    silent. The average rate is [rate/2] but every window is pushed to its
+    declared bound, stressing frame-boundary effects. *)
+val sawtooth :
+  measure:Dps_interference.Measure.t ->
+  w:int ->
+  rate:float ->
+  paths:Dps_network.Path.t list ->
+  t
+
+(** [single_target] — spends the whole window budget on the first path
+    alone (the others are ignored): the classic "one hot link" attack that
+    maximizes one buffer's pressure while leaving the rest of the network
+    idle. *)
+val single_target :
+  measure:Dps_interference.Measure.t ->
+  w:int ->
+  rate:float ->
+  paths:Dps_network.Path.t list ->
+  t
+
+(** [rotating] — like {!burst}, but each window's burst targets a single
+    path, cycling through [paths] window by window; stresses every buffer
+    in turn without ever exceeding the window budget. *)
+val rotating :
+  measure:Dps_interference.Measure.t ->
+  w:int ->
+  rate:float ->
+  paths:Dps_network.Path.t list ->
+  t
+
+(** [of_schedule ~w ~rate f] — wrap an arbitrary schedule function. *)
+val of_schedule :
+  w:int -> rate:float -> (slot:int -> Dps_network.Path.t list) -> t

@@ -1,0 +1,16 @@
+module Measure = Dps_interference.Measure
+module Path = Dps_network.Path
+
+let of_flow measure flow = Measure.interference measure flow
+
+let flow_of_weighted_paths m paths =
+  let flow = Array.make m 0. in
+  List.iter
+    (fun (p, prob) ->
+      assert (prob >= 0.);
+      for i = 0 to Path.length p - 1 do
+        let e = Path.hop p i in
+        flow.(e) <- flow.(e) +. prob
+      done)
+    paths;
+  flow

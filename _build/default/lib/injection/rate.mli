@@ -1,0 +1,13 @@
+(** Injection-rate arithmetic shared by both injection models.
+
+    The injection rate of an average per-link packet flow [F] is
+    [λ = ||W·F||_inf] — the same linear interference measure the schedule
+    lengths are stated in, applied to the expected load per slot. *)
+
+(** [of_flow measure flow] — [λ = ||W·flow||_inf]. *)
+val of_flow : Dps_interference.Measure.t -> float array -> float
+
+(** [flow_of_weighted_paths m paths] — expected per-link load of a set of
+    [(path, probability-per-slot)] pairs. *)
+val flow_of_weighted_paths :
+  int -> (Dps_network.Path.t * float) list -> float array

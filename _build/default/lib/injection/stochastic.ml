@@ -1,0 +1,73 @@
+module Rng = Dps_prelude.Rng
+module Path = Dps_network.Path
+
+type generator = { choices : (Path.t * float) array; mass : float }
+type t = { gens : generator array }
+
+let check_generator choices =
+  List.iter
+    (fun (_, p) ->
+      if p < 0. then invalid_arg "Stochastic.make: negative probability")
+    choices;
+  let mass = List.fold_left (fun acc (_, p) -> acc +. p) 0. choices in
+  if mass > 1. +. 1e-9 then
+    invalid_arg "Stochastic.make: generator probability mass exceeds 1";
+  { choices = Array.of_list choices; mass }
+
+let make generators = { gens = Array.of_list (List.map check_generator generators) }
+let generators t = Array.length t.gens
+
+let flow t ~m =
+  let f = Array.make m 0. in
+  Array.iter
+    (fun g ->
+      Array.iter
+        (fun (p, prob) ->
+          for i = 0 to Path.length p - 1 do
+            let e = Path.hop p i in
+            f.(e) <- f.(e) +. prob
+          done)
+        g.choices)
+    t.gens;
+  f
+
+let rate t measure =
+  Rate.of_flow measure (flow t ~m:(Dps_interference.Measure.size measure))
+
+let scale t factor =
+  if factor < 0. then invalid_arg "Stochastic.scale: negative factor";
+  let scale_gen g =
+    let mass = g.mass *. factor in
+    if mass > 1. +. 1e-9 then
+      invalid_arg "Stochastic.scale: generator probability mass exceeds 1";
+    { choices = Array.map (fun (p, prob) -> (p, prob *. factor)) g.choices; mass }
+  in
+  { gens = Array.map scale_gen t.gens }
+
+let calibrate t measure ~target =
+  if target < 0. then invalid_arg "Stochastic.calibrate: negative target";
+  let current = rate t measure in
+  if current <= 0. then invalid_arg "Stochastic.calibrate: current rate is 0";
+  scale t (target /. current)
+
+let draw t rng ~slot:_ =
+  let inject g =
+    (* One multinomial draw: u lands in a choice's probability segment, or
+       in the silent remainder [mass, 1). *)
+    let u = Rng.float rng 1. in
+    let rec pick idx acc =
+      if idx >= Array.length g.choices then None
+      else
+        let path, prob = g.choices.(idx) in
+        let acc = acc +. prob in
+        if u < acc then Some path else pick (idx + 1) acc
+    in
+    pick 0 0.
+  in
+  Array.to_list t.gens |> List.filter_map inject
+
+let max_path_length t =
+  Array.fold_left
+    (fun acc g ->
+      Array.fold_left (fun acc (p, _) -> Int.max acc (Path.length p)) acc g.choices)
+    0 t.gens

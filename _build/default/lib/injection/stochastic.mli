@@ -1,0 +1,39 @@
+(** Time-independent, finite-user stochastic injection (Section 2.1).
+
+    A finite set of generators; in every slot each generator [g]
+    independently injects at most one packet, choosing path [P] with a fixed
+    probability [p_{g,P}] (identical across slots). The injection rate is
+    [λ = ||W·F||_inf] with [F(e) = Σ_g Σ_{P ∋ e} p_{g,P}]. *)
+
+type t
+
+(** [make generators] — one entry per generator: its path distribution as
+    [(path, probability)] pairs. Probabilities must be non-negative and sum
+    to at most 1 per generator. Raises [Invalid_argument] otherwise. *)
+val make : (Dps_network.Path.t * float) list list -> t
+
+(** Number of generators. *)
+val generators : t -> int
+
+(** [flow t ~m] — the expected per-link load [F] per slot. *)
+val flow : t -> m:int -> float array
+
+(** [rate t measure] — the injection rate λ. *)
+val rate : t -> Dps_interference.Measure.t -> float
+
+(** [scale t factor] — multiply every probability by [factor].
+    Raises [Invalid_argument] if this would push a generator's total
+    probability above 1. *)
+val scale : t -> float -> t
+
+(** [calibrate t measure ~target] — scale so that [rate t measure = target].
+    Raises [Invalid_argument] when the current rate is 0, or when reaching
+    [target] would require a per-generator probability mass above 1
+    (split the traffic over more generators in that case). *)
+val calibrate : t -> Dps_interference.Measure.t -> target:float -> t
+
+(** [draw t rng ~slot] — the packets injected in one slot, as paths. *)
+val draw : t -> Dps_prelude.Rng.t -> slot:int -> Dps_network.Path.t list
+
+(** [max_path_length t] — D, the longest path any generator can inject. *)
+val max_path_length : t -> int

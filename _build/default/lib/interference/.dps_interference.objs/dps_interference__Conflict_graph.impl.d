@@ -1,0 +1,1 @@
+lib/interference/conflict_graph.ml: Array Dps_geometry Dps_network Dps_prelude Hashtbl List Measure Option

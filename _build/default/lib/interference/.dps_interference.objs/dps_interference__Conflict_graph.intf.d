@@ -1,0 +1,1 @@
+lib/interference/conflict_graph.mli: Dps_network Dps_prelude Measure

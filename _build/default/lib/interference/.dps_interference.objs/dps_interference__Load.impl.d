@@ -1,0 +1,1 @@
+lib/interference/load.ml: Array Dps_network List

@@ -1,0 +1,1 @@
+lib/interference/load.mli: Dps_network

@@ -1,0 +1,1 @@
+lib/interference/measure.mli:

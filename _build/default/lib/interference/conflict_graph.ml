@@ -1,0 +1,173 @@
+module Graph = Dps_network.Graph
+module Link = Dps_network.Link
+module Point = Dps_geometry.Point
+module Rng = Dps_prelude.Rng
+
+type t = { n : int; adj : int array array }
+
+let create ~links ~conflicts =
+  assert (links > 0);
+  let sets = Array.make links [] in
+  let seen = Hashtbl.create (List.length conflicts) in
+  List.iter
+    (fun (a, b) ->
+      if a < 0 || a >= links || b < 0 || b >= links then
+        invalid_arg "Conflict_graph.create: link id out of range";
+      let key = (min a b, max a b) in
+      if a <> b && not (Hashtbl.mem seen key) then begin
+        Hashtbl.add seen key ();
+        sets.(a) <- b :: sets.(a);
+        sets.(b) <- a :: sets.(b)
+      end)
+    conflicts;
+  let adj =
+    Array.map
+      (fun l ->
+        let arr = Array.of_list l in
+        Array.sort compare arr;
+        arr)
+      sets
+  in
+  { n = links; adj }
+
+let size t = t.n
+let conflicts t e = t.adj.(e)
+
+let conflict t e e' =
+  e <> e' && Array.exists (fun x -> x = e') t.adj.(e)
+
+let degree t e = Array.length t.adj.(e)
+
+let independent t links =
+  let rec check = function
+    | [] -> true
+    | e :: rest -> (not (List.exists (conflict t e) rest)) && check rest
+  in
+  check links
+
+let pairs_of_predicate g pred =
+  let m = Graph.link_count g in
+  let acc = ref [] in
+  for a = 0 to m - 1 do
+    for b = a + 1 to m - 1 do
+      if pred (Graph.link g a) (Graph.link g b) then acc := (a, b) :: !acc
+    done
+  done;
+  !acc
+
+let share_endpoint (a : Link.t) (b : Link.t) =
+  a.src = b.src || a.src = b.dst || a.dst = b.src || a.dst = b.dst
+
+let node_constraint g =
+  create ~links:(Graph.link_count g)
+    ~conflicts:(pairs_of_predicate g share_endpoint)
+
+let distance2 g =
+  let adjacent_nodes u v =
+    u = v
+    || Option.is_some (Graph.find_link g ~src:u ~dst:v)
+    || Option.is_some (Graph.find_link g ~src:v ~dst:u)
+  in
+  let pred (a : Link.t) (b : Link.t) =
+    List.exists
+      (fun u -> List.exists (adjacent_nodes u) [ b.src; b.dst ])
+      [ a.src; a.dst ]
+  in
+  create ~links:(Graph.link_count g) ~conflicts:(pairs_of_predicate g pred)
+
+let protocol_model g ~delta =
+  assert (delta >= 0.);
+  let reaches (a : Link.t) (b : Link.t) =
+    (* Sender of [a] lies within the guard zone of [b]'s receiver. *)
+    let sender = Graph.position g a.src in
+    let receiver = Graph.position g b.dst in
+    let range = (1. +. delta) *. Graph.link_length g b.id in
+    Point.distance sender receiver <= range
+  in
+  let pred a b = reaches a b || reaches b a in
+  create ~links:(Graph.link_count g) ~conflicts:(pairs_of_predicate g pred)
+
+let radio_model g =
+  let sends_into sender receiver =
+    Option.is_some (Graph.find_link g ~src:sender ~dst:receiver)
+  in
+  let jams (a : Link.t) (b : Link.t) =
+    (* [a]'s sender disturbs [b]'s receiver if it is one of its
+       in-neighbours (its transmission reaches that receiver). *)
+    a.src <> b.src && sends_into a.src b.dst
+  in
+  let pred (a : Link.t) (b : Link.t) =
+    a.src = b.src || a.dst = b.dst || jams a b || jams b a
+  in
+  create ~links:(Graph.link_count g) ~conflicts:(pairs_of_predicate g pred)
+
+let degeneracy_order t =
+  (* Smallest-last ordering: repeatedly remove a minimum-residual-degree
+     vertex; the removal sequence reversed is the ordering π. *)
+  let removed = Array.make t.n false in
+  let residual = Array.init t.n (degree t) in
+  let removal = Array.make t.n (-1) in
+  for step = 0 to t.n - 1 do
+    let best = ref (-1) in
+    for v = 0 to t.n - 1 do
+      if (not removed.(v)) && (!best < 0 || residual.(v) < residual.(!best))
+      then best := v
+    done;
+    let v = !best in
+    removed.(v) <- true;
+    removal.(step) <- v;
+    Array.iter
+      (fun u -> if not removed.(u) then residual.(u) <- residual.(u) - 1)
+      t.adj.(v)
+  done;
+  (* removal.(0) was removed first, so it comes last in π. *)
+  let order = Array.make t.n (-1) in
+  for step = 0 to t.n - 1 do
+    order.(t.n - 1 - step) <- removal.(step)
+  done;
+  order
+
+let rank_of_order order =
+  let n = Array.length order in
+  let rank = Array.make n (-1) in
+  Array.iteri (fun r v -> rank.(v) <- r) order;
+  assert (Array.for_all (fun r -> r >= 0) rank);
+  rank
+
+let greedy_independent_set t rng =
+  let vertices = Array.init t.n (fun i -> i) in
+  Rng.shuffle rng vertices;
+  let chosen = Array.make t.n false in
+  Array.iter
+    (fun v ->
+      let clash = Array.exists (fun u -> chosen.(u)) t.adj.(v) in
+      if not clash then chosen.(v) <- true)
+    vertices;
+  chosen
+
+let independence_bound t ~order ~samples rng =
+  let rank = rank_of_order order in
+  let best = ref (if t.n > 0 then 1 else 0) in
+  for _ = 1 to samples do
+    let chosen = greedy_independent_set t rng in
+    for v = 0 to t.n - 1 do
+      let later_members =
+        Array.fold_left
+          (fun acc u -> if chosen.(u) && rank.(u) > rank.(v) then acc + 1 else acc)
+          0 t.adj.(v)
+      in
+      if later_members > !best then best := later_members
+    done
+  done;
+  !best
+
+let to_measure t ~order =
+  let rank = rank_of_order order in
+  let row e =
+    Array.to_list
+      (Array.map (fun e' -> (e', 1.))
+         (Array.of_list
+            (List.filter (fun e' -> rank.(e') <= rank.(e))
+               (Array.to_list t.adj.(e)))))
+  in
+  Measure.of_rows (Array.init t.n row)

@@ -1,0 +1,85 @@
+type t = {
+  m : int;
+  (* rows.(e) = (e', w) pairs sorted by e', w > 0, diagonal always present. *)
+  rows : (int * float) array array;
+}
+
+let size t = t.m
+
+let normalize_row m e entries =
+  let tbl = Hashtbl.create (List.length entries + 1) in
+  List.iter
+    (fun (e', w) ->
+      if e' < 0 || e' >= m then invalid_arg "Measure: link id out of range";
+      if Hashtbl.mem tbl e' then invalid_arg "Measure: duplicate entry in row";
+      if w <= 0. || w > 1. then invalid_arg "Measure: weight outside (0, 1]";
+      Hashtbl.add tbl e' w)
+    entries;
+  Hashtbl.replace tbl e 1.;
+  let row = Hashtbl.fold (fun e' w acc -> (e', w) :: acc) tbl [] in
+  let arr = Array.of_list row in
+  Array.sort (fun (a, _) (b, _) -> compare a b) arr;
+  arr
+
+let of_rows rows =
+  let m = Array.length rows in
+  { m; rows = Array.mapi (normalize_row m) rows }
+
+let identity m =
+  assert (m > 0);
+  { m; rows = Array.init m (fun e -> [| (e, 1.) |]) }
+
+let complete m =
+  assert (m > 0);
+  let full = Array.init m (fun e' -> (e', 1.)) in
+  { m; rows = Array.init m (fun _ -> full) }
+
+let of_function ~m f =
+  assert (m > 0);
+  let row e =
+    let entries = ref [] in
+    for e' = m - 1 downto 0 do
+      let w = if e' = e then 1. else Float.min 1. (Float.max 0. (f e e')) in
+      if w > 0. then entries := (e', w) :: !entries
+    done;
+    Array.of_list !entries
+  in
+  { m; rows = Array.init m row }
+
+let row t e = t.rows.(e)
+
+let weight t e e' =
+  let r = t.rows.(e) in
+  (* Rows are sorted by link id: binary search. *)
+  let rec search lo hi =
+    if lo > hi then 0.
+    else
+      let mid = (lo + hi) / 2 in
+      let id, w = r.(mid) in
+      if id = e' then w else if id < e' then search (mid + 1) hi else search lo (mid - 1)
+  in
+  search 0 (Array.length r - 1)
+
+let interference_at t load e =
+  assert (Array.length load = t.m);
+  Array.fold_left (fun acc (e', w) -> acc +. (w *. load.(e'))) 0. t.rows.(e)
+
+let interference t load =
+  let best = ref 0. in
+  for e = 0 to t.m - 1 do
+    let v = interference_at t load e in
+    if v > !best then best := v
+  done;
+  !best
+
+let interference_of_counts t counts =
+  interference t (Array.map float_of_int counts)
+
+let max_row_sum t =
+  let best = ref 0. in
+  Array.iter
+    (fun r ->
+      let s = Array.fold_left (fun acc (_, w) -> acc +. w) 0. r in
+      if s > !best then best := s)
+    t.rows;
+  !best

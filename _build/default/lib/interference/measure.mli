@@ -1,0 +1,60 @@
+(** The linear interference measure of the paper (Section 2).
+
+    A matrix [W] over the [m] network links where [W(e, e')] in [0, 1]
+    quantifies how much a transmission on [e'] interferes with one on [e];
+    [W(e, e) = 1] for all [e]. The interference measure induced by a load
+    vector [R] (number of packets per link) is
+
+    {[ I = ||W · R||_inf = max_e  Σ_e' W(e, e') · R(e') ]}
+
+    Instantiating [W] recovers packet routing (identity), the multiple-access
+    channel (all ones), SINR affectance matrices ({!Dps_sinr.Sinr_measure}),
+    and conflict graphs ({!Conflict_graph.to_measure}).
+
+    Rows are stored sparsely (zero entries dropped), so conflict-graph
+    measures stay linear in the number of conflicts. *)
+
+type t
+
+(** Number of links [m]. *)
+val size : t -> int
+
+(** [identity m] — packet-routing networks: [I] is the congestion. *)
+val identity : int -> t
+
+(** [complete m] — the multiple-access channel: [I] is the total number of
+    packets. *)
+val complete : int -> t
+
+(** [of_function ~m f] materializes [W(e, e') = f e e'] for all pairs,
+    dropping zeros and clamping into [0, 1]. The diagonal is forced to [1]
+    as the model requires. O(m²). *)
+val of_function : m:int -> (int -> int -> float) -> t
+
+(** [of_rows rows] builds the measure from explicit sparse rows:
+    [rows.(e)] lists [(e', w)] with [w > 0]. The diagonal is forced to 1.
+    Raises [Invalid_argument] on out-of-range ids, duplicates in a row, or
+    weights outside (0, 1]. *)
+val of_rows : (int * float) list array -> t
+
+(** [weight t e e'] is [W(e, e')] ([0.] where absent). *)
+val weight : t -> int -> int -> float
+
+(** [row t e] is the sparse row of [e]: pairs [(e', W(e, e'))], including
+    the diagonal. *)
+val row : t -> int -> (int * float) array
+
+(** [interference_at t load e] is [(W · load)(e)]. [load] must have length
+    [m]. *)
+val interference_at : t -> float array -> int -> float
+
+(** [interference t load] is [I = ||W · load||_inf]. *)
+val interference : t -> float array -> float
+
+(** [interference_of_counts t counts] — same with integer per-link packet
+    counts. *)
+val interference_of_counts : t -> int array -> float
+
+(** Largest row sum [max_e Σ_e' W(e, e')]; an upper bound on the measure of
+    a unit load on every link. *)
+val max_row_sum : t -> float

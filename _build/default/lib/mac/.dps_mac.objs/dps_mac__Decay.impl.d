@@ -1,0 +1,1 @@
+lib/mac/decay.ml: Array Dps_prelude Dps_sim Dps_static Float Fun Int List Printf

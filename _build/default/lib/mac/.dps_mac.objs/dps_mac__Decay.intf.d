@@ -1,0 +1,1 @@
+lib/mac/decay.mli: Dps_static

@@ -1,0 +1,1 @@
+lib/mac/mac_measure.ml: Dps_interference

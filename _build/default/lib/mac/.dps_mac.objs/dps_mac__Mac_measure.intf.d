@@ -1,0 +1,1 @@
+lib/mac/mac_measure.mli: Dps_interference

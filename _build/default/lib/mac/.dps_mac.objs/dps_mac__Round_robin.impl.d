@@ -1,0 +1,1 @@
+lib/mac/round_robin.ml: Array Dps_sim Dps_static Float Int List

@@ -1,0 +1,1 @@
+lib/mac/round_robin.mli: Dps_static

@@ -1,0 +1,19 @@
+(** Algorithm 2 of the paper: the symmetric (anonymous, acknowledgment-based)
+    static algorithm for the multiple-access channel.
+
+    Two stages:
+
+    + for [ξ] iterations, every pending packet draws a uniformly random delay
+      of at most [(1 - 1/(e(1+δ)))^i · n] slots and transmits when it
+      elapses — the pending count shrinks by the factor [1 - 1/(e(1+δ))] per
+      iteration w.h.p.;
+    + once roughly [s = O(log n)] packets remain, each transmits
+      independently with probability [1/s] in every slot for
+      [s·e·(φ+1)·ln n] slots.
+
+    Lemma 15: [n] packets are served within [(1+δ)·e·n + O(φ²·log² n)] slots
+    with probability at least [1 - 1/n^φ]. This is the engine behind the
+    λ < 1/e symmetric stable protocol (Corollary 16). *)
+
+(** [make ?phi ?delta ()] — defaults [phi = 1.], [delta = 0.5]. *)
+val make : ?phi:float -> ?delta:float -> unit -> Dps_static.Algorithm.t

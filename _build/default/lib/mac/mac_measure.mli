@@ -1,0 +1,8 @@
+(** The multiple-access channel as an interference measure (Section 7.1).
+
+    All entries of [W] are 1, so the interference measure of a request set is
+    simply the total number of packets — which is also a lower bound on the
+    optimal schedule length, since only one transmission succeeds per slot. *)
+
+(** [make ~m] is the all-ones measure over [m] links (stations). *)
+val make : m:int -> Dps_interference.Measure.t

@@ -1,0 +1,40 @@
+module Channel = Dps_sim.Channel
+module Algorithm = Dps_static.Algorithm
+module Request = Dps_static.Request
+module Runner = Dps_static.Runner
+
+let algorithm =
+  (* On the multiple-access channel the interference measure of a request
+     set IS its size, so the n + m schedule bound is I + m in A(I, n)
+     terms — which is what frame sizing needs. *)
+  let duration ~m ~i ~n =
+    Int.min (n + m) (int_of_float (Float.ceil (Float.max i 1.)) + m)
+  in
+  let run ~channel ~rng:_ ~measure:_ ~requests ~budget =
+    let n = Array.length requests in
+    let served = Array.make n false in
+    let m = Channel.size channel in
+    let queues = Array.make m [] in
+    for idx = n - 1 downto 0 do
+      let link = requests.(idx).Request.link in
+      queues.(link) <- idx :: queues.(link)
+    done;
+    let used = ref 0 in
+    let station = ref 0 in
+    while !station < m && !used < budget do
+      (match queues.(!station) with
+      | [] ->
+        (* Silent slot: hand over to the next station. *)
+        ignore (Channel.step channel []);
+        incr used;
+        incr station
+      | idx :: rest ->
+        let attempts = [ (idx, requests.(idx).Request.link) ] in
+        let succeeded = Channel.step channel (List.map snd attempts) in
+        Runner.mark_successes ~served ~attempts ~succeeded;
+        incr used;
+        queues.(!station) <- rest)
+    done;
+    { Algorithm.served; slots_used = !used }
+  in
+  { Algorithm.name = "round-robin-withholding"; duration; run }

@@ -1,0 +1,1 @@
+lib/network/graph.ml: Array Dps_geometry Link List

@@ -1,0 +1,1 @@
+lib/network/graph.mli: Dps_geometry Link

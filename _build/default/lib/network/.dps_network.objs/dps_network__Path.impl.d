@@ -1,0 +1,1 @@
+lib/network/path.ml: Array Format Graph Link String

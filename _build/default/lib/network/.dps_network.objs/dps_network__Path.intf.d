@@ -1,0 +1,1 @@
+lib/network/path.mli: Format Graph

@@ -1,0 +1,1 @@
+lib/network/routing.ml: Array Graph Link List Path Queue

@@ -1,0 +1,1 @@
+lib/network/topology.ml: Array Dps_geometry Float Graph Link List

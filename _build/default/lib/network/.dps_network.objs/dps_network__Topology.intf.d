@@ -1,0 +1,1 @@
+lib/network/topology.mli: Dps_prelude Graph

@@ -1,0 +1,42 @@
+module Point = Dps_geometry.Point
+
+type t = {
+  positions : Point.t array;
+  links : Link.t array;
+  out_links : int list array;
+  in_links : int list array;
+}
+
+let create ~positions ~links =
+  let n = Array.length positions in
+  let links = Array.of_list links in
+  Array.iteri
+    (fun i (l : Link.t) ->
+      if l.id <> i then invalid_arg "Graph.create: link id must equal its index";
+      if l.src < 0 || l.src >= n || l.dst < 0 || l.dst >= n then
+        invalid_arg "Graph.create: link endpoint out of range")
+    links;
+  let out_links = Array.make n [] and in_links = Array.make n [] in
+  (* Iterate in reverse so the adjacency lists end up in increasing id order. *)
+  for i = Array.length links - 1 downto 0 do
+    let l = links.(i) in
+    out_links.(l.src) <- l.id :: out_links.(l.src);
+    in_links.(l.dst) <- l.id :: in_links.(l.dst)
+  done;
+  { positions; links; out_links; in_links }
+
+let node_count t = Array.length t.positions
+let link_count t = Array.length t.links
+let link t id = t.links.(id)
+let links t = t.links
+let position t v = t.positions.(v)
+
+let link_length t id =
+  let l = t.links.(id) in
+  Point.distance t.positions.(l.src) t.positions.(l.dst)
+
+let out_links t v = t.out_links.(v)
+let in_links t v = t.in_links.(v)
+
+let find_link t ~src ~dst =
+  List.find_opt (fun id -> (link t id).Link.dst = dst) (out_links t src)

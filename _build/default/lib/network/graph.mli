@@ -1,0 +1,39 @@
+(** The network graph [G = (V, E)].
+
+    Vertices are node ids [0 .. node_count - 1], each with a position in the
+    plane (ignored by non-geometric interference models). Edges are directed
+    {!Link.t} values with dense ids [0 .. link_count - 1]. *)
+
+type t
+
+(** [create ~positions ~links] builds a graph. Link endpoints must be valid
+    node indices and link ids must equal their array index.
+    Raises [Invalid_argument] otherwise. *)
+val create : positions:Dps_geometry.Point.t array -> links:Link.t list -> t
+
+(** Number of nodes [|V|]. *)
+val node_count : t -> int
+
+(** Number of links [|E|]. *)
+val link_count : t -> int
+
+(** [link t id] is the link with the given id. *)
+val link : t -> int -> Link.t
+
+(** All links, indexed by id. *)
+val links : t -> Link.t array
+
+(** [position t v] is the position of node [v]. *)
+val position : t -> int -> Dps_geometry.Point.t
+
+(** [link_length t id] is the sender-receiver distance of a link. *)
+val link_length : t -> int -> float
+
+(** [out_links t v] are ids of links with source [v]. *)
+val out_links : t -> int -> int list
+
+(** [in_links t v] are ids of links with destination [v]. *)
+val in_links : t -> int -> int list
+
+(** [find_link t ~src ~dst] is the id of a link from [src] to [dst], if any. *)
+val find_link : t -> src:int -> dst:int -> int option

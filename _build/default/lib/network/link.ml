@@ -1,0 +1,8 @@
+type t = { id : int; src : int; dst : int }
+
+let make ~id ~src ~dst =
+  assert (id >= 0 && src >= 0 && dst >= 0 && src <> dst);
+  { id; src; dst }
+
+let equal a b = a.id = b.id && a.src = b.src && a.dst = b.dst
+let pp ppf t = Format.fprintf ppf "e%d:%d->%d" t.id t.src t.dst

@@ -1,0 +1,11 @@
+(** A directed communication link between two network nodes.
+
+    Links are the unit everything else is indexed by: the interference
+    matrix [W] is over link ids, packet paths are sequences of link ids,
+    and the significant network size is [m = max (|E|, D)]. *)
+
+type t = { id : int; src : int; dst : int }
+
+val make : id:int -> src:int -> dst:int -> t
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,27 @@
+type t = int array
+
+let of_links g ids =
+  (match ids with [] -> invalid_arg "Path.of_links: empty path" | _ -> ());
+  let arr = Array.of_list ids in
+  Array.iteri
+    (fun i id ->
+      if id < 0 || id >= Graph.link_count g then
+        invalid_arg "Path.of_links: unknown link id";
+      if i > 0 then begin
+        let prev = Graph.link g arr.(i - 1) and cur = Graph.link g id in
+        if prev.Link.dst <> cur.Link.src then
+          invalid_arg "Path.of_links: disconnected hops"
+      end)
+    arr;
+  arr
+
+let length t = Array.length t
+let hop t i = t.(i)
+let source g t = (Graph.link g t.(0)).Link.src
+let target g t = (Graph.link g t.(Array.length t - 1)).Link.dst
+let hops t = Array.copy t
+let mem t link = Array.exists (fun id -> id = link) t
+
+let pp ppf t =
+  Format.fprintf ppf "[%s]"
+    (String.concat ";" (Array.to_list (Array.map string_of_int t)))

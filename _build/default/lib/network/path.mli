@@ -1,0 +1,31 @@
+(** A packet's route: a sequence of link ids.
+
+    Paths are fixed at injection time (e.g. by routing tables), may in
+    principle revisit nodes, and are bounded in length by [D]. *)
+
+type t
+
+(** [of_links g ids] builds a path and checks it is non-empty and connected:
+    the destination of each link is the source of the next.
+    Raises [Invalid_argument] otherwise. *)
+val of_links : Graph.t -> int list -> t
+
+(** Number of hops [d]. *)
+val length : t -> int
+
+(** [hop t i] is the link id of the [i]th hop (0-based). *)
+val hop : t -> int -> int
+
+(** Source node of the first hop. *)
+val source : Graph.t -> t -> int
+
+(** Destination node of the last hop. *)
+val target : Graph.t -> t -> int
+
+(** All hops as an array of link ids (a fresh copy). *)
+val hops : t -> int array
+
+(** [mem t link] tests whether the path uses the given link. *)
+val mem : t -> int -> bool
+
+val pp : Format.formatter -> t -> unit

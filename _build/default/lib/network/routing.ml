@@ -1,0 +1,59 @@
+type t = {
+  graph : Graph.t;
+  (* parent.(src).(v) = link id used to reach v from src, or -1. *)
+  parent : int array array;
+  dist : int array array;
+}
+
+let bfs g src =
+  let n = Graph.node_count g in
+  let dist = Array.make n (-1) and parent = Array.make n (-1) in
+  dist.(src) <- 0;
+  let queue = Queue.create () in
+  Queue.add src queue;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    List.iter
+      (fun id ->
+        let dst = (Graph.link g id).Link.dst in
+        if dist.(dst) < 0 then begin
+          dist.(dst) <- dist.(v) + 1;
+          parent.(dst) <- id;
+          Queue.add dst queue
+        end)
+      (Graph.out_links g v)
+  done;
+  (dist, parent)
+
+let make g =
+  let n = Graph.node_count g in
+  let dist = Array.make n [||] and parent = Array.make n [||] in
+  for src = 0 to n - 1 do
+    let d, p = bfs g src in
+    dist.(src) <- d;
+    parent.(src) <- p
+  done;
+  { graph = g; parent; dist }
+
+let distance t ~src ~dst =
+  let d = t.dist.(src).(dst) in
+  if d <= 0 then None else Some d
+
+let path t ~src ~dst =
+  match distance t ~src ~dst with
+  | None -> None
+  | Some _ ->
+    let rec walk v acc =
+      if v = src then acc
+      else
+        let id = t.parent.(src).(v) in
+        walk (Graph.link t.graph id).Link.src (id :: acc)
+    in
+    Some (Path.of_links t.graph (walk dst []))
+
+let diameter t =
+  let best = ref 0 in
+  Array.iter
+    (fun row -> Array.iter (fun d -> if d > !best then best := d) row)
+    t.dist;
+  !best

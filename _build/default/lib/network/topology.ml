@@ -1,0 +1,78 @@
+module Point = Dps_geometry.Point
+module Placement = Dps_geometry.Placement
+
+let links_of_pairs pairs =
+  List.mapi (fun id (src, dst) -> Link.make ~id ~src ~dst) pairs
+
+let bidirectional pairs = List.concat_map (fun (a, b) -> [ (a, b); (b, a) ]) pairs
+
+let line ~nodes ~spacing =
+  assert (nodes >= 2);
+  let positions = Placement.line ~n:nodes ~spacing in
+  let pairs = List.init (nodes - 1) (fun i -> (i, i + 1)) in
+  Graph.create ~positions ~links:(links_of_pairs (bidirectional pairs))
+
+let grid ~rows ~cols ~spacing =
+  assert (rows >= 1 && cols >= 1 && rows * cols >= 2);
+  let positions = Placement.grid ~rows ~cols ~spacing in
+  let id r c = (r * cols) + c in
+  let pairs = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then pairs := (id r c, id r (c + 1)) :: !pairs;
+      if r + 1 < rows then pairs := (id r c, id (r + 1) c) :: !pairs
+    done
+  done;
+  Graph.create ~positions ~links:(links_of_pairs (bidirectional (List.rev !pairs)))
+
+let star ~leaves ~radius =
+  assert (leaves >= 1);
+  let ring = Placement.ring ~n:leaves ~radius ~center:Point.origin in
+  let positions = Array.append [| Point.origin |] ring in
+  let pairs = List.init leaves (fun i -> (0, i + 1)) in
+  Graph.create ~positions ~links:(links_of_pairs (bidirectional pairs))
+
+let mac_channel ~stations =
+  assert (stations >= 1);
+  let ring = Placement.ring ~n:stations ~radius:1. ~center:Point.origin in
+  let positions = Array.append [| Point.origin |] ring in
+  let pairs = List.init stations (fun i -> (i + 1, 0)) in
+  Graph.create ~positions ~links:(links_of_pairs pairs)
+
+let random_geometric rng ~nodes ~side ~radius =
+  assert (nodes >= 2);
+  let positions = Placement.uniform rng ~n:nodes ~side in
+  let pairs = ref [] in
+  for a = 0 to nodes - 1 do
+    for b = a + 1 to nodes - 1 do
+      if Point.distance positions.(a) positions.(b) <= radius then
+        pairs := (a, b) :: !pairs
+    done
+  done;
+  Graph.create ~positions ~links:(links_of_pairs (bidirectional (List.rev !pairs)))
+
+let figure_one ~m =
+  assert (m >= 2);
+  let mf = float_of_int m in
+  let short = m - 1 in
+  (* Short senders on a circle of radius m around the long receiver (placed
+     at the origin); each short receiver sits one unit further out on the
+     same ray.  The long sender is far away on the x-axis, so a single
+     transmitting short sender drowns the long signal, while short links are
+     mutually too far apart to matter. *)
+  let long_receiver = Point.origin in
+  let long_sender = Point.make (10. *. mf *. mf) 0. in
+  let positions = Array.make ((2 * short) + 2) Point.origin in
+  let pairs = ref [] in
+  for i = 0 to short - 1 do
+    let angle = 2. *. Float.pi *. float_of_int i /. float_of_int (max short 1) in
+    let sender = Point.on_circle ~center:long_receiver ~radius:mf ~angle in
+    let receiver = Point.on_circle ~center:long_receiver ~radius:(mf +. 1.) ~angle in
+    positions.(2 * i) <- sender;
+    positions.((2 * i) + 1) <- receiver;
+    pairs := (2 * i, (2 * i) + 1) :: !pairs
+  done;
+  positions.(2 * short) <- long_sender;
+  positions.((2 * short) + 1) <- long_receiver;
+  pairs := (2 * short, (2 * short) + 1) :: !pairs;
+  Graph.create ~positions ~links:(links_of_pairs (List.rev !pairs))

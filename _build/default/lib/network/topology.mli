@@ -1,0 +1,36 @@
+(** Topology builders for the experiments and examples.
+
+    Every builder returns a {!Graph.t} with geometric positions, so the same
+    topology can be driven under SINR, conflict-graph, or wireline models. *)
+
+(** [line ~nodes ~spacing] — consecutive nodes joined by links in both
+    directions: the multi-hop latency workload (Theorem 8). *)
+val line : nodes:int -> spacing:float -> Graph.t
+
+(** [grid ~rows ~cols ~spacing] — 4-neighbour mesh, links in both
+    directions: the stability workload (Theorems 3 and 11). *)
+val grid : rows:int -> cols:int -> spacing:float -> Graph.t
+
+(** [star ~leaves ~radius] — a hub at the origin with bidirectional links to
+    [leaves] nodes on a circle: the multiple-access-channel workload when all
+    traffic is leaf→hub. *)
+val star : leaves:int -> radius:float -> Graph.t
+
+(** [mac_channel ~stations] — [stations] senders at unit distance around a
+    single base station, uplinks only; with the all-ones measure this is
+    exactly the multiple-access channel. *)
+val mac_channel : stations:int -> Graph.t
+
+(** [random_geometric rng ~nodes ~side ~radius] — nodes placed uniformly in
+    [0, side]²; links in both directions between every pair at distance
+    ≤ [radius]. *)
+val random_geometric :
+  Dps_prelude.Rng.t -> nodes:int -> side:float -> radius:float -> Graph.t
+
+(** [figure_one ~m] — the lower-bound instance of Theorem 20 (Figure 1):
+    [m - 1] unit-length "short" links whose senders sit on a circle of radius
+    [m] around the receiver of one "long" link of length [10·m²]. Under
+    uniform powers a short link always succeeds, while the long link succeeds
+    only when every short link is silent. The long link has id [m - 1].
+    Requires [m >= 2]. *)
+val figure_one : m:int -> Graph.t

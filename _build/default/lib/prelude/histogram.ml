@@ -1,0 +1,79 @@
+type t = {
+  reservoir : int option;
+  mutable samples : float array;
+  mutable len : int;
+  mutable seen : int;
+}
+
+let create ?reservoir () =
+  (match reservoir with
+  | Some r when r <= 0 -> invalid_arg "Histogram.create: reservoir <= 0"
+  | _ -> ());
+  { reservoir; samples = Array.make 16 0.; len = 0; seen = 0 }
+
+let push t x =
+  if t.len = Array.length t.samples then begin
+    let bigger = Array.make (2 * t.len) 0. in
+    Array.blit t.samples 0 bigger 0 t.len;
+    t.samples <- bigger
+  end;
+  t.samples.(t.len) <- x;
+  t.len <- t.len + 1
+
+let add t rng x =
+  t.seen <- t.seen + 1;
+  match t.reservoir with
+  | None -> push t x
+  | Some cap ->
+    if t.len < cap then push t x
+    else
+      (* Vitter's reservoir sampling: keep each of the [seen] samples with
+         equal probability cap/seen. *)
+      let j = Rng.int rng t.seen in
+      if j < cap then t.samples.(j) <- x
+
+let count t = t.seen
+
+let snapshot t =
+  let a = Array.sub t.samples 0 t.len in
+  Array.sort compare a;
+  a
+
+let quantile t q =
+  if t.len = 0 then invalid_arg "Histogram.quantile: empty";
+  if q < 0. || q > 1. then invalid_arg "Histogram.quantile: q out of range";
+  let a = snapshot t in
+  let n = Array.length a in
+  let pos = q *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor pos) in
+  let hi = int_of_float (Float.ceil pos) in
+  if lo = hi then a.(lo)
+  else
+    let frac = pos -. float_of_int lo in
+    ((1. -. frac) *. a.(lo)) +. (frac *. a.(hi))
+
+let median t = quantile t 0.5
+
+let mean t =
+  if t.len = 0 then 0.
+  else begin
+    let sum = ref 0. in
+    for i = 0 to t.len - 1 do
+      sum := !sum +. t.samples.(i)
+    done;
+    !sum /. float_of_int t.len
+  end
+
+let max t =
+  if t.len = 0 then invalid_arg "Histogram.max: empty";
+  let best = ref t.samples.(0) in
+  for i = 1 to t.len - 1 do
+    if t.samples.(i) > !best then best := t.samples.(i)
+  done;
+  !best
+
+let pp ppf t =
+  if t.len = 0 then Format.fprintf ppf "n=0"
+  else
+    Format.fprintf ppf "p50=%.4g p90=%.4g p99=%.4g max=%.4g" (quantile t 0.5)
+      (quantile t 0.9) (quantile t 0.99) (max t)

@@ -1,0 +1,34 @@
+(** Sample container with quantile queries.
+
+    Keeps every sample (experiments here are bounded), or, past a
+    configurable cap, an unbiased reservoir of fixed size. Quantiles are
+    computed on demand by sorting a snapshot. *)
+
+type t
+
+(** [create ?reservoir ()] builds an empty histogram. [reservoir] caps the
+    number of retained samples (default: unbounded). *)
+val create : ?reservoir:int -> unit -> t
+
+(** [add t rng x] records [x]. [rng] only matters once the reservoir cap is
+    reached, to keep the retained subset uniform. *)
+val add : t -> Rng.t -> float -> unit
+
+(** Total number of samples seen (including evicted ones). *)
+val count : t -> int
+
+(** [quantile t q] for [0. <= q <= 1.]; linear interpolation between order
+    statistics. Raises [Invalid_argument] when empty. *)
+val quantile : t -> float -> float
+
+(** Convenience: [quantile t 0.5]. *)
+val median : t -> float
+
+(** Mean over the retained samples. *)
+val mean : t -> float
+
+(** Largest retained sample. Raises [Invalid_argument] when empty. *)
+val max : t -> float
+
+(** [pp] prints ["p50=… p90=… p99=… max=…"]. *)
+val pp : Format.formatter -> t -> unit

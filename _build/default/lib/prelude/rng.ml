@@ -1,0 +1,61 @@
+type t = Random.State.t
+
+let default_seed = 0x5eed
+
+let create ?(seed = default_seed) () =
+  Random.State.make [| seed; seed lxor 0x9e3779b9; seed * 2654435761 |]
+
+let split t = Random.State.split t
+
+let int t bound =
+  assert (bound > 0);
+  Random.State.int t bound
+
+let int_in t lo hi =
+  assert (lo <= hi);
+  lo + Random.State.int t (hi - lo + 1)
+
+let float t bound =
+  assert (bound > 0.);
+  Random.State.float t bound
+
+let bool t = Random.State.bool t
+
+let bernoulli t p =
+  if p <= 0. then false
+  else if p >= 1. then true
+  else Random.State.float t 1. < p
+
+let geometric t p =
+  assert (p > 0. && p <= 1.);
+  let rec loop k = if bernoulli t p then k else loop (k + 1) in
+  loop 1
+
+let exponential t rate =
+  assert (rate > 0.);
+  let u = 1. -. Random.State.float t 1. in
+  -.log u /. rate
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = Random.State.int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose t a =
+  assert (Array.length a > 0);
+  a.(Random.State.int t (Array.length a))
+
+let sample_without_replacement t ~n ~k =
+  assert (0 <= k && k <= n);
+  (* Partial Fisher-Yates over [0, n): only the first [k] cells matter. *)
+  let a = Array.init n (fun i -> i) in
+  for i = 0 to k - 1 do
+    let j = int_in t i (n - 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.sub a 0 k

@@ -1,0 +1,47 @@
+type t = {
+  mutable count : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable min : float;
+  mutable max : float;
+  mutable total : float;
+}
+
+let create () =
+  { count = 0; mean = 0.; m2 = 0.; min = infinity; max = neg_infinity; total = 0. }
+
+let add t x =
+  t.count <- t.count + 1;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.count);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if x < t.min then t.min <- x;
+  if x > t.max then t.max <- x;
+  t.total <- t.total +. x
+
+let count t = t.count
+let mean t = if t.count = 0 then 0. else t.mean
+
+let variance t =
+  if t.count < 2 then 0. else t.m2 /. float_of_int (t.count - 1)
+
+let stddev t = sqrt (variance t)
+
+let min t =
+  if t.count = 0 then invalid_arg "Stats.min: empty" else t.min
+
+let max t =
+  if t.count = 0 then invalid_arg "Stats.max: empty" else t.max
+
+let total t = t.total
+
+let of_array a =
+  let t = create () in
+  Array.iter (add t) a;
+  t
+
+let pp ppf t =
+  if t.count = 0 then Format.fprintf ppf "n=0"
+  else
+    Format.fprintf ppf "mean=%.4g sd=%.4g min=%.4g max=%.4g n=%d" (mean t)
+      (stddev t) t.min t.max t.count

@@ -1,0 +1,39 @@
+(** Streaming summary statistics (Welford's online algorithm).
+
+    Numerically stable mean and variance without storing the samples,
+    used by simulation reports and stability diagnostics. *)
+
+type t
+
+(** A fresh, empty accumulator. *)
+val create : unit -> t
+
+(** [add t x] folds the observation [x] into the summary. *)
+val add : t -> float -> unit
+
+(** Number of observations folded in so far. *)
+val count : t -> int
+
+(** Arithmetic mean; [0.] when empty. *)
+val mean : t -> float
+
+(** Unbiased sample variance; [0.] with fewer than two observations. *)
+val variance : t -> float
+
+(** Square root of {!variance}. *)
+val stddev : t -> float
+
+(** Smallest observation. Raises [Invalid_argument] when empty. *)
+val min : t -> float
+
+(** Largest observation. Raises [Invalid_argument] when empty. *)
+val max : t -> float
+
+(** Sum of all observations. *)
+val total : t -> float
+
+(** [of_array a] summarizes all elements of [a]. *)
+val of_array : float array -> t
+
+(** [pp] prints ["mean=… sd=… min=… max=… n=…"]. *)
+val pp : Format.formatter -> t -> unit

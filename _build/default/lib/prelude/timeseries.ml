@@ -1,0 +1,69 @@
+type t = { mutable data : float array; mutable len : int }
+
+let create () = { data = Array.make 64 0.; len = 0 }
+
+let add t x =
+  if t.len = Array.length t.data then begin
+    let bigger = Array.make (2 * t.len) 0. in
+    Array.blit t.data 0 bigger 0 t.len;
+    t.data <- bigger
+  end;
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1
+
+let length t = t.len
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Timeseries.get: index out of range";
+  t.data.(i)
+
+let last t =
+  if t.len = 0 then invalid_arg "Timeseries.last: empty";
+  t.data.(t.len - 1)
+
+let mean_range t lo hi =
+  if hi <= lo then 0.
+  else begin
+    let sum = ref 0. in
+    for i = lo to hi - 1 do
+      sum := !sum +. t.data.(i)
+    done;
+    !sum /. float_of_int (hi - lo)
+  end
+
+let mean t = mean_range t 0 t.len
+
+let max t =
+  let best = ref 0. in
+  for i = 0 to t.len - 1 do
+    if t.data.(i) > !best then best := t.data.(i)
+  done;
+  !best
+
+let tail_start t fraction =
+  if fraction <= 0. || fraction > 1. then
+    invalid_arg "Timeseries: fraction out of range";
+  t.len - int_of_float (Float.ceil (fraction *. float_of_int t.len))
+
+let tail_mean t ~fraction = mean_range t (tail_start t fraction) t.len
+
+let slope_range t lo hi =
+  let n = hi - lo in
+  if n < 2 then 0.
+  else begin
+    (* Least squares of y against x = 0..n-1. *)
+    let nf = float_of_int n in
+    let x_mean = (nf -. 1.) /. 2. in
+    let y_mean = mean_range t lo hi in
+    let num = ref 0. and den = ref 0. in
+    for i = 0 to n - 1 do
+      let dx = float_of_int i -. x_mean in
+      num := !num +. (dx *. (t.data.(lo + i) -. y_mean));
+      den := !den +. (dx *. dx)
+    done;
+    !num /. !den
+  end
+
+let slope t = slope_range t 0 t.len
+let tail_slope t ~fraction = slope_range t (tail_start t fraction) t.len
+let to_array t = Array.sub t.data 0 t.len

@@ -1,0 +1,42 @@
+(** Append-only numeric series with drift diagnostics.
+
+    Stability experiments record one value per time frame (e.g. total queue
+    length) and then ask whether the tail of the series is growing. *)
+
+type t
+
+(** A fresh, empty series. *)
+val create : unit -> t
+
+(** [add t x] appends an observation. *)
+val add : t -> float -> unit
+
+(** Number of observations. *)
+val length : t -> int
+
+(** [get t i] is the [i]th observation (0-based). *)
+val get : t -> int -> float
+
+(** Last observation. Raises [Invalid_argument] when empty. *)
+val last : t -> float
+
+(** Mean over the whole series. *)
+val mean : t -> float
+
+(** Largest observation; [0.] when empty. *)
+val max : t -> float
+
+(** [tail_mean t ~fraction] is the mean over the final [fraction] of the
+    series (e.g. [~fraction:0.5] for the second half). *)
+val tail_mean : t -> fraction:float -> float
+
+(** [slope t] is the least-squares slope of the series against its index —
+    the average growth per step. [0.] with fewer than two points. *)
+val slope : t -> float
+
+(** [tail_slope t ~fraction] is {!slope} restricted to the final
+    [fraction] of the series. *)
+val tail_slope : t -> fraction:float -> float
+
+(** Snapshot of the observations. *)
+val to_array : t -> float array

@@ -1,0 +1,28 @@
+let log2 x = log x /. log 2.
+
+let ceil_log2 x = if x <= 1. then 0 else int_of_float (Float.ceil (log2 x))
+
+let ceil_div a b =
+  assert (a >= 0 && b > 0);
+  (a + b - 1) / b
+
+let float_max a = Array.fold_left Float.max 0. a
+let float_sum a = Array.fold_left ( +. ) 0. a
+
+let group_by_key ~size key items =
+  let buckets = Array.make size [] in
+  List.iter
+    (fun item ->
+      let k = key item in
+      assert (k >= 0 && k < size);
+      buckets.(k) <- item :: buckets.(k))
+    items;
+  Array.map List.rev buckets
+
+let range n = List.init n (fun i -> i)
+
+let mean_of_int_list = function
+  | [] -> 0.
+  | xs ->
+    let sum = List.fold_left ( + ) 0 xs in
+    float_of_int sum /. float_of_int (List.length xs)

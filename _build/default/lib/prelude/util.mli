@@ -1,0 +1,26 @@
+(** Small shared helpers used across the library. *)
+
+(** [log2 x] is the base-2 logarithm. *)
+val log2 : float -> float
+
+(** [ceil_log2 x] is [max 0 ⌈log2 x⌉] as an integer; [0] for [x <= 1.]. *)
+val ceil_log2 : float -> int
+
+(** [ceil_div a b] is [⌈a/b⌉] for positive integers. *)
+val ceil_div : int -> int -> int
+
+(** [float_max a] is the largest element of [a]; [0.] when empty. *)
+val float_max : float array -> float
+
+(** [float_sum a] is the sum of the elements of [a]. *)
+val float_sum : float array -> float
+
+(** [group_by_key ~size key items] buckets [items] by [key item] into an
+    array of [size] lists, preserving the relative order within a bucket. *)
+val group_by_key : size:int -> ('a -> int) -> 'a list -> 'a list array
+
+(** [range n] is [[0; 1; …; n-1]]. *)
+val range : int -> int list
+
+(** [mean_of_int_list xs] is the arithmetic mean; [0.] when empty. *)
+val mean_of_int_list : int list -> float

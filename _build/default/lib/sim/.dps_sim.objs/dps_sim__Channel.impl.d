@@ -1,0 +1,1 @@
+lib/sim/channel.ml: Dps_prelude Hashtbl List Option Oracle Trace

@@ -1,0 +1,1 @@
+lib/sim/channel.mli: Dps_prelude Oracle Trace

@@ -1,0 +1,1 @@
+lib/sim/oracle.ml: Dps_interference Dps_network Dps_prelude Dps_sinr List Printf

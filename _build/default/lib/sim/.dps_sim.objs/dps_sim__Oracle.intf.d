@@ -1,0 +1,1 @@
+lib/sim/oracle.mli: Dps_interference Dps_network Dps_prelude Dps_sinr

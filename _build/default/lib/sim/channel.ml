@@ -1,0 +1,49 @@
+module Rng = Dps_prelude.Rng
+
+type t = {
+  oracle : Oracle.t;
+  m : int;
+  mutable now : int;
+  trace : Trace.t;
+  rng : Rng.t option;  (* randomness for stochastic oracles (Lossy) *)
+}
+
+let create ?rng ~oracle ~m () =
+  assert (m > 0);
+  { oracle; m; now = 0; trace = Trace.create ~m; rng }
+
+let oracle t = t.oracle
+let size t = t.m
+let now t = t.now
+let trace t = t.trace
+
+let step t attempts =
+  match attempts with
+  | [] ->
+    Trace.record t.trace ~attempted:[] ~succeeded:[];
+    t.now <- t.now + 1;
+    []
+  | _ ->
+  List.iter (fun e -> assert (e >= 0 && e < t.m)) attempts;
+  (* Per-link exclusivity: a link carrying two packets in one slot is a
+     collision at the link itself; neither packet gets through, but the
+     transmission still radiates interference. *)
+  let counts = Hashtbl.create (List.length attempts) in
+  List.iter
+    (fun e ->
+      let c = Option.value ~default:0 (Hashtbl.find_opt counts e) in
+      Hashtbl.replace counts e (c + 1))
+    attempts;
+  let active = Hashtbl.fold (fun e _ acc -> e :: acc) counts [] in
+  let exclusive = List.filter (fun e -> Hashtbl.find counts e = 1) active in
+  let winners = Oracle.adjudicate ?rng:t.rng t.oracle active in
+  let succeeded = List.filter (fun e -> List.mem e exclusive) winners in
+  Trace.record t.trace ~attempted:attempts ~succeeded;
+  t.now <- t.now + 1;
+  succeeded
+
+let idle t ~slots =
+  assert (slots >= 0);
+  for _ = 1 to slots do
+    ignore (step t [])
+  done

@@ -1,0 +1,34 @@
+(** The slotted wireless channel.
+
+    One {!step} is one time slot: callers submit the set of links attempting
+    a transmission; the channel enforces per-link exclusivity (at most one
+    packet per link per slot — the model's hard constraint), asks the
+    {!Oracle} which of the remaining attempts succeed, and advances the
+    global clock. *)
+
+type t
+
+(** [create ?rng ~oracle ~m ()] — a fresh channel. [rng] supplies the
+    randomness stochastic oracles ({!Oracle.Lossy}) need; deterministic
+    oracles never consult it. *)
+val create : ?rng:Dps_prelude.Rng.t -> oracle:Oracle.t -> m:int -> unit -> t
+
+val oracle : t -> Oracle.t
+
+(** Number of links [m]. *)
+val size : t -> int
+
+(** Current slot number (slots consumed so far). *)
+val now : t -> int
+
+(** Channel accounting so far. *)
+val trace : t -> Trace.t
+
+(** [step t attempts] — run one slot. [attempts] lists attempting link ids;
+    if a link id appears more than once, all of its attempts collide and
+    fail, but they still contribute interference to the oracle. Returns the
+    set of link ids that transmitted successfully. *)
+val step : t -> int list -> int list
+
+(** [idle t ~slots] — let [slots] empty slots pass. *)
+val idle : t -> slots:int -> unit

@@ -1,0 +1,41 @@
+module Rng = Dps_prelude.Rng
+module Physics = Dps_sinr.Physics
+module Power_control = Dps_sinr.Power_control
+module Conflict_graph = Dps_interference.Conflict_graph
+
+type t =
+  | Sinr of Physics.t
+  | Sinr_power_control of Dps_sinr.Params.t * Dps_network.Graph.t
+  | Conflict of Conflict_graph.t
+  | Mac
+  | Wireline
+  | Lossy of t * float
+
+let rec adjudicate ?rng t attempts =
+  match t with
+  | Wireline -> attempts
+  | Mac -> ( match attempts with [ e ] -> [ e ] | _ -> [])
+  | Sinr phys ->
+    List.filter (fun e -> Physics.feasible phys ~active:attempts e) attempts
+  | Sinr_power_control (params, graph) ->
+    Power_control.max_feasible_subset params graph attempts
+  | Conflict cg ->
+    List.filter
+      (fun e ->
+        not (List.exists (fun e' -> Conflict_graph.conflict cg e e') attempts))
+      attempts
+  | Lossy (base, loss) -> (
+    match rng with
+    | None -> invalid_arg "Oracle.adjudicate: Lossy oracle needs an rng"
+    | Some rng ->
+      List.filter
+        (fun _ -> not (Rng.bernoulli rng loss))
+        (adjudicate ~rng base attempts))
+
+let rec name = function
+  | Sinr _ -> "sinr"
+  | Sinr_power_control _ -> "sinr-power-control"
+  | Conflict _ -> "conflict-graph"
+  | Mac -> "multiple-access"
+  | Wireline -> "wireline"
+  | Lossy (base, loss) -> Printf.sprintf "lossy(%s, %g)" (name base) loss

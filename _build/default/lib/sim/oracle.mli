@@ -1,0 +1,31 @@
+(** The channel oracle: which simultaneous transmissions succeed.
+
+    Each interference model is one adjudication rule applied to the set of
+    links attempting a transmission in a slot. *)
+
+type t =
+  | Sinr of Dps_sinr.Physics.t
+      (** exact SINR feasibility against the attempting set, fixed powers *)
+  | Sinr_power_control of Dps_sinr.Params.t * Dps_network.Graph.t
+      (** powers chosen per slot (Section 6.2): the channel grants the
+          largest length-greedy subset that is feasible under {e some}
+          power assignment ({!Dps_sinr.Power_control.max_feasible_subset}) *)
+  | Conflict of Dps_interference.Conflict_graph.t
+      (** success iff no conflicting link also attempts *)
+  | Mac  (** multiple-access channel: success iff the attempt is alone *)
+  | Wireline
+      (** packet-routing network: every attempt succeeds (per-link
+          exclusivity is enforced by {!Channel}) *)
+  | Lossy of t * float
+      (** Section 9's unreliable-network extension: adjudicate with the
+          base oracle, then drop each success independently with the given
+          probability. Requires randomness: see {!adjudicate}'s [rng]. *)
+
+(** [adjudicate ?rng t attempts] — for the deduplicated set of attempting
+    link ids, the subset that succeeds. [rng] is required by {!Lossy}
+    (raises [Invalid_argument] when missing) and ignored by the
+    deterministic models. *)
+val adjudicate : ?rng:Dps_prelude.Rng.t -> t -> int list -> int list
+
+(** Display name of the model. *)
+val name : t -> string

@@ -1,0 +1,36 @@
+module Path = Dps_network.Path
+
+type t = {
+  id : int;
+  path : Path.t;
+  injected_slot : int;
+  mutable hop : int;
+  mutable delivered_slot : int option;
+  mutable failed : bool;
+  mutable release_frame : int;
+}
+
+let make ~id ~path ~injected_slot =
+  { id;
+    path;
+    injected_slot;
+    hop = 0;
+    delivered_slot = None;
+    failed = false;
+    release_frame = 0 }
+
+let delivered t = t.hop >= Path.length t.path
+
+let next_link t =
+  assert (not (delivered t));
+  Path.hop t.path t.hop
+
+let remaining_hops t = Path.length t.path - t.hop
+
+let advance t ~slot =
+  assert (not (delivered t));
+  t.hop <- t.hop + 1;
+  if delivered t then t.delivered_slot <- Some slot
+
+let latency t =
+  Option.map (fun s -> s - t.injected_slot) t.delivered_slot

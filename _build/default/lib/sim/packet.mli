@@ -1,0 +1,35 @@
+(** A packet travelling through the network.
+
+    Carries its fixed path, its progress along it, and the bookkeeping the
+    dynamic protocol and the latency statistics need. *)
+
+type t = {
+  id : int;
+  path : Dps_network.Path.t;
+  injected_slot : int;  (** slot in which the packet entered the system *)
+  mutable hop : int;  (** next hop index to cross; [length path] = done *)
+  mutable delivered_slot : int option;
+  mutable failed : bool;  (** has it ever failed a phase-1 execution? *)
+  mutable release_frame : int;
+      (** first frame the packet participates in (used by the adversarial
+          wrapper's random initial delay) *)
+}
+
+val make : id:int -> path:Dps_network.Path.t -> injected_slot:int -> t
+
+(** [next_link t] — link id of the next hop. Requires the packet is not yet
+    delivered. *)
+val next_link : t -> int
+
+(** [remaining_hops t] — number of hops still to cross. *)
+val remaining_hops : t -> int
+
+(** [delivered t] — has the packet reached its destination? *)
+val delivered : t -> bool
+
+(** [advance t ~slot] — record a successful hop; marks the packet delivered
+    at [slot] when it was the last one. *)
+val advance : t -> slot:int -> unit
+
+(** [latency t] — slots from injection to delivery; [None] if in flight. *)
+val latency : t -> int option

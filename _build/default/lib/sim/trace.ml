@@ -1,0 +1,42 @@
+type t = {
+  mutable slots : int;
+  mutable attempts : int;
+  mutable successes : int;
+  mutable busy_slots : int;
+  attempts_on : int array;
+  successes_on : int array;
+}
+
+let create ~m =
+  assert (m > 0);
+  { slots = 0;
+    attempts = 0;
+    successes = 0;
+    busy_slots = 0;
+    attempts_on = Array.make m 0;
+    successes_on = Array.make m 0 }
+
+let slots t = t.slots
+let attempts t = t.attempts
+let successes t = t.successes
+let busy_slots t = t.busy_slots
+let successes_on t e = t.successes_on.(e)
+let attempts_on t e = t.attempts_on.(e)
+
+let record t ~attempted ~succeeded =
+  t.slots <- t.slots + 1;
+  (match attempted with [] -> () | _ -> t.busy_slots <- t.busy_slots + 1);
+  List.iter
+    (fun e ->
+      t.attempts <- t.attempts + 1;
+      t.attempts_on.(e) <- t.attempts_on.(e) + 1)
+    attempted;
+  List.iter
+    (fun e ->
+      t.successes <- t.successes + 1;
+      t.successes_on.(e) <- t.successes_on.(e) + 1)
+    succeeded
+
+let pp ppf t =
+  Format.fprintf ppf "slots=%d busy=%d attempts=%d successes=%d" t.slots
+    t.busy_slots t.attempts t.successes

@@ -1,0 +1,1 @@
+lib/sinr/affectance.ml: Float List Params Physics

@@ -1,0 +1,1 @@
+lib/sinr/params.ml: Format

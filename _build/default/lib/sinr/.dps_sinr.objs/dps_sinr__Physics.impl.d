@@ -1,0 +1,1 @@
+lib/sinr/physics.ml: Array Dps_geometry Dps_network List Params Power

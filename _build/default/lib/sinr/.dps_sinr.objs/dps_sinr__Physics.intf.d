@@ -1,0 +1,1 @@
+lib/sinr/physics.mli: Dps_network Params Power

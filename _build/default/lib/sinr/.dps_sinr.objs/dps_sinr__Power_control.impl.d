@@ -1,0 +1,1 @@
+lib/sinr/power_control.ml: Array Dps_geometry Dps_network Float Int List Option Params

@@ -1,0 +1,1 @@
+lib/sinr/sinr_measure.ml: Affectance Dps_geometry Dps_interference Dps_network Float Params Physics

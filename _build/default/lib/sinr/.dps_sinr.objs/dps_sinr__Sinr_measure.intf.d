@@ -1,0 +1,1 @@
+lib/sinr/sinr_measure.mli: Dps_interference Physics

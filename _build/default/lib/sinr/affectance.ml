@@ -1,0 +1,27 @@
+let affectance phys ~src ~dst =
+  assert (src <> dst);
+  let prm = Physics.params phys in
+  let beta = prm.Params.beta and noise = prm.Params.noise in
+  let tolerance = Physics.signal phys dst -. (beta *. noise) in
+  if tolerance <= 0. then 1.
+  else
+    let hit = Physics.interference_from phys ~src ~dst in
+    Float.min 1. (beta *. hit /. tolerance)
+
+let total_on phys ~active dst =
+  List.fold_left
+    (fun acc src ->
+      if src = dst then acc else acc +. affectance phys ~src ~dst)
+    0. active
+
+let average phys requests =
+  match requests with
+  | [] | [ _ ] -> 0.
+  | _ ->
+    let n = List.length requests in
+    let total =
+      List.fold_left
+        (fun acc dst -> acc +. total_on phys ~active:requests dst)
+        0. requests
+    in
+    total /. float_of_int n

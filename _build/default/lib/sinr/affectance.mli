@@ -1,0 +1,26 @@
+(** Affectance: the relative interference of one link on another
+    (Section 6.1, following Halldórsson–Wattenhofer and
+    Kesselheim–Vöcking).
+
+    For links [ℓ = (s, r)] and [ℓ' = (s', r')],
+
+    {[ a_p(ℓ, ℓ') = min { 1,  β · (p(ℓ) / d(s, r')^α)
+                              / (p(ℓ') / d(s', r')^α − β·ν) } ]}
+
+    — the fraction of [ℓ']'s interference tolerance consumed by [ℓ]'s
+    transmission. If [ℓ'] cannot even overcome the noise
+    (denominator ≤ 0), the affectance is 1. *)
+
+(** [affectance phys ~src ~dst] is [a_p(src, dst)], in [0, 1].
+    Requires [src <> dst]. *)
+val affectance : Physics.t -> src:int -> dst:int -> float
+
+(** [total_on phys ~active dst] — sum of affectances of the [active] links on
+    [dst] ([dst] skipped if present). If this is at most 1, [dst]'s
+    transmission is SINR-feasible alongside [active]. *)
+val total_on : Physics.t -> active:int list -> int -> float
+
+(** [average phys requests] — the average affectance Ā over the multiset of
+    requested links: [1/|R| · Σ_{ℓ'∈R} Σ_{ℓ∈R, ℓ≠ℓ'} a_p(ℓ, ℓ')].
+    [0.] on fewer than two requests. *)
+val average : Physics.t -> int list -> float

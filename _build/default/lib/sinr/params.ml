@@ -1,0 +1,10 @@
+type t = { alpha : float; beta : float; noise : float }
+
+let make ?(alpha = 3.) ?(beta = 1.) ?(noise = 0.) () =
+  if alpha <= 0. then invalid_arg "Params.make: alpha <= 0";
+  if beta <= 0. then invalid_arg "Params.make: beta <= 0";
+  if noise < 0. then invalid_arg "Params.make: noise < 0";
+  { alpha; beta; noise }
+
+let pp ppf t =
+  Format.fprintf ppf "alpha=%g beta=%g noise=%g" t.alpha t.beta t.noise

@@ -1,0 +1,62 @@
+module Graph = Dps_network.Graph
+module Link = Dps_network.Link
+module Point = Dps_geometry.Point
+
+type link_geo = {
+  sender : Point.t;
+  receiver : Point.t;
+  len : float;
+  pow : float;
+  sig_strength : float;
+}
+
+type t = { prm : Params.t; graph : Graph.t; geo : link_geo array }
+
+let make prm power graph =
+  let geo =
+    Array.map
+      (fun (l : Link.t) ->
+        let sender = Graph.position graph l.src in
+        let receiver = Graph.position graph l.dst in
+        let len = Point.distance sender receiver in
+        if len <= 0. then invalid_arg "Physics.make: zero-length link";
+        let pow = Power.power power ~length:len ~alpha:prm.Params.alpha in
+        let sig_strength = pow /. (len ** prm.Params.alpha) in
+        { sender; receiver; len; pow; sig_strength })
+      (Graph.links graph)
+  in
+  { prm; graph; geo }
+
+let params t = t.prm
+let graph t = t.graph
+let size t = Array.length t.geo
+let length t e = t.geo.(e).len
+let power_of t e = t.geo.(e).pow
+let signal t e = t.geo.(e).sig_strength
+
+let interference_from t ~src ~dst =
+  assert (src <> dst);
+  let d = Point.distance t.geo.(src).sender t.geo.(dst).receiver in
+  if d <= 0. then infinity else t.geo.(src).pow /. (d ** t.prm.Params.alpha)
+
+let sinr t ~active e =
+  let interference =
+    List.fold_left
+      (fun acc e' ->
+        if e' = e then acc else acc +. interference_from t ~src:e' ~dst:e)
+      0. active
+  in
+  let denom = interference +. t.prm.Params.noise in
+  if denom <= 0. then infinity else t.geo.(e).sig_strength /. denom
+
+let feasible t ~active e = sinr t ~active e >= t.prm.Params.beta
+let feasible_set t links = List.for_all (feasible t ~active:links) links
+
+let length_ratio t =
+  let lo = ref infinity and hi = ref 0. in
+  Array.iter
+    (fun g ->
+      if g.len < !lo then lo := g.len;
+      if g.len > !hi then hi := g.len)
+    t.geo;
+  if !lo = infinity then 1. else !hi /. !lo

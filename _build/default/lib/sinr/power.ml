@@ -1,0 +1,31 @@
+type t = { name : string; assign : length:float -> alpha:float -> float }
+
+let name t = t.name
+let power t ~length ~alpha = t.assign ~length ~alpha
+
+let uniform p =
+  assert (p > 0.);
+  { name = "uniform"; assign = (fun ~length:_ ~alpha:_ -> p) }
+
+let linear c =
+  assert (c > 0.);
+  { name = "linear"; assign = (fun ~length ~alpha -> c *. (length ** alpha)) }
+
+let square_root c =
+  assert (c > 0.);
+  { name = "square-root";
+    assign = (fun ~length ~alpha -> c *. (length ** (alpha /. 2.))) }
+
+let custom ~name assign = { name; assign }
+
+let is_monotone_sublinear t ~alpha ~lengths =
+  let sorted = Array.copy lengths in
+  Array.sort compare sorted;
+  let ok = ref true in
+  for i = 0 to Array.length sorted - 2 do
+    let d = sorted.(i) and d' = sorted.(i + 1) in
+    let p = t.assign ~length:d ~alpha and p' = t.assign ~length:d' ~alpha in
+    if p > p' +. 1e-9 then ok := false;
+    if (p /. (d ** alpha)) +. 1e-9 < p' /. (d' ** alpha) then ok := false
+  done;
+  !ok

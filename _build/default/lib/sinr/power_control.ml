@@ -1,0 +1,118 @@
+module Graph = Dps_network.Graph
+module Link = Dps_network.Link
+module Point = Dps_geometry.Point
+
+let gain graph alpha ~to_link ~from_link =
+  let receiver = Graph.position graph (Graph.link graph to_link).Link.dst in
+  let sender = Graph.position graph (Graph.link graph from_link).Link.src in
+  let d = Point.distance sender receiver in
+  if d <= 0. then infinity else 1. /. (d ** alpha)
+
+let min_powers (prm : Params.t) graph links =
+  let arr = Array.of_list links in
+  let k = Array.length arr in
+  if List.length (List.sort_uniq compare links) <> k then
+    invalid_arg "Power_control.min_powers: duplicate links";
+  if k = 0 then Some [||]
+  else begin
+    let alpha = prm.Params.alpha and beta = prm.Params.beta in
+    (* Scale-invariant with zero noise: substitute a unit floor so the
+       fixed-point iteration produces a concrete witness either way. *)
+    let noise = Float.max prm.Params.noise 1. in
+    let own = Array.map (fun l -> gain graph alpha ~to_link:l ~from_link:l) arr in
+    let m =
+      Array.init k (fun i ->
+          Array.init k (fun j ->
+              if i = j then 0.
+              else beta *. gain graph alpha ~to_link:arr.(i) ~from_link:arr.(j) /. own.(i)))
+    in
+    let u = Array.init k (fun i -> beta *. noise /. own.(i)) in
+    (* A sender sitting on another link's receiver has infinite normalized
+       gain: no power assignment can work. (NaN arises when the victim's
+       own gain is also infinite.) *)
+    let degenerate =
+      Array.exists (Array.exists (fun x -> not (Float.is_finite x))) m
+      || Array.exists (fun x -> not (Float.is_finite x)) u
+    in
+    if degenerate then None
+    else begin
+    (* Feasibility is rho(M) < 1 (Perron–Frobenius): estimate the spectral
+       radius by normalized power iteration, which is robust where the
+       plain fixed point converges arbitrarily slowly (rho near 1). *)
+    let rho =
+      (* The per-step ∞-norm ratio can oscillate (near-bipartite M), so the
+         growth rate is read off the geometric mean of the trailing steps
+         rather than the last iterate. *)
+      let x = Array.make k 1. in
+      let y = Array.make k 0. in
+      let total = 400 and tail = 100 in
+      let log_sum = ref 0. and counted = ref 0 in
+      let estimate = ref 0. in
+      (try
+         for step = 1 to total do
+           let norm = ref 0. in
+           for i = 0 to k - 1 do
+             let acc = ref 0. in
+             for j = 0 to k - 1 do
+               acc := !acc +. (m.(i).(j) *. x.(j))
+             done;
+             y.(i) <- !acc;
+             norm := Float.max !norm !acc
+           done;
+           if !norm <= 0. then begin
+             estimate := 0.;
+             raise Exit
+           end;
+           if step > total - tail then begin
+             log_sum := !log_sum +. log !norm;
+             incr counted
+           end;
+           for i = 0 to k - 1 do
+             x.(i) <- y.(i) /. !norm
+           done
+         done;
+         estimate := exp (!log_sum /. float_of_int !counted)
+       with Exit -> ());
+      !estimate
+    in
+    if (not (Float.is_finite rho)) || rho >= 1. -. 1e-9 then None
+    else begin
+      (* p <- M·p + u: the Neumann series, convergent since rho < 1. *)
+      let p = Array.copy u in
+      let next = Array.make k 0. in
+      let steps =
+        Int.min 100_000
+          (Int.max 100 (int_of_float (60. /. Float.max 1e-3 (1. -. rho))))
+      in
+      for _ = 1 to steps do
+        for i = 0 to k - 1 do
+          let acc = ref u.(i) in
+          for j = 0 to k - 1 do
+            acc := !acc +. (m.(i).(j) *. p.(j))
+          done;
+          next.(i) <- !acc
+        done;
+        Array.blit next 0 p 0 k
+      done;
+      (* Defense in depth: a diverged witness means the radius estimate was
+         wrong; report infeasible rather than returning garbage. *)
+      if Array.for_all Float.is_finite p then Some p else None
+    end
+    end
+  end
+
+let feasible prm graph links = Option.is_some (min_powers prm graph links)
+
+let max_feasible_subset prm graph links =
+  let links = List.sort_uniq compare links in
+  let by_length_desc =
+    List.sort
+      (fun a b -> compare (Graph.link_length graph b) (Graph.link_length graph a))
+      links
+  in
+  let rec shrink = function
+    | [] -> []
+    | survivors when feasible prm graph survivors -> survivors
+    | _ :: shorter -> shrink shorter
+  in
+  shrink by_length_desc

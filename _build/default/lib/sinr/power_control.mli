@@ -1,0 +1,32 @@
+(** Feasibility with algorithm-chosen transmission powers (Section 6.2).
+
+    A set S of links can transmit simultaneously under {e some} power
+    assignment iff the normalized gain matrix
+
+    {[ M(ℓ, ℓ') = β · G(ℓ, ℓ') / G(ℓ, ℓ)   for ℓ ≠ ℓ' ∈ S ]}
+
+    (where [G(ℓ, ℓ')] is the gain from ℓ''s sender to ℓ's receiver) has
+    spectral radius below 1; the componentwise-minimal valid powers are the
+    fixed point of [p = M·p + u], [u(ℓ) = β·ν / G(ℓ, ℓ)] — the classic
+    Perron–Frobenius / Foschini–Miljanic condition. This module computes
+    that fixed point iteratively. *)
+
+(** [min_powers params graph links] — the minimal power vector (indexed like
+    [links]) under which all of [links] are simultaneously SINR-feasible, or
+    [None] if no power assignment works. With zero noise the constraint is
+    scale-invariant; a unit noise floor is substituted so a concrete vector
+    can still be returned. Duplicates in [links] are rejected with
+    [Invalid_argument]. *)
+val min_powers :
+  Params.t -> Dps_network.Graph.t -> int list -> float array option
+
+(** [feasible params graph links] — does some power assignment let all of
+    [links] transmit at once? *)
+val feasible : Params.t -> Dps_network.Graph.t -> int list -> bool
+
+(** [max_feasible_subset params graph links] — greedy: repeatedly drop the
+    longest link until the remainder is power-control feasible. Returns the
+    surviving subset (possibly empty). The channel oracle uses this rule to
+    adjudicate over-full slots. *)
+val max_feasible_subset :
+  Params.t -> Dps_network.Graph.t -> int list -> int list

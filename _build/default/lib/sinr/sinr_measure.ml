@@ -1,0 +1,36 @@
+module Measure = Dps_interference.Measure
+module Graph = Dps_network.Graph
+module Link = Dps_network.Link
+module Point = Dps_geometry.Point
+
+let linear_power phys =
+  let m = Physics.size phys in
+  Measure.of_function ~m (fun l l' ->
+      if l = l' then 1. else Affectance.affectance phys ~src:l' ~dst:l)
+
+let monotone_sublinear phys =
+  let m = Physics.size phys in
+  Measure.of_function ~m (fun l l' ->
+      if l = l' then 1.
+      else if Physics.length phys l <= Physics.length phys l' then
+        Float.max
+          (Affectance.affectance phys ~src:l ~dst:l')
+          (Affectance.affectance phys ~src:l' ~dst:l)
+      else 0.)
+
+let power_control phys =
+  let m = Physics.size phys in
+  let g = Physics.graph phys in
+  let alpha = (Physics.params phys).Params.alpha in
+  let pos v = Graph.position g v in
+  Measure.of_function ~m (fun l l' ->
+      if l = l' then 1.
+      else if Physics.length phys l <= Physics.length phys l' then begin
+        let a = Graph.link g l and b = Graph.link g l' in
+        let d_l = Physics.length phys l in
+        let d_s_r' = Point.distance (pos a.Link.src) (pos b.Link.dst) in
+        let d_s'_r = Point.distance (pos b.Link.src) (pos a.Link.dst) in
+        let term d = if d <= 0. then infinity else (d_l /. d) ** alpha in
+        Float.min 1. (term d_s_r' +. term d_s'_r)
+      end
+      else 0.)

@@ -1,0 +1,24 @@
+(** The interference matrices [W] of Section 6.
+
+    Each constructor materializes the measure the paper pairs with a power
+    regime; feeding them to {!Dps_interference.Measure.interference} yields
+    the [I] the corresponding static algorithm's schedule length is stated
+    in. *)
+
+(** [linear_power phys] — Section 6.1, linear power assignment:
+    [W(ℓ, ℓ') = a_p(ℓ', ℓ)] (how much [ℓ'] affects [ℓ]). With this measure
+    any feasible single-slot set has [I = O(1)], giving the
+    constant-competitive protocol of Corollary 12. *)
+val linear_power : Physics.t -> Dps_interference.Measure.t
+
+(** [monotone_sublinear phys] — Section 6.1, monotone (sub)linear powers:
+    [W(ℓ, ℓ') = max(a_p(ℓ, ℓ'), a_p(ℓ', ℓ))] if [d(ℓ) ≤ d(ℓ')], else [0]
+    — rows only charge interference against longer links
+    (Corollary 13; [I ≥ Ā/2]). *)
+val monotone_sublinear : Physics.t -> Dps_interference.Measure.t
+
+(** [power_control phys] — Section 6.2, powers chosen by the algorithm:
+    [W(ℓ, ℓ') = min { 1, d(ℓ)^α/d(s, r')^α + d(ℓ)^α/d(s', r)^α }] if
+    [d(ℓ) ≤ d(ℓ')], else [0], where [ℓ = (s, r)], [ℓ' = (s', r')]
+    (Corollary 14). *)
+val power_control : Physics.t -> Dps_interference.Measure.t

@@ -1,0 +1,1 @@
+lib/static/algorithm.ml: Array Dps_interference Dps_prelude Dps_sim Fun List Request

@@ -1,0 +1,1 @@
+lib/static/algorithm.mli: Dps_interference Dps_prelude Dps_sim Request

@@ -1,0 +1,1 @@
+lib/static/contention.ml: Algorithm Array Dps_prelude Dps_sim Float Fun List Printf Request Runner

@@ -1,0 +1,1 @@
+lib/static/delay_select.ml: Algorithm Array Dps_prelude Dps_sim Float Int List Printf Request Runner

@@ -1,0 +1,1 @@
+lib/static/delay_select.mli: Algorithm

@@ -1,0 +1,1 @@
+lib/static/measure_greedy.ml: Algorithm Array Dps_interference Dps_prelude Dps_sim Float Fun List Printf Request Runner

@@ -1,0 +1,1 @@
+lib/static/measure_greedy.mli: Algorithm

@@ -1,0 +1,1 @@
+lib/static/oneshot.ml: Algorithm Array Dps_sim Float Int List Request Runner

@@ -1,0 +1,1 @@
+lib/static/oneshot.mli: Algorithm

@@ -1,0 +1,1 @@
+lib/static/request.ml: Array Dps_interference

@@ -1,0 +1,1 @@
+lib/static/request.mli: Dps_interference

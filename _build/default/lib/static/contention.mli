@@ -1,0 +1,23 @@
+(** Probabilistic contention resolution (Theorem 19; in the spirit of the
+    distributed algorithm of Kesselheim–Vöcking (DISC 2010)).
+
+    In every slot each pending packet transmits independently with
+    probability [1/(c·I)]. The expected interference any single link sees is
+    then at most [1/c], so each attempt succeeds with constant probability
+    and the pending count decays geometrically: all [n] requests are served
+    within [O(I·log n)] slots with high probability.
+
+    The algorithm is fully distributed: a sender needs only [I] (or an upper
+    bound) and its own queue. *)
+
+(** [make ?c ?slack ?adaptive ()] — transmission probability [1/(c·I)]
+    (default [c = 4.], the constant of Theorem 19); planned duration
+    [⌈2c·I·(ln(n+1) + slack)⌉] slots (default [slack = 4.]).
+    With [adaptive = true] (default [false]) the algorithm recomputes [I]
+    over the still-pending requests each slot, transmitting more aggressively
+    as the instance drains. *)
+val make : ?c:float -> ?slack:float -> ?adaptive:bool -> unit -> Algorithm.t
+
+(** [theorem_19] — the literal algorithm of Theorem 19: [c = 4.],
+    non-adaptive. *)
+val theorem_19 : Algorithm.t

@@ -1,0 +1,55 @@
+module Rng = Dps_prelude.Rng
+module Util = Dps_prelude.Util
+module Channel = Dps_sim.Channel
+
+let make ?(c = 4.) ?(window_floor = 8) ?(slack = 4) () =
+  assert (c >= 1. && window_floor >= 1 && slack >= 0);
+  let duration ~m:_ ~i ~n =
+    let tail = Util.ceil_log2 (float_of_int (n + 1)) + slack in
+    int_of_float (Float.ceil (2. *. c *. Float.max i 1.)) + (window_floor * tail)
+  in
+  let run ~channel ~rng ~measure ~requests ~budget =
+    let n = Array.length requests in
+    let served = Array.make n false in
+    let used = ref 0 in
+    let pending () =
+      let acc = ref [] in
+      for idx = n - 1 downto 0 do
+        if not served.(idx) then acc := idx :: !acc
+      done;
+      !acc
+    in
+    let continue = ref true in
+    while !continue do
+      match pending () with
+      | [] -> continue := false
+      | pend ->
+        if !used >= budget then continue := false
+        else begin
+          let reqs = Array.of_list (List.map (fun i -> requests.(i)) pend) in
+          let i_val = Request.measure_of ~measure reqs in
+          let window =
+            Int.max window_floor (int_of_float (Float.ceil (c *. i_val)))
+          in
+          let window = Int.min window (budget - !used) in
+          (* Each pending packet transmits exactly once, at a uniform slot
+             of the window; bucketing keeps each slot O(slot attempts). *)
+          let buckets = Array.make window [] in
+          List.iter
+            (fun idx ->
+              let d = Rng.int rng window in
+              buckets.(d) <- idx :: buckets.(d))
+            pend;
+          for slot = 0 to window - 1 do
+            let attempts =
+              List.map (fun idx -> (idx, requests.(idx).Request.link)) buckets.(slot)
+            in
+            let succeeded = Channel.step channel (List.map snd attempts) in
+            Runner.mark_successes ~served ~attempts ~succeeded;
+            incr used
+          done
+        end
+    done;
+    { Algorithm.served; slots_used = !used }
+  in
+  { Algorithm.name = Printf.sprintf "delay-select(c=%g)" c; duration; run }

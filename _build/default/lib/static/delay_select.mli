@@ -1,0 +1,17 @@
+(** Random-delay scheduling (in the spirit of Fanghänel–Kesselheim–Vöcking,
+    whose schedule length is [O(I + log² n)] whp for linear powers).
+
+    Proceeds in rounds. In a round, every pending packet draws a uniformly
+    random slot inside a window of [⌈c · I_pending⌉] slots and transmits
+    exactly once, at that slot. The expected interference per slot is at most
+    [1/c], so a constant fraction of the packets get through; the pending
+    interference measure halves (w.h.p.) from round to round, and the total
+    length telescopes to [O(I)] plus a polylogarithmic tail. *)
+
+(** [make ?c ?window_floor ?slack ()] — window stretch factor [c]
+    (default [4.]); windows never shrink below [window_floor] slots (default
+    [8], the polylog tail regime); planned duration
+    [⌈2c·I⌉ + window_floor·(⌈log₂ n⌉ + slack)] (default [slack = 4]) — the
+    theory bound is [O(I + log² n)] whp, the engineering estimate used for
+    frame sizing tracks the typical geometric drain instead. *)
+val make : ?c:float -> ?window_floor:int -> ?slack:int -> unit -> Algorithm.t

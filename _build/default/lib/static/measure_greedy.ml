@@ -1,0 +1,65 @@
+module Util = Dps_prelude.Util
+module Measure = Dps_interference.Measure
+module Channel = Dps_sim.Channel
+
+let make ?(budget = 0.5) ?(slack = 8) ~priority () =
+  assert (budget > 0. && slack >= 0);
+  let duration ~m:_ ~i ~n =
+    int_of_float (Float.ceil (2. *. Float.max i 1. /. budget))
+    + (slack * (Util.ceil_log2 (float_of_int (n + 1)) + 1))
+  in
+  let run ~channel ~rng:_ ~measure ~requests ~budget:slots =
+    let n = Array.length requests in
+    let served = Array.make n false in
+    let used = ref 0 in
+    (* Fixed processing order: by priority of the requested link, ties by
+       request index so the schedule is deterministic. *)
+    let order = Array.init n Fun.id in
+    Array.sort
+      (fun a b ->
+        let pa = priority requests.(a).Request.link
+        and pb = priority requests.(b).Request.link in
+        if pa = pb then compare a b else compare pa pb)
+      order;
+    let continue = ref true in
+    while !continue && !used < slots do
+      (* Pack one round: accept the next request (in priority order) if the
+         pairwise interference load of the round stays within budget. *)
+      let round = ref [] and round_links = ref [] in
+      let load_within candidate =
+        let links = candidate :: !round_links in
+        List.for_all
+          (fun e ->
+            let total =
+              List.fold_left
+                (fun acc e' -> if e' = e then acc else acc +. Measure.weight measure e e')
+                0. links
+            in
+            total <= budget)
+          links
+      in
+      Array.iter
+        (fun idx ->
+          if not served.(idx) then begin
+            let link = requests.(idx).Request.link in
+            (* One packet per link per slot: skip links already in round. *)
+            if (not (List.mem link !round_links)) && load_within link then begin
+              round := idx :: !round;
+              round_links := link :: !round_links
+            end
+          end)
+        order;
+      match !round with
+      | [] -> continue := false
+      | round_members ->
+        let attempts =
+          List.map (fun idx -> (idx, requests.(idx).Request.link)) round_members
+        in
+        let succeeded = Channel.step channel (List.map snd attempts) in
+        Runner.mark_successes ~served ~attempts ~succeeded;
+        incr used;
+        if Array.for_all Fun.id served then continue := false
+    done;
+    { Algorithm.served; slots_used = !used }
+  in
+  { Algorithm.name = Printf.sprintf "measure-greedy(b=%g)" budget; duration; run }

@@ -1,0 +1,22 @@
+(** Centralized greedy scheduling by interference budget (in the spirit of
+    Kesselheim's SODA 2011 constant-factor power-control algorithm).
+
+    Requests are processed in a fixed priority order (for SINR power
+    control: increasing link length — exactly the order the Section 6.2
+    measure is built around). Each round packs a set greedily: a request
+    joins the round if, after adding it, the measure-weight between every
+    round member and the others stays within [budget]; the round's set then
+    transmits in one slot. With the Section 6.2 measure and a
+    power-control oracle, each round's set is feasible up to constants, and
+    the schedule length is O(I/budget) rounds plus a retry tail.
+
+    This algorithm is centralized — the paper notes power control is only
+    known to be tractable centrally (Corollary 14). *)
+
+(** [make ?budget ?slack ~priority ()] — [priority e] orders link ids
+    (lower value = earlier; e.g. link length); a request joins a round only
+    while the pairwise measure-load stays within [budget] (default [0.5]).
+    Planned duration [⌈2·I/budget⌉ + slack·⌈log₂ n⌉] (default
+    [slack = 8]). *)
+val make :
+  ?budget:float -> ?slack:int -> priority:(int -> float) -> unit -> Algorithm.t

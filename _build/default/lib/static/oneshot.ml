@@ -1,0 +1,38 @@
+module Channel = Dps_sim.Channel
+
+let algorithm =
+  let duration ~m:_ ~i ~n =
+    Int.min (int_of_float (Float.ceil (Float.max i 1.))) (Int.max 1 n)
+  in
+  let run ~channel ~rng:_ ~measure:_ ~requests ~budget =
+    let n = Array.length requests in
+    let served = Array.make n false in
+    let m = Channel.size channel in
+    let queues = Array.make m [] in
+    for idx = n - 1 downto 0 do
+      let link = requests.(idx).Request.link in
+      queues.(link) <- idx :: queues.(link)
+    done;
+    let used = ref 0 in
+    let exhausted () = Array.for_all (fun q -> q = []) queues in
+    while !used < budget && not (exhausted ()) do
+      let attempts = ref [] in
+      Array.iteri
+        (fun link queue ->
+          match queue with
+          | [] -> ()
+          | idx :: _ -> attempts := (idx, link) :: !attempts)
+        queues;
+      let succeeded = Channel.step channel (List.map snd !attempts) in
+      Runner.mark_successes ~served ~attempts:!attempts ~succeeded;
+      List.iter
+        (fun link ->
+          match queues.(link) with
+          | _ :: rest -> queues.(link) <- rest
+          | [] -> assert false)
+        succeeded;
+      incr used
+    done;
+    { Algorithm.served; slots_used = !used }
+  in
+  { Algorithm.name = "oneshot"; duration; run }

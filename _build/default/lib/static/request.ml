@@ -1,0 +1,14 @@
+module Measure = Dps_interference.Measure
+module Load = Dps_interference.Load
+
+type t = { link : int; key : int }
+
+let make ~link ~key =
+  assert (link >= 0);
+  { link; key }
+
+let links reqs = Array.to_list (Array.map (fun r -> r.link) reqs)
+let load ~m reqs = Load.of_requests m (links reqs)
+
+let measure_of ~measure reqs =
+  Measure.interference measure (load ~m:(Measure.size measure) reqs)

@@ -1,0 +1,18 @@
+(** A static transmission request: one packet that must cross one link.
+
+    [key] is an opaque caller-side identifier (e.g. a packet id) used to map
+    outcomes back; the algorithms only look at [link]. *)
+
+type t = { link : int; key : int }
+
+val make : link:int -> key:int -> t
+
+(** [links reqs] — the multiset of requested links, as a list. *)
+val links : t array -> int list
+
+(** [load ~m reqs] — the per-link load vector [R] of the requests. *)
+val load : m:int -> t array -> float array
+
+(** [measure_of ~measure reqs] — the interference measure
+    [I = ||W·R||_inf] induced by the requests. *)
+val measure_of : measure:Dps_interference.Measure.t -> t array -> float

@@ -1,0 +1,14 @@
+let mark_successes ~served ~attempts ~succeeded =
+  List.iter
+    (fun link ->
+      match List.filter (fun (_, l) -> l = link) attempts with
+      | [ (idx, _) ] -> served.(idx) <- true
+      | [] | _ :: _ -> assert false)
+    succeeded
+
+let pending_indices served =
+  let acc = ref [] in
+  for idx = Array.length served - 1 downto 0 do
+    if not served.(idx) then acc := idx :: !acc
+  done;
+  !acc

@@ -1,0 +1,11 @@
+(** Shared plumbing for algorithm runners. *)
+
+(** [mark_successes ~served ~attempts ~succeeded] — given this slot's
+    attempts as [(request index, link)] pairs and the channel's successful
+    links, flip the served flag of each winning request. A successful link
+    always carried exactly one attempt (the channel fails colliding ones). *)
+val mark_successes :
+  served:bool array -> attempts:(int * int) list -> succeeded:int list -> unit
+
+(** [pending_indices served] — indices still unserved, in increasing order. *)
+val pending_indices : bool array -> int list

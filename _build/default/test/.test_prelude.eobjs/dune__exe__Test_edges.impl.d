@@ -1,0 +1,1 @@
+test/test_edges.ml: Alcotest Array Dps_core Dps_geometry Dps_injection Dps_interference Dps_network Dps_prelude Dps_sim Dps_sinr Dps_static Format List Option String

@@ -1,0 +1,1 @@
+test/test_geometry.ml: Alcotest Array Dps_geometry Dps_prelude Float List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_injection.ml: Alcotest Array Dps_injection Dps_interference Dps_network Dps_prelude Float List Option QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Dps_core Dps_injection Dps_interference Dps_mac Dps_network Dps_prelude Dps_sim Dps_sinr Dps_static List Option QCheck QCheck_alcotest

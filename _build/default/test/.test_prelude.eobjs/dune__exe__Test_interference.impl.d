@@ -1,0 +1,1 @@
+test/test_interference.ml: Alcotest Array Dps_interference Dps_network Dps_prelude Float Fun List Option QCheck QCheck_alcotest

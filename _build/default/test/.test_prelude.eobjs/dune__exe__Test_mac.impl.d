@@ -1,0 +1,1 @@
+test/test_mac.ml: Alcotest Array Dps_interference Dps_mac Dps_prelude Dps_sim Dps_static Float List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_max_weight.ml: Alcotest Array Dps_core Dps_injection Dps_network Dps_prelude Dps_sim Fun List Option QCheck QCheck_alcotest

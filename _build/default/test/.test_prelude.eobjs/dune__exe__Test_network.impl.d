@@ -1,0 +1,1 @@
+test/test_network.ml: Alcotest Array Dps_geometry Dps_network Dps_prelude List Option QCheck QCheck_alcotest

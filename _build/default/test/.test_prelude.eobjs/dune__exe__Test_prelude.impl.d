@@ -1,0 +1,1 @@
+test/test_prelude.ml: Alcotest Array Dps_prelude Float Fun Gen List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_protocol.ml: Alcotest Dps_core Dps_injection Dps_interference Dps_network Dps_prelude Dps_sim Dps_static Float List Option

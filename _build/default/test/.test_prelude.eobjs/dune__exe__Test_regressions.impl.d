@@ -1,0 +1,1 @@
+test/test_regressions.ml: Alcotest Array Dps_core Dps_geometry Dps_injection Dps_interference Dps_mac Dps_network Dps_prelude Dps_sim Dps_sinr Dps_static Float List Option Sys

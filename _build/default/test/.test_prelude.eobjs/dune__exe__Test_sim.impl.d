@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Dps_core Dps_geometry Dps_interference Dps_network Dps_prelude Dps_sim Dps_sinr Fun List Option QCheck QCheck_alcotest

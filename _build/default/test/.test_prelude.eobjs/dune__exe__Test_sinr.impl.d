@@ -1,0 +1,1 @@
+test/test_sinr.ml: Alcotest Array Dps_geometry Dps_interference Dps_network Dps_prelude Dps_sinr Fun List QCheck QCheck_alcotest

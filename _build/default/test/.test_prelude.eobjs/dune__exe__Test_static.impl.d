@@ -1,0 +1,1 @@
+test/test_static.ml: Alcotest Array Dps_interference Dps_network Dps_prelude Dps_sim Dps_sinr Dps_static List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_tools.ml: Alcotest Dps_core Dps_injection Dps_interference Dps_network Dps_prelude Dps_sim Dps_static Float Format List Option Printf QCheck QCheck_alcotest String

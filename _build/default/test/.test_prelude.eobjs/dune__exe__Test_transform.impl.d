@@ -1,0 +1,1 @@
+test/test_transform.ml: Alcotest Array Dps_core Dps_interference Dps_network Dps_prelude Dps_sim Dps_sinr Dps_static List Printf QCheck QCheck_alcotest

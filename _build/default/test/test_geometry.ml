@@ -1,0 +1,137 @@
+(* Unit and property tests for the geometry substrate. *)
+
+module Rng = Dps_prelude.Rng
+module Point = Dps_geometry.Point
+module Placement = Dps_geometry.Placement
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_distance_known () =
+  check_float "3-4-5 triangle" 5.
+    (Point.distance (Point.make 0. 0.) (Point.make 3. 4.));
+  check_float "zero distance" 0. (Point.distance Point.origin Point.origin);
+  check_float "unit x" 1. (Point.distance Point.origin (Point.make 1. 0.))
+
+let test_distance_sq () =
+  check_float "squared" 25.
+    (Point.distance_sq (Point.make 0. 0.) (Point.make 3. 4.))
+
+let test_midpoint () =
+  let m = Point.midpoint (Point.make 0. 0.) (Point.make 4. 6.) in
+  Alcotest.(check bool) "midpoint" true (Point.equal m (Point.make 2. 3.))
+
+let test_translate () =
+  let p = Point.translate (Point.make 1. 1.) ~dx:2. ~dy:(-1.) in
+  Alcotest.(check bool) "translate" true (Point.equal p (Point.make 3. 0.))
+
+let test_on_circle () =
+  let p = Point.on_circle ~center:Point.origin ~radius:2. ~angle:0. in
+  Alcotest.(check bool) "angle 0" true (Point.equal ~eps:1e-9 p (Point.make 2. 0.));
+  let q =
+    Point.on_circle ~center:Point.origin ~radius:2. ~angle:(Float.pi /. 2.)
+  in
+  Alcotest.(check bool) "angle pi/2" true
+    (Point.equal ~eps:1e-9 q (Point.make 0. 2.))
+
+let test_equal_tolerance () =
+  Alcotest.(check bool) "within eps" true
+    (Point.equal ~eps:1e-3 (Point.make 0. 0.) (Point.make 1e-4 0.));
+  Alcotest.(check bool) "outside eps" false
+    (Point.equal ~eps:1e-6 (Point.make 0. 0.) (Point.make 1e-4 0.))
+
+let test_placement_line () =
+  let pts = Placement.line ~n:4 ~spacing:2. in
+  Alcotest.(check int) "count" 4 (Array.length pts);
+  check_float "spacing" 2. (Point.distance pts.(0) pts.(1));
+  check_float "total span" 6. (Point.distance pts.(0) pts.(3))
+
+let test_placement_grid () =
+  let pts = Placement.grid ~rows:2 ~cols:3 ~spacing:1. in
+  Alcotest.(check int) "count" 6 (Array.length pts);
+  (* Row-major: index 4 is row 1, col 1. *)
+  Alcotest.(check bool) "row-major layout" true
+    (Point.equal pts.(4) (Point.make 1. 1.))
+
+let test_placement_uniform_bounds () =
+  let rng = Rng.create ~seed:1 () in
+  let pts = Placement.uniform rng ~n:200 ~side:10. in
+  Array.iter
+    (fun (p : Point.t) ->
+      Alcotest.(check bool) "inside square" true
+        (p.Point.x >= 0. && p.Point.x <= 10. && p.Point.y >= 0. && p.Point.y <= 10.))
+    pts
+
+let test_placement_clusters () =
+  let rng = Rng.create ~seed:2 () in
+  let pts = Placement.clusters rng ~clusters:3 ~per_cluster:5 ~side:100. ~radius:1. in
+  Alcotest.(check int) "count" 15 (Array.length pts);
+  (* Points of one cluster are within 2·radius of each other. *)
+  for c = 0 to 2 do
+    for i = 0 to 4 do
+      for j = 0 to 4 do
+        let d = Point.distance pts.((c * 5) + i) pts.((c * 5) + j) in
+        Alcotest.(check bool) "cluster diameter" true (d <= 2.0001)
+      done
+    done
+  done
+
+let test_placement_ring () =
+  let pts = Placement.ring ~n:8 ~radius:5. ~center:Point.origin in
+  Alcotest.(check int) "count" 8 (Array.length pts);
+  Array.iter
+    (fun p ->
+      Alcotest.(check (float 1e-9)) "on circle" 5. (Point.distance Point.origin p))
+    pts
+
+let point_gen =
+  QCheck.Gen.(
+    map2 (fun x y -> Point.make x y) (float_range (-1e3) 1e3)
+      (float_range (-1e3) 1e3))
+
+let arb_point = QCheck.make point_gen
+
+let prop_symmetry =
+  QCheck.Test.make ~count:500 ~name:"distance is symmetric"
+    QCheck.(pair arb_point arb_point)
+    (fun (a, b) ->
+      Float.abs (Point.distance a b -. Point.distance b a) < 1e-9)
+
+let prop_triangle_inequality =
+  QCheck.Test.make ~count:500 ~name:"triangle inequality"
+    QCheck.(triple arb_point arb_point arb_point)
+    (fun (a, b, c) ->
+      Point.distance a c <= Point.distance a b +. Point.distance b c +. 1e-6)
+
+let prop_identity =
+  QCheck.Test.make ~count:500 ~name:"distance zero iff same point" arb_point
+    (fun a -> Point.distance a a = 0.)
+
+let prop_midpoint_equidistant =
+  QCheck.Test.make ~count:500 ~name:"midpoint is equidistant"
+    QCheck.(pair arb_point arb_point)
+    (fun (a, b) ->
+      let m = Point.midpoint a b in
+      Float.abs (Point.distance a m -. Point.distance m b) < 1e-6)
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "geometry"
+    [ ( "point",
+        [ quick "distance known values" test_distance_known;
+          quick "distance squared" test_distance_sq;
+          quick "midpoint" test_midpoint;
+          quick "translate" test_translate;
+          quick "on_circle" test_on_circle;
+          quick "equal tolerance" test_equal_tolerance ] );
+      ( "placement",
+        [ quick "line" test_placement_line;
+          quick "grid" test_placement_grid;
+          quick "uniform bounds" test_placement_uniform_bounds;
+          quick "clusters" test_placement_clusters;
+          quick "ring" test_placement_ring ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_symmetry;
+            prop_triangle_inequality;
+            prop_identity;
+            prop_midpoint_equidistant ] ) ]

@@ -1,0 +1,257 @@
+(* Unit and property tests for the injection models (Section 2.1):
+   stochastic generators, window adversaries, rate arithmetic. *)
+
+module Rng = Dps_prelude.Rng
+module Graph = Dps_network.Graph
+module Path = Dps_network.Path
+module Routing = Dps_network.Routing
+module Topology = Dps_network.Topology
+module Measure = Dps_interference.Measure
+module Stochastic = Dps_injection.Stochastic
+module Adversary = Dps_injection.Adversary
+module Rate = Dps_injection.Rate
+
+let line_setup () =
+  let g = Topology.line ~nodes:5 ~spacing:1. in
+  let r = Routing.make g in
+  let path src dst = Option.get (Routing.path r ~src ~dst) in
+  (g, path)
+
+(* ----------------------------------------------------------------- Rate *)
+
+let test_rate_flow_of_paths () =
+  let g, path = line_setup () in
+  let m = Graph.link_count g in
+  let p = path 0 3 in
+  let flow = Rate.flow_of_weighted_paths m [ (p, 0.1); (p, 0.2) ] in
+  for i = 0 to Path.length p - 1 do
+    Alcotest.(check (float 1e-9)) "per-hop flow" 0.3 flow.(Path.hop p i)
+  done
+
+let test_rate_identity_measure () =
+  let g, path = line_setup () in
+  let m = Graph.link_count g in
+  let flow = Rate.flow_of_weighted_paths m [ (path 0 4, 0.25) ] in
+  Alcotest.(check (float 1e-9)) "congestion rate" 0.25
+    (Rate.of_flow (Measure.identity m) flow)
+
+(* ----------------------------------------------------------- Stochastic *)
+
+let test_stochastic_rejects_bad_mass () =
+  let _, path = line_setup () in
+  Alcotest.check_raises "mass above 1"
+    (Invalid_argument "Stochastic.make: generator probability mass exceeds 1")
+    (fun () ->
+      ignore (Stochastic.make [ [ (path 0 2, 0.7); (path 1 3, 0.6) ] ]))
+
+let test_stochastic_rejects_negative () =
+  let _, path = line_setup () in
+  Alcotest.check_raises "negative probability"
+    (Invalid_argument "Stochastic.make: negative probability") (fun () ->
+      ignore (Stochastic.make [ [ (path 0 2, -0.1) ] ]))
+
+let test_stochastic_rate_known () =
+  let g, path = line_setup () in
+  let m = Graph.link_count g in
+  (* Two generators, both crossing link (1,2) with prob 0.1 each. *)
+  let inj = Stochastic.make [ [ (path 0 3, 0.1) ]; [ (path 1 4, 0.1) ] ] in
+  let rate = Stochastic.rate inj (Measure.identity m) in
+  Alcotest.(check (float 1e-9)) "overlapping flow" 0.2 rate;
+  Alcotest.(check int) "generators" 2 (Stochastic.generators inj)
+
+let test_stochastic_calibrate () =
+  let g, path = line_setup () in
+  let m = Graph.link_count g in
+  let inj = Stochastic.make [ [ (path 0 3, 0.1) ]; [ (path 1 4, 0.1) ] ] in
+  let inj = Stochastic.calibrate inj (Measure.identity m) ~target:0.05 in
+  Alcotest.(check (float 1e-9)) "calibrated" 0.05
+    (Stochastic.rate inj (Measure.identity m))
+
+let test_stochastic_calibrate_impossible () =
+  let g, path = line_setup () in
+  let m = Graph.link_count g in
+  let inj = Stochastic.make [ [ (path 0 1, 0.5) ] ] in
+  Alcotest.check_raises "above mass 1"
+    (Invalid_argument "Stochastic.scale: generator probability mass exceeds 1")
+    (fun () ->
+      ignore (Stochastic.calibrate inj (Measure.identity m) ~target:3.))
+
+let test_stochastic_draw_at_most_one_per_generator () =
+  let _, path = line_setup () in
+  let rng = Rng.create ~seed:14 () in
+  let inj =
+    Stochastic.make
+      [ [ (path 0 2, 0.4); (path 0 3, 0.4) ]; [ (path 1 4, 0.9) ] ]
+  in
+  for slot = 0 to 500 do
+    let drawn = Stochastic.draw inj rng ~slot in
+    Alcotest.(check bool) "at most 2 packets" true (List.length drawn <= 2)
+  done
+
+let test_stochastic_empirical_rate () =
+  let g, path = line_setup () in
+  let m = Graph.link_count g in
+  let rng = Rng.create ~seed:15 () in
+  let inj = Stochastic.make [ [ (path 0 4, 0.2) ] ] in
+  let slots = 30_000 in
+  let count = ref 0 in
+  for slot = 0 to slots - 1 do
+    count := !count + List.length (Stochastic.draw inj rng ~slot)
+  done;
+  let empirical = float_of_int !count /. float_of_int slots in
+  Alcotest.(check bool) "within 5% of declared" true
+    (Float.abs (empirical -. 0.2) < 0.01);
+  ignore m
+
+let test_stochastic_max_path_length () =
+  let _, path = line_setup () in
+  let inj = Stochastic.make [ [ (path 0 4, 0.1) ]; [ (path 1 3, 0.1) ] ] in
+  Alcotest.(check int) "D" 4 (Stochastic.max_path_length inj)
+
+(* ------------------------------------------------------------ Adversary *)
+
+let test_adversary_burst_bounded () =
+  let g, path = line_setup () in
+  let m = Graph.link_count g in
+  let measure = Measure.identity m in
+  let adv =
+    Adversary.burst ~measure ~w:10 ~rate:0.5 ~paths:[ path 0 4; path 1 3 ]
+  in
+  Alcotest.(check int) "window" 10 (Adversary.window adv);
+  let empirical = Adversary.verify adv measure ~horizon:200 in
+  Alcotest.(check bool) "honestly bounded" true (empirical <= 0.5 +. 1e-9);
+  Alcotest.(check bool) "actually injects" true (empirical > 0.)
+
+let test_adversary_burst_timing () =
+  let g, path = line_setup () in
+  let m = Graph.link_count g in
+  let adv =
+    Adversary.burst ~measure:(Measure.identity m) ~w:8 ~rate:0.5
+      ~paths:[ path 0 2 ]
+  in
+  Alcotest.(check bool) "window start busy" true
+    (Adversary.injections adv ~slot:0 <> []);
+  for s = 1 to 7 do
+    Alcotest.(check (list reject)) "rest silent" []
+      (List.map (fun _ -> ()) (Adversary.injections adv ~slot:s))
+  done
+
+let test_adversary_smooth_spreads () =
+  let g, path = line_setup () in
+  let m = Graph.link_count g in
+  let measure = Measure.identity m in
+  let adv = Adversary.smooth ~measure ~w:10 ~rate:0.8 ~paths:[ path 0 4 ] in
+  let empirical = Adversary.verify adv measure ~horizon:200 in
+  Alcotest.(check bool) "bounded" true (empirical <= 0.8 +. 1e-9);
+  (* Smooth: no slot carries more than a couple of packets. *)
+  for s = 0 to 50 do
+    Alcotest.(check bool) "spread out" true
+      (List.length (Adversary.injections adv ~slot:s) <= 2)
+  done
+
+let test_adversary_sawtooth_alternates () =
+  let g, path = line_setup () in
+  let m = Graph.link_count g in
+  let measure = Measure.identity m in
+  let adv = Adversary.sawtooth ~measure ~w:5 ~rate:1.0 ~paths:[ path 0 2 ] in
+  Alcotest.(check bool) "even window loaded" true
+    (Adversary.injections adv ~slot:0 <> []);
+  Alcotest.(check bool) "odd window silent" true
+    (Adversary.injections adv ~slot:5 = []);
+  Alcotest.(check bool) "next even window loaded" true
+    (Adversary.injections adv ~slot:10 <> []);
+  let empirical = Adversary.verify adv measure ~horizon:100 in
+  Alcotest.(check bool) "bounded" true (empirical <= 1.0 +. 1e-9)
+
+let test_adversary_verify_catches_cheater () =
+  let g, path = line_setup () in
+  let m = Graph.link_count g in
+  let measure = Measure.identity m in
+  (* Declares rate 0.1 but injects one packet per slot on a 3-hop path. *)
+  let cheater =
+    Adversary.of_schedule ~w:10 ~rate:0.1 (fun ~slot:_ -> [ path 0 3 ])
+  in
+  let empirical = Adversary.verify cheater measure ~horizon:100 in
+  Alcotest.(check bool) "caught" true (empirical > Adversary.rate cheater)
+
+let test_adversary_max_path_length () =
+  let g, path = line_setup () in
+  let m = Graph.link_count g in
+  let adv =
+    Adversary.burst ~measure:(Measure.identity m) ~w:10 ~rate:1.
+      ~paths:[ path 0 4; path 1 3 ]
+  in
+  Alcotest.(check int) "longest injected path" 4
+    (Adversary.max_path_length adv ~horizon:20)
+
+(* ------------------------------------------------------------ property *)
+
+let prop_calibration_hits_target =
+  QCheck.Test.make ~count:100 ~name:"calibration hits any reachable target"
+    QCheck.(float_range 0.001 0.3)
+    (fun target ->
+      let g, path = line_setup () in
+      let m = Graph.link_count g in
+      let inj = Stochastic.make [ [ (path 0 4, 0.1) ]; [ (path 1 4, 0.05) ] ] in
+      let measure = Measure.identity m in
+      let inj = Stochastic.calibrate inj measure ~target in
+      Float.abs (Stochastic.rate inj measure -. target) < 1e-9)
+
+let prop_builtin_adversaries_bounded =
+  QCheck.Test.make ~count:60 ~name:"built-in adversaries are (w,λ)-bounded"
+    QCheck.(triple (int_range 1 3) (int_range 2 20) (float_range 0.1 2.))
+    (fun (kind, w, rate) ->
+      let g, path = line_setup () in
+      let m = Graph.link_count g in
+      let measure = Measure.identity m in
+      let paths = [ path 0 4; path 1 3; path 2 4 ] in
+      let adv =
+        match kind with
+        | 1 -> Adversary.burst ~measure ~w ~rate ~paths
+        | 2 -> Adversary.smooth ~measure ~w ~rate ~paths
+        | _ -> Adversary.sawtooth ~measure ~w ~rate ~paths
+      in
+      Adversary.verify adv measure ~horizon:(6 * w) <= rate +. 1e-9)
+
+let prop_draw_respects_generator_count =
+  QCheck.Test.make ~count:60 ~name:"a slot never injects more than #generators"
+    QCheck.(pair (int_range 0 1000) (int_range 1 5))
+    (fun (seed, gens) ->
+      let _, path = line_setup () in
+      let rng = Rng.create ~seed () in
+      let inj =
+        Stochastic.make (List.init gens (fun _ -> [ (path 0 4, 0.5) ]))
+      in
+      let ok = ref true in
+      for slot = 0 to 100 do
+        if List.length (Stochastic.draw inj rng ~slot) > gens then ok := false
+      done;
+      !ok)
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "injection"
+    [ ( "rate",
+        [ quick "flow of paths" test_rate_flow_of_paths;
+          quick "identity measure" test_rate_identity_measure ] );
+      ( "stochastic",
+        [ quick "rejects excess mass" test_stochastic_rejects_bad_mass;
+          quick "rejects negative" test_stochastic_rejects_negative;
+          quick "known rate" test_stochastic_rate_known;
+          quick "calibrate" test_stochastic_calibrate;
+          quick "calibrate impossible" test_stochastic_calibrate_impossible;
+          quick "one packet per generator" test_stochastic_draw_at_most_one_per_generator;
+          quick "empirical rate matches" test_stochastic_empirical_rate;
+          quick "max path length" test_stochastic_max_path_length ] );
+      ( "adversary",
+        [ quick "burst bounded" test_adversary_burst_bounded;
+          quick "burst timing" test_adversary_burst_timing;
+          quick "smooth spreads" test_adversary_smooth_spreads;
+          quick "sawtooth alternates" test_adversary_sawtooth_alternates;
+          quick "verify catches cheater" test_adversary_verify_catches_cheater;
+          quick "max path length" test_adversary_max_path_length ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_calibration_hits_target;
+            prop_builtin_adversaries_bounded;
+            prop_draw_respects_generator_count ] ) ]

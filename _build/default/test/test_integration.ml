@@ -1,0 +1,297 @@
+(* End-to-end integration tests: the full dynamic protocol on every
+   interference model the paper instantiates (Sections 6 and 7). *)
+
+module Rng = Dps_prelude.Rng
+module Graph = Dps_network.Graph
+module Routing = Dps_network.Routing
+module Topology = Dps_network.Topology
+module Measure = Dps_interference.Measure
+module Conflict_graph = Dps_interference.Conflict_graph
+module Params = Dps_sinr.Params
+module Power = Dps_sinr.Power
+module Physics = Dps_sinr.Physics
+module Sinr_measure = Dps_sinr.Sinr_measure
+module Oracle = Dps_sim.Oracle
+module Delay_select = Dps_static.Delay_select
+module Contention = Dps_static.Contention
+module Oneshot = Dps_static.Oneshot
+module Decay = Dps_mac.Decay
+module Round_robin = Dps_mac.Round_robin
+module Mac_measure = Dps_mac.Mac_measure
+module Stochastic = Dps_injection.Stochastic
+module Protocol = Dps_core.Protocol
+module Driver = Dps_core.Driver
+module Stability = Dps_core.Stability
+
+(* Random multi-hop traffic over shortest paths, calibrated to [target]. *)
+let traffic rng g measure ~pairs ~target =
+  let routing = Routing.make g in
+  let n = Graph.node_count g in
+  let gens = ref [] in
+  let attempts = ref 0 in
+  while List.length !gens < pairs && !attempts < 100 * pairs do
+    incr attempts;
+    let src = Rng.int rng n and dst = Rng.int rng n in
+    if src <> dst then
+      match Routing.path routing ~src ~dst with
+      | Some p when Dps_network.Path.length p <= 8 ->
+        gens := [ (p, 0.01) ] :: !gens
+      | _ -> ()
+  done;
+  Stochastic.calibrate (Stochastic.make !gens) measure ~target
+
+let assert_stable_run ~name r =
+  Alcotest.(check bool)
+    (name ^ ": delivered most")
+    true
+    (float_of_int r.Protocol.delivered
+    > 0.85 *. float_of_int r.Protocol.injected);
+  match Stability.assess r.Protocol.in_system with
+  | Stability.Unstable -> Alcotest.failf "%s: run went unstable" name
+  | _ -> ()
+
+let test_sinr_linear_power_grid () =
+  let rng = Rng.create ~seed:80 () in
+  let g = Topology.grid ~rows:3 ~cols:3 ~spacing:10. in
+  let phys = Physics.make (Params.make ~noise:1e-9 ()) (Power.linear 2.) g in
+  let measure = Sinr_measure.linear_power phys in
+  let lambda = 0.05 in
+  let inj = traffic rng g measure ~pairs:10 ~target:lambda in
+  let cfg =
+    Protocol.configure ~algorithm:(Delay_select.make ~c:4. ()) ~measure
+      ~lambda ~max_hops:8 ()
+  in
+  let r =
+    Driver.run ~config:cfg ~oracle:(Oracle.Sinr phys)
+      ~source:(Driver.Stochastic inj) ~frames:100 ~rng
+  in
+  assert_stable_run ~name:"sinr linear" r
+
+let test_sinr_monotone_power_random () =
+  let rng = Rng.create ~seed:81 () in
+  let g = Topology.random_geometric rng ~nodes:16 ~side:40. ~radius:14. in
+  let phys = Physics.make (Params.make ~noise:1e-9 ()) (Power.square_root 2.) g in
+  let measure = Sinr_measure.monotone_sublinear phys in
+  let lambda = 0.03 in
+  let inj = traffic rng g measure ~pairs:8 ~target:lambda in
+  let cfg =
+    Protocol.configure ~algorithm:(Delay_select.make ~c:4. ()) ~measure
+      ~lambda ~max_hops:8 ()
+  in
+  let r =
+    Driver.run ~config:cfg ~oracle:(Oracle.Sinr phys)
+      ~source:(Driver.Stochastic inj) ~frames:100 ~rng
+  in
+  assert_stable_run ~name:"sinr monotone" r
+
+let test_conflict_graph_grid () =
+  let rng = Rng.create ~seed:82 () in
+  let g = Topology.grid ~rows:3 ~cols:3 ~spacing:1. in
+  let cg = Conflict_graph.distance2 g in
+  let order = Conflict_graph.degeneracy_order cg in
+  let measure = Conflict_graph.to_measure cg ~order in
+  let lambda = 0.004 in
+  let inj = traffic rng g measure ~pairs:8 ~target:lambda in
+  let cfg =
+    Protocol.configure ~algorithm:(Contention.make ~c:4. ()) ~measure ~lambda
+      ~max_hops:8 ()
+  in
+  let r =
+    Driver.run ~config:cfg ~oracle:(Oracle.Conflict cg)
+      ~source:(Driver.Stochastic inj) ~frames:80 ~rng
+  in
+  assert_stable_run ~name:"conflict graph" r
+
+let test_node_constraint_line () =
+  let rng = Rng.create ~seed:83 () in
+  let g = Topology.line ~nodes:6 ~spacing:1. in
+  let cg = Conflict_graph.node_constraint g in
+  let order = Conflict_graph.degeneracy_order cg in
+  let measure = Conflict_graph.to_measure cg ~order in
+  let lambda = 0.005 in
+  let inj = traffic rng g measure ~pairs:6 ~target:lambda in
+  let cfg =
+    Protocol.configure ~algorithm:(Contention.make ~c:4. ()) ~measure ~lambda
+      ~max_hops:8 ()
+  in
+  let r =
+    Driver.run ~config:cfg ~oracle:(Oracle.Conflict cg)
+      ~source:(Driver.Stochastic inj) ~frames:80 ~rng
+  in
+  assert_stable_run ~name:"node constraint" r
+
+let test_wireline_packet_routing () =
+  let rng = Rng.create ~seed:84 () in
+  let g = Topology.grid ~rows:3 ~cols:3 ~spacing:1. in
+  let measure = Measure.identity (Graph.link_count g) in
+  let lambda = 0.3 in
+  let inj = traffic rng g measure ~pairs:12 ~target:lambda in
+  let cfg =
+    Protocol.configure ~algorithm:Oneshot.algorithm ~measure ~lambda
+      ~max_hops:8 ()
+  in
+  let r =
+    Driver.run ~config:cfg ~oracle:Oracle.Wireline
+      ~source:(Driver.Stochastic inj) ~frames:150 ~rng
+  in
+  assert_stable_run ~name:"wireline" r
+
+let mac_injection g ~rate =
+  let stations = Graph.link_count g in
+  let per = rate /. float_of_int stations in
+  Stochastic.make
+    (List.init stations (fun i ->
+         [ (Dps_network.Path.of_links g [ i ], per) ]))
+
+let test_mac_symmetric_decay () =
+  let rng = Rng.create ~seed:85 () in
+  let g = Topology.mac_channel ~stations:6 in
+  let measure = Mac_measure.make ~m:6 in
+  let lambda = 0.15 in
+  let inj = mac_injection g ~rate:lambda in
+  let cfg =
+    Protocol.configure ~epsilon:0.3 ~algorithm:(Decay.make ~delta:0.3 ())
+      ~measure ~lambda ~max_hops:1 ()
+  in
+  let r =
+    Driver.run ~config:cfg ~oracle:Oracle.Mac ~source:(Driver.Stochastic inj)
+      ~frames:100 ~rng
+  in
+  assert_stable_run ~name:"mac decay" r
+
+let test_mac_asymmetric_rrw () =
+  let rng = Rng.create ~seed:86 () in
+  let g = Topology.mac_channel ~stations:6 in
+  let measure = Mac_measure.make ~m:6 in
+  let lambda = 0.6 in
+  let inj = mac_injection g ~rate:lambda in
+  let cfg =
+    Protocol.configure ~epsilon:0.25 ~algorithm:Round_robin.algorithm ~measure
+      ~lambda ~max_hops:1 ()
+  in
+  let r =
+    Driver.run ~config:cfg ~oracle:Oracle.Mac ~source:(Driver.Stochastic inj)
+      ~frames:100 ~rng
+  in
+  assert_stable_run ~name:"mac rrw" r
+
+let test_radio_model_line () =
+  let rng = Rng.create ~seed:89 () in
+  let g = Topology.line ~nodes:5 ~spacing:1. in
+  let cg = Conflict_graph.radio_model g in
+  let order = Conflict_graph.degeneracy_order cg in
+  let measure = Conflict_graph.to_measure cg ~order in
+  let lambda = 0.004 in
+  let inj = traffic rng g measure ~pairs:5 ~target:lambda in
+  let cfg =
+    Protocol.configure ~algorithm:(Contention.make ~c:4. ()) ~measure ~lambda
+      ~max_hops:8 ()
+  in
+  let r =
+    Driver.run ~config:cfg ~oracle:(Oracle.Conflict cg)
+      ~source:(Driver.Stochastic inj) ~frames:60 ~rng
+  in
+  assert_stable_run ~name:"radio model" r
+
+let test_power_control_protocol () =
+  (* Corollary 14 end to end: Section 6.2 measure, centralized
+     measure-greedy, power-control oracle. *)
+  let rng = Rng.create ~seed:90 () in
+  let g = Topology.random_geometric rng ~nodes:14 ~side:50. ~radius:18. in
+  let prm = Params.make ~noise:1e-9 () in
+  let phys = Physics.make prm (Power.uniform 1.) g in
+  let measure = Sinr_measure.power_control phys in
+  let algorithm =
+    Dps_static.Measure_greedy.make ~budget:0.3
+      ~priority:(Graph.link_length g) ()
+  in
+  let lambda = 0.02 in
+  let inj = traffic rng g measure ~pairs:8 ~target:lambda in
+  let cfg = Protocol.configure ~algorithm ~measure ~lambda ~max_hops:8 () in
+  let r =
+    Driver.run ~config:cfg
+      ~oracle:(Oracle.Sinr_power_control (prm, g))
+      ~source:(Driver.Stochastic inj) ~frames:60 ~rng
+  in
+  assert_stable_run ~name:"power control" r
+
+let prop_protocol_conserves_packets =
+  (* Whatever the rate, seed and horizon: injected = delivered + in flight
+     at every stopping point. *)
+  QCheck.Test.make ~count:15 ~name:"protocol conserves packets"
+    QCheck.(triple (int_range 0 1000) (int_range 5 40) (float_range 0.02 0.25))
+    (fun (seed, frames, rate) ->
+      let rng = Rng.create ~seed ()
+      and g = Topology.line ~nodes:5 ~spacing:1. in
+      let m = Graph.link_count g in
+      let routing = Routing.make g in
+      let path = Option.get (Routing.path routing ~src:0 ~dst:4) in
+      let measure = Measure.identity m in
+      let cfg =
+        Protocol.configure ~algorithm:Oneshot.algorithm ~measure ~lambda:0.3
+          ~max_hops:4 ()
+      in
+      let channel = Dps_sim.Channel.create ~oracle:Oracle.Wireline ~m () in
+      let proto = Protocol.create cfg ~channel in
+      let inj = Stochastic.make [ [ (path, rate) ] ] in
+      ignore
+        (Driver.run_protocol ~protocol:proto ~source:(Driver.Stochastic inj)
+           ~frames ~rng);
+      let r = Protocol.report proto in
+      r.Protocol.injected = r.Protocol.delivered + Protocol.in_flight proto)
+
+let test_same_seed_same_run () =
+  (* Full-stack determinism: identical seeds give identical reports. *)
+  let run () =
+    let rng = Rng.create ~seed:87 () in
+    let g = Topology.grid ~rows:3 ~cols:3 ~spacing:1. in
+    let measure = Measure.identity (Graph.link_count g) in
+    let inj = traffic rng g measure ~pairs:6 ~target:0.2 in
+    let cfg =
+      Protocol.configure ~algorithm:Oneshot.algorithm ~measure ~lambda:0.2
+        ~max_hops:8 ()
+    in
+    let r =
+      Driver.run ~config:cfg ~oracle:Oracle.Wireline
+        ~source:(Driver.Stochastic inj) ~frames:40 ~rng
+    in
+    (r.Protocol.injected, r.Protocol.delivered, r.Protocol.max_queue)
+  in
+  let a = run () and b = run () in
+  Alcotest.(check (triple int int int)) "identical" a b
+
+let test_transform_inside_protocol () =
+  (* The Section 3 transformation composes with the Section 4 protocol. *)
+  let rng = Rng.create ~seed:88 () in
+  let g = Topology.grid ~rows:3 ~cols:3 ~spacing:1. in
+  let measure = Measure.identity (Graph.link_count g) in
+  let algorithm = Dps_core.Transform.apply (Contention.make ~c:2. ()) in
+  (* The transformed algorithm's effective f(m) is ~2·f(m·chi); stay well
+     below 1/f(m). *)
+  let lambda = 0.004 in
+  let inj = traffic rng g measure ~pairs:8 ~target:lambda in
+  let cfg = Protocol.configure ~algorithm ~measure ~lambda ~max_hops:8 () in
+  let r =
+    Driver.run ~config:cfg ~oracle:Oracle.Wireline
+      ~source:(Driver.Stochastic inj) ~frames:60 ~rng
+  in
+  assert_stable_run ~name:"transform in protocol" r
+
+let () =
+  let slow name f = Alcotest.test_case name `Slow f in
+  Alcotest.run "integration"
+    [ ( "end-to-end",
+        [ slow "SINR linear power on a grid" test_sinr_linear_power_grid;
+          slow "SINR monotone power on random geometric"
+            test_sinr_monotone_power_random;
+          slow "distance-2 conflict graph" test_conflict_graph_grid;
+          slow "node-constraint conflict graph" test_node_constraint_line;
+          slow "wireline packet routing" test_wireline_packet_routing;
+          slow "MAC symmetric decay" test_mac_symmetric_decay;
+          slow "MAC asymmetric round-robin" test_mac_asymmetric_rrw;
+          slow "radio model" test_radio_model_line;
+          slow "power-control protocol" test_power_control_protocol;
+          slow "determinism" test_same_seed_same_run;
+          slow "transform inside protocol" test_transform_inside_protocol ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_protocol_conserves_packets ] ) ]

@@ -1,0 +1,279 @@
+(* Unit and property tests for the interference measure and conflict
+   graphs — the paper's central abstraction (Sections 2 and 7.2). *)
+
+module Rng = Dps_prelude.Rng
+module Measure = Dps_interference.Measure
+module Load = Dps_interference.Load
+module Conflict_graph = Dps_interference.Conflict_graph
+module Topology = Dps_network.Topology
+module Graph = Dps_network.Graph
+module Path = Dps_network.Path
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* -------------------------------------------------------------- Measure *)
+
+let test_identity_measure () =
+  let w = Measure.identity 4 in
+  Alcotest.(check int) "size" 4 (Measure.size w);
+  check_float "diagonal" 1. (Measure.weight w 2 2);
+  check_float "off-diagonal" 0. (Measure.weight w 0 1);
+  (* Identity measure = congestion. *)
+  check_float "congestion" 5. (Measure.interference w [| 2.; 5.; 0.; 1. |])
+
+let test_complete_measure () =
+  let w = Measure.complete 3 in
+  check_float "all ones" 1. (Measure.weight w 0 2);
+  (* Complete measure = total packet count. *)
+  check_float "total" 8. (Measure.interference w [| 2.; 5.; 1. |])
+
+let test_of_function_clamps () =
+  let w = Measure.of_function ~m:3 (fun e e' -> if e < e' then 2.5 else -1.) in
+  check_float "clamped high" 1. (Measure.weight w 0 1);
+  check_float "clamped low (dropped)" 0. (Measure.weight w 2 0);
+  check_float "diagonal forced" 1. (Measure.weight w 2 2)
+
+let test_of_rows_diagonal () =
+  let w = Measure.of_rows [| [ (1, 0.5) ]; [] |] in
+  check_float "explicit entry" 0.5 (Measure.weight w 0 1);
+  check_float "diagonal present" 1. (Measure.weight w 1 1)
+
+let test_of_rows_rejects_bad () =
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Measure: link id out of range") (fun () ->
+      ignore (Measure.of_rows [| [ (5, 0.5) ] |]));
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Measure: duplicate entry in row") (fun () ->
+      ignore (Measure.of_rows [| [ (1, 0.5); (1, 0.2) ]; [] |]));
+  Alcotest.check_raises "weight range"
+    (Invalid_argument "Measure: weight outside (0, 1]") (fun () ->
+      ignore (Measure.of_rows [| [ (1, 1.5) ]; [] |]))
+
+let test_interference_at () =
+  let w =
+    Measure.of_function ~m:3 (fun e e' ->
+        if e = 0 && e' > 0 then 0.5 else 0.)
+  in
+  let load = [| 1.; 2.; 4. |] in
+  check_float "row 0" (1. +. 1. +. 2.) (Measure.interference_at w load 0);
+  check_float "row 1" 2. (Measure.interference_at w load 1);
+  check_float "max row" 4. (Measure.interference w load)
+
+let test_interference_of_counts () =
+  let w = Measure.identity 3 in
+  check_float "counts" 7. (Measure.interference_of_counts w [| 1; 7; 3 |])
+
+let test_max_row_sum () =
+  let w = Measure.complete 4 in
+  check_float "complete row sum" 4. (Measure.max_row_sum w);
+  let w = Measure.identity 9 in
+  check_float "identity row sum" 1. (Measure.max_row_sum w)
+
+(* ----------------------------------------------------------------- Load *)
+
+let test_load_of_paths () =
+  let g = Topology.line ~nodes:4 ~spacing:1. in
+  (* Forward links along the line are ids 0, 2, 4 (alternating with their
+     reverses). Find them through routing instead of guessing. *)
+  let r = Dps_network.Routing.make g in
+  let p = Option.get (Dps_network.Routing.path r ~src:0 ~dst:3) in
+  let load = Load.of_paths (Graph.link_count g) [ p; p ] in
+  Alcotest.(check int) "path length" 3 (Path.length p);
+  for i = 0 to Path.length p - 1 do
+    check_float "each hop counted twice" 2. load.(Path.hop p i)
+  done;
+  check_float "total mass" 6. (Array.fold_left ( +. ) 0. load)
+
+let test_load_of_link_counts () =
+  let load = Load.of_link_counts 4 [ (0, 2); (2, 1); (0, 1) ] in
+  Alcotest.(check (array (float 1e-9))) "summed" [| 3.; 0.; 1.; 0. |] load
+
+let test_load_arithmetic () =
+  let a = [| 1.; 2. |] and b = [| 3.; 4. |] in
+  Alcotest.(check (array (float 1e-9))) "add" [| 4.; 6. |] (Load.add a b);
+  Alcotest.(check (array (float 1e-9))) "scale" [| 2.; 4. |] (Load.scale 2. a)
+
+(* ------------------------------------------------------------- Conflict *)
+
+let test_conflict_create () =
+  let cg = Conflict_graph.create ~links:4 ~conflicts:[ (0, 1); (1, 2); (0, 1) ] in
+  Alcotest.(check int) "size" 4 (Conflict_graph.size cg);
+  Alcotest.(check bool) "0-1 conflict" true (Conflict_graph.conflict cg 0 1);
+  Alcotest.(check bool) "symmetric" true (Conflict_graph.conflict cg 1 0);
+  Alcotest.(check bool) "no self conflict" false (Conflict_graph.conflict cg 1 1);
+  Alcotest.(check bool) "absent" false (Conflict_graph.conflict cg 0 3);
+  Alcotest.(check int) "dedup degree" 1 (Conflict_graph.degree cg 0);
+  Alcotest.(check int) "degree of 1" 2 (Conflict_graph.degree cg 1)
+
+let test_conflict_independent () =
+  let cg = Conflict_graph.create ~links:4 ~conflicts:[ (0, 1); (2, 3) ] in
+  Alcotest.(check bool) "independent" true (Conflict_graph.independent cg [ 0; 2 ]);
+  Alcotest.(check bool) "dependent" false (Conflict_graph.independent cg [ 0; 1; 2 ])
+
+let test_node_constraint () =
+  let g = Topology.line ~nodes:3 ~spacing:1. in
+  let cg = Conflict_graph.node_constraint g in
+  (* Every pair of links on a 3-node line shares the middle node, except the
+     two outer link pairs... enumerate: links 0:(0-1),1:(1-0),2:(1-2),3:(2-1).
+     All share node 1 pairwise. *)
+  for a = 0 to 3 do
+    for b = a + 1 to 3 do
+      Alcotest.(check bool) "all share node 1" true (Conflict_graph.conflict cg a b)
+    done
+  done
+
+let test_node_constraint_disjoint () =
+  let g = Topology.line ~nodes:4 ~spacing:1. in
+  let cg = Conflict_graph.node_constraint g in
+  (* Link 0-1 and link 2-3 share no endpoint. *)
+  let l01 = Option.get (Graph.find_link g ~src:0 ~dst:1) in
+  let l23 = Option.get (Graph.find_link g ~src:2 ~dst:3) in
+  Alcotest.(check bool) "disjoint links do not conflict" false
+    (Conflict_graph.conflict cg l01 l23)
+
+let test_distance2_wider_than_node () =
+  let g = Topology.line ~nodes:4 ~spacing:1. in
+  let node = Conflict_graph.node_constraint g in
+  let d2 = Conflict_graph.distance2 g in
+  let l01 = Option.get (Graph.find_link g ~src:0 ~dst:1) in
+  let l23 = Option.get (Graph.find_link g ~src:2 ~dst:3) in
+  (* Distance-2: endpoints 1 and 2 are adjacent, so these links conflict. *)
+  Alcotest.(check bool) "node constraint: no" false
+    (Conflict_graph.conflict node l01 l23);
+  Alcotest.(check bool) "distance-2: yes" true (Conflict_graph.conflict d2 l01 l23)
+
+let test_protocol_model () =
+  let g = Topology.line ~nodes:3 ~spacing:1. in
+  let cg = Conflict_graph.protocol_model g ~delta:0.5 in
+  (* Adjacent links conflict under any reasonable guard zone. *)
+  let l01 = Option.get (Graph.find_link g ~src:0 ~dst:1) in
+  let l12 = Option.get (Graph.find_link g ~src:1 ~dst:2) in
+  Alcotest.(check bool) "adjacent conflict" true (Conflict_graph.conflict cg l01 l12)
+
+let test_degeneracy_order_is_permutation () =
+  let g = Topology.grid ~rows:3 ~cols:3 ~spacing:1. in
+  let cg = Conflict_graph.distance2 g in
+  let order = Conflict_graph.degeneracy_order cg in
+  let sorted = Array.copy order in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation"
+    (Array.init (Conflict_graph.size cg) Fun.id)
+    sorted
+
+let test_independence_bound_positive () =
+  let g = Topology.grid ~rows:2 ~cols:3 ~spacing:1. in
+  let cg = Conflict_graph.node_constraint g in
+  let order = Conflict_graph.degeneracy_order cg in
+  let rng = Rng.create ~seed:6 () in
+  let rho = Conflict_graph.independence_bound cg ~order ~samples:20 rng in
+  Alcotest.(check bool) "rho at least 1" true (rho >= 1);
+  (* Node-constraint conflict graphs of bounded-degree networks have small
+     inductive independence. *)
+  Alcotest.(check bool) "rho small" true (rho <= 4)
+
+let test_conflict_to_measure () =
+  let cg = Conflict_graph.create ~links:3 ~conflicts:[ (0, 1); (1, 2) ] in
+  let order = [| 0; 1; 2 |] in
+  let w = Conflict_graph.to_measure cg ~order in
+  (* Row e charges conflicting links of rank <= rank(e). *)
+  check_float "w(1,0)" 1. (Measure.weight w 1 0);
+  check_float "w(0,1) zero (1 ranks later)" 0. (Measure.weight w 0 1);
+  check_float "w(2,1)" 1. (Measure.weight w 2 1);
+  check_float "w(2,0) no conflict" 0. (Measure.weight w 2 0);
+  check_float "diagonal" 1. (Measure.weight w 0 0)
+
+let test_conflict_measure_interference () =
+  let cg = Conflict_graph.create ~links:3 ~conflicts:[ (0, 1); (1, 2) ] in
+  let order = [| 0; 1; 2 |] in
+  let w = Conflict_graph.to_measure cg ~order in
+  (* One packet per link: row 1 sees itself + link 0; row 2 sees itself +
+     link 1. *)
+  check_float "I" 2. (Measure.interference w [| 1.; 1.; 1. |])
+
+(* ------------------------------------------------------------ property *)
+
+let arb_load m = QCheck.(array_of_size (QCheck.Gen.return m) (float_bound_inclusive 10.))
+
+let prop_interference_monotone =
+  QCheck.Test.make ~count:200 ~name:"interference monotone in the load"
+    (arb_load 6)
+    (fun load ->
+      let w = Measure.complete 6 in
+      let bigger = Array.map (fun x -> x +. 1.) load in
+      Measure.interference w load <= Measure.interference w bigger)
+
+let prop_interference_subadditive =
+  QCheck.Test.make ~count:200 ~name:"interference subadditive"
+    QCheck.(pair (arb_load 5) (arb_load 5))
+    (fun (a, b) ->
+      let w = Measure.identity 5 in
+      Measure.interference w (Load.add a b)
+      <= Measure.interference w a +. Measure.interference w b +. 1e-9)
+
+let prop_interference_scales =
+  QCheck.Test.make ~count:200 ~name:"interference is homogeneous"
+    QCheck.(pair (arb_load 5) (float_bound_inclusive 5.))
+    (fun (a, c) ->
+      let w = Measure.complete 5 in
+      Float.abs
+        (Measure.interference w (Load.scale c a) -. (c *. Measure.interference w a))
+      < 1e-6)
+
+let prop_identity_bounds_any_measure =
+  QCheck.Test.make ~count:100
+    ~name:"congestion lower-bounds any measure with unit diagonal"
+    (arb_load 6)
+    (fun load ->
+      let congestion = Measure.interference (Measure.identity 6) load in
+      let w =
+        Measure.of_function ~m:6 (fun e e' -> if e = e' then 1. else 0.3)
+      in
+      Measure.interference w load >= congestion -. 1e-9)
+
+let prop_degeneracy_order_always_permutation =
+  QCheck.Test.make ~count:50 ~name:"degeneracy order is always a permutation"
+    QCheck.(pair (int_range 1 12) (list (pair (int_range 0 11) (int_range 0 11))))
+    (fun (n, edges) ->
+      let edges =
+        List.filter (fun (a, b) -> a < n && b < n && a <> b) edges
+      in
+      let cg = Conflict_graph.create ~links:n ~conflicts:edges in
+      let order = Conflict_graph.degeneracy_order cg in
+      let sorted = Array.copy order in
+      Array.sort compare sorted;
+      sorted = Array.init n Fun.id)
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "interference"
+    [ ( "measure",
+        [ quick "identity" test_identity_measure;
+          quick "complete" test_complete_measure;
+          quick "of_function clamps" test_of_function_clamps;
+          quick "of_rows diagonal" test_of_rows_diagonal;
+          quick "of_rows rejects bad input" test_of_rows_rejects_bad;
+          quick "interference_at" test_interference_at;
+          quick "interference of counts" test_interference_of_counts;
+          quick "max_row_sum" test_max_row_sum ] );
+      ( "load",
+        [ quick "of_paths" test_load_of_paths;
+          quick "of_link_counts" test_load_of_link_counts;
+          quick "arithmetic" test_load_arithmetic ] );
+      ( "conflict-graph",
+        [ quick "create" test_conflict_create;
+          quick "independent" test_conflict_independent;
+          quick "node constraint" test_node_constraint;
+          quick "node constraint disjoint" test_node_constraint_disjoint;
+          quick "distance-2 wider" test_distance2_wider_than_node;
+          quick "protocol model" test_protocol_model;
+          quick "degeneracy order" test_degeneracy_order_is_permutation;
+          quick "independence bound" test_independence_bound_positive;
+          quick "to_measure" test_conflict_to_measure;
+          quick "measure interference" test_conflict_measure_interference ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_interference_monotone;
+            prop_interference_subadditive;
+            prop_interference_scales;
+            prop_identity_bounds_any_measure;
+            prop_degeneracy_order_always_permutation ] ) ]

@@ -1,0 +1,208 @@
+(* Unit tests for the multiple-access-channel algorithms (Section 7.1):
+   Algorithm 2 (decay) and Round-Robin-Withholding. *)
+
+module Rng = Dps_prelude.Rng
+module Measure = Dps_interference.Measure
+module Oracle = Dps_sim.Oracle
+module Channel = Dps_sim.Channel
+module Trace = Dps_sim.Trace
+module Request = Dps_static.Request
+module Algorithm = Dps_static.Algorithm
+module Decay = Dps_mac.Decay
+module Round_robin = Dps_mac.Round_robin
+module Mac_measure = Dps_mac.Mac_measure
+
+let mac_requests ~stations ~n =
+  Array.init n (fun k -> Request.make ~link:(k mod stations) ~key:k)
+
+(* ----------------------------------------------------------- Mac_measure *)
+
+let test_mac_measure_counts_packets () =
+  let w = Mac_measure.make ~m:5 in
+  let reqs = mac_requests ~stations:5 ~n:13 in
+  Alcotest.(check (float 1e-9)) "I = packet count" 13.
+    (Request.measure_of ~measure:w reqs)
+
+(* ----------------------------------------------------------------- Decay *)
+
+let test_decay_serves_all () =
+  let stations = 6 in
+  let channel = Channel.create ~oracle:Oracle.Mac ~m:stations () in
+  let rng = Rng.create ~seed:10 () in
+  let requests = mac_requests ~stations ~n:60 in
+  let algo = Decay.make () in
+  let outcome =
+    Algorithm.execute algo ~channel ~rng ~measure:(Mac_measure.make ~m:stations)
+      ~requests
+  in
+  Alcotest.(check bool) "all served" true (Algorithm.all_served outcome)
+
+let test_decay_duration_near_en () =
+  (* Lemma 15: (1+δ)·e·n plus a polylog tail. *)
+  let algo = Decay.make ~phi:1. ~delta:0.5 () in
+  let n = 1000 in
+  let d = algo.Algorithm.duration ~m:10 ~i:(float_of_int n) ~n in
+  let en = (1. +. 0.5) *. Float.exp 1. *. float_of_int n in
+  Alcotest.(check bool) "at least (1+δ)en" true (float_of_int d >= en);
+  Alcotest.(check bool) "within (1+δ)en + polylog tail" true
+    (float_of_int d <= en +. 5000.)
+
+let test_decay_slots_near_en_in_practice () =
+  let stations = 8 in
+  let n = 400 in
+  let channel = Channel.create ~oracle:Oracle.Mac ~m:stations () in
+  let rng = Rng.create ~seed:11 () in
+  let requests = mac_requests ~stations ~n in
+  let algo = Decay.make ~delta:0.5 () in
+  let outcome =
+    Algorithm.execute algo ~channel ~rng
+      ~measure:(Mac_measure.make ~m:stations) ~requests
+  in
+  Alcotest.(check bool) "all served" true (Algorithm.all_served outcome);
+  (* Throughput: at least n slots are necessary; decay should use within
+     ~6x of that (theory: (1+δ)e ≈ 4.1 plus tail). *)
+  Alcotest.(check bool) "slots within 6n" true
+    (outcome.Algorithm.slots_used <= 6 * n)
+
+let test_decay_empty () =
+  let channel = Channel.create ~oracle:Oracle.Mac ~m:3 () in
+  let rng = Rng.create () in
+  let outcome =
+    (Decay.make ()).Algorithm.run ~channel ~rng
+      ~measure:(Mac_measure.make ~m:3) ~requests:[||] ~budget:10
+  in
+  Alcotest.(check int) "zero slots" 0 outcome.Algorithm.slots_used
+
+let test_decay_single_packet () =
+  let channel = Channel.create ~oracle:Oracle.Mac ~m:1 () in
+  let rng = Rng.create ~seed:12 () in
+  let requests = mac_requests ~stations:1 ~n:1 in
+  let algo = Decay.make () in
+  let outcome =
+    Algorithm.execute algo ~channel ~rng ~measure:(Mac_measure.make ~m:1)
+      ~requests
+  in
+  Alcotest.(check bool) "served" true (Algorithm.all_served outcome)
+
+let test_decay_respects_budget () =
+  let stations = 4 in
+  let channel = Channel.create ~oracle:Oracle.Mac ~m:stations () in
+  let rng = Rng.create ~seed:13 () in
+  let requests = mac_requests ~stations ~n:100 in
+  let outcome =
+    (Decay.make ()).Algorithm.run ~channel ~rng
+      ~measure:(Mac_measure.make ~m:stations) ~requests ~budget:50
+  in
+  Alcotest.(check bool) "within budget" true (outcome.Algorithm.slots_used <= 50)
+
+(* ----------------------------------------------------------- Round robin *)
+
+let test_rrw_exact_slots () =
+  (* Lemma 17: n packets, m stations, exactly n + m slots. *)
+  let stations = 5 in
+  let n = 23 in
+  let channel = Channel.create ~oracle:Oracle.Mac ~m:stations () in
+  let rng = Rng.create () in
+  let requests = mac_requests ~stations ~n in
+  let outcome =
+    Algorithm.execute Round_robin.algorithm ~channel ~rng
+      ~measure:(Mac_measure.make ~m:stations) ~requests
+  in
+  Alcotest.(check bool) "all served" true (Algorithm.all_served outcome);
+  Alcotest.(check int) "exactly n + m slots" (n + stations)
+    outcome.Algorithm.slots_used
+
+let test_rrw_deterministic () =
+  let stations = 4 in
+  let run () =
+    let channel = Channel.create ~oracle:Oracle.Mac ~m:stations () in
+    let rng = Rng.create ~seed:77 () in
+    let requests = mac_requests ~stations ~n:17 in
+    let outcome =
+      Algorithm.execute Round_robin.algorithm ~channel ~rng
+        ~measure:(Mac_measure.make ~m:stations) ~requests
+    in
+    outcome.Algorithm.slots_used
+  in
+  Alcotest.(check int) "same slots both runs" (run ()) (run ())
+
+let test_rrw_idle_stations_cost_one_slot () =
+  (* All packets on station 0: n + m slots still (silence per station). *)
+  let stations = 6 in
+  let n = 10 in
+  let channel = Channel.create ~oracle:Oracle.Mac ~m:stations () in
+  let rng = Rng.create () in
+  let requests = Array.init n (fun k -> Request.make ~link:0 ~key:k) in
+  let outcome =
+    Algorithm.execute Round_robin.algorithm ~channel ~rng
+      ~measure:(Mac_measure.make ~m:stations) ~requests
+  in
+  Alcotest.(check bool) "all served" true (Algorithm.all_served outcome);
+  Alcotest.(check int) "n + m" (n + stations) outcome.Algorithm.slots_used
+
+let test_rrw_budget_cut () =
+  let stations = 3 in
+  let channel = Channel.create ~oracle:Oracle.Mac ~m:stations () in
+  let rng = Rng.create () in
+  let requests = mac_requests ~stations ~n:30 in
+  let outcome =
+    Round_robin.algorithm.Algorithm.run ~channel ~rng
+      ~measure:(Mac_measure.make ~m:stations) ~requests ~budget:10
+  in
+  Alcotest.(check bool) "within budget" true (outcome.Algorithm.slots_used <= 10);
+  Alcotest.(check bool) "partial service" true
+    (Algorithm.served_count outcome < 30)
+
+(* ------------------------------------------------------------ property *)
+
+let prop_decay_throughput_counts =
+  QCheck.Test.make ~count:25 ~name:"decay: exactly one success per busy slot"
+    QCheck.(pair (int_range 0 1000) (int_range 1 80))
+    (fun (seed, n) ->
+      let stations = 5 in
+      let channel = Channel.create ~oracle:Oracle.Mac ~m:stations () in
+      let rng = Rng.create ~seed () in
+      let requests = mac_requests ~stations ~n in
+      let outcome =
+        Algorithm.execute (Decay.make ()) ~channel ~rng
+          ~measure:(Mac_measure.make ~m:stations) ~requests
+      in
+      (* MAC: successes <= busy slots, and all successes are distinct
+         requests. *)
+      let tr = Channel.trace channel in
+      Trace.successes tr = Algorithm.served_count outcome
+      && Trace.successes tr <= Trace.busy_slots tr)
+
+let prop_rrw_serves_everything_given_room =
+  QCheck.Test.make ~count:50 ~name:"RRW with full budget serves everything"
+    QCheck.(pair (int_range 1 6) (int_range 0 60))
+    (fun (stations, n) ->
+      let channel = Channel.create ~oracle:Oracle.Mac ~m:stations () in
+      let rng = Rng.create () in
+      let requests = mac_requests ~stations ~n in
+      let outcome =
+        Round_robin.algorithm.Algorithm.run ~channel ~rng
+          ~measure:(Mac_measure.make ~m:stations) ~requests
+          ~budget:(n + stations)
+      in
+      Algorithm.all_served outcome)
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "mac"
+    [ ("measure", [ quick "counts packets" test_mac_measure_counts_packets ]);
+      ( "decay",
+        [ quick "serves all" test_decay_serves_all;
+          quick "duration near (1+δ)en" test_decay_duration_near_en;
+          quick "practical slots near en" test_decay_slots_near_en_in_practice;
+          quick "empty" test_decay_empty;
+          quick "single packet" test_decay_single_packet;
+          quick "respects budget" test_decay_respects_budget ] );
+      ( "round-robin",
+        [ quick "exactly n+m slots" test_rrw_exact_slots;
+          quick "deterministic" test_rrw_deterministic;
+          quick "idle stations cost one slot" test_rrw_idle_stations_cost_one_slot;
+          quick "budget cut" test_rrw_budget_cut ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_decay_throughput_counts; prop_rrw_serves_everything_given_room ] ) ]

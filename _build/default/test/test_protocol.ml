@@ -1,0 +1,429 @@
+(* Tests for the dynamic protocol (Section 4), the adversarial wrapper
+   (Section 5), stability diagnostics, and the Theorem 20 experiment. *)
+
+module Rng = Dps_prelude.Rng
+module Timeseries = Dps_prelude.Timeseries
+module Graph = Dps_network.Graph
+module Routing = Dps_network.Routing
+module Topology = Dps_network.Topology
+module Measure = Dps_interference.Measure
+module Oracle = Dps_sim.Oracle
+module Channel = Dps_sim.Channel
+module Oneshot = Dps_static.Oneshot
+module Delay_select = Dps_static.Delay_select
+module Stochastic = Dps_injection.Stochastic
+module Adversary = Dps_injection.Adversary
+module Protocol = Dps_core.Protocol
+module Driver = Dps_core.Driver
+module Adversarial = Dps_core.Adversarial
+module Stability = Dps_core.Stability
+module Lower_bound = Dps_core.Lower_bound
+
+(* A 5-node wireline line network: identity measure, oneshot algorithm.
+   This makes protocol arithmetic exact and fast. *)
+let wireline_setup () =
+  let g = Topology.line ~nodes:5 ~spacing:1. in
+  let m = Graph.link_count g in
+  let r = Routing.make g in
+  let path src dst = Option.get (Routing.path r ~src ~dst) in
+  (g, m, Measure.identity m, path)
+
+let wireline_config ?(lambda = 0.2) ?(epsilon = 0.5) _m measure =
+  Protocol.configure ~epsilon ~algorithm:Oneshot.algorithm ~measure ~lambda
+    ~max_hops:4 ()
+
+(* ------------------------------------------------------------ configure *)
+
+let test_configure_fits_budgets () =
+  let _, m, measure, _ = wireline_setup () in
+  ignore m;
+  let cfg = wireline_config m measure in
+  Alcotest.(check bool) "budgets fit in frame" true
+    (cfg.Protocol.phase1_budget + cfg.Protocol.cleanup_budget + 1
+    <= cfg.Protocol.frame)
+
+let test_configure_concentration_floor () =
+  let _, m, measure, _ = wireline_setup () in
+  ignore m;
+  let cfg =
+    Protocol.configure ~epsilon:0.5 ~chernoff_slack:12.
+      ~algorithm:Oneshot.algorithm ~measure ~lambda:0.2 ~max_hops:4 ()
+  in
+  Alcotest.(check bool) "lambda T >= slack/eps^2" true
+    (0.2 *. float_of_int cfg.Protocol.frame >= 12. /. 0.25 -. 1e-9)
+
+let test_configure_rejects_overload () =
+  let _, m, measure, _ = wireline_setup () in
+  ignore m;
+  (* Oneshot f(m) = 1: rates with (1+eps)·lambda >= 1 cannot fit. *)
+  Alcotest.check_raises "no frame"
+    (Invalid_argument
+       "Protocol.configure: no stable frame length; lambda exceeds the \
+        algorithm's sustainable rate") (fun () ->
+      ignore
+        (Protocol.configure ~epsilon:0.5 ~algorithm:Oneshot.algorithm ~measure
+           ~lambda:0.7 ~max_hops:4 ()))
+
+let test_configure_validates_args () =
+  let _, m, measure, _ = wireline_setup () in
+  ignore m;
+  Alcotest.check_raises "bad epsilon"
+    (Invalid_argument "Protocol.configure: epsilon outside (0, 1]") (fun () ->
+      ignore
+        (Protocol.configure ~epsilon:0. ~algorithm:Oneshot.algorithm ~measure
+           ~lambda:0.1 ~max_hops:4 ()));
+  Alcotest.check_raises "bad lambda"
+    (Invalid_argument "Protocol.configure: lambda <= 0") (fun () ->
+      ignore
+        (Protocol.configure ~algorithm:Oneshot.algorithm ~measure ~lambda:0.
+           ~max_hops:4 ()))
+
+let test_configure_default_cleanup_prob () =
+  let _, m, measure, _ = wireline_setup () in
+  ignore m;
+  let cfg = wireline_config m measure in
+  Alcotest.(check (float 1e-9)) "1/m" (1. /. float_of_int m)
+    cfg.Protocol.cleanup_prob
+
+(* ---------------------------------------------------------------- frames *)
+
+let test_frames_have_fixed_length () =
+  let _, m, measure, path = wireline_setup () in
+  ignore m;
+  let cfg = wireline_config m measure in
+  let channel = Channel.create ~oracle:Oracle.Wireline ~m () in
+  let proto = Protocol.create cfg ~channel in
+  let rng = Rng.create ~seed:20 () in
+  let inject_slot slot = if slot mod 7 = 0 then [ (path 0 4, 0) ] else [] in
+  for k = 1 to 5 do
+    Protocol.run_frame proto rng ~inject_slot;
+    Alcotest.(check int) "clock aligned" (k * cfg.Protocol.frame)
+      (Channel.now channel);
+    Alcotest.(check int) "frame index" k (Protocol.frame_index proto)
+  done
+
+let test_packet_conservation () =
+  let _, m, measure, path = wireline_setup () in
+  ignore m;
+  let cfg = wireline_config m measure in
+  let channel = Channel.create ~oracle:Oracle.Wireline ~m () in
+  let proto = Protocol.create cfg ~channel in
+  let rng = Rng.create ~seed:21 () in
+  let inject_slot slot = if slot mod 3 = 0 then [ (path 0 3, 0) ] else [] in
+  for _ = 1 to 20 do
+    Protocol.run_frame proto rng ~inject_slot
+  done;
+  let r = Protocol.report proto in
+  Alcotest.(check int) "injected = delivered + in flight" r.Protocol.injected
+    (r.Protocol.delivered + Protocol.in_flight proto)
+
+let test_rejects_long_paths () =
+  let g = Topology.line ~nodes:7 ~spacing:1. in
+  let m = Graph.link_count g in
+  let r = Routing.make g in
+  let long_path = Option.get (Routing.path r ~src:0 ~dst:6) in
+  let measure = Measure.identity m in
+  let cfg =
+    Protocol.configure ~algorithm:Oneshot.algorithm ~measure ~lambda:0.2
+      ~max_hops:4 ()
+  in
+  let channel = Channel.create ~oracle:Oracle.Wireline ~m () in
+  let proto = Protocol.create cfg ~channel in
+  let rng = Rng.create () in
+  Alcotest.check_raises "path too long"
+    (Invalid_argument "Protocol: injected path longer than max_hops")
+    (fun () ->
+      Protocol.run_frame proto rng ~inject_slot:(fun slot ->
+          if slot = 0 then [ (long_path, 0) ] else []))
+
+let test_release_frame_delays_participation () =
+  let _, m, measure, path = wireline_setup () in
+  ignore m;
+  let cfg = wireline_config m measure in
+  let channel = Channel.create ~oracle:Oracle.Wireline ~m () in
+  let proto = Protocol.create cfg ~channel in
+  let rng = Rng.create ~seed:22 () in
+  (* One packet with 3 frames of extra delay on a 1-hop path. *)
+  Protocol.run_frame proto rng ~inject_slot:(fun slot ->
+      if slot = 0 then [ (path 0 1, 3) ] else []);
+  (* Frames 2 and 3: it must not be delivered yet. *)
+  Protocol.run_frame proto rng ~inject_slot:(fun _ -> []);
+  Protocol.run_frame proto rng ~inject_slot:(fun _ -> []);
+  Alcotest.(check int) "not delivered during delay" 0
+    (Protocol.report proto).Protocol.delivered;
+  (* Frame 4 is its release frame: now it crosses. *)
+  Protocol.run_frame proto rng ~inject_slot:(fun _ -> []);
+  Protocol.run_frame proto rng ~inject_slot:(fun _ -> []);
+  Alcotest.(check int) "delivered after release" 1
+    (Protocol.report proto).Protocol.delivered
+
+(* ------------------------------------------------------------- stability *)
+
+let stochastic_line_injection ~path ~prob =
+  Stochastic.make [ [ (path 0 4, prob) ]; [ (path 4 0, prob) ] ]
+
+let test_stable_below_threshold () =
+  let _, m, measure, path = wireline_setup () in
+  ignore m;
+  let cfg = wireline_config ~lambda:0.3 m measure in
+  let inj = stochastic_line_injection ~path ~prob:0.15 in
+  let rng = Rng.create ~seed:23 () in
+  let r =
+    Driver.run ~config:cfg ~oracle:Oracle.Wireline
+      ~source:(Driver.Stochastic inj) ~frames:120 ~rng
+  in
+  (* Steady state holds ~lambda*T*(D+1) packets in the pipeline (one hop
+     per frame); anything far beyond that would mean queue buildup. *)
+  Alcotest.(check bool) "queues bounded" true (r.Protocol.max_queue < 600);
+  Alcotest.(check bool) "most packets delivered" true
+    (float_of_int r.Protocol.delivered
+    > 0.9 *. float_of_int r.Protocol.injected);
+  match Stability.assess r.Protocol.in_system with
+  | Stability.Stable -> ()
+  | v -> Alcotest.failf "expected stable, got %s" (Stability.to_string v)
+
+let test_unstable_above_capacity () =
+  (* Dimension the protocol for 0.3 but inject 0.9 per direction: the
+     wireline line can serve at most 1 packet per slot per link, and phase-1
+     budgets overflow every frame. *)
+  let _, m, measure, path = wireline_setup () in
+  ignore m;
+  let cfg = wireline_config ~lambda:0.3 m measure in
+  let inj = stochastic_line_injection ~path ~prob:0.9 in
+  let rng = Rng.create ~seed:24 () in
+  let r =
+    Driver.run ~config:cfg ~oracle:Oracle.Wireline
+      ~source:(Driver.Stochastic inj) ~frames:120 ~rng
+  in
+  match Stability.assess r.Protocol.in_system with
+  | Stability.Unstable -> ()
+  | v -> Alcotest.failf "expected unstable, got %s" (Stability.to_string v)
+
+let test_failed_packets_drain_through_cleanup () =
+  (* Overload briefly (per-frame load just above the phase-1 budget), then
+     stop: the clean-up phases must eventually deliver every failed packet
+     (stability's engine). A raised cleanup probability keeps the test
+     horizon short; the paper's 1/m only changes the drain constant. *)
+  let _, m, measure, path = wireline_setup () in
+  ignore m;
+  let cfg =
+    Protocol.configure ~epsilon:0.5 ~cleanup_prob:0.5
+      ~algorithm:Oneshot.algorithm ~measure ~lambda:0.3 ~max_hops:4 ()
+  in
+  let channel = Channel.create ~oracle:Oracle.Wireline ~m () in
+  let proto = Protocol.create cfg ~channel in
+  let rng = Rng.create ~seed:25 () in
+  let inj = stochastic_line_injection ~path ~prob:0.55 in
+  ignore
+    (Driver.run_protocol ~protocol:proto ~source:(Driver.Stochastic inj)
+       ~frames:10 ~rng);
+  let loaded = Protocol.in_flight proto in
+  Alcotest.(check bool) "overload queued something" true (loaded > 0);
+  Alcotest.(check bool) "overload caused failures" true
+    ((Protocol.report proto).Protocol.failed_events > 0);
+  (* Drain: no new traffic for many frames. *)
+  let r =
+    Driver.run_protocol ~protocol:proto ~source:Driver.Silent ~frames:800 ~rng
+  in
+  Alcotest.(check int) "everything delivered" r.Protocol.injected
+    r.Protocol.delivered;
+  Alcotest.(check int) "system empty" 0 (Protocol.in_flight proto)
+
+let test_latency_linear_in_path_length () =
+  (* Theorem 8: expected latency O(d·T); never-failing packets take one hop
+     per frame, so latency/(d·T) is bounded by a small constant. *)
+  let g = Topology.line ~nodes:9 ~spacing:1. in
+  let m = Graph.link_count g in
+  let r = Routing.make g in
+  let measure = Measure.identity m in
+  let latency_for d =
+    let path = Option.get (Routing.path r ~src:0 ~dst:d) in
+    let cfg =
+      Protocol.configure ~algorithm:Oneshot.algorithm ~measure ~lambda:0.2
+        ~max_hops:8 ()
+    in
+    let inj = Stochastic.make [ [ (path, 0.1) ] ] in
+    let rng = Rng.create ~seed:(100 + d) () in
+    let rep =
+      Driver.run ~config:cfg ~oracle:Oracle.Wireline
+        ~source:(Driver.Stochastic inj) ~frames:60 ~rng
+    in
+    Alcotest.(check bool) "delivered some" true (rep.Protocol.delivered > 0);
+    ( Dps_prelude.Histogram.mean rep.Protocol.latency,
+      float_of_int cfg.Protocol.frame )
+  in
+  let l2, t = latency_for 2 in
+  let l8, _ = latency_for 8 in
+  (* d + 1 frames is the never-failed trajectory (wait + d hops). *)
+  Alcotest.(check bool) "d=2 near 3 frames" true (l2 <= 3.5 *. t);
+  Alcotest.(check bool) "d=8 near 9 frames" true (l8 <= 9.5 *. t);
+  Alcotest.(check bool) "longer paths take longer" true (l8 > l2)
+
+(* ----------------------------------------------------------- adversarial *)
+
+let test_delta_max_formula () =
+  (* window of 10 slots with 5-slot frames = 2 frames: ceil(2*(4+2)/0.5). *)
+  Alcotest.(check int) "ceil(2(D+w/T)/eps)" 24
+    (Adversarial.delta_max ~epsilon:0.5 ~max_hops:4 ~window:10 ~frame:5);
+  Alcotest.(check int) "small case" 4
+    (Adversarial.delta_max ~epsilon:1. ~max_hops:1 ~window:1 ~frame:1)
+
+let test_adversarial_wrapper_delays_in_range () =
+  let _, m, measure, path = wireline_setup () in
+  ignore m;
+  let adv =
+    Adversary.burst ~measure ~w:10 ~rate:0.3 ~paths:[ path 0 4 ]
+  in
+  let rng = Rng.create ~seed:26 () in
+  let dmax = 7 in
+  for slot = 0 to 100 do
+    List.iter
+      (fun (_, delay) ->
+        Alcotest.(check bool) "delay in [0,dmax)" true
+          (delay >= 0 && delay < dmax))
+      (Adversarial.inject_slot adv rng ~delta_max:dmax slot)
+  done
+
+let test_adversarial_burst_stable () =
+  let _, m, measure, path = wireline_setup () in
+  ignore m;
+  let cfg = wireline_config ~lambda:0.3 m measure in
+  let adv =
+    Adversary.burst ~measure ~w:(2 * cfg.Protocol.frame) ~rate:0.15
+      ~paths:[ path 0 4; path 4 0 ]
+  in
+  let rng = Rng.create ~seed:27 () in
+  let r =
+    Driver.run ~config:cfg ~oracle:Oracle.Wireline ~source:(Driver.Adversarial adv)
+      ~frames:150 ~rng
+  in
+  Alcotest.(check bool) "delivers most traffic" true
+    (float_of_int r.Protocol.delivered
+    > 0.7 *. float_of_int r.Protocol.injected);
+  match Stability.assess r.Protocol.in_system with
+  | Stability.Stable -> ()
+  | v -> Alcotest.failf "expected stable, got %s" (Stability.to_string v)
+
+let test_adversarial_sawtooth_stable () =
+  let _, m, measure, path = wireline_setup () in
+  ignore m;
+  let cfg = wireline_config ~lambda:0.3 m measure in
+  let adv =
+    Adversary.sawtooth ~measure ~w:cfg.Protocol.frame ~rate:0.2
+      ~paths:[ path 0 4 ]
+  in
+  let rng = Rng.create ~seed:28 () in
+  let r =
+    Driver.run ~config:cfg ~oracle:Oracle.Wireline ~source:(Driver.Adversarial adv)
+      ~frames:150 ~rng
+  in
+  match Stability.assess r.Protocol.in_system with
+  | Stability.Unstable -> Alcotest.fail "sawtooth should not destabilize"
+  | _ -> ()
+
+(* -------------------------------------------------------------- verdicts *)
+
+let series_of_list xs =
+  let t = Timeseries.create () in
+  List.iter (Timeseries.add t) xs;
+  t
+
+let test_assess_flat_is_stable () =
+  let s = series_of_list (List.init 100 (fun _ -> 50.)) in
+  Alcotest.(check string) "flat" "stable" (Stability.to_string (Stability.assess s))
+
+let test_assess_linear_is_unstable () =
+  let s = series_of_list (List.init 100 float_of_int) in
+  Alcotest.(check string) "linear" "unstable"
+    (Stability.to_string (Stability.assess s))
+
+let test_assess_tiny_is_stable () =
+  let s = series_of_list (List.init 100 (fun i -> float_of_int (i mod 4))) in
+  Alcotest.(check string) "small queues" "stable"
+    (Stability.to_string (Stability.assess s))
+
+let test_assess_short_is_marginal () =
+  let s = series_of_list [ 1.; 2. ] in
+  Alcotest.(check string) "too short" "marginal"
+    (Stability.to_string (Stability.assess s))
+
+let test_assess_equilibrating_is_stable () =
+  (* Rises then flattens: the tail is flat. *)
+  let s =
+    series_of_list
+      (List.init 200 (fun i -> Float.min 80. (float_of_int i)))
+  in
+  Alcotest.(check string) "equilibrated" "stable"
+    (Stability.to_string (Stability.assess s))
+
+(* ------------------------------------------------------------ Theorem 20 *)
+
+let test_lower_bound_global_stable () =
+  let m = 16 in
+  let rng = Rng.create ~seed:29 () in
+  let r =
+    Lower_bound.run ~m ~clock:Lower_bound.Global ~lambda:0.3 ~slots:20_000 rng
+  in
+  Alcotest.(check bool) "long queue bounded" true (r.Lower_bound.long_queue_final < 50);
+  Alcotest.(check string) "stable" "stable"
+    (Stability.to_string r.Lower_bound.verdict)
+
+let test_lower_bound_local_unstable () =
+  let m = 16 in
+  let rng = Rng.create ~seed:30 () in
+  let lambda = 1.5 *. Lower_bound.critical_rate ~m in
+  let r =
+    Lower_bound.run ~m ~clock:Lower_bound.Local ~lambda ~slots:20_000 rng
+  in
+  Alcotest.(check bool) "long queue grows" true
+    (r.Lower_bound.long_queue_final > 500);
+  Alcotest.(check string) "unstable" "unstable"
+    (Stability.to_string r.Lower_bound.verdict)
+
+let test_lower_bound_conservation () =
+  let m = 8 in
+  let rng = Rng.create ~seed:31 () in
+  let r = Lower_bound.run ~m ~clock:Lower_bound.Global ~lambda:0.2 ~slots:5_000 rng in
+  Alcotest.(check bool) "delivered <= injected" true
+    (r.Lower_bound.delivered <= r.Lower_bound.injected)
+
+let test_critical_rate () =
+  Alcotest.(check (float 1e-9)) "ln m / m" (log 32. /. 32.)
+    (Lower_bound.critical_rate ~m:32)
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  let slow name f = Alcotest.test_case name `Slow f in
+  Alcotest.run "protocol"
+    [ ( "configure",
+        [ quick "budgets fit" test_configure_fits_budgets;
+          quick "concentration floor" test_configure_concentration_floor;
+          quick "rejects overload" test_configure_rejects_overload;
+          quick "validates arguments" test_configure_validates_args;
+          quick "default cleanup prob" test_configure_default_cleanup_prob ] );
+      ( "frames",
+        [ quick "fixed length" test_frames_have_fixed_length;
+          quick "conservation" test_packet_conservation;
+          quick "rejects long paths" test_rejects_long_paths;
+          quick "release delay honored" test_release_frame_delays_participation ] );
+      ( "stability",
+        [ slow "stable below threshold" test_stable_below_threshold;
+          slow "unstable above capacity" test_unstable_above_capacity;
+          slow "failed packets drain" test_failed_packets_drain_through_cleanup;
+          slow "latency linear in d" test_latency_linear_in_path_length ] );
+      ( "adversarial",
+        [ quick "delta max formula" test_delta_max_formula;
+          quick "delays in range" test_adversarial_wrapper_delays_in_range;
+          slow "burst stable" test_adversarial_burst_stable;
+          slow "sawtooth stable" test_adversarial_sawtooth_stable ] );
+      ( "verdicts",
+        [ quick "flat stable" test_assess_flat_is_stable;
+          quick "linear unstable" test_assess_linear_is_unstable;
+          quick "tiny stable" test_assess_tiny_is_stable;
+          quick "short marginal" test_assess_short_is_marginal;
+          quick "equilibrating stable" test_assess_equilibrating_is_stable ] );
+      ( "theorem-20",
+        [ slow "global clock stable" test_lower_bound_global_stable;
+          slow "local clock unstable" test_lower_bound_local_unstable;
+          quick "conservation" test_lower_bound_conservation;
+          quick "critical rate" test_critical_rate ] ) ]

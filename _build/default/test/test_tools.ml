@@ -1,0 +1,253 @@
+(* Tests for the tooling layer: empirical threshold sweeps, report
+   rendering, explicit frame configuration, and the extra adversary
+   strategies. *)
+
+module Rng = Dps_prelude.Rng
+module Timeseries = Dps_prelude.Timeseries
+module Histogram = Dps_prelude.Histogram
+module Graph = Dps_network.Graph
+module Routing = Dps_network.Routing
+module Topology = Dps_network.Topology
+module Measure = Dps_interference.Measure
+module Oracle = Dps_sim.Oracle
+module Oneshot = Dps_static.Oneshot
+module Stochastic = Dps_injection.Stochastic
+module Adversary = Dps_injection.Adversary
+module Protocol = Dps_core.Protocol
+module Driver = Dps_core.Driver
+module Sweep = Dps_core.Sweep
+module Report_pp = Dps_core.Report_pp
+
+(* ---------------------------------------------------------------- sweep *)
+
+let test_sweep_bisects_known_threshold () =
+  (* Synthetic predicate: stable iff rate <= 0.37. *)
+  let outcome =
+    Sweep.critical_rate ~probe:(fun r -> r <= 0.37) ~lo:0.01 ~hi:1.
+      ~tolerance:0.005
+  in
+  Alcotest.(check bool) "found threshold" true
+    (Float.abs (outcome.Sweep.critical -. 0.37) <= 0.005);
+  Alcotest.(check bool) "logged probes" true
+    (outcome.Sweep.stable_at <> [] && outcome.Sweep.unstable_at <> [])
+
+let test_sweep_all_stable_returns_hi () =
+  let outcome =
+    Sweep.critical_rate ~probe:(fun _ -> true) ~lo:0.1 ~hi:0.9 ~tolerance:0.01
+  in
+  Alcotest.(check (float 1e-9)) "hi" 0.9 outcome.Sweep.critical;
+  Alcotest.(check (list (float 1e-9))) "no unstable probes" []
+    outcome.Sweep.unstable_at
+
+let test_sweep_rejects_unstable_lo () =
+  Alcotest.check_raises "lo unstable"
+    (Invalid_argument "Sweep.critical_rate: lower bound is already unstable")
+    (fun () ->
+      ignore
+        (Sweep.critical_rate ~probe:(fun _ -> false) ~lo:0.1 ~hi:0.9
+           ~tolerance:0.01))
+
+let test_sweep_rejects_bad_bounds () =
+  Alcotest.check_raises "lo >= hi"
+    (Invalid_argument "Sweep.critical_rate: lo >= hi") (fun () ->
+      ignore
+        (Sweep.critical_rate ~probe:(fun _ -> true) ~lo:0.9 ~hi:0.1
+           ~tolerance:0.01))
+
+let test_sweep_on_real_protocol () =
+  (* Wireline line with the oneshot algorithm: per-link service is 1
+     packet/slot, so the empirical threshold for this flow must land
+     between 0.3 and 1.1. *)
+  let g = Topology.line ~nodes:4 ~spacing:1. in
+  let m = Graph.link_count g in
+  let routing = Routing.make g in
+  let path = Option.get (Routing.path routing ~src:0 ~dst:3) in
+  let measure = Measure.identity m in
+  let probe rate =
+    match
+      Protocol.configure ~epsilon:0.3 ~algorithm:Oneshot.algorithm ~measure
+        ~lambda:rate ~max_hops:4 ()
+    with
+    | exception Invalid_argument _ -> false
+    | config ->
+      let rng = Rng.create ~seed:70 () in
+      let inj =
+        Stochastic.calibrate
+          (Stochastic.make [ [ (path, 0.2) ] ])
+          measure ~target:rate
+      in
+      let r =
+        Driver.run ~config ~oracle:Oracle.Wireline
+          ~source:(Driver.Stochastic inj) ~frames:60 ~rng
+      in
+      Dps_core.Stability.assess r.Protocol.in_system = Dps_core.Stability.Stable
+  in
+  let outcome =
+    Sweep.critical_rate ~probe ~lo:0.05 ~hi:1.5 ~tolerance:0.05
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "threshold in a sane band (got %.2f)" outcome.Sweep.critical)
+    true
+    (outcome.Sweep.critical >= 0.3 && outcome.Sweep.critical <= 1.1)
+
+(* ------------------------------------------------------------ report_pp *)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec scan i =
+    if i + nn > nh then false
+    else if String.sub haystack i nn = needle then true
+    else scan (i + 1)
+  in
+  scan 0
+
+let sample_report ?(inject = true) () =
+  let g = Topology.line ~nodes:4 ~spacing:1. in
+  let m = Graph.link_count g in
+  let routing = Routing.make g in
+  let path = Option.get (Routing.path routing ~src:0 ~dst:3) in
+  let measure = Measure.identity m in
+  let config =
+    Protocol.configure ~algorithm:Oneshot.algorithm ~measure ~lambda:0.2
+      ~max_hops:4 ()
+  in
+  let rng = Rng.create ~seed:71 () in
+  let source =
+    if inject then Driver.Stochastic (Stochastic.make [ [ (path, 0.1) ] ])
+    else Driver.Silent
+  in
+  (config, Driver.run ~config ~oracle:Oracle.Wireline ~source ~frames:30 ~rng)
+
+let test_report_pp_renders () =
+  let config, r = sample_report () in
+  let text = Format.asprintf "%a" (Report_pp.pp ~frame:config.Protocol.frame) r in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("mentions " ^ needle) true
+        (contains text needle))
+    [ "injected"; "delivered"; "latency"; "verdict" ]
+
+let test_report_pp_silent_run () =
+  let _, r = sample_report ~inject:false () in
+  let text = Format.asprintf "%a" (fun ppf -> Report_pp.pp ppf) r in
+  Alcotest.(check bool) "no latency section without deliveries" true
+    (not (contains text "latency"));
+  Alcotest.(check (float 1e-9)) "delivery ratio of empty run" 1.
+    (Report_pp.delivery_ratio r)
+
+let test_report_helpers () =
+  let config, r = sample_report () in
+  let ratio = Report_pp.delivery_ratio r in
+  Alcotest.(check bool) "ratio in (0,1]" true (ratio > 0. && ratio <= 1.);
+  let tput = Report_pp.throughput r ~frame:config.Protocol.frame in
+  Alcotest.(check bool) "throughput positive" true (tput > 0.);
+  Alcotest.(check bool) "summary line mentions verdict" true
+    (contains (Report_pp.summary_line r) "verdict=")
+
+(* --------------------------------------------------- configure_with_frame *)
+
+let test_configure_with_frame_accepts_larger () =
+  let measure = Measure.identity 6 in
+  let base =
+    Protocol.configure ~algorithm:Oneshot.algorithm ~measure ~lambda:0.2
+      ~max_hops:4 ()
+  in
+  let cfg =
+    Protocol.configure_with_frame ~algorithm:Oneshot.algorithm ~measure
+      ~lambda:0.2 ~max_hops:4 ~frame:(2 * base.Protocol.frame) ()
+  in
+  Alcotest.(check int) "frame honored" (2 * base.Protocol.frame)
+    cfg.Protocol.frame;
+  Alcotest.(check bool) "budgets fit" true
+    (cfg.Protocol.phase1_budget + cfg.Protocol.cleanup_budget + 1
+    <= cfg.Protocol.frame)
+
+let test_configure_with_frame_rejects_tiny () =
+  let measure = Measure.identity 6 in
+  Alcotest.check_raises "frame too short"
+    (Invalid_argument "Protocol.configure_with_frame: frame too short for budgets")
+    (fun () ->
+      ignore
+        (Protocol.configure_with_frame ~algorithm:Oneshot.algorithm ~measure
+           ~lambda:0.2 ~max_hops:4 ~frame:2 ()))
+
+(* ----------------------------------------------------- extra adversaries *)
+
+let line_paths () =
+  let g = Topology.line ~nodes:5 ~spacing:1. in
+  let m = Graph.link_count g in
+  let routing = Routing.make g in
+  let path src dst = Option.get (Routing.path routing ~src ~dst) in
+  (Measure.identity m, [ path 0 4; path 4 0; path 1 3 ])
+
+let test_single_target_focuses () =
+  let measure, paths = line_paths () in
+  let adv = Adversary.single_target ~measure ~w:10 ~rate:0.5 ~paths in
+  let batch = Adversary.injections adv ~slot:0 in
+  Alcotest.(check bool) "non-empty" true (batch <> []);
+  (* Every injected packet follows the first path. *)
+  let first = List.hd paths in
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "same path" true
+        (Dps_network.Path.hops p = Dps_network.Path.hops first))
+    batch;
+  Alcotest.(check bool) "bounded" true
+    (Adversary.verify adv measure ~horizon:100 <= 0.5 +. 1e-9)
+
+let test_rotating_cycles () =
+  let measure, paths = line_paths () in
+  let w = 10 in
+  let adv = Adversary.rotating ~measure ~w ~rate:0.4 ~paths in
+  let target window =
+    match Adversary.injections adv ~slot:(window * w) with
+    | [] -> None
+    | p :: _ -> Some (Dps_network.Path.hops p)
+  in
+  (* Window k targets path (k mod 3); window 0 and 3 match. *)
+  Alcotest.(check bool) "cycles with period 3" true (target 0 = target 3);
+  Alcotest.(check bool) "windows differ" true (target 0 <> target 1);
+  Alcotest.(check bool) "bounded" true
+    (Adversary.verify adv measure ~horizon:(8 * w) <= 0.4 +. 1e-9)
+
+let test_rotating_empty_paths () =
+  let measure, _ = line_paths () in
+  let adv = Adversary.rotating ~measure ~w:5 ~rate:0.4 ~paths:[] in
+  for slot = 0 to 20 do
+    Alcotest.(check bool) "silent" true (Adversary.injections adv ~slot = [])
+  done
+
+let prop_new_adversaries_bounded =
+  QCheck.Test.make ~count:50 ~name:"single-target and rotating are bounded"
+    QCheck.(triple bool (int_range 2 20) (float_range 0.1 1.5))
+    (fun (which, w, rate) ->
+      let measure, paths = line_paths () in
+      let adv =
+        if which then Adversary.single_target ~measure ~w ~rate ~paths
+        else Adversary.rotating ~measure ~w ~rate ~paths
+      in
+      Adversary.verify adv measure ~horizon:(6 * w) <= rate +. 1e-9)
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  let slow name f = Alcotest.test_case name `Slow f in
+  Alcotest.run "tools"
+    [ ( "sweep",
+        [ quick "bisects known threshold" test_sweep_bisects_known_threshold;
+          quick "all stable returns hi" test_sweep_all_stable_returns_hi;
+          quick "rejects unstable lo" test_sweep_rejects_unstable_lo;
+          quick "rejects bad bounds" test_sweep_rejects_bad_bounds;
+          slow "real protocol threshold" test_sweep_on_real_protocol ] );
+      ( "report",
+        [ quick "renders run" test_report_pp_renders;
+          quick "silent run" test_report_pp_silent_run;
+          quick "helpers" test_report_helpers ] );
+      ( "configure-with-frame",
+        [ quick "accepts larger frame" test_configure_with_frame_accepts_larger;
+          quick "rejects tiny frame" test_configure_with_frame_rejects_tiny ] );
+      ( "adversaries",
+        [ quick "single target focuses" test_single_target_focuses;
+          quick "rotating cycles" test_rotating_cycles;
+          quick "rotating with no paths" test_rotating_empty_paths ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_new_adversaries_bounded ] ) ]

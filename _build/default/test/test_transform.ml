@@ -1,0 +1,139 @@
+(* Tests for Algorithm 1 (Section 3): the static-to-dense transformation. *)
+
+module Rng = Dps_prelude.Rng
+module Graph = Dps_network.Graph
+module Topology = Dps_network.Topology
+module Measure = Dps_interference.Measure
+module Params = Dps_sinr.Params
+module Power = Dps_sinr.Power
+module Physics = Dps_sinr.Physics
+module Sinr_measure = Dps_sinr.Sinr_measure
+module Oracle = Dps_sim.Oracle
+module Channel = Dps_sim.Channel
+module Request = Dps_static.Request
+module Algorithm = Dps_static.Algorithm
+module Contention = Dps_static.Contention
+module Transform = Dps_core.Transform
+
+let sinr_setup seed =
+  let rng = Rng.create ~seed () in
+  let g = Topology.random_geometric rng ~nodes:20 ~side:50. ~radius:10. in
+  let phys = Physics.make (Params.make ()) (Power.linear 1.) g in
+  let measure = Sinr_measure.linear_power phys in
+  (g, phys, measure)
+
+let test_chi_grows_with_m () =
+  let chi m = Transform.chi ~chi_factor:2. ~chi_offset:1. ~m in
+  Alcotest.(check bool) "increasing" true (chi 16 < chi 256);
+  Alcotest.(check bool) "log-ish" true (chi 256 /. chi 16 < 3.)
+
+let test_transform_serves_all () =
+  let g, phys, measure = sinr_setup 60 in
+  let m = Graph.link_count g in
+  let rng = Rng.create ~seed:61 () in
+  let channel = Channel.create ~oracle:(Oracle.Sinr phys) ~m () in
+  let requests = Array.init (6 * m) (fun k -> Request.make ~link:(k mod m) ~key:k) in
+  let algo = Transform.apply (Contention.make ~c:4. ()) in
+  let outcome = Algorithm.execute algo ~channel ~rng ~measure ~requests in
+  Alcotest.(check bool) "all served" true (Algorithm.all_served outcome)
+
+let test_transform_wireline_dense () =
+  (* Very dense single-link instance on the wireline model. *)
+  let m = 4 in
+  let rng = Rng.create ~seed:62 () in
+  let channel = Channel.create ~oracle:Oracle.Wireline ~m () in
+  let requests = Array.init 400 (fun k -> Request.make ~link:(k mod m) ~key:k) in
+  let algo = Transform.apply (Contention.make ~c:2. ()) in
+  let outcome =
+    Algorithm.execute algo ~channel ~rng ~measure:(Measure.identity m) ~requests
+  in
+  Alcotest.(check bool) "all served" true (Algorithm.all_served outcome)
+
+let test_transform_improves_scaling () =
+  (* Theorem 1's point: the naive O(I·log n) algorithm scales super-linearly
+     when packets are replicated; the transformed one stays linear in I.
+     Compare slots at 2x and 16x replication: the transformed ratio must be
+     close to 8, the naive ratio strictly larger. *)
+  let g, phys, measure = sinr_setup 63 in
+  let m = Graph.link_count g in
+  let slots algo mult seed =
+    let rng = Rng.create ~seed () in
+    let channel = Channel.create ~oracle:(Oracle.Sinr phys) ~m () in
+    let requests =
+      Array.init (mult * m) (fun k -> Request.make ~link:(k mod m) ~key:k)
+    in
+    let outcome = Algorithm.execute algo ~channel ~rng ~measure ~requests in
+    Alcotest.(check bool) "served" true (Algorithm.all_served outcome);
+    float_of_int outcome.Algorithm.slots_used
+  in
+  let naive = Contention.make ~c:4. () in
+  let transformed = Transform.apply naive in
+  let ratio algo = slots algo 16 1 /. slots algo 2 2 in
+  let r_naive = ratio naive and r_trans = ratio transformed in
+  (* The transformed algorithm must scale no worse than the naive one. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "transform scales better (naive %.1f vs transformed %.1f)"
+       r_naive r_trans)
+    true
+    (r_trans <= r_naive +. 1.)
+
+let test_transform_duration_linear_in_i () =
+  let algo = Transform.apply (Contention.make ~c:4. ()) in
+  let d i n = algo.Algorithm.duration ~m:32 ~i ~n in
+  let d1 = d 100. 3200 and d2 = d 200. 6400 in
+  (* Doubling I (and n) should roughly double the duration, not grow by
+     the extra log factor: ratio under 2.6. *)
+  Alcotest.(check bool) "near-linear duration" true
+    (float_of_int d2 /. float_of_int d1 < 2.6)
+
+let test_transform_respects_budget () =
+  let m = 4 in
+  let rng = Rng.create ~seed:64 () in
+  let channel = Channel.create ~oracle:Oracle.Wireline ~m () in
+  let requests = Array.init 100 (fun k -> Request.make ~link:(k mod m) ~key:k) in
+  let algo = Transform.apply (Contention.make ()) in
+  let outcome =
+    algo.Algorithm.run ~channel ~rng ~measure:(Measure.identity m) ~requests
+      ~budget:37
+  in
+  Alcotest.(check bool) "within budget" true (outcome.Algorithm.slots_used <= 37);
+  Alcotest.(check int) "channel agrees" outcome.Algorithm.slots_used
+    (Channel.now channel)
+
+let test_transform_empty_requests () =
+  let m = 2 in
+  let rng = Rng.create () in
+  let channel = Channel.create ~oracle:Oracle.Wireline ~m () in
+  let algo = Transform.apply (Contention.make ()) in
+  let outcome =
+    algo.Algorithm.run ~channel ~rng ~measure:(Measure.identity m)
+      ~requests:[||] ~budget:100
+  in
+  Alcotest.(check int) "serves nothing, consumes little" 0
+    (Algorithm.served_count outcome)
+
+let prop_transform_never_loses_packets =
+  QCheck.Test.make ~count:25 ~name:"transform outcome length matches requests"
+    QCheck.(pair (int_range 0 500) (int_range 1 60))
+    (fun (seed, n) ->
+      let m = 5 in
+      let rng = Rng.create ~seed () in
+      let channel = Channel.create ~oracle:Oracle.Wireline ~m () in
+      let requests = Array.init n (fun k -> Request.make ~link:(k mod m) ~key:k) in
+      let algo = Transform.apply (Contention.make ()) in
+      let outcome = Algorithm.execute algo ~channel ~rng ~measure:(Measure.identity m) ~requests in
+      Array.length outcome.Algorithm.served = n)
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "transform"
+    [ ( "algorithm-1",
+        [ quick "chi grows with m" test_chi_grows_with_m;
+          quick "serves all under SINR" test_transform_serves_all;
+          quick "dense wireline instance" test_transform_wireline_dense;
+          Alcotest.test_case "improves scaling" `Slow test_transform_improves_scaling;
+          quick "duration linear in I" test_transform_duration_linear_in_i;
+          quick "respects budget" test_transform_respects_budget;
+          quick "empty requests" test_transform_empty_requests ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_transform_never_loses_packets ] ) ]
