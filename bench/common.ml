@@ -1,5 +1,27 @@
 (* Shared setup code for the experiments. *)
 
+(* Smoke mode (DPS_BENCH_SMOKE=1): every experiment shrinks to toy sizes —
+   m <= 16 links, <= 50 frames — so `dune build @bench-smoke` (wired into
+   `dune runtest`) exercises all benchmark code in seconds. The numbers it
+   prints are meaningless; only the code paths matter. *)
+let smoke =
+  match Sys.getenv_opt "DPS_BENCH_SMOKE" with
+  | Some ("1" | "true" | "yes") -> true
+  | _ -> false
+
+(* [links n] / [frames n] / [reps n] — full-size parameter, clamped in
+   smoke mode. *)
+let links n = if smoke then Int.min n 12 else n
+let frames n = if smoke then Int.min n 6 else n
+let reps n = if smoke then Int.min n 2 else n
+let slots n = if smoke then Int.min n 100 else n
+
+(* Grid side length: 2x2 (8 directed links) in smoke mode. *)
+let grid_dim n = if smoke then Int.min n 2 else n
+
+(* Keep the head (smallest case) of a parameter sweep in smoke mode. *)
+let sweep l = if smoke then [ List.hd l ] else l
+
 module Rng = Dps_prelude.Rng
 module Graph = Dps_network.Graph
 module Routing = Dps_network.Routing

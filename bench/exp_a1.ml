@@ -27,13 +27,13 @@ let drain_frames ~cleanup_prob ~seed =
     Stochastic.make [ [ (path 0 4, 0.55) ]; [ (path 4 0, 0.55) ] ]
   in
   ignore
-    (Driver.run_protocol ~protocol ~source:(Driver.Stochastic inj) ~frames:10
+    (Driver.run_protocol ~protocol ~source:(Driver.Stochastic inj) ~frames:(frames 10)
        ~rng);
   let backlog = Protocol.in_flight protocol in
   let failed = (Protocol.report protocol).Protocol.failed_events in
   (* Drain silently; count frames until empty. *)
   let frames = ref 0 in
-  while Protocol.in_flight protocol > 0 && !frames < 20_000 do
+  while Protocol.in_flight protocol > 0 && !frames < (if smoke then 200 else 20_000) do
     Protocol.run_frame protocol rng ~inject_slot:(fun _ -> []);
     incr frames
   done;

@@ -40,7 +40,7 @@ let run () =
         let rng = Rng.create ~seed:1401 () in
         let rep =
           Driver.run ~config:cfg ~oracle:Oracle.Wireline
-            ~source:(Driver.Stochastic inj) ~frames:200 ~rng
+            ~source:(Driver.Stochastic inj) ~frames:(frames 200) ~rng
         in
         [ Tbl.F2 mult;
           Tbl.I frame;
@@ -48,7 +48,7 @@ let run () =
           Tbl.I rep.Protocol.failed_events;
           Tbl.I rep.Protocol.max_queue;
           Tbl.S (verdict rep) ])
-      [ 1.0; 2.0; 3.0; 4.0; 6.0 ]
+      (sweep [ 1.0; 2.0; 3.0; 4.0; 6.0 ])
   in
   Tbl.print
     ~title:

@@ -36,7 +36,7 @@ let run () =
         in
         let rep =
           Driver.run ~config:cfg ~oracle ~source:(Driver.Stochastic inj)
-            ~frames:300 ~rng
+            ~frames:(frames 300) ~rng
         in
         let latency =
           if Histogram.count rep.Protocol.latency = 0 then 0.
@@ -49,7 +49,7 @@ let run () =
           Tbl.I rep.Protocol.max_queue;
           Tbl.F2 latency;
           Tbl.S (verdict rep) ])
-      [ 0.0; 0.2; 0.4; 0.5; 0.65 ]
+      (sweep [ 0.0; 0.2; 0.4; 0.5; 0.65 ])
   in
   Tbl.print
     ~title:

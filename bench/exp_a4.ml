@@ -36,7 +36,7 @@ let wireline_probe () =
       in
       let r =
         Driver.run ~config ~oracle:Oracle.Wireline
-          ~source:(Driver.Stochastic inj) ~frames:80 ~rng
+          ~source:(Driver.Stochastic inj) ~frames:(if smoke then 40 else 80) ~rng
       in
       Dps_core.Stability.assess r.Protocol.in_system = Dps_core.Stability.Stable
     end
@@ -65,7 +65,7 @@ let mac_probe name algorithm epsilon =
       in
       let r =
         Driver.run ~config ~oracle:Oracle.Mac ~source:(Driver.Stochastic inj)
-          ~frames:60 ~rng
+          ~frames:(if smoke then 40 else 60) ~rng
       in
       Dps_core.Stability.assess r.Protocol.in_system = Dps_core.Stability.Stable
     end
@@ -83,7 +83,7 @@ let run () =
       (fun (name, configured, probe) ->
         let outcome =
           Sweep.critical_rate ~probe ~lo:(0.25 *. configured) ~hi:2.
-            ~tolerance:0.02
+            ~tolerance:(if smoke then 0.2 else 0.02)
         in
         let actual = outcome.Sweep.critical in
         [ Tbl.S name;

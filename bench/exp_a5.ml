@@ -31,7 +31,7 @@ let protocol_threshold ~config ~oracle ~make_injection ~frames ~seed =
       in
       Stability.assess r.Protocol.in_system = Stability.Stable
   in
-  (Sweep.critical_rate ~probe ~lo:0.01 ~hi:2. ~tolerance:0.02).Sweep.critical
+  (Sweep.critical_rate ~probe ~lo:0.01 ~hi:2. ~tolerance:(if Common.smoke then 0.2 else 0.02)).Sweep.critical
 
 (* Bisect the injection rate for the max-weight baseline. *)
 let max_weight_threshold ~oracle ~m ~make_injection ~slots ~seed =
@@ -44,11 +44,11 @@ let max_weight_threshold ~oracle ~m ~make_injection ~slots ~seed =
       let report =
         Max_weight.run ~oracle ~m
           ~inject_slot:(fun slot -> Stochastic.draw inj draw_rng ~slot)
-          ~slots rng
+          ~slots:(if Common.smoke then Int.min slots 2000 else slots) rng
       in
       Max_weight.verdict report = Stability.Stable
   in
-  (Sweep.critical_rate ~probe ~lo:0.01 ~hi:2. ~tolerance:0.02).Sweep.critical
+  (Sweep.critical_rate ~probe ~lo:0.01 ~hi:2. ~tolerance:(if Common.smoke then 0.2 else 0.02)).Sweep.critical
 
 let wireline_case () =
   let g = Topology.line ~nodes:5 ~spacing:1. in
@@ -113,7 +113,7 @@ let mac_case () =
   ("mac symmetric (decay)", proto, mw)
 
 let sinr_case () =
-  let g = Topology.grid ~rows:3 ~cols:3 ~spacing:10. in
+  let g = Topology.grid ~rows:(grid_dim 3) ~cols:(grid_dim 3) ~spacing:10. in
   let m = Graph.link_count g in
   let phys = linear_physics g in
   let measure = Sinr_measure.linear_power phys in
@@ -121,7 +121,8 @@ let sinr_case () =
   let paths =
     List.filter_map
       (fun (s, d) -> Routing.path routing ~src:s ~dst:d)
-      [ (0, 8); (8, 0); (2, 6); (6, 2); (1, 7); (5, 3) ]
+      (if smoke then [ (0, 3); (3, 0); (1, 2); (2, 1) ]
+       else [ (0, 8); (8, 0); (2, 6); (6, 2); (1, 7); (5, 3) ])
   in
   let base = Stochastic.make (List.map (fun p -> [ (p, 0.005) ]) paths) in
   let make_injection rate =

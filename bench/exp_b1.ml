@@ -10,7 +10,7 @@ open Toolkit
 
 let make_tests () =
   let rng = Rng.create ~seed:1100 () in
-  let g = geometric_network rng ~target_links:64 in
+  let g = geometric_network rng ~target_links:(links 64) in
   let m = Graph.link_count g in
   let phys = linear_physics g in
   let measure = Sinr_measure.linear_power phys in
@@ -55,7 +55,7 @@ let run () =
   Printf.printf "\n=== B1: micro-benchmarks (Bechamel OLS estimates) ===\n";
   let tests = make_tests () in
   let cfg =
-    Benchmark.cfg ~limit:3000 ~quota:(Time.second 1.5) ~kde:None ()
+    Benchmark.cfg ~limit:3000 ~quota:(Time.second (if smoke then 0.05 else 1.5)) ~kde:None ()
   in
   let instances = Instance.[ monotonic_clock ] in
   let analysis =

@@ -24,7 +24,7 @@ let run () =
                   Rng.create ~seed:(1000 + m + int_of_float (factor *. 10.)) ()
                 in
                 let r =
-                  Lower_bound.run ~phys ~m ~clock ~lambda ~slots:40_000 rng
+                  Lower_bound.run ~phys ~m ~clock ~lambda ~slots:(slots 40_000) rng
                 in
                 [ Tbl.I m;
                   Tbl.S name;
@@ -33,9 +33,9 @@ let run () =
                   Tbl.I r.Lower_bound.delivered;
                   Tbl.I r.Lower_bound.long_queue_final;
                   Tbl.S (Dps_core.Stability.to_string r.Lower_bound.verdict) ])
-              [ 0.5; 1.0; 1.5; 3.0 ])
+              (sweep [ 0.5; 1.0; 1.5; 3.0 ]))
           [ (Lower_bound.Global, "global"); (Lower_bound.Local, "local") ])
-      [ 16; 64 ]
+      (sweep [ 16; 64 ])
   in
   Tbl.print
     ~title:

@@ -10,7 +10,7 @@ open Common
 
 let run () =
   let rng = Rng.create ~seed:101 () in
-  let g = geometric_network rng ~target_links:48 in
+  let g = geometric_network rng ~target_links:(links 48) in
   let m = Graph.link_count g in
   let phys = linear_physics g in
   let measure = Sinr_measure.linear_power phys in
@@ -37,7 +37,7 @@ let run () =
           Tbl.I s_t;
           Tbl.F2 (float_of_int s_t /. i_n);
           Tbl.S (Printf.sprintf "%d/%d" served_n served_t) ])
-      [ 1; 2; 4; 8; 16; 32; 64 ]
+      (sweep [ 1; 2; 4; 8; 16; 32; 64 ])
   in
   Tbl.print
     ~title:

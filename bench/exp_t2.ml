@@ -8,7 +8,7 @@
 open Common
 
 let run () =
-  let g = Topology.grid ~rows:3 ~cols:3 ~spacing:10. in
+  let g = Topology.grid ~rows:(grid_dim 3) ~cols:(grid_dim 3) ~spacing:10. in
   let phys = linear_physics g in
   let measure = Sinr_measure.linear_power phys in
   let design = 0.05 in
@@ -25,7 +25,7 @@ let run () =
         in
         let r =
           Driver.run ~config ~oracle:(Oracle.Sinr phys)
-            ~source:(Driver.Stochastic inj) ~frames:150 ~rng
+            ~source:(Driver.Stochastic inj) ~frames:(frames 150) ~rng
         in
         [ Tbl.F2 factor;
           Tbl.I r.Protocol.injected;
@@ -34,7 +34,7 @@ let run () =
           Tbl.I r.Protocol.max_queue;
           Tbl.F2 (Stability.growth_per_frame r.Protocol.in_system);
           Tbl.S (verdict r) ])
-      [ 0.2; 0.5; 0.8; 1.5; 3.0; 5.0 ]
+      (sweep [ 0.2; 0.5; 0.8; 1.5; 3.0; 5.0 ])
   in
   Tbl.print
     ~title:

@@ -30,7 +30,7 @@ let run () =
         let rng = Rng.create ~seed:(500 + d) () in
         let r =
           Driver.run ~config ~oracle:(Oracle.Sinr phys)
-            ~source:(Driver.Stochastic inj) ~frames:80 ~rng
+            ~source:(Driver.Stochastic inj) ~frames:(frames 80) ~rng
         in
         let mean = Dps_prelude.Histogram.mean r.Protocol.latency in
         let p99 = Dps_prelude.Histogram.quantile r.Protocol.latency 0.99 in
@@ -39,7 +39,7 @@ let run () =
           Tbl.F2 (mean /. t);
           Tbl.F2 (p99 /. t);
           Tbl.F2 (mean /. (float_of_int d *. t)) ])
-      [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+      (sweep [ 1; 2; 3; 4; 5; 6; 7; 8 ])
   in
   Tbl.print
     ~title:

@@ -8,7 +8,7 @@ open Common
 module Adversary = Dps_injection.Adversary
 
 let run () =
-  let g = Topology.grid ~rows:3 ~cols:3 ~spacing:10. in
+  let g = Topology.grid ~rows:(grid_dim 3) ~cols:(grid_dim 3) ~spacing:10. in
   let phys = linear_physics g in
   let measure = Sinr_measure.linear_power phys in
   let design = 0.05 in
@@ -19,7 +19,10 @@ let run () =
   let w = 2 * config.Protocol.frame in
   let routing = Routing.make g in
   let path src dst = Option.get (Routing.path routing ~src ~dst) in
-  let paths = [ path 0 8; path 8 0; path 2 6; path 6 2 ] in
+  let paths =
+    if smoke then [ path 0 3; path 3 0; path 1 2; path 2 1 ]
+    else [ path 0 8; path 8 0; path 2 6; path 6 2 ]
+  in
   let adversaries factor =
     let rate = factor *. design in
     [ ("burst", Adversary.burst ~measure ~w ~rate ~paths);
@@ -34,7 +37,7 @@ let run () =
             let rng = Rng.create ~seed:600 () in
             let r =
               Driver.run ~config ~oracle:(Oracle.Sinr phys)
-                ~source:(Driver.Adversarial adv) ~frames:200 ~rng
+                ~source:(Driver.Adversarial adv) ~frames:(frames 200) ~rng
             in
             let declared = Adversary.rate adv in
             let measured = Adversary.verify adv measure ~horizon:(10 * w) in
@@ -47,7 +50,7 @@ let run () =
               Tbl.I r.Protocol.max_queue;
               Tbl.S (verdict r) ])
           (adversaries factor))
-      [ 0.5; 0.8 ]
+      (sweep [ 0.5; 0.8 ])
   in
   Tbl.print
     ~title:

@@ -14,7 +14,7 @@ open Common
 let run () =
   let row target_links seed =
     let rng = Rng.create ~seed () in
-    let g = geometric_network rng ~target_links in
+    let g = geometric_network rng ~target_links:(links target_links) in
     let m = Graph.link_count g in
     let measure_ratio phys measure =
       let algorithm = Dps_static.Delay_select.make ~c:4. () in
@@ -46,7 +46,7 @@ let run () =
       Tbl.F2 m_ratio ]
   in
   let rows =
-    List.map2 row [ 16; 32; 64; 128 ] [ 701; 702; 703; 704 ]
+    List.map2 row (sweep [ 16; 32; 64; 128 ]) (sweep [ 701; 702; 703; 704 ])
   in
   Tbl.print
     ~title:

@@ -39,7 +39,7 @@ let run_point name algorithm ~lambda ~seed =
     let inj = injection g ~rate:lambda in
     let r =
       Driver.run ~config ~oracle:Oracle.Mac ~source:(Driver.Stochastic inj)
-        ~frames:80 ~rng
+        ~frames:(frames 80) ~rng
     in
     [ Tbl.S name;
       Tbl.F2 lambda;
@@ -56,11 +56,11 @@ let run () =
   let rows =
     List.map
       (fun lambda -> run_point "decay" decay ~lambda ~seed:801)
-      [ 0.10; 0.20; 0.28; 0.36; 0.45 ]
+      (sweep [ 0.10; 0.20; 0.28; 0.36; 0.45 ])
     @ List.map
         (fun lambda ->
           run_point "rrw" Dps_mac.Round_robin.algorithm ~lambda ~seed:802)
-        [ 0.30; 0.60; 0.80; 0.90; 1.10 ]
+        (sweep [ 0.30; 0.60; 0.80; 0.90; 1.10 ])
   in
   Tbl.print
     ~title:

@@ -8,13 +8,13 @@ open Common
 module Conflict_graph = Dps_interference.Conflict_graph
 
 let run () =
-  let g = Topology.grid ~rows:4 ~cols:4 ~spacing:1. in
+  let g = Topology.grid ~rows:(grid_dim 4) ~cols:(grid_dim 4) ~spacing:1. in
   let cg = Conflict_graph.distance2 g in
   let order = Conflict_graph.degeneracy_order cg in
   let measure = Conflict_graph.to_measure cg ~order in
   let m = Graph.link_count g in
   let rng0 = Rng.create ~seed:901 () in
-  let rho = Conflict_graph.independence_bound cg ~order ~samples:50 rng0 in
+  let rho = Conflict_graph.independence_bound cg ~order ~samples:(reps 50) rng0 in
   let algo = Dps_static.Contention.theorem_19 in
   let rows =
     List.map
@@ -33,7 +33,7 @@ let run () =
           Tbl.S
             (if Algorithm.all_served outcome then "all"
              else string_of_int (Algorithm.served_count outcome)) ])
-      [ 2; 4; 8; 16; 32; 64 ]
+      (sweep [ 2; 4; 8; 16; 32; 64 ])
   in
   Tbl.print
     ~title:

@@ -31,7 +31,7 @@ let run () =
     List.map
       (fun (target_links, seed) ->
         let rng = Rng.create ~seed () in
-        let g = geometric_network rng ~target_links in
+        let g = geometric_network rng ~target_links:(links target_links) in
         let m = Graph.link_count g in
         ignore m;
         let prm = Params.make ~noise:1e-9 () in
@@ -39,7 +39,7 @@ let run () =
         let linear = greedy_fixed (Physics.make prm (Power.linear 1.) g) in
         let chosen = greedy_chosen prm g in
         [ Tbl.I m; Tbl.I uniform; Tbl.I linear; Tbl.I chosen ])
-      [ (16, 1201); (32, 1202); (64, 1203) ]
+      (sweep [ (16, 1201); (32, 1202); (64, 1203) ])
   in
   Tbl.print
     ~title:
@@ -53,7 +53,7 @@ let run () =
 
   (* Scheduling table. *)
   let rng = Rng.create ~seed:1210 () in
-  let g = geometric_network rng ~target_links:40 in
+  let g = geometric_network rng ~target_links:(links 40) in
   let m = Graph.link_count g in
   let prm = Params.make ~noise:1e-9 () in
   let phys = Physics.make prm (Power.uniform 1.) g in
@@ -79,7 +79,7 @@ let run () =
           Tbl.S
             (if Algorithm.all_served outcome then "all"
              else string_of_int (Algorithm.served_count outcome)) ])
-      [ 1; 2; 4; 8; 16 ]
+      (sweep [ 1; 2; 4; 8; 16 ])
   in
   Tbl.print
     ~title:

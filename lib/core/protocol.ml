@@ -2,6 +2,7 @@ module Rng = Dps_prelude.Rng
 module Timeseries = Dps_prelude.Timeseries
 module Histogram = Dps_prelude.Histogram
 module Measure = Dps_interference.Measure
+module Load_tracker = Dps_interference.Load_tracker
 module Path = Dps_network.Path
 module Channel = Dps_sim.Channel
 module Packet = Dps_sim.Packet
@@ -102,6 +103,7 @@ type report = {
   in_system : Timeseries.t;
   failed_queue : Timeseries.t;
   potential : Timeseries.t;
+  failed_interference : Timeseries.t;
   latency : Histogram.t;
   max_queue : int;
 }
@@ -111,7 +113,14 @@ type t = {
   channel : Channel.t;
   mutable frame_idx : int;
   mutable live : Packet.t list;  (* never-failed, undelivered; newest first *)
+  mutable live_count : int;
   failed : Packet.t Queue.t array;  (* per link, oldest failure first *)
+  (* Failed-buffer tallies, maintained incrementally at every enqueue and
+     dequeue so per-frame statistics cost O(1) instead of a scan over all
+     m buffers (and all failed packets, for the potential). *)
+  mutable failed_total : int;
+  mutable failed_potential : int;  (* Φ: Σ remaining hops over failed *)
+  failed_tracker : Load_tracker.t;  (* per-link failed-buffer loads *)
   mutable injected : int;
   mutable delivered : int;
   mutable failed_events : int;
@@ -119,6 +128,7 @@ type t = {
   in_system : Timeseries.t;
   failed_queue : Timeseries.t;
   potential : Timeseries.t;
+  failed_interference : Timeseries.t;
   latency : Histogram.t;
   mutable max_queue : int;
 }
@@ -130,7 +140,11 @@ let create cfg ~channel =
     channel;
     frame_idx = 0;
     live = [];
+    live_count = 0;
     failed = Array.init (Measure.size cfg.measure) (fun _ -> Queue.create ());
+    failed_total = 0;
+    failed_potential = 0;
+    failed_tracker = Load_tracker.create cfg.measure;
     injected = 0;
     delivered = 0;
     failed_events = 0;
@@ -138,6 +152,7 @@ let create cfg ~channel =
     in_system = Timeseries.create ();
     failed_queue = Timeseries.create ();
     potential = Timeseries.create ();
+    failed_interference = Timeseries.create ();
     latency = Histogram.create ~reservoir:65536 ();
     max_queue = 0 }
 
@@ -145,10 +160,23 @@ let config t = t.cfg
 
 let frame_index t = t.frame_idx
 
-let failed_count t =
-  Array.fold_left (fun acc q -> acc + Queue.length q) 0 t.failed
+let in_flight t = t.live_count + t.failed_total
 
-let in_flight t = List.length t.live + failed_count t
+(* The two failed-buffer mutation points. Every enqueue/dequeue keeps the
+   running totals, the potential and the per-link load tracker in sync. *)
+let enqueue_failed t p =
+  let link = Packet.next_link p in
+  Queue.add p t.failed.(link);
+  t.failed_total <- t.failed_total + 1;
+  t.failed_potential <- t.failed_potential + Packet.remaining_hops p;
+  Load_tracker.add t.failed_tracker link
+
+let dequeue_failed t link =
+  let p = Queue.pop t.failed.(link) in
+  t.failed_total <- t.failed_total - 1;
+  t.failed_potential <- t.failed_potential - Packet.remaining_hops p;
+  Load_tracker.remove t.failed_tracker link;
+  p
 
 let record_delivery t rng packet =
   t.delivered <- t.delivered + 1;
@@ -181,13 +209,17 @@ let phase1 t rng =
     (fun idx p ->
       if outcome.Algorithm.served.(idx) then begin
         Packet.advance p ~slot:now;
-        if Packet.delivered p then record_delivery t rng p
+        if Packet.delivered p then begin
+          record_delivery t rng p;
+          t.live_count <- t.live_count - 1
+        end
         else still_live := p :: !still_live
       end
       else begin
         t.failed_events <- t.failed_events + 1;
         p.Packet.failed <- true;
-        Queue.add p t.failed.(Packet.next_link p)
+        enqueue_failed t p;
+        t.live_count <- t.live_count - 1
       end)
     parts;
   t.live <- !still_live
@@ -217,11 +249,11 @@ let cleanup t rng =
     Array.iteri
       (fun idx (link, p) ->
         if outcome.Algorithm.served.(idx) then begin
-          let popped = Queue.pop t.failed.(link) in
+          let popped = dequeue_failed t link in
           assert (popped == p);
           Packet.advance p ~slot:now;
           if Packet.delivered p then record_delivery t rng p
-          else Queue.add p t.failed.(Packet.next_link p)
+          else enqueue_failed t p
         end)
       offers
 
@@ -233,7 +265,8 @@ let inject_packet t path ~slot ~extra_delay =
   t.next_id <- t.next_id + 1;
   p.Packet.release_frame <- t.frame_idx + 1 + extra_delay;
   t.injected <- t.injected + 1;
-  t.live <- p :: t.live
+  t.live <- p :: t.live;
+  t.live_count <- t.live_count + 1
 
 let run_frame t rng ~inject_slot =
   let frame_start = Channel.now t.channel in
@@ -252,18 +285,15 @@ let run_frame t rng ~inject_slot =
   let consumed = Channel.now t.channel - frame_start in
   assert (consumed <= t.cfg.frame);
   Channel.idle t.channel ~slots:(t.cfg.frame - consumed);
-  (* Frame statistics. *)
-  let fq = failed_count t in
-  let total = List.length t.live + fq in
-  let phi =
-    Array.fold_left
-      (fun acc q ->
-        Queue.fold (fun acc p -> acc + Packet.remaining_hops p) acc q)
-      0 t.failed
-  in
+  (* Frame statistics — all O(1) from the running tallies. *)
+  let fq = t.failed_total in
+  let total = t.live_count + fq in
+  let phi = t.failed_potential in
   Timeseries.add t.in_system (float_of_int total);
   Timeseries.add t.failed_queue (float_of_int fq);
   Timeseries.add t.potential (float_of_int phi);
+  Timeseries.add t.failed_interference
+    (Load_tracker.interference t.failed_tracker);
   if total > t.max_queue then t.max_queue <- total;
   t.frame_idx <- t.frame_idx + 1
 
@@ -275,5 +305,6 @@ let report t =
     in_system = t.in_system;
     failed_queue = t.failed_queue;
     potential = t.potential;
+    failed_interference = t.failed_interference;
     latency = t.latency;
     max_queue = t.max_queue }

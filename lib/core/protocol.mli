@@ -80,6 +80,9 @@ type report = {
   failed_queue : Dps_prelude.Timeseries.t;  (** Σ failed-buffer sizes *)
   potential : Dps_prelude.Timeseries.t;
       (** Φ: Σ remaining hops over failed packets *)
+  failed_interference : Dps_prelude.Timeseries.t;
+      (** [||W·R_failed||_inf] over the per-link failed-buffer loads,
+          maintained incrementally by a {!Dps_interference.Load_tracker} *)
   latency : Dps_prelude.Histogram.t;  (** delivery latency, in slots *)
   max_queue : int;
 }

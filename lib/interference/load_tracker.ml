@@ -1,0 +1,104 @@
+type t = {
+  measure : Measure.t;
+  load : float array;  (* R *)
+  wr : float array;  (* W·R, maintained incrementally *)
+  link_touched : bool array;
+  mutable touched_links : int list;
+  row_touched : bool array;
+  mutable touched_rows : int list;
+  (* Cached argmax of wr. When an update lowers wr at the cached argmax the
+     cache goes stale and the next interference query rescans the touched
+     rows (untouched rows are exactly 0). *)
+  mutable max_val : float;
+  mutable max_row : int;
+  mutable stale : bool;
+}
+
+let create measure =
+  let m = Measure.size measure in
+  { measure;
+    load = Array.make m 0.;
+    wr = Array.make m 0.;
+    link_touched = Array.make m false;
+    touched_links = [];
+    row_touched = Array.make m false;
+    touched_rows = [];
+    max_val = 0.;
+    max_row = -1;
+    stale = false }
+
+let measure t = t.measure
+let size t = Array.length t.load
+
+let load t e = t.load.(e)
+let load_vector t = Array.copy t.load
+
+let add_scaled t e c =
+  if c <> 0. then begin
+    if not t.link_touched.(e) then begin
+      t.link_touched.(e) <- true;
+      t.touched_links <- e :: t.touched_links
+    end;
+    t.load.(e) <- t.load.(e) +. c;
+    Measure.iter_column t.measure e (fun row w ->
+        if not t.row_touched.(row) then begin
+          t.row_touched.(row) <- true;
+          t.touched_rows <- row :: t.touched_rows
+        end;
+        let v = t.wr.(row) +. (w *. c) in
+        t.wr.(row) <- v;
+        if row = t.max_row then begin
+          if v >= t.max_val then t.max_val <- v else t.stale <- true
+        end
+        else if v > t.max_val then begin
+          t.max_val <- v;
+          t.max_row <- row
+        end)
+  end
+
+let add t e = add_scaled t e 1.
+let remove t e = add_scaled t e (-1.)
+
+let interference_at t e = t.wr.(e)
+
+let interference t =
+  if t.stale then begin
+    let best = ref 0. and best_row = ref (-1) in
+    List.iter
+      (fun row ->
+        let v = t.wr.(row) in
+        if v > !best then begin
+          best := v;
+          best_row := row
+        end)
+      t.touched_rows;
+    t.max_val <- !best;
+    t.max_row <- !best_row;
+    t.stale <- false
+  end;
+  (* Matches [Measure.interference]: never below the empty maximum 0. *)
+  Float.max 0. t.max_val
+
+let reset t =
+  List.iter
+    (fun e ->
+      t.load.(e) <- 0.;
+      t.link_touched.(e) <- false)
+    t.touched_links;
+  t.touched_links <- [];
+  List.iter
+    (fun row ->
+      t.wr.(row) <- 0.;
+      t.row_touched.(row) <- false)
+    t.touched_rows;
+  t.touched_rows <- [];
+  t.max_val <- 0.;
+  t.max_row <- -1;
+  t.stale <- false
+
+let of_load measure r =
+  if Array.length r <> Measure.size measure then
+    invalid_arg "Load_tracker.of_load: load length differs from measure size";
+  let t = create measure in
+  Array.iteri (fun e c -> add_scaled t e c) r;
+  t

@@ -1,10 +1,46 @@
+(* CSR-packed sparse matrix: rows are contiguous slices of flat arrays.
+   Row e spans [row_ptr.(e), row_ptr.(e+1)) in col_idx/weights, with
+   col_idx sorted ascending inside each row and the diagonal always
+   present. The transposed (CSC) index is built lazily on first column
+   access — it is only needed by incremental consumers (Load_tracker). *)
+
+type transpose = {
+  col_ptr : int array;  (* length m+1 *)
+  row_idx : int array;  (* length nnz; sorted ascending inside a column *)
+  col_weights : float array;
+}
+
 type t = {
   m : int;
-  (* rows.(e) = (e', w) pairs sorted by e', w > 0, diagonal always present. *)
-  rows : (int * float) array array;
+  row_ptr : int array;  (* length m+1 *)
+  col_idx : int array;  (* length nnz *)
+  weights : float array;  (* length nnz *)
+  mutable transposed : transpose option;
 }
 
 let size t = t.m
+
+let nnz t = t.row_ptr.(t.m)
+
+(* Pack validated sorted rows ((e', w) pairs) into CSR. *)
+let pack m rows =
+  let nnz = Array.fold_left (fun acc r -> acc + Array.length r) 0 rows in
+  let row_ptr = Array.make (m + 1) 0 in
+  let col_idx = Array.make (Int.max nnz 1) 0 in
+  let weights = Array.make (Int.max nnz 1) 0. in
+  let k = ref 0 in
+  Array.iteri
+    (fun e r ->
+      row_ptr.(e) <- !k;
+      Array.iter
+        (fun (e', w) ->
+          col_idx.(!k) <- e';
+          weights.(!k) <- w;
+          incr k)
+        r)
+    rows;
+  row_ptr.(m) <- !k;
+  { m; row_ptr; col_idx; weights; transposed = None }
 
 let normalize_row m e entries =
   let tbl = Hashtbl.create (List.length entries + 1) in
@@ -23,46 +59,136 @@ let normalize_row m e entries =
 
 let of_rows rows =
   let m = Array.length rows in
-  { m; rows = Array.mapi (normalize_row m) rows }
+  pack m (Array.mapi (normalize_row m) rows)
 
 let identity m =
   assert (m > 0);
-  { m; rows = Array.init m (fun e -> [| (e, 1.) |]) }
+  { m;
+    row_ptr = Array.init (m + 1) Fun.id;
+    col_idx = Array.init m Fun.id;
+    weights = Array.make m 1.;
+    transposed = None }
 
 let complete m =
   assert (m > 0);
-  let full = Array.init m (fun e' -> (e', 1.)) in
-  { m; rows = Array.init m (fun _ -> full) }
+  { m;
+    row_ptr = Array.init (m + 1) (fun e -> e * m);
+    col_idx = Array.init (m * m) (fun k -> k mod m);
+    weights = Array.make (m * m) 1.;
+    transposed = None }
 
 let of_function ~m f =
   assert (m > 0);
-  let row e =
-    let entries = ref [] in
-    for e' = m - 1 downto 0 do
-      let w = if e' = e then 1. else Float.min 1. (Float.max 0. (f e e')) in
-      if w > 0. then entries := (e', w) :: !entries
-    done;
-    Array.of_list !entries
+  (* Single pass into growable flat buffers: [f] may be expensive
+     (e.g. SINR affectance), so it is called exactly once per pair. *)
+  let cap = ref (4 * m) in
+  let col_idx = ref (Array.make !cap 0) in
+  let weights = ref (Array.make !cap 0.) in
+  let k = ref 0 in
+  let push e' w =
+    if !k = !cap then begin
+      let cap' = 2 * !cap in
+      let ci = Array.make cap' 0 and ws = Array.make cap' 0. in
+      Array.blit !col_idx 0 ci 0 !k;
+      Array.blit !weights 0 ws 0 !k;
+      col_idx := ci;
+      weights := ws;
+      cap := cap'
+    end;
+    !col_idx.(!k) <- e';
+    !weights.(!k) <- w;
+    incr k
   in
-  { m; rows = Array.init m row }
+  let row_ptr = Array.make (m + 1) 0 in
+  for e = 0 to m - 1 do
+    row_ptr.(e) <- !k;
+    for e' = 0 to m - 1 do
+      let w = if e' = e then 1. else Float.min 1. (Float.max 0. (f e e')) in
+      if w > 0. then push e' w
+    done
+  done;
+  row_ptr.(m) <- !k;
+  { m;
+    row_ptr;
+    col_idx = Array.sub !col_idx 0 (Int.max !k 1);
+    weights = Array.sub !weights 0 (Int.max !k 1);
+    transposed = None }
 
-let row t e = t.rows.(e)
+let row t e =
+  Array.init
+    (t.row_ptr.(e + 1) - t.row_ptr.(e))
+    (fun i ->
+      let k = t.row_ptr.(e) + i in
+      (t.col_idx.(k), t.weights.(k)))
+
+let row_nnz t e = t.row_ptr.(e + 1) - t.row_ptr.(e)
+
+let iter_row t e f =
+  for k = t.row_ptr.(e) to t.row_ptr.(e + 1) - 1 do
+    f t.col_idx.(k) t.weights.(k)
+  done
 
 let weight t e e' =
-  let r = t.rows.(e) in
-  (* Rows are sorted by link id: binary search. *)
+  (* Rows are sorted by link id: binary search inside the row slice. *)
   let rec search lo hi =
     if lo > hi then 0.
     else
       let mid = (lo + hi) / 2 in
-      let id, w = r.(mid) in
-      if id = e' then w else if id < e' then search (mid + 1) hi else search lo (mid - 1)
+      let id = t.col_idx.(mid) in
+      if id = e' then t.weights.(mid)
+      else if id < e' then search (mid + 1) hi
+      else search lo (mid - 1)
   in
-  search 0 (Array.length r - 1)
+  search t.row_ptr.(e) (t.row_ptr.(e + 1) - 1)
+
+(* CSR -> CSC by counting sort: scanning rows in order scatters each
+   column's row indices already sorted. *)
+let transpose t =
+  match t.transposed with
+  | Some tr -> tr
+  | None ->
+    let n = nnz t in
+    let col_ptr = Array.make (t.m + 1) 0 in
+    for k = 0 to n - 1 do
+      let c = t.col_idx.(k) in
+      col_ptr.(c + 1) <- col_ptr.(c + 1) + 1
+    done;
+    for c = 1 to t.m do
+      col_ptr.(c) <- col_ptr.(c) + col_ptr.(c - 1)
+    done;
+    let next = Array.copy col_ptr in
+    let row_idx = Array.make (Int.max n 1) 0 in
+    let col_weights = Array.make (Int.max n 1) 0. in
+    for e = 0 to t.m - 1 do
+      for k = t.row_ptr.(e) to t.row_ptr.(e + 1) - 1 do
+        let c = t.col_idx.(k) in
+        let slot = next.(c) in
+        row_idx.(slot) <- e;
+        col_weights.(slot) <- t.weights.(k);
+        next.(c) <- slot + 1
+      done
+    done;
+    let tr = { col_ptr; row_idx; col_weights } in
+    t.transposed <- Some tr;
+    tr
+
+let column_nnz t e' =
+  let tr = transpose t in
+  tr.col_ptr.(e' + 1) - tr.col_ptr.(e')
+
+let iter_column t e' f =
+  let tr = transpose t in
+  for k = tr.col_ptr.(e') to tr.col_ptr.(e' + 1) - 1 do
+    f tr.row_idx.(k) tr.col_weights.(k)
+  done
 
 let interference_at t load e =
   assert (Array.length load = t.m);
-  Array.fold_left (fun acc (e', w) -> acc +. (w *. load.(e'))) 0. t.rows.(e)
+  let acc = ref 0. in
+  for k = t.row_ptr.(e) to t.row_ptr.(e + 1) - 1 do
+    acc := !acc +. (t.weights.(k) *. load.(t.col_idx.(k)))
+  done;
+  !acc
 
 let interference t load =
   let best = ref 0. in
@@ -77,9 +203,11 @@ let interference_of_counts t counts =
 
 let max_row_sum t =
   let best = ref 0. in
-  Array.iter
-    (fun r ->
-      let s = Array.fold_left (fun acc (_, w) -> acc +. w) 0. r in
-      if s > !best then best := s)
-    t.rows;
+  for e = 0 to t.m - 1 do
+    let s = ref 0. in
+    for k = t.row_ptr.(e) to t.row_ptr.(e + 1) - 1 do
+      s := !s +. t.weights.(k)
+    done;
+    if !s > !best then best := !s
+  done;
   !best

@@ -11,8 +11,13 @@
     channel (all ones), SINR affectance matrices ({!Dps_sinr.Sinr_measure}),
     and conflict graphs ({!Conflict_graph.to_measure}).
 
-    Rows are stored sparsely (zero entries dropped), so conflict-graph
-    measures stay linear in the number of conflicts. *)
+    Rows are stored sparsely (zero entries dropped) in a CSR packing —
+    one flat id array and one flat weight array per matrix — so
+    conflict-graph measures stay linear in the number of conflicts and row
+    scans are cache-friendly. A transposed (CSC) index is materialized
+    lazily the first time a column is scanned; {!Load_tracker} uses it to
+    push single-link load changes to the affected rows in
+    O(nnz(column)). *)
 
 type t
 
@@ -40,9 +45,29 @@ val of_rows : (int * float) list array -> t
 (** [weight t e e'] is [W(e, e')] ([0.] where absent). *)
 val weight : t -> int -> int -> float
 
+(** Stored entries (nonzeros) in the whole matrix. *)
+val nnz : t -> int
+
 (** [row t e] is the sparse row of [e]: pairs [(e', W(e, e'))], including
-    the diagonal. *)
+    the diagonal. Allocates a fresh array; hot paths should use
+    {!iter_row}. *)
 val row : t -> int -> (int * float) array
+
+(** Stored entries in row [e]. *)
+val row_nnz : t -> int -> int
+
+(** [iter_row t e f] calls [f e' w] for every stored [W(e, e') = w],
+    in ascending [e'] order, without allocating. *)
+val iter_row : t -> int -> (int -> float -> unit) -> unit
+
+(** Stored entries in column [e'] (forces the transposed index). *)
+val column_nnz : t -> int -> int
+
+(** [iter_column t e' f] calls [f e w] for every stored [W(e, e') = w] —
+    the rows a load change on link [e'] affects — in ascending [e] order.
+    The first call builds the CSC transpose in O(m + nnz); later calls
+    reuse it. *)
+val iter_column : t -> int -> (int -> float -> unit) -> unit
 
 (** [interference_at t load e] is [(W · load)(e)]. [load] must have length
     [m]. *)

@@ -1,4 +1,5 @@
 module Rng = Dps_prelude.Rng
+module Load_tracker = Dps_interference.Load_tracker
 
 type t = {
   oracle : Oracle.t;
@@ -6,11 +7,24 @@ type t = {
   mutable now : int;
   trace : Trace.t;
   rng : Rng.t option;  (* randomness for stochastic oracles (Lossy) *)
+  counts : int array;  (* per-slot attempt counts; zero outside step *)
+  tracker : Load_tracker.t option;
+      (* measured per-slot attempt interference, when a measure is attached *)
 }
 
-let create ?rng ~oracle ~m () =
+let create ?rng ?measure ~oracle ~m () =
   assert (m > 0);
-  { oracle; m; now = 0; trace = Trace.create ~m; rng }
+  (match measure with
+  | Some w when Dps_interference.Measure.size w <> m ->
+    invalid_arg "Channel.create: measure size differs from m"
+  | _ -> ());
+  { oracle;
+    m;
+    now = 0;
+    trace = Trace.create ~m;
+    rng;
+    counts = Array.make m 0;
+    tracker = Option.map Load_tracker.create measure }
 
 let oracle t = t.oracle
 let size t = t.m
@@ -24,23 +38,30 @@ let step t attempts =
     t.now <- t.now + 1;
     []
   | _ ->
-  List.iter (fun e -> assert (e >= 0 && e < t.m)) attempts;
-  (* Per-link exclusivity: a link carrying two packets in one slot is a
-     collision at the link itself; neither packet gets through, but the
-     transmission still radiates interference. *)
-  let counts = Hashtbl.create (List.length attempts) in
-  List.iter
-    (fun e ->
-      let c = Option.value ~default:0 (Hashtbl.find_opt counts e) in
-      Hashtbl.replace counts e (c + 1))
-    attempts;
-  let active = Hashtbl.fold (fun e _ acc -> e :: acc) counts [] in
-  let exclusive = List.filter (fun e -> Hashtbl.find counts e = 1) active in
-  let winners = Oracle.adjudicate ?rng:t.rng t.oracle active in
-  let succeeded = List.filter (fun e -> List.mem e exclusive) winners in
-  Trace.record t.trace ~attempted:attempts ~succeeded;
-  t.now <- t.now + 1;
-  succeeded
+    (* Per-link exclusivity: a link carrying two packets in one slot is a
+       collision at the link itself; neither packet gets through, but the
+       transmission still radiates interference. The counts array is
+       persistent scratch, cleared sparsely after adjudication. *)
+    let active = ref [] in
+    List.iter
+      (fun e ->
+        assert (e >= 0 && e < t.m);
+        if t.counts.(e) = 0 then active := e :: !active;
+        t.counts.(e) <- t.counts.(e) + 1)
+      attempts;
+    let active = !active in
+    (match t.tracker with
+    | None -> ()
+    | Some tracker ->
+      List.iter (fun e -> Load_tracker.add tracker e) active;
+      Trace.record_interference t.trace (Load_tracker.interference tracker);
+      Load_tracker.reset tracker);
+    let winners = Oracle.adjudicate ?rng:t.rng t.oracle active in
+    let succeeded = List.filter (fun e -> t.counts.(e) = 1) winners in
+    List.iter (fun e -> t.counts.(e) <- 0) active;
+    Trace.record t.trace ~attempted:attempts ~succeeded;
+    t.now <- t.now + 1;
+    succeeded
 
 let idle t ~slots =
   assert (slots >= 0);

@@ -8,10 +8,21 @@
 
 type t
 
-(** [create ?rng ~oracle ~m ()] — a fresh channel. [rng] supplies the
-    randomness stochastic oracles ({!Oracle.Lossy}) need; deterministic
-    oracles never consult it. *)
-val create : ?rng:Dps_prelude.Rng.t -> oracle:Oracle.t -> m:int -> unit -> t
+(** [create ?rng ?measure ~oracle ~m ()] — a fresh channel. [rng] supplies
+    the randomness stochastic oracles ({!Oracle.Lossy}) need; deterministic
+    oracles never consult it. When [measure] is given, the channel keeps a
+    {!Dps_interference.Load_tracker} and records every busy slot's measured
+    attempt interference [||W·attempts||_inf] (over the distinct attempting
+    links — the set the oracle adjudicates) into the trace; see
+    {!Trace.mean_interference}. Raises [Invalid_argument] if the measure
+    size differs from [m]. *)
+val create :
+  ?rng:Dps_prelude.Rng.t ->
+  ?measure:Dps_interference.Measure.t ->
+  oracle:Oracle.t ->
+  m:int ->
+  unit ->
+  t
 
 val oracle : t -> Oracle.t
 

@@ -5,6 +5,11 @@ type t = {
   mutable busy_slots : int;
   attempts_on : int array;
   successes_on : int array;
+  (* Per-slot measured interference ||W·attempts||_inf, recorded only by
+     channels carrying a measure; zero slots are not recorded. *)
+  mutable interference_slots : int;
+  mutable interference_sum : float;
+  mutable interference_peak : float;
 }
 
 let create ~m =
@@ -14,7 +19,10 @@ let create ~m =
     successes = 0;
     busy_slots = 0;
     attempts_on = Array.make m 0;
-    successes_on = Array.make m 0 }
+    successes_on = Array.make m 0;
+    interference_slots = 0;
+    interference_sum = 0.;
+    interference_peak = 0. }
 
 let slots t = t.slots
 let attempts t = t.attempts
@@ -22,6 +30,17 @@ let successes t = t.successes
 let busy_slots t = t.busy_slots
 let successes_on t e = t.successes_on.(e)
 let attempts_on t e = t.attempts_on.(e)
+
+let record_interference t i =
+  t.interference_slots <- t.interference_slots + 1;
+  t.interference_sum <- t.interference_sum +. i;
+  if i > t.interference_peak then t.interference_peak <- i
+
+let peak_interference t = t.interference_peak
+
+let mean_interference t =
+  if t.interference_slots = 0 then 0.
+  else t.interference_sum /. float_of_int t.interference_slots
 
 let record t ~attempted ~succeeded =
   t.slots <- t.slots + 1;

@@ -29,4 +29,17 @@ val attempts_on : t -> int -> int
 (** [record t ~attempted ~succeeded] — fold one slot into the counters. *)
 val record : t -> attempted:int list -> succeeded:int list -> unit
 
+(** [record_interference t i] — fold one busy slot's measured attempt
+    interference [i = ||W·attempts||_inf] into the running aggregates.
+    Recorded by channels created with a measure attached. *)
+val record_interference : t -> float -> unit
+
+(** Largest per-slot measured interference so far; [0.] when none
+    recorded. *)
+val peak_interference : t -> float
+
+(** Mean per-slot measured interference over the recorded (busy) slots;
+    [0.] when none recorded. *)
+val mean_interference : t -> float
+
 val pp : Format.formatter -> t -> unit

@@ -1,5 +1,6 @@
 module Util = Dps_prelude.Util
 module Measure = Dps_interference.Measure
+module Load_tracker = Dps_interference.Load_tracker
 module Channel = Dps_sim.Channel
 
 let make ?(budget = 0.5) ?(slack = 8) ~priority () =
@@ -21,34 +22,50 @@ let make ?(budget = 0.5) ?(slack = 8) ~priority () =
         and pb = priority requests.(b).Request.link in
         if pa = pb then compare a b else compare pa pb)
       order;
+    (* One tracker for the whole run, reset sparsely between rounds: it
+       holds the current round's unit load per member link, so
+       [interference_at tracker e] is 1 + Σ_{e' ∈ round, e' ≠ e} W(e, e')
+       for members and Σ_{e' ∈ round} W(c, e') for outside candidates. *)
+    let m = Measure.size measure in
+    let tracker = Load_tracker.create measure in
+    let in_round = Array.make m false in
     let continue = ref true in
     while !continue && !used < slots do
       (* Pack one round: accept the next request (in priority order) if the
          pairwise interference load of the round stays within budget. *)
       let round = ref [] and round_links = ref [] in
       let load_within candidate =
-        let links = candidate :: !round_links in
-        List.for_all
-          (fun e ->
-            let total =
-              List.fold_left
-                (fun acc e' -> if e' = e then acc else acc +. Measure.weight measure e e')
-                0. links
-            in
-            total <= budget)
-          links
+        (* The candidate's own incoming load over the current members... *)
+        Load_tracker.interference_at tracker candidate <= budget
+        && begin
+             (* ...and every member the candidate would hit stays within
+                budget. Members outside the candidate's column are
+                unaffected, and their loads were within budget when they
+                were admitted. O(nnz(column candidate)) in total. *)
+             let ok = ref true in
+             Measure.iter_column measure candidate (fun e w ->
+                 if
+                   !ok && in_round.(e)
+                   && Load_tracker.interference_at tracker e -. 1. +. w > budget
+                 then ok := false);
+             !ok
+           end
       in
       Array.iter
         (fun idx ->
           if not served.(idx) then begin
             let link = requests.(idx).Request.link in
             (* One packet per link per slot: skip links already in round. *)
-            if (not (List.mem link !round_links)) && load_within link then begin
+            if (not in_round.(link)) && load_within link then begin
               round := idx :: !round;
-              round_links := link :: !round_links
+              round_links := link :: !round_links;
+              in_round.(link) <- true;
+              Load_tracker.add tracker link
             end
           end)
         order;
+      List.iter (fun link -> in_round.(link) <- false) !round_links;
+      Load_tracker.reset tracker;
       match !round with
       | [] -> continue := false
       | round_members ->

@@ -49,6 +49,34 @@ let test_of_rows_rejects_bad () =
     (Invalid_argument "Measure: weight outside (0, 1]") (fun () ->
       ignore (Measure.of_rows [| [ (1, 1.5) ]; [] |]))
 
+let test_of_rows_error_paths () =
+  let out_of_range = Invalid_argument "Measure: link id out of range" in
+  let bad_weight = Invalid_argument "Measure: weight outside (0, 1]" in
+  Alcotest.check_raises "negative id" out_of_range (fun () ->
+      ignore (Measure.of_rows [| [ (-1, 0.5) ]; [] |]));
+  Alcotest.check_raises "id = m boundary" out_of_range (fun () ->
+      ignore (Measure.of_rows [| []; [ (2, 0.5) ] |]));
+  Alcotest.check_raises "zero weight" bad_weight (fun () ->
+      ignore (Measure.of_rows [| [ (1, 0.) ]; [] |]));
+  Alcotest.check_raises "negative weight" bad_weight (fun () ->
+      ignore (Measure.of_rows [| [ (1, -0.25) ]; [] |]));
+  Alcotest.check_raises "weight just above 1" bad_weight (fun () ->
+      ignore (Measure.of_rows [| [ (1, 1.0000001) ]; [] |]));
+  Alcotest.check_raises "duplicate deep in a longer row"
+    (Invalid_argument "Measure: duplicate entry in row") (fun () ->
+      ignore
+        (Measure.of_rows
+           [| [ (1, 0.1); (2, 0.2); (3, 0.3); (2, 0.4) ]; []; []; [] |]));
+  Alcotest.check_raises "bad entry in a later row" out_of_range (fun () ->
+      ignore (Measure.of_rows [| [ (1, 0.5) ]; [ (9, 0.5) ] |]));
+  (* Boundary acceptances. *)
+  let w = Measure.of_rows [| [ (1, 1.) ]; [] |] in
+  check_float "weight exactly 1 accepted" 1. (Measure.weight w 0 1);
+  (* An explicit diagonal entry is forced to 1, not doubled. *)
+  let w = Measure.of_rows [| [ (0, 0.5); (1, 0.25) ]; [] |] in
+  check_float "diagonal forced to 1" 1. (Measure.weight w 0 0);
+  check_float "off-diagonal kept" 0.25 (Measure.weight w 0 1)
+
 let test_interference_at () =
   let w =
     Measure.of_function ~m:3 (fun e e' ->
@@ -252,6 +280,7 @@ let () =
           quick "of_function clamps" test_of_function_clamps;
           quick "of_rows diagonal" test_of_rows_diagonal;
           quick "of_rows rejects bad input" test_of_rows_rejects_bad;
+          quick "of_rows error paths" test_of_rows_error_paths;
           quick "interference_at" test_interference_at;
           quick "interference of counts" test_interference_of_counts;
           quick "max_row_sum" test_max_row_sum ] );

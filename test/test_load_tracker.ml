@@ -1,0 +1,176 @@
+(* Property tests for the incremental interference engine: a Load_tracker
+   driven by random single-link update sequences must agree with
+   recomputing Measure.interference from scratch — to 1e-9, after every
+   update, on every measure family the repo uses (identity, complete,
+   random sparse rows, SINR affectance). *)
+
+module Rng = Dps_prelude.Rng
+module Measure = Dps_interference.Measure
+module Load_tracker = Dps_interference.Load_tracker
+module Topology = Dps_network.Topology
+module Params = Dps_sinr.Params
+module Power = Dps_sinr.Power
+module Physics = Dps_sinr.Physics
+module Sinr_measure = Dps_sinr.Sinr_measure
+
+let tolerance = 1e-9
+
+(* ------------------------------------------------------------ measures *)
+
+(* Built once: a 3x3 grid under linear powers — a real (dense) affectance
+   matrix, m = 24 links. *)
+let sinr_measure =
+  lazy
+    (let g = Topology.grid ~rows:3 ~cols:3 ~spacing:10. in
+     let phys =
+       Physics.make
+         (Params.make ~alpha:3. ~beta:1. ~noise:1e-9 ())
+         (Power.linear 2.) g
+     in
+     Sinr_measure.linear_power phys)
+
+(* Random sparse rows: each off-diagonal entry present w.p. 0.4 with a
+   weight in (0, 1]. *)
+let random_rows_measure ~m seed =
+  let rng = Rng.create ~seed () in
+  let rows =
+    Array.init m (fun e ->
+        List.filter_map
+          (fun e' ->
+            if e' <> e && Rng.float rng 1. < 0.4 then
+              Some (e', 0.01 +. Rng.float rng 0.99)
+            else None)
+          (List.init m Fun.id))
+  in
+  Measure.of_rows rows
+
+(* ----------------------------------------------------------- machinery *)
+
+(* An op is (link, kind, scale): kind mod 3 selects add / remove /
+   add_scaled. The naive side mirrors the op on a plain load vector and
+   recomputes from scratch. *)
+let apply w tracker load (link, kind, c) =
+  let m = Measure.size w in
+  let e = link mod m in
+  (match kind mod 3 with
+  | 0 ->
+    load.(e) <- load.(e) +. 1.;
+    Load_tracker.add tracker e
+  | 1 ->
+    load.(e) <- load.(e) -. 1.;
+    Load_tracker.remove tracker e
+  | _ ->
+    load.(e) <- load.(e) +. c;
+    Load_tracker.add_scaled tracker e c);
+  e
+
+let agree w tracker load e =
+  Float.abs (Measure.interference w load -. Load_tracker.interference tracker)
+  <= tolerance
+  && Float.abs
+       (Measure.interference_at w load e
+       -. Load_tracker.interference_at tracker e)
+     <= tolerance
+
+let run_ops w tracker load ops =
+  List.for_all
+    (fun op ->
+      let e = apply w tracker load op in
+      agree w tracker load e)
+    ops
+
+let arb_ops =
+  QCheck.(
+    list_of_size
+      (Gen.int_range 1 40)
+      (triple small_nat small_nat (float_range (-2.) 2.)))
+
+let tracks ?(count = 500) name build =
+  QCheck.Test.make ~count ~name
+    QCheck.(pair small_nat arb_ops)
+    (fun (pick, ops) ->
+      let w = build pick in
+      let tracker = Load_tracker.create w in
+      let load = Array.make (Measure.size w) 0. in
+      run_ops w tracker load ops)
+
+(* ----------------------------------------------------------- properties *)
+
+let prop_identity =
+  tracks "tracker ≡ naive on identity measures" (fun pick ->
+      Measure.identity (1 + (pick mod 16)))
+
+let prop_complete =
+  tracks "tracker ≡ naive on complete measures" (fun pick ->
+      Measure.complete (1 + (pick mod 16)))
+
+let prop_random_rows =
+  tracks "tracker ≡ naive on random sparse measures" (fun pick ->
+      random_rows_measure ~m:(2 + (pick mod 14)) (3000 + pick))
+
+let prop_sinr =
+  tracks "tracker ≡ naive on a SINR affectance matrix" (fun _ ->
+      Lazy.force sinr_measure)
+
+(* reset is equivalent to a fresh tracker: interference drops to the
+   empty-system value and subsequent updates still agree with naive. *)
+let prop_reset =
+  QCheck.Test.make ~count:500 ~name:"reset returns to the empty system"
+    QCheck.(triple small_nat arb_ops arb_ops)
+    (fun (pick, before, after) ->
+      let w = random_rows_measure ~m:(2 + (pick mod 14)) (4000 + pick) in
+      let tracker = Load_tracker.create w in
+      let load = Array.make (Measure.size w) 0. in
+      List.iter (fun op -> ignore (apply w tracker load op)) before;
+      Load_tracker.reset tracker;
+      Array.fill load 0 (Array.length load) 0.;
+      Load_tracker.interference tracker = 0.
+      && run_ops w tracker load after)
+
+(* of_load starts from an arbitrary vector and stays in agreement. *)
+let prop_of_load =
+  QCheck.Test.make ~count:500 ~name:"of_load ≡ naive from a non-zero start"
+    QCheck.(
+      triple small_nat
+        (array_of_size (Gen.int_range 1 16) (float_range (-3.) 3.))
+        arb_ops)
+    (fun (pick, init, ops) ->
+      let m = Array.length init in
+      let w = random_rows_measure ~m (5000 + pick) in
+      let tracker = Load_tracker.of_load w (Array.copy init) in
+      let load = Array.copy init in
+      agree w tracker load 0 && run_ops w tracker load ops)
+
+let test_of_load_rejects_size () =
+  let w = Measure.identity 3 in
+  Alcotest.check_raises "wrong length"
+    (Invalid_argument "Load_tracker.of_load: load length differs from measure size")
+    (fun () ->
+      ignore (Load_tracker.of_load w [| 1. |]))
+
+let test_load_vector_roundtrip () =
+  let w = Measure.complete 4 in
+  let tracker = Load_tracker.create w in
+  Load_tracker.add tracker 1;
+  Load_tracker.add tracker 1;
+  Load_tracker.add_scaled tracker 3 0.5;
+  Alcotest.(check (array (float 1e-12)))
+    "load_vector" [| 0.; 2.; 0.; 0.5 |]
+    (Load_tracker.load_vector tracker);
+  Alcotest.(check (float 1e-12)) "load" 2. (Load_tracker.load tracker 1)
+
+let () =
+  Alcotest.run "load-tracker"
+    [ ( "unit",
+        [ Alcotest.test_case "of_load rejects size mismatch" `Quick
+            test_of_load_rejects_size;
+          Alcotest.test_case "load_vector round-trip" `Quick
+            test_load_vector_roundtrip ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_identity;
+            prop_complete;
+            prop_random_rows;
+            prop_sinr;
+            prop_reset;
+            prop_of_load ] ) ]

@@ -168,10 +168,130 @@ let test_parallel_gap_geometry () =
   Alcotest.(check bool) "parallel pair at gap 0.5 coexists" true
     (Physics.feasible_set phys [ 0; 1 ])
 
+(* --- Determinism goldens: the incremental interference engine
+   (Load_tracker, CSR Measure, the rewired measure-greedy / Channel /
+   Protocol bookkeeping) is a pure refactor of the hot loop — fixed-seed
+   runs must reproduce the pre-refactor reports bit for bit. The goldens
+   below were captured against the tuple-array Measure and the O(k²)
+   greedy admission; any drift means the rewrite changed a decision, not
+   just its cost. Both scenarios use oracles whose outcome is independent
+   of the active-list order Channel now produces. *)
+
+module Routing = Dps_network.Routing
+module Path = Dps_network.Path
+module Conflict_graph = Dps_interference.Conflict_graph
+module Sinr_measure = Dps_sinr.Sinr_measure
+module Stochastic = Dps_injection.Stochastic
+module Protocol = Dps_core.Protocol
+module Driver = Dps_core.Driver
+
+let check_series name expected ts =
+  Alcotest.(check (array (float 0.)))
+    name expected (Timeseries.to_array ts)
+
+(* Random multi-hop traffic drawn through the same rng that later drives
+   the run — part of the pinned seed path. *)
+let golden_traffic rng g measure ~flows ~max_hops ~rate ~target =
+  let routing = Routing.make g in
+  let n = Graph.node_count g in
+  let gens = ref [] in
+  let tries = ref 0 in
+  while List.length !gens < flows && !tries < 200 * flows do
+    incr tries;
+    let src = Rng.int rng n and dst = Rng.int rng n in
+    if src <> dst then
+      match Routing.path routing ~src ~dst with
+      | Some p when Path.length p <= max_hops ->
+        gens := [ (p, rate) ] :: !gens
+      | _ -> ()
+  done;
+  Stochastic.calibrate (Stochastic.make !gens) measure ~target
+
+(* Scenario A: measure-greedy admission + SINR power-control oracle on a
+   random geometric network — exercises the greedy rewire end to end. *)
+let test_golden_measure_greedy_sinr () =
+  let rng = Rng.create ~seed:4242 () in
+  let g = Topology.random_geometric rng ~nodes:14 ~side:50. ~radius:18. in
+  let prm = Params.make ~noise:1e-9 () in
+  let phys = Physics.make prm (Power.uniform 1.) g in
+  let measure = Sinr_measure.power_control phys in
+  let algorithm =
+    Dps_static.Measure_greedy.make ~budget:0.3
+      ~priority:(Graph.link_length g) ()
+  in
+  let lambda = 0.02 in
+  let inj =
+    golden_traffic rng g measure ~flows:8 ~max_hops:8 ~rate:0.005
+      ~target:lambda
+  in
+  let cfg = Protocol.configure ~algorithm ~measure ~lambda ~max_hops:8 () in
+  Alcotest.(check int) "frame" 2717 cfg.Protocol.frame;
+  let r =
+    Driver.run ~config:cfg
+      ~oracle:(Oracle.Sinr_power_control (prm, g))
+      ~source:(Driver.Stochastic inj) ~frames:25 ~rng
+  in
+  Alcotest.(check int) "injected" 789 r.Protocol.injected;
+  Alcotest.(check int) "delivered" 713 r.Protocol.delivered;
+  Alcotest.(check int) "failed events" 0 r.Protocol.failed_events;
+  Alcotest.(check int) "max queue" 90 r.Protocol.max_queue;
+  check_series "in_system"
+    [| 28.; 54.; 69.; 90.; 75.; 66.; 73.; 79.; 67.; 54.; 68.; 71.; 72.;
+       72.; 67.; 67.; 62.; 75.; 77.; 72.; 58.; 68.; 69.; 77.; 76. |]
+    r.Protocol.in_system;
+  check_series "failed_queue" (Array.make 25 0.) r.Protocol.failed_queue;
+  check_series "potential" (Array.make 25 0.) r.Protocol.potential
+
+(* Scenario B: delay-select + conflict-graph oracle, injected at 6× the
+   dimensioned rate so phase 1 overflows every frame — exercises the
+   failed-buffer counters and the clean-up dequeue path under load. *)
+let test_golden_overloaded_cleanup () =
+  let rng = Rng.create ~seed:1717 () in
+  let g = Topology.grid ~rows:3 ~cols:3 ~spacing:1. in
+  let cg = Conflict_graph.distance2 g in
+  let order = Conflict_graph.degeneracy_order cg in
+  let measure = Conflict_graph.to_measure cg ~order in
+  let algorithm = Dps_static.Delay_select.make ~c:4. () in
+  let lambda = 0.03 in
+  let inj =
+    golden_traffic rng g measure ~flows:6 ~max_hops:6 ~rate:0.004
+      ~target:(6. *. lambda)
+  in
+  let cfg = Protocol.configure ~algorithm ~measure ~lambda ~max_hops:6 () in
+  Alcotest.(check int) "frame" 1608 cfg.Protocol.frame;
+  let r =
+    Driver.run ~config:cfg ~oracle:(Oracle.Conflict cg)
+      ~source:(Driver.Stochastic inj) ~frames:25 ~rng
+  in
+  Alcotest.(check int) "injected" 3470 r.Protocol.injected;
+  Alcotest.(check int) "delivered" 1712 r.Protocol.delivered;
+  Alcotest.(check int) "failed events" 1535 r.Protocol.failed_events;
+  Alcotest.(check int) "max queue" 1758 r.Protocol.max_queue;
+  check_series "in_system"
+    [| 137.; 261.; 325.; 389.; 447.; 522.; 578.; 653.; 737.; 802.; 839.;
+       903.; 941.; 1012.; 1074.; 1156.; 1242.; 1311.; 1361.; 1417.; 1499.;
+       1573.; 1643.; 1704.; 1758. |]
+    r.Protocol.in_system;
+  check_series "failed_queue"
+    [| 0.; 0.; 75.; 163.; 212.; 292.; 361.; 433.; 497.; 563.; 627.; 680.;
+       746.; 788.; 841.; 896.; 986.; 1073.; 1144.; 1205.; 1273.; 1339.;
+       1387.; 1466.; 1527. |]
+    r.Protocol.failed_queue;
+  check_series "potential"
+    [| 0.; 0.; 129.; 276.; 360.; 510.; 629.; 739.; 833.; 938.; 1047.;
+       1134.; 1251.; 1313.; 1398.; 1490.; 1646.; 1791.; 1908.; 2011.;
+       2125.; 2234.; 2316.; 2448.; 2554. |]
+    r.Protocol.potential
+
 let () =
   let quick name f = Alcotest.test_case name `Quick f in
   Alcotest.run "regressions"
-    [ ( "fixed-bugs",
+    [ ( "determinism-goldens",
+        [ quick "measure-greedy + SINR power control (seed 4242)"
+            test_golden_measure_greedy_sinr;
+          quick "overloaded clean-up, conflict graph (seed 1717)"
+            test_golden_overloaded_cleanup ] );
+      ( "fixed-bugs",
         [ quick "decay window exponent (Lemma 15 drift)" test_decay_drains_within_lemma15_budget;
           quick "linear growth detected unstable" test_linear_growth_is_unstable;
           quick "spectral radius oscillation" test_crossfire_oscillation_detected;
