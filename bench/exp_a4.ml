@@ -83,7 +83,7 @@ let run () =
       (fun (name, configured, probe) ->
         let outcome =
           Sweep.critical_rate ~probe ~lo:(0.25 *. configured) ~hi:2.
-            ~tolerance:(if smoke then 0.2 else 0.02)
+            ~tolerance:(if smoke then 0.2 else 0.02) ()
         in
         let actual = outcome.Sweep.critical in
         [ Tbl.S name;

@@ -31,7 +31,7 @@ let protocol_threshold ~config ~oracle ~make_injection ~frames ~seed =
       in
       Stability.assess r.Protocol.in_system = Stability.Stable
   in
-  (Sweep.critical_rate ~probe ~lo:0.01 ~hi:2. ~tolerance:(if Common.smoke then 0.2 else 0.02)).Sweep.critical
+  (Sweep.critical_rate ~probe ~lo:0.01 ~hi:2. ~tolerance:(if Common.smoke then 0.2 else 0.02) ()).Sweep.critical
 
 (* Bisect the injection rate for the max-weight baseline. *)
 let max_weight_threshold ~oracle ~m ~make_injection ~slots ~seed =
@@ -48,7 +48,7 @@ let max_weight_threshold ~oracle ~m ~make_injection ~slots ~seed =
       in
       Max_weight.verdict report = Stability.Stable
   in
-  (Sweep.critical_rate ~probe ~lo:0.01 ~hi:2. ~tolerance:(if Common.smoke then 0.2 else 0.02)).Sweep.critical
+  (Sweep.critical_rate ~probe ~lo:0.01 ~hi:2. ~tolerance:(if Common.smoke then 0.2 else 0.02) ()).Sweep.critical
 
 let wireline_case () =
   let g = Topology.line ~nodes:5 ~spacing:1. in

@@ -1,0 +1,105 @@
+(* P2 — telemetry overhead on the protocol hot loop (Bechamel).
+
+   The acceptance bar for the telemetry subsystem: with telemetry absent
+   or disabled, one protocol frame must cost the same as before the
+   subsystem existed (the disabled path is one [None] branch per
+   emission site, no allocation); with telemetry enabled the extra cost
+   must stay small and, above all, off the critical path unless asked
+   for. Four variants of the B1 frame benchmark, identical
+   configuration:
+
+     none      protocol/channel created without a telemetry argument
+     disabled  created with [Telemetry.disabled] threaded through
+     null      enabled, delivering to [Sink.null] (measures the
+               instrumentation itself: handle bumps + span building)
+     jsonl     enabled, JSONL sink writing to /dev/null (adds the
+               encoder and the write) *)
+
+open Common
+open Bechamel
+open Toolkit
+module Telemetry = Dps_telemetry.Telemetry
+module Sink = Dps_telemetry.Sink
+
+let make_tests () =
+  let rng = Rng.create ~seed:1200 () in
+  let g = geometric_network rng ~target_links:(links 64) in
+  let m = Graph.link_count g in
+  let phys = linear_physics g in
+  let measure = Sinr_measure.linear_power phys in
+  let design = 0.04 in
+  let algorithm = Dps_static.Delay_select.make ~c:4. () in
+  let config =
+    Protocol.configure ~algorithm ~measure ~lambda:design ~max_hops:6 ()
+  in
+  let inj = traffic rng g measure ~flows:8 ~target:design ~max_hops:6 in
+  (* Each variant gets its own protocol, channel and RNG so the queues
+     evolve independently and no variant warms another's state. *)
+  let variant ~name mk_telemetry =
+    let telemetry, label = mk_telemetry () in
+    let channel =
+      match telemetry with
+      | None -> Channel.create ~oracle:(Oracle.Sinr phys) ~m ()
+      | Some t ->
+        Channel.create ~telemetry:t ~oracle:(Oracle.Sinr phys) ~m ()
+    in
+    let protocol =
+      match telemetry with
+      | None -> Protocol.create config ~channel
+      | Some t -> Protocol.create ~telemetry:t config ~channel
+    in
+    let frame_rng = Rng.create ~seed:1201 () in
+    let inject_slot slot =
+      List.map (fun p -> (p, 0)) (Stochastic.draw inj frame_rng ~slot)
+    in
+    ignore label;
+    Test.make
+      ~name:(Printf.sprintf "%s (T=%d)" name config.Protocol.frame)
+      (Staged.stage (fun () ->
+           Protocol.run_frame protocol frame_rng ~inject_slot))
+  in
+  let devnull = open_out "/dev/null" in
+  ( [ variant ~name:"frame, telemetry absent" (fun () -> (None, "none"));
+      variant ~name:"frame, telemetry disabled" (fun () ->
+          (Some Telemetry.disabled, "disabled"));
+      variant ~name:"frame, enabled -> null sink" (fun () ->
+          (Some (Telemetry.make ~sinks:[ Sink.null ] ()), "null"));
+      variant ~name:"frame, enabled -> jsonl /dev/null" (fun () ->
+          (Some (Telemetry.make ~sinks:[ Sink.jsonl devnull ] ()), "jsonl")) ],
+    fun () -> close_out devnull )
+
+let run () =
+  Printf.printf "\n=== P2: telemetry overhead on one protocol frame ===\n";
+  let tests, cleanup = make_tests () in
+  let cfg =
+    Benchmark.cfg ~limit:3000
+      ~quota:(Time.second (if smoke then 0.05 else 2.))
+      ~kde:None ()
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let analysis =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let baseline = ref Float.nan in
+  Printf.printf "%-44s %14s %8s %10s\n" "variant" "ns/frame" "r²" "vs none";
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let estimates = Analyze.all analysis Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols ->
+          let time =
+            match Analyze.OLS.estimates ols with
+            | Some (t :: _) -> t
+            | _ -> Float.nan
+          in
+          let r2 = Option.value ~default:Float.nan (Analyze.OLS.r_square ols) in
+          if Float.is_nan !baseline then baseline := time;
+          Printf.printf "%-44s %14.1f %8.3f %9.2f%%\n" name time r2
+            ((time -. !baseline) /. !baseline *. 100.))
+        estimates)
+    tests;
+  cleanup ();
+  print_endline
+    "overhead vs the untelemetered frame; the disabled row is the tier-1 \
+     budget (<= 5%), the enabled rows are the opt-in cost"

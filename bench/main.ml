@@ -21,7 +21,8 @@ let experiments =
     ("a4", "calibration: measured vs configured threshold", Exp_a4.run);
     ("a5", "baseline: competitive ratio vs max-weight", Exp_a5.run);
     ("b1", "micro-benchmarks", Exp_b1.run);
-    ("p1", "perf: incremental interference engine", Exp_p1.run) ]
+    ("p1", "perf: incremental interference engine", Exp_p1.run);
+    ("p2", "perf: telemetry overhead", Exp_p2.run) ]
 
 let () =
   let requested =

@@ -6,8 +6,12 @@
 
    Examples:
      dps_run --model sinr-linear --topology grid:4x4 --rate 0.04
-     dps_run --model mac --algorithm decay --stations 8 --rate 0.2
+     dps_run --model mac --algorithm decay --stations 8 --rate 0.15
      dps_run --model wireline --topology line:8 --rate 0.3 --adversary burst
+     dps_run --model sinr-linear --rate 0.04 --trace t.jsonl --metrics m.csv
+
+   The full flag reference lives in docs/CLI.md; the trace/metrics output
+   format in docs/OBSERVABILITY.md.
 *)
 
 module Rng = Dps_prelude.Rng
@@ -31,6 +35,8 @@ module Adversary = Dps_injection.Adversary
 module Protocol = Dps_core.Protocol
 module Driver = Dps_core.Driver
 module Stability = Dps_core.Stability
+module Telemetry = Dps_telemetry.Telemetry
+module Sink = Dps_telemetry.Sink
 
 type model =
   | Sinr_linear
@@ -123,8 +129,34 @@ let build_traffic rng g measure ~flows ~rate ~max_hops ~mac =
     Stochastic.calibrate (Stochastic.make !gens) measure ~target:rate
   end
 
+(* Open the requested sinks (empty when neither --trace nor --metrics is
+   given, in which case the bundle is [Telemetry.disabled] and the run pays
+   no instrumentation cost). Returns the bundle and a closer that flushes
+   and closes every opened file. *)
+let make_telemetry ~trace ~metrics =
+  let opened = ref [] in
+  let open_sink path mk =
+    let oc = open_out path in
+    opened := oc :: !opened;
+    mk oc
+  in
+  let sinks =
+    List.concat
+      [ (match trace with
+        | None -> []
+        | Some path -> [ open_sink path Sink.jsonl ]);
+        (match metrics with
+        | None -> []
+        | Some path -> [ open_sink path Sink.csv ]) ]
+  in
+  match sinks with
+  | [] -> (Telemetry.disabled, fun () -> ())
+  | sinks ->
+    let t = Telemetry.make ~sinks () in
+    (t, fun () -> Telemetry.close t)
+
 let run model_name topology algorithm_name rate epsilon frames flows adversary
-    stations loss seed =
+    stations loss seed trace metrics metrics_every =
   let model =
     match model_name with
     | "sinr-linear" -> Sinr_linear
@@ -195,7 +227,12 @@ let run model_name topology algorithm_name rate epsilon frames flows adversary
       in
       Driver.Adversarial adv
   in
-  let r = Driver.run ~config ~oracle ~source ~frames ~rng in
+  let telemetry, close_telemetry = make_telemetry ~trace ~metrics in
+  let r =
+    Fun.protect ~finally:close_telemetry (fun () ->
+        Driver.run_traced ~telemetry ~metrics_every ~config ~oracle ~source
+          ~frames ~rng)
+  in
   Format.printf "@\n%a@\n"
     (Dps_core.Report_pp.pp ~frame:config.Protocol.frame)
     r
@@ -272,21 +309,68 @@ let loss =
 let seed =
   Arg.(value & opt int 2012 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
 
+let trace =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a JSONL telemetry trace (spans, events and metric \
+           snapshots) to $(docv). Schema: docs/OBSERVABILITY.md.")
+
+let metrics =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Write metric snapshots as CSV (frame,metric,labels,kind,value) \
+           to $(docv).")
+
+let metrics_every =
+  Arg.(
+    value & opt int 10
+    & info [ "metrics-every" ] ~docv:"N"
+        ~doc:
+          "Emit a metrics snapshot every $(docv) frames (0 = final snapshot \
+           only). Only meaningful with $(b,--trace) or $(b,--metrics).")
+
 let run_safely model_name topology algorithm_name rate epsilon frames flows
-    adversary stations loss seed =
+    adversary stations loss seed trace metrics metrics_every =
   try
     run model_name topology algorithm_name rate epsilon frames flows adversary
-      stations loss seed
+      stations loss seed trace metrics metrics_every
   with Invalid_argument msg | Failure msg ->
     Printf.eprintf "dps_run: %s\n" msg;
     exit 1
 
 let cmd =
   let doc = "dynamic packet scheduling in wireless networks (PODC 2012)" in
+  let man =
+    [ `S Manpage.s_examples;
+      `P "A small SINR run on the default 4x4 grid:";
+      `Pre "  dps_run --model sinr-linear --topology grid:4x4 --rate 0.04";
+      `P "Decay on a shared MAC channel:";
+      `Pre "  dps_run --model mac --algorithm decay --stations 8 --rate 0.15";
+      `P "A burst adversary on a wireline path:";
+      `Pre
+        "  dps_run --model wireline --topology line:8 --rate 0.3 --adversary \
+         burst";
+      `P "Record a telemetry trace and periodic metric snapshots:";
+      `Pre
+        "  dps_run --model sinr-linear --rate 0.04 --trace t.jsonl --metrics \
+         m.csv --metrics-every 5";
+      `S Manpage.s_see_also;
+      `P
+        "docs/CLI.md (full flag reference with one example per interference \
+         model); docs/OBSERVABILITY.md (trace schema and metric catalogue)."
+    ]
+  in
   Cmd.v
-    (Cmd.info "dps_run" ~doc)
+    (Cmd.info "dps_run" ~doc ~man)
     Term.(
       const run_safely $ model $ topology $ algorithm $ rate $ epsilon $ frames
-      $ flows $ adversary $ stations $ loss $ seed)
+      $ flows $ adversary $ stations $ loss $ seed $ trace $ metrics
+      $ metrics_every)
 
 let () = exit (Cmd.eval cmd)

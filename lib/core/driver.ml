@@ -3,6 +3,8 @@ module Channel = Dps_sim.Channel
 module Measure = Dps_interference.Measure
 module Stochastic = Dps_injection.Stochastic
 module Adversary = Dps_injection.Adversary
+module Telemetry = Dps_telemetry.Telemetry
+module Event = Dps_telemetry.Event
 
 type source =
   | Stochastic of Stochastic.t
@@ -23,19 +25,49 @@ let inject_fn source ~config ~rng =
     in
     fun slot -> Adversarial.inject_slot adv rng ~delta_max slot
 
-let run_protocol ~protocol ~source ~frames ~rng =
+let run_protocol_traced ~telemetry ~metrics_every ~protocol ~source ~frames
+    ~rng =
+  if metrics_every < 0 then invalid_arg "Driver: metrics_every < 0";
   let inject_slot =
     inject_fn source ~config:(Protocol.config protocol) ~rng
   in
-  for _ = 1 to frames do
-    Protocol.run_frame protocol rng ~inject_slot
+  let recording = Telemetry.enabled telemetry in
+  let start_frame = Protocol.frame_index protocol in
+  for i = 1 to frames do
+    Protocol.run_frame protocol rng ~inject_slot;
+    (* Periodic snapshot so long runs are observable while they execute;
+       the final snapshot below covers the last partial period. *)
+    if recording && metrics_every > 0 && i mod metrics_every = 0 && i < frames
+    then Telemetry.emit_metrics telemetry ~frame:(Protocol.frame_index protocol)
   done;
-  Protocol.report protocol
+  let report = Protocol.report protocol in
+  if recording then begin
+    let end_frame = Protocol.frame_index protocol in
+    let t = (Protocol.config protocol).Protocol.frame in
+    Telemetry.emit_metrics telemetry ~frame:end_frame;
+    Telemetry.span telemetry ~name:"driver.run" ~frame:start_frame
+      ~slot_start:(start_frame * t) ~slot_end:(end_frame * t)
+      [ ("frames", Event.Int frames);
+        ("injected", Event.Int report.Protocol.injected);
+        ("delivered", Event.Int report.Protocol.delivered);
+        ("failed_events", Event.Int report.Protocol.failed_events);
+        ("max_queue", Event.Int report.Protocol.max_queue) ];
+    Telemetry.flush telemetry
+  end;
+  report
 
-let run ~config ~oracle ~source ~frames ~rng =
+let run_protocol ~protocol ~source ~frames ~rng =
+  run_protocol_traced ~telemetry:Telemetry.disabled ~metrics_every:0 ~protocol
+    ~source ~frames ~rng
+
+let run_traced ~telemetry ~metrics_every ~config ~oracle ~source ~frames ~rng =
   let channel =
-    Channel.create ~rng:(Rng.split rng) ~oracle
+    Channel.create ~rng:(Rng.split rng) ~telemetry ~oracle
       ~m:(Measure.size config.Protocol.measure) ()
   in
-  let protocol = Protocol.create config ~channel in
-  run_protocol ~protocol ~source ~frames ~rng
+  let protocol = Protocol.create ~telemetry config ~channel in
+  run_protocol_traced ~telemetry ~metrics_every ~protocol ~source ~frames ~rng
+
+let run ~config ~oracle ~source ~frames ~rng =
+  run_traced ~telemetry:Telemetry.disabled ~metrics_every:0 ~config ~oracle
+    ~source ~frames ~rng

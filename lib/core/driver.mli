@@ -2,7 +2,11 @@
 
     Wires a configured protocol to a fresh channel, feeds it from either
     injection model for a number of frames, and returns the report. This is
-    the entry point the examples, the CLI and the benchmark harness share. *)
+    the entry point the examples, the CLI and the benchmark harness share.
+
+    The [_traced] variants take a telemetry bundle and an explicit snapshot
+    period; the plain variants are equivalent to passing
+    [Dps_telemetry.Telemetry.disabled] and cost nothing extra. *)
 
 type source =
   | Stochastic of Dps_injection.Stochastic.t
@@ -20,9 +24,43 @@ val run :
   rng:Dps_prelude.Rng.t ->
   Protocol.report
 
-(** [run_protocol ~protocol ~source ~frames ~rng] — same, against existing
-    protocol state (continue a run, e.g. to drain after load). *)
+(** [run_traced ~telemetry ~metrics_every ~config ~oracle ~source ~frames
+    ~rng] — like {!run}, with instrumentation. When [telemetry] is enabled,
+    the channel and protocol are instrumented (see their [create]
+    functions), a [driver.run] span closes the run, a final metrics
+    snapshot is emitted, and — with [metrics_every = n > 0] — an
+    intermediate snapshot is emitted every [n] frames, so long runs are
+    observable while they execute ([metrics_every = 0] means final snapshot
+    only). Sinks are flushed at the end of the run but {e not} closed; that
+    stays with whoever opened them. Raises [Invalid_argument] on negative
+    [metrics_every]. *)
+val run_traced :
+  telemetry:Dps_telemetry.Telemetry.t ->
+  metrics_every:int ->
+  config:Protocol.config ->
+  oracle:Dps_sim.Oracle.t ->
+  source:source ->
+  frames:int ->
+  rng:Dps_prelude.Rng.t ->
+  Protocol.report
+
+(** [run_protocol ~protocol ~source ~frames ~rng] — same as {!run}, against
+    existing protocol state (continue a run, e.g. to drain after load). *)
 val run_protocol :
+  protocol:Protocol.t ->
+  source:source ->
+  frames:int ->
+  rng:Dps_prelude.Rng.t ->
+  Protocol.report
+
+(** [run_protocol_traced ~telemetry ~metrics_every ~protocol ~source ~frames
+    ~rng] — {!run_protocol} with instrumentation as in {!run_traced}.
+    [telemetry] here only drives the run span and the metric snapshots;
+    instrument the protocol and channel themselves by passing the same
+    bundle to their [create]s. *)
+val run_protocol_traced :
+  telemetry:Dps_telemetry.Telemetry.t ->
+  metrics_every:int ->
   protocol:Protocol.t ->
   source:source ->
   frames:int ->

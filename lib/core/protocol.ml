@@ -8,6 +8,9 @@ module Channel = Dps_sim.Channel
 module Packet = Dps_sim.Packet
 module Algorithm = Dps_static.Algorithm
 module Request = Dps_static.Request
+module Telemetry = Dps_telemetry.Telemetry
+module Metrics = Dps_telemetry.Metrics
+module Event = Dps_telemetry.Event
 
 type config = {
   algorithm : Algorithm.t;
@@ -108,9 +111,30 @@ type report = {
   max_queue : int;
 }
 
+(* Pre-resolved telemetry handles (metric catalogue: docs/OBSERVABILITY.md).
+   Resolved once in [create] when telemetry is enabled; [None] otherwise,
+   so the per-frame emission cost without telemetry is one match. *)
+type tel = {
+  tel_t : Telemetry.t;
+  c_frames : Metrics.counter;
+  c_injected : Metrics.counter;
+  c_delivered : Metrics.counter;
+  c_phase1_failures : Metrics.counter;
+  c_phase1_slots : Metrics.counter;
+  c_cleanup_slots : Metrics.counter;
+  c_idle_slots : Metrics.counter;
+  g_in_system : Metrics.gauge;
+  g_failed : Metrics.gauge;
+  g_potential : Metrics.gauge;
+  g_failed_interference : Metrics.gauge;
+  g_max_queue : Metrics.gauge;
+  h_latency : Metrics.histogram;
+}
+
 type t = {
   cfg : config;
   channel : Channel.t;
+  tel : tel option;
   mutable frame_idx : int;
   mutable live : Packet.t list;  (* never-failed, undelivered; newest first *)
   mutable live_count : int;
@@ -133,11 +157,34 @@ type t = {
   mutable max_queue : int;
 }
 
-let create cfg ~channel =
+let create ?telemetry cfg ~channel =
   if Channel.size channel <> Measure.size cfg.measure then
     invalid_arg "Protocol.create: channel and measure sizes differ";
+  let tel =
+    match telemetry with
+    | Some tl when Telemetry.enabled tl ->
+      let reg = Telemetry.metrics tl in
+      Some
+        { tel_t = tl;
+          c_frames = Metrics.counter reg "protocol.frames";
+          c_injected = Metrics.counter reg "protocol.injected";
+          c_delivered = Metrics.counter reg "protocol.delivered";
+          c_phase1_failures = Metrics.counter reg "protocol.phase1.failures";
+          c_phase1_slots = Metrics.counter reg "protocol.phase1.slots";
+          c_cleanup_slots = Metrics.counter reg "protocol.cleanup.slots";
+          c_idle_slots = Metrics.counter reg "protocol.idle.slots";
+          g_in_system = Metrics.gauge reg "protocol.queue.in_system";
+          g_failed = Metrics.gauge reg "protocol.queue.failed";
+          g_potential = Metrics.gauge reg "protocol.potential";
+          g_failed_interference =
+            Metrics.gauge reg "protocol.failed_interference";
+          g_max_queue = Metrics.gauge reg "protocol.queue.max";
+          h_latency = Metrics.histogram reg "protocol.latency.slots" }
+    | _ -> None
+  in
   { cfg;
     channel;
+    tel;
     frame_idx = 0;
     live = [];
     live_count = 0;
@@ -181,7 +228,11 @@ let dequeue_failed t link =
 let record_delivery t rng packet =
   t.delivered <- t.delivered + 1;
   match Packet.latency packet with
-  | Some l -> Histogram.add t.latency rng (float_of_int l)
+  | Some l ->
+    Histogram.add t.latency rng (float_of_int l);
+    (match t.tel with
+    | None -> ()
+    | Some h -> Metrics.observe h.h_latency (float_of_int l))
   | None -> assert false
 
 (* Phase 1: one shot of the static algorithm on every participating live
@@ -270,6 +321,9 @@ let inject_packet t path ~slot ~extra_delay =
 
 let run_frame t rng ~inject_slot =
   let frame_start = Channel.now t.channel in
+  let injected0 = t.injected in
+  let delivered0 = t.delivered in
+  let failures0 = t.failed_events in
   (* Traffic arriving during this frame: drawn up front (arrivals are
      independent of the channel), stamped with their true arrival slot. *)
   for off = 0 to t.cfg.frame - 1 do
@@ -281,20 +335,49 @@ let run_frame t rng ~inject_slot =
       (inject_slot slot)
   done;
   phase1 t rng;
+  let phase1_end = Channel.now t.channel in
   cleanup t rng;
-  let consumed = Channel.now t.channel - frame_start in
+  let cleanup_end = Channel.now t.channel in
+  let consumed = cleanup_end - frame_start in
   assert (consumed <= t.cfg.frame);
   Channel.idle t.channel ~slots:(t.cfg.frame - consumed);
   (* Frame statistics — all O(1) from the running tallies. *)
   let fq = t.failed_total in
   let total = t.live_count + fq in
   let phi = t.failed_potential in
+  let wr = Load_tracker.interference t.failed_tracker in
   Timeseries.add t.in_system (float_of_int total);
   Timeseries.add t.failed_queue (float_of_int fq);
   Timeseries.add t.potential (float_of_int phi);
-  Timeseries.add t.failed_interference
-    (Load_tracker.interference t.failed_tracker);
+  Timeseries.add t.failed_interference wr;
   if total > t.max_queue then t.max_queue <- total;
+  (match t.tel with
+  | None -> ()
+  | Some h ->
+    Metrics.incr h.c_frames;
+    Metrics.add h.c_injected (t.injected - injected0);
+    Metrics.add h.c_delivered (t.delivered - delivered0);
+    Metrics.add h.c_phase1_failures (t.failed_events - failures0);
+    Metrics.add h.c_phase1_slots (phase1_end - frame_start);
+    Metrics.add h.c_cleanup_slots (cleanup_end - phase1_end);
+    Metrics.add h.c_idle_slots (t.cfg.frame - consumed);
+    Metrics.set h.g_in_system (float_of_int total);
+    Metrics.set h.g_failed (float_of_int fq);
+    Metrics.set h.g_potential (float_of_int phi);
+    Metrics.set h.g_failed_interference wr;
+    Metrics.set h.g_max_queue (float_of_int t.max_queue);
+    Telemetry.span h.tel_t ~name:"protocol.frame" ~frame:t.frame_idx
+      ~slot_start:frame_start
+      ~slot_end:(Channel.now t.channel)
+      [ ("injected", Event.Int (t.injected - injected0));
+        ("delivered", Event.Int (t.delivered - delivered0));
+        ("phase1_failures", Event.Int (t.failed_events - failures0));
+        ("phase1_slots", Event.Int (phase1_end - frame_start));
+        ("cleanup_slots", Event.Int (cleanup_end - phase1_end));
+        ("in_system", Event.Int total);
+        ("failed_queue", Event.Int fq);
+        ("potential", Event.Int phi);
+        ("failed_interference", Event.Float wr) ]);
   t.frame_idx <- t.frame_idx + 1
 
 let report t =

@@ -89,9 +89,19 @@ type report = {
 
 type t
 
-(** [create config ~channel] — fresh protocol state bound to a channel.
-    Raises [Invalid_argument] if the channel and measure disagree on [m]. *)
-val create : config -> channel:Dps_sim.Channel.t -> t
+(** [create ?telemetry config ~channel] — fresh protocol state bound to a
+    channel. When [telemetry] is given and enabled, every frame emits a
+    [protocol.frame] span and maintains the [protocol.*] counters, gauges
+    and the latency histogram of docs/OBSERVABILITY.md; when absent or
+    disabled no handles are resolved and the per-frame cost is a single
+    branch (telemetry never consumes randomness, so reports are
+    bit-identical either way — pinned by the determinism goldens). Raises
+    [Invalid_argument] if the channel and measure disagree on [m]. *)
+val create :
+  ?telemetry:Dps_telemetry.Telemetry.t ->
+  config ->
+  channel:Dps_sim.Channel.t ->
+  t
 
 val config : t -> config
 

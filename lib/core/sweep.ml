@@ -1,29 +1,49 @@
+module Telemetry = Dps_telemetry.Telemetry
+module Event = Dps_telemetry.Event
+
 type outcome = {
   critical : float;
   stable_at : float list;
   unstable_at : float list;
 }
 
-let critical_rate ~probe ~lo ~hi ~tolerance =
+let critical_rate ?(telemetry = Telemetry.disabled) ~probe ~lo ~hi ~tolerance
+    () =
   if not (lo < hi) then invalid_arg "Sweep.critical_rate: lo >= hi";
   if tolerance <= 0. then invalid_arg "Sweep.critical_rate: tolerance <= 0";
+  let recording = Telemetry.enabled telemetry in
   let stable = ref [] and unstable = ref [] in
+  let probes = ref 0 in
   let check rate =
     let ok = probe rate in
+    if recording then
+      Telemetry.point telemetry ~name:"sweep.probe" ~frame:!probes ~slot:0
+        [ ("rate", Event.Float rate); ("stable", Event.Bool ok) ];
+    incr probes;
     if ok then stable := rate :: !stable else unstable := rate :: !unstable;
     ok
   in
+  let finish critical =
+    if recording then begin
+      Telemetry.point telemetry ~name:"sweep.result" ~frame:!probes ~slot:0
+        [ ("critical", Event.Float critical);
+          ("probes", Event.Int !probes);
+          ("stable", Event.Int (List.length !stable));
+          ("unstable", Event.Int (List.length !unstable)) ];
+      Telemetry.flush telemetry
+    end;
+    { critical; stable_at = !stable; unstable_at = !unstable }
+  in
   if not (check lo) then
     invalid_arg "Sweep.critical_rate: lower bound is already unstable";
-  if check hi then
-    { critical = hi; stable_at = !stable; unstable_at = !unstable }
+  if check hi then finish hi
   else begin
     let lo = ref lo and hi = ref hi in
     while !hi -. !lo > tolerance do
       let mid = (!lo +. !hi) /. 2. in
       if check mid then lo := mid else hi := mid
     done;
-    { critical = !lo; stable_at = !stable; unstable_at = !unstable }
+    finish !lo
   end
 
 let protocol_probe ~configure ~run rate =

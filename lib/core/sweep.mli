@@ -13,14 +13,23 @@ type outcome = {
   unstable_at : float list;  (** rates probed and found not stable *)
 }
 
-(** [critical_rate ~probe ~lo ~hi ~tolerance] — bisect on
+(** [critical_rate ?telemetry ~probe ~lo ~hi ~tolerance ()] — bisect on
     [probe rate = true] (stable). Requires [probe lo = true] (raises
     [Invalid_argument] otherwise); if [probe hi] is already stable, returns
     [hi]. Marginal verdicts should be mapped by the caller (a conservative
     probe treats them as unstable). The probe is called O(log((hi-lo)/
-    tolerance)) times; make it deterministic for reproducible sweeps. *)
+    tolerance)) times; make it deterministic for reproducible sweeps.
+    When [telemetry] is given and enabled, every probe emits a
+    [sweep.probe] event (attrs: rate, stable) and the search closes with a
+    [sweep.result] event followed by a flush — see docs/OBSERVABILITY.md. *)
 val critical_rate :
-  probe:(float -> bool) -> lo:float -> hi:float -> tolerance:float -> outcome
+  ?telemetry:Dps_telemetry.Telemetry.t ->
+  probe:(float -> bool) ->
+  lo:float ->
+  hi:float ->
+  tolerance:float ->
+  unit ->
+  outcome
 
 (** [protocol_probe ~configure ~run rate] — convenience predicate: configure
     at [rate] (an exception from [configure] counts as unstable), run, and

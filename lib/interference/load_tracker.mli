@@ -23,6 +23,7 @@ val create : Measure.t -> t
     when [r]'s length differs from the measure size. *)
 val of_load : Measure.t -> float array -> t
 
+(** The measure this tracker was created over (shared, not a copy). *)
 val measure : t -> Measure.t
 
 (** Number of links [m]. *)

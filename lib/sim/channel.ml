@@ -1,5 +1,18 @@
 module Rng = Dps_prelude.Rng
 module Load_tracker = Dps_interference.Load_tracker
+module Telemetry = Dps_telemetry.Telemetry
+module Metrics = Dps_telemetry.Metrics
+
+(* Pre-resolved metric handles; allocated once in [create] when telemetry
+   is enabled, so the per-slot path never performs a name lookup. *)
+type tel = {
+  c_slots : Metrics.counter;
+  c_busy : Metrics.counter;
+  c_attempts : Metrics.counter;
+  c_success : Metrics.counter;
+  c_collision : Metrics.counter;
+  c_denied : Metrics.counter;
+}
 
 type t = {
   oracle : Oracle.t;
@@ -10,21 +23,40 @@ type t = {
   counts : int array;  (* per-slot attempt counts; zero outside step *)
   tracker : Load_tracker.t option;
       (* measured per-slot attempt interference, when a measure is attached *)
+  tel : tel option;
 }
 
-let create ?rng ?measure ~oracle ~m () =
+let create ?rng ?measure ?telemetry ~oracle ~m () =
   assert (m > 0);
   (match measure with
   | Some w when Dps_interference.Measure.size w <> m ->
     invalid_arg "Channel.create: measure size differs from m"
   | _ -> ());
+  let tel =
+    match telemetry with
+    | Some tl when Telemetry.enabled tl ->
+      let reg = Telemetry.metrics tl in
+      Some
+        { c_slots = Metrics.counter reg "channel.slots";
+          c_busy = Metrics.counter reg "channel.busy_slots";
+          c_attempts = Metrics.counter reg "channel.attempts";
+          c_success =
+            Metrics.counter reg "channel.tx" ~labels:[ ("outcome", "success") ];
+          c_collision =
+            Metrics.counter reg "channel.tx"
+              ~labels:[ ("outcome", "collision") ];
+          c_denied =
+            Metrics.counter reg "channel.tx" ~labels:[ ("outcome", "denied") ] }
+    | _ -> None
+  in
   { oracle;
     m;
     now = 0;
     trace = Trace.create ~m;
     rng;
     counts = Array.make m 0;
-    tracker = Option.map Load_tracker.create measure }
+    tracker = Option.map Load_tracker.create measure;
+    tel }
 
 let oracle t = t.oracle
 let size t = t.m
@@ -35,6 +67,7 @@ let step t attempts =
   match attempts with
   | [] ->
     Trace.record t.trace ~attempted:[] ~succeeded:[];
+    (match t.tel with None -> () | Some h -> Metrics.incr h.c_slots);
     t.now <- t.now + 1;
     []
   | _ ->
@@ -58,6 +91,24 @@ let step t attempts =
       Load_tracker.reset tracker);
     let winners = Oracle.adjudicate ?rng:t.rng t.oracle active in
     let succeeded = List.filter (fun e -> t.counts.(e) = 1) winners in
+    (match t.tel with
+    | None -> ()
+    | Some h ->
+      (* Attempt accounting: every attempt either succeeded, collided at
+         its own link (count > 1), or was denied by the oracle. *)
+      Metrics.incr h.c_slots;
+      Metrics.incr h.c_busy;
+      let attempts_n = List.length attempts in
+      let success_n = List.length succeeded in
+      let collision_n =
+        List.fold_left
+          (fun acc e -> if t.counts.(e) > 1 then acc + t.counts.(e) else acc)
+          0 active
+      in
+      Metrics.add h.c_attempts attempts_n;
+      Metrics.add h.c_success success_n;
+      Metrics.add h.c_collision collision_n;
+      Metrics.add h.c_denied (attempts_n - success_n - collision_n));
     List.iter (fun e -> t.counts.(e) <- 0) active;
     Trace.record t.trace ~attempted:attempts ~succeeded;
     t.now <- t.now + 1;

@@ -8,17 +8,23 @@
 
 type t
 
-(** [create ?rng ?measure ~oracle ~m ()] — a fresh channel. [rng] supplies
-    the randomness stochastic oracles ({!Oracle.Lossy}) need; deterministic
-    oracles never consult it. When [measure] is given, the channel keeps a
-    {!Dps_interference.Load_tracker} and records every busy slot's measured
-    attempt interference [||W·attempts||_inf] (over the distinct attempting
-    links — the set the oracle adjudicates) into the trace; see
-    {!Trace.mean_interference}. Raises [Invalid_argument] if the measure
-    size differs from [m]. *)
+(** [create ?rng ?measure ?telemetry ~oracle ~m ()] — a fresh channel.
+    [rng] supplies the randomness stochastic oracles ({!Oracle.Lossy})
+    need; deterministic oracles never consult it. When [measure] is given,
+    the channel keeps a {!Dps_interference.Load_tracker} and records every
+    busy slot's measured attempt interference [||W·attempts||_inf] (over
+    the distinct attempting links — the set the oracle adjudicates) into
+    the trace; see {!Trace.mean_interference}. When [telemetry] is given
+    and enabled, every {!step} maintains the [channel.*] counters of
+    docs/OBSERVABILITY.md ([channel.slots], [channel.busy_slots],
+    [channel.attempts], and [channel.tx] labelled by outcome:
+    success / collision / denied); otherwise the per-slot telemetry cost
+    is a single branch. Raises [Invalid_argument] if the measure size
+    differs from [m]. *)
 val create :
   ?rng:Dps_prelude.Rng.t ->
   ?measure:Dps_interference.Measure.t ->
+  ?telemetry:Dps_telemetry.Telemetry.t ->
   oracle:Oracle.t ->
   m:int ->
   unit ->

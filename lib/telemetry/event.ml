@@ -1,0 +1,73 @@
+let schema_version = 1
+
+type value = Int of int | Float of float | Bool of bool | Str of string
+
+type t =
+  | Span of {
+      name : string;
+      frame : int;
+      slot_start : int;
+      slot_end : int;
+      attrs : (string * value) list;
+    }
+  | Point of {
+      name : string;
+      frame : int;
+      slot : int;
+      attrs : (string * value) list;
+    }
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let float_to_json f =
+  if Float.is_finite f then Printf.sprintf "%.12g" f else "null"
+
+let value_to_json = function
+  | Int i -> string_of_int i
+  | Float f -> float_to_json f
+  | Bool b -> if b then "true" else "false"
+  | Str s -> escape s
+
+let add_attrs b attrs =
+  Buffer.add_string b ",\"attrs\":{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (escape k);
+      Buffer.add_char b ':';
+      Buffer.add_string b (value_to_json v))
+    attrs;
+  Buffer.add_char b '}'
+
+let to_json ev =
+  let b = Buffer.create 160 in
+  Buffer.add_string b (Printf.sprintf "{\"v\":%d" schema_version);
+  (match ev with
+  | Span { name; frame; slot_start; slot_end; attrs } ->
+    Buffer.add_string b
+      (Printf.sprintf ",\"type\":\"span\",\"name\":%s,\"frame\":%d,\"slot_start\":%d,\"slot_end\":%d"
+         (escape name) frame slot_start slot_end);
+    add_attrs b attrs
+  | Point { name; frame; slot; attrs } ->
+    Buffer.add_string b
+      (Printf.sprintf ",\"type\":\"event\",\"name\":%s,\"frame\":%d,\"slot\":%d"
+         (escape name) frame slot);
+    add_attrs b attrs);
+  Buffer.add_char b '}';
+  Buffer.contents b

@@ -1,0 +1,51 @@
+(** Trace events and their canonical, versioned JSON encoding.
+
+    The JSONL trace produced by {!Sink.jsonl} is a {e stable interface}:
+    one JSON object per line, schema version {!schema_version}, field
+    names and rendering rules documented in [docs/OBSERVABILITY.md] and
+    pinned byte-for-byte by the golden test in [test/test_telemetry.ml].
+    Timestamps are {e logical}: the simulator's slot and frame counters,
+    never wall-clock time — traces from a fixed seed are bit-identical
+    across runs and machines. *)
+
+(** Version of the trace schema emitted by {!to_json}. Bumped whenever a
+    field is renamed, removed, or re-ordered; adding a new span/event
+    {e name} (with its own attrs) is a compatible change and does not bump
+    the version. *)
+val schema_version : int
+
+(** Attribute values. Non-finite floats render as JSON [null]; strings
+    must be UTF-8. *)
+type value = Int of int | Float of float | Bool of bool | Str of string
+
+(** A trace event: either a {e span} covering a half-open slot interval
+    [slot_start, slot_end) of one frame, or a {e point event} at a single
+    slot. [attrs] render in the order given, which wiring code keeps
+    fixed per event name. *)
+type t =
+  | Span of {
+      name : string;
+      frame : int;
+      slot_start : int;
+      slot_end : int;
+      attrs : (string * value) list;
+    }
+  | Point of {
+      name : string;
+      frame : int;
+      slot : int;
+      attrs : (string * value) list;
+    }
+
+(** [to_json ev] — the canonical one-line JSON encoding (no trailing
+    newline). Keys appear in a fixed order: [v], [type], [name], the
+    time fields, then [attrs] (always present, possibly [{}]). *)
+val to_json : t -> string
+
+(** [escape s] — [s] as a double-quoted JSON string literal (quotes
+    included), escaping backslash, quote and control characters. *)
+val escape : string -> string
+
+(** [float_to_json f] — deterministic JSON number rendering ([%.12g]);
+    non-finite values render as [null]. *)
+val float_to_json : float -> string

@@ -1,0 +1,123 @@
+type t = {
+  bnds : float array;
+  counts : int array;  (* length = Array.length bnds + 1; last = overflow *)
+  mutable n : int;
+  mutable total : float;
+  mutable minv : float;
+  mutable maxv : float;
+}
+
+let default_bounds () = Array.init 21 (fun i -> float_of_int (1 lsl i))
+
+let validate_bounds bnds =
+  if Array.length bnds = 0 then invalid_arg "Histo.create: empty bounds";
+  Array.iter
+    (fun b ->
+      if not (Float.is_finite b) then
+        invalid_arg "Histo.create: non-finite bound")
+    bnds;
+  for i = 1 to Array.length bnds - 1 do
+    if not (bnds.(i - 1) < bnds.(i)) then
+      invalid_arg "Histo.create: bounds not strictly increasing"
+  done
+
+let create ?bounds () =
+  let bnds =
+    match bounds with Some b -> Array.copy b | None -> default_bounds ()
+  in
+  validate_bounds bnds;
+  { bnds;
+    counts = Array.make (Array.length bnds + 1) 0;
+    n = 0;
+    total = 0.;
+    minv = 0.;
+    maxv = 0. }
+
+let bounds t = Array.copy t.bnds
+
+(* First bucket whose upper edge is >= x; the overflow bucket otherwise. *)
+let bucket_of t x =
+  let k = Array.length t.bnds in
+  let lo = ref 0 and hi = ref k in
+  (* invariant: every edge before !lo is < x; answer in [!lo, k] *)
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.bnds.(mid) < x then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let observe t x =
+  if not (Float.is_finite x) then invalid_arg "Histo.observe: non-finite";
+  if t.n = 0 then begin
+    t.minv <- x;
+    t.maxv <- x
+  end
+  else begin
+    if x < t.minv then t.minv <- x;
+    if x > t.maxv then t.maxv <- x
+  end;
+  t.n <- t.n + 1;
+  t.total <- t.total +. x;
+  let b = bucket_of t x in
+  t.counts.(b) <- t.counts.(b) + 1
+
+let count t = t.n
+let sum t = t.total
+let mean t = if t.n = 0 then 0. else t.total /. float_of_int t.n
+let min_value t = t.minv
+let max_value t = t.maxv
+
+let buckets t =
+  Array.init
+    (Array.length t.counts)
+    (fun i ->
+      let edge =
+        if i < Array.length t.bnds then t.bnds.(i) else Float.infinity
+      in
+      (edge, t.counts.(i)))
+
+let quantile t q =
+  if t.n = 0 then invalid_arg "Histo.quantile: empty";
+  if q < 0. || q > 1. then invalid_arg "Histo.quantile: q out of range";
+  let rank =
+    Int.max 1 (int_of_float (Float.ceil (q *. float_of_int t.n)))
+  in
+  let k = Array.length t.counts in
+  let cum = ref 0 and i = ref 0 in
+  while !cum + t.counts.(!i) < rank && !i < k - 1 do
+    cum := !cum + t.counts.(!i);
+    incr i
+  done;
+  let lo = if !i = 0 then t.minv else t.bnds.(!i - 1) in
+  let hi = if !i < Array.length t.bnds then t.bnds.(!i) else t.maxv in
+  let c = t.counts.(!i) in
+  let est =
+    if c = 0 then lo
+    else lo +. ((hi -. lo) *. (float_of_int (rank - !cum) /. float_of_int c))
+  in
+  Float.min t.maxv (Float.max t.minv est)
+
+let merge a b =
+  if Array.length a.bnds <> Array.length b.bnds
+     || not (Array.for_all2 (fun x y -> x = y) a.bnds b.bnds)
+  then invalid_arg "Histo.merge: bucket boundaries differ";
+  let m =
+    { bnds = Array.copy a.bnds;
+      counts = Array.init (Array.length a.counts) (fun i -> a.counts.(i) + b.counts.(i));
+      n = a.n + b.n;
+      total = a.total +. b.total;
+      minv = 0.;
+      maxv = 0. }
+  in
+  (match (a.n, b.n) with
+  | 0, 0 -> ()
+  | _, 0 ->
+    m.minv <- a.minv;
+    m.maxv <- a.maxv
+  | 0, _ ->
+    m.minv <- b.minv;
+    m.maxv <- b.maxv
+  | _, _ ->
+    m.minv <- Float.min a.minv b.minv;
+    m.maxv <- Float.max a.maxv b.maxv);
+  m

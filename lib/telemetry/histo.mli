@@ -1,0 +1,62 @@
+(** Mergeable fixed-boundary bucket histogram.
+
+    Unlike {!Dps_prelude.Histogram} (an exact reservoir used by the
+    end-of-run report), this histogram is built for telemetry: a fixed
+    set of bucket boundaries chosen up front, O(#buckets) memory
+    regardless of sample count, deterministic (no RNG), and two
+    histograms over the same boundaries merge by adding bucket counts —
+    the property that lets per-shard metrics aggregate. Quantiles are
+    estimated by linear interpolation inside the bucket holding the
+    requested rank, clamped to the observed [min, max]; the error is
+    bounded by the bucket width. *)
+
+type t
+
+(** Default boundaries: powers of two [1, 2, 4, …, 2^20] — suited to
+    latencies measured in slots. *)
+val default_bounds : unit -> float array
+
+(** [create ?bounds ()] — an empty histogram. [bounds] are the strictly
+    increasing upper bucket edges; sample [x] lands in the first bucket
+    with [x <= bound], or in the implicit overflow bucket past the last
+    edge. Raises [Invalid_argument] if [bounds] is empty, non-finite, or
+    not strictly increasing. Default: {!default_bounds}. *)
+val create : ?bounds:float array -> unit -> t
+
+(** The bucket edges this histogram was created with (a copy). *)
+val bounds : t -> float array
+
+(** [observe t x] — record one sample. Raises [Invalid_argument] on
+    non-finite [x]. *)
+val observe : t -> float -> unit
+
+(** Number of samples observed. *)
+val count : t -> int
+
+(** Sum of all samples; [0.] when empty. *)
+val sum : t -> float
+
+(** Mean sample; [0.] when empty. *)
+val mean : t -> float
+
+(** Smallest sample observed; [0.] when empty. *)
+val min_value : t -> float
+
+(** Largest sample observed; [0.] when empty. *)
+val max_value : t -> float
+
+(** Per-bucket counts, including the overflow bucket: an array of
+    [(upper_edge, count)] where the overflow bucket reports
+    [Float.infinity] as its edge. *)
+val buckets : t -> (float * int) array
+
+(** [quantile t q] for [0. <= q <= 1.] — bucket-interpolated estimate,
+    clamped to [[min_value, max_value]] and monotone in [q]. Raises
+    [Invalid_argument] when empty or [q] is out of range. *)
+val quantile : t -> float -> float
+
+(** [merge a b] — a fresh histogram whose buckets, count, sum and
+    min/max aggregate both inputs. Equivalent to observing the
+    concatenation of both sample streams. Raises [Invalid_argument]
+    when the boundary arrays differ. *)
+val merge : t -> t -> t

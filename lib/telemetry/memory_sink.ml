@@ -1,0 +1,18 @@
+type t = {
+  mutable evs : Event.t list;  (* newest first *)
+  mutable snaps : (int * Metrics.row list) list;  (* newest first *)
+  mutable nflush : int;
+}
+
+let create () = { evs = []; snaps = []; nflush = 0 }
+
+let sink t =
+  { Sink.on_event = (fun ev -> t.evs <- ev :: t.evs);
+    on_metrics = (fun ~frame rows -> t.snaps <- (frame, rows) :: t.snaps);
+    flush = (fun () -> t.nflush <- t.nflush + 1);
+    close = (fun () -> ()) }
+
+let events t = List.rev t.evs
+let event_lines t = List.rev_map Event.to_json t.evs
+let snapshots t = List.rev t.snaps
+let flushes t = t.nflush

@@ -1,0 +1,28 @@
+(** In-memory sink for tests.
+
+    Records every event and metrics snapshot it receives, in emission
+    order, so tests can assert on exact telemetry output without
+    touching the filesystem. *)
+
+type t
+
+(** A fresh, empty recorder. *)
+val create : unit -> t
+
+(** The {!Sink.t} to hand to {!Tracer.create} / {!Telemetry.make}. *)
+val sink : t -> Sink.t
+
+(** Events received so far, oldest first. *)
+val events : t -> Event.t list
+
+(** Events rendered through {!Event.to_json}, oldest first — what the
+    JSONL sink would have written, line by line (without the metrics
+    lines). *)
+val event_lines : t -> string list
+
+(** Metric snapshots received so far as [(frame, rows)], oldest
+    first. *)
+val snapshots : t -> (int * Metrics.row list) list
+
+(** Number of [flush] calls observed. *)
+val flushes : t -> int

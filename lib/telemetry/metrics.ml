@@ -1,0 +1,133 @@
+type kind = Counter | Gauge | Histogram
+
+type entry = {
+  e_name : string;
+  e_labels : (string * string) list;  (* sorted by key *)
+  e_kind : kind;
+  mutable e_count : int;  (* counters *)
+  mutable e_gauge : float;  (* gauges *)
+  e_histo : Histo.t option;
+}
+
+type t = { entries : (string, entry) Hashtbl.t }
+type counter = entry
+type gauge = entry
+type histogram = entry
+
+let char_ok c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '.' || c = ':' || c = '-'
+
+let check_token what s =
+  if s = "" || not (String.for_all char_ok s) then
+    invalid_arg
+      (Printf.sprintf "Metrics: %s %S must match [A-Za-z0-9_.:-]+" what s)
+
+let encode_labels labels =
+  String.concat ";" (List.map (fun (k, v) -> k ^ "=" ^ v) labels)
+
+let create () = { entries = Hashtbl.create 32 }
+
+let kind_name = function
+  | Counter -> "counter"
+  | Gauge -> "gauge"
+  | Histogram -> "histogram"
+
+let register t ~name ~labels ~kind ~histo =
+  check_token "metric name" name;
+  List.iter
+    (fun (k, v) ->
+      check_token "label key" k;
+      check_token "label value" v)
+    labels;
+  let labels = List.sort (fun (a, _) (b, _) -> compare a b) labels in
+  let rec dup = function
+    | (a, _) :: ((b, _) :: _ as rest) -> a = b || dup rest
+    | _ -> false
+  in
+  if dup labels then invalid_arg "Metrics: duplicate label key";
+  let key = name ^ "{" ^ encode_labels labels ^ "}" in
+  match Hashtbl.find_opt t.entries key with
+  | Some e ->
+    if e.e_kind <> kind then
+      invalid_arg
+        (Printf.sprintf "Metrics: %s already registered as a %s" name
+           (kind_name e.e_kind));
+    e
+  | None ->
+    let e =
+      { e_name = name;
+        e_labels = labels;
+        e_kind = kind;
+        e_count = 0;
+        e_gauge = 0.;
+        e_histo = (if kind = Histogram then Some (histo ()) else None) }
+    in
+    Hashtbl.add t.entries key e;
+    e
+
+let counter t ?(labels = []) name =
+  register t ~name ~labels ~kind:Counter ~histo:(fun () -> assert false)
+
+let gauge t ?(labels = []) name =
+  register t ~name ~labels ~kind:Gauge ~histo:(fun () -> assert false)
+
+let histogram t ?(labels = []) ?bounds name =
+  register t ~name ~labels ~kind:Histogram ~histo:(fun () ->
+      Histo.create ?bounds ())
+
+let incr c = c.e_count <- c.e_count + 1
+
+let add c n =
+  if n < 0 then invalid_arg "Metrics.add: negative increment";
+  c.e_count <- c.e_count + n
+
+let counter_value c = c.e_count
+let set g x = g.e_gauge <- x
+let gauge_value g = g.e_gauge
+
+let the_histo e =
+  match e.e_histo with Some h -> h | None -> assert false
+
+let observe h x = Histo.observe (the_histo h) x
+let histo h = the_histo h
+
+type row = {
+  name : string;
+  labels : (string * string) list;
+  kind : string;
+  value : float;
+}
+
+let rows_of_entry e =
+  let row kind value = { name = e.e_name; labels = e.e_labels; kind; value } in
+  match e.e_kind with
+  | Counter -> [ row "counter" (float_of_int e.e_count) ]
+  | Gauge -> [ row "gauge" e.e_gauge ]
+  | Histogram ->
+    let h = the_histo e in
+    let base =
+      [ row "count" (float_of_int (Histo.count h));
+        row "sum" (Histo.sum h);
+        row "min" (Histo.min_value h);
+        row "max" (Histo.max_value h) ]
+    in
+    if Histo.count h = 0 then base
+    else
+      base
+      @ [ row "p50" (Histo.quantile h 0.5);
+          row "p90" (Histo.quantile h 0.9);
+          row "p99" (Histo.quantile h 0.99) ]
+
+let snapshot t =
+  let rows =
+    Hashtbl.fold (fun _ e acc -> rows_of_entry e @ acc) t.entries []
+  in
+  List.sort
+    (fun a b ->
+      compare
+        (a.name, encode_labels a.labels, a.kind)
+        (b.name, encode_labels b.labels, b.kind))
+    rows

@@ -1,0 +1,66 @@
+type t = {
+  on_event : Event.t -> unit;
+  on_metrics : frame:int -> Metrics.row list -> unit;
+  flush : unit -> unit;
+  close : unit -> unit;
+}
+
+let row_json (r : Metrics.row) =
+  let b = Buffer.create 96 in
+  Buffer.add_string b "{\"name\":";
+  Buffer.add_string b (Event.escape r.Metrics.name);
+  Buffer.add_string b ",\"labels\":{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Event.escape k);
+      Buffer.add_char b ':';
+      Buffer.add_string b (Event.escape v))
+    r.Metrics.labels;
+  Buffer.add_string b "},\"kind\":";
+  Buffer.add_string b (Event.escape r.Metrics.kind);
+  Buffer.add_string b ",\"value\":";
+  Buffer.add_string b (Event.float_to_json r.Metrics.value);
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let jsonl oc =
+  { on_event =
+      (fun ev ->
+        output_string oc (Event.to_json ev);
+        output_char oc '\n');
+    on_metrics =
+      (fun ~frame rows ->
+        output_string oc
+          (Printf.sprintf "{\"v\":%d,\"type\":\"metrics\",\"frame\":%d,\"rows\":["
+             Event.schema_version frame);
+        List.iteri
+          (fun i r ->
+            if i > 0 then output_char oc ',';
+            output_string oc (row_json r))
+          rows;
+        output_string oc "]}\n");
+    flush = (fun () -> flush oc);
+    close = (fun () -> close_out oc) }
+
+let csv oc =
+  output_string oc "frame,metric,labels,kind,value\n";
+  { on_event = (fun _ -> ());
+    on_metrics =
+      (fun ~frame rows ->
+        List.iter
+          (fun (r : Metrics.row) ->
+            output_string oc
+              (Printf.sprintf "%d,%s,%s,%s,%s\n" frame r.Metrics.name
+                 (Metrics.encode_labels r.Metrics.labels)
+                 r.Metrics.kind
+                 (Event.float_to_json r.Metrics.value)))
+          rows);
+    flush = (fun () -> flush oc);
+    close = (fun () -> close_out oc) }
+
+let null =
+  { on_event = (fun _ -> ());
+    on_metrics = (fun ~frame:_ _ -> ());
+    flush = (fun () -> ());
+    close = (fun () -> ()) }

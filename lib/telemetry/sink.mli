@@ -1,0 +1,30 @@
+(** Pluggable telemetry sinks.
+
+    A sink consumes the two telemetry streams — trace events and metric
+    snapshots — and owns whatever resource it writes to. Sinks are plain
+    records of closures so new back-ends need no functor plumbing; the
+    built-in ones cover the three cases the repo needs: a JSONL trace
+    file, a CSV metrics file, and {!Memory_sink} for tests. *)
+
+type t = {
+  on_event : Event.t -> unit;  (** one trace event *)
+  on_metrics : frame:int -> Metrics.row list -> unit;
+      (** one metrics snapshot, stamped with the frame it was taken at *)
+  flush : unit -> unit;
+  close : unit -> unit;  (** flush and release the underlying resource *)
+}
+
+(** [jsonl oc] — the JSONL sink: every event becomes one
+    {!Event.to_json} line; every metrics snapshot becomes one line of
+    type ["metrics"] (see [docs/OBSERVABILITY.md] §2.3). [close] closes
+    [oc]. *)
+val jsonl : out_channel -> t
+
+(** [csv oc] — the CSV metrics sink: writes the header
+    [frame,metric,labels,kind,value] on creation, then one row per
+    {!Metrics.row} per snapshot; trace events are ignored. [close]
+    closes [oc]. *)
+val csv : out_channel -> t
+
+(** A sink that discards everything (for overhead measurements). *)
+val null : t

@@ -1,0 +1,16 @@
+type t = { reg : Metrics.t; tr : Tracer.t }
+
+let disabled = { reg = Metrics.create (); tr = Tracer.disabled }
+let make ~sinks () = { reg = Metrics.create (); tr = Tracer.create ~sinks () }
+let enabled t = Tracer.enabled t.tr
+let metrics t = t.reg
+let tracer t = t.tr
+let span t = Tracer.span t.tr
+let point t = Tracer.point t.tr
+
+let emit_metrics t ~frame =
+  if Tracer.enabled t.tr then
+    Tracer.metrics t.tr ~frame (Metrics.snapshot t.reg)
+
+let flush t = Tracer.flush t.tr
+let close t = Tracer.close t.tr

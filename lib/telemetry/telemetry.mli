@@ -1,0 +1,52 @@
+(** The telemetry bundle the rest of the stack is wired against: one
+    metrics registry plus one tracer over a shared set of sinks.
+
+    Instrumented layers ([Protocol], [Channel], [Driver], [Sweep], the
+    CLI) accept an optional [t]; when it is absent or {!disabled} they
+    resolve {e no} metric handles and guard every emission site behind a
+    [None] match, so the disabled path costs one branch and zero
+    allocations (measured in EXPERIMENTS.md §P2). The trace/metric
+    output formats are a stable, versioned interface — see
+    [docs/OBSERVABILITY.md]. *)
+
+type t
+
+(** The shared disabled bundle: {!enabled} is [false]; emissions and
+    snapshots are no-ops. *)
+val disabled : t
+
+(** [make ~sinks ()] — an enabled bundle with a fresh metrics registry
+    delivering to [sinks]. *)
+val make : sinks:Sink.t list -> unit -> t
+
+(** Is this bundle recording? Wiring code checks this once, at
+    creation time, to decide whether to resolve metric handles. *)
+val enabled : t -> bool
+
+(** The metrics registry (meaningful only when {!enabled}). *)
+val metrics : t -> Metrics.t
+
+(** The tracer. *)
+val tracer : t -> Tracer.t
+
+(** [span t ~name ~frame ~slot_start ~slot_end attrs] — emit a span
+    (no-op when disabled). *)
+val span :
+  t -> name:string -> frame:int -> slot_start:int -> slot_end:int ->
+  (string * Event.value) list -> unit
+
+(** [point t ~name ~frame ~slot attrs] — emit a point event (no-op when
+    disabled). *)
+val point :
+  t -> name:string -> frame:int -> slot:int ->
+  (string * Event.value) list -> unit
+
+(** [emit_metrics t ~frame] — snapshot the registry and deliver it to
+    every sink, stamped with [frame] (no-op when disabled). *)
+val emit_metrics : t -> frame:int -> unit
+
+(** Flush every sink. *)
+val flush : t -> unit
+
+(** Close every sink (file sinks close their [out_channel]s). *)
+val close : t -> unit

@@ -1,0 +1,28 @@
+type t = { sinks : Sink.t list; on : bool }
+
+let disabled = { sinks = []; on = false }
+let create ~sinks () = { sinks; on = true }
+let enabled t = t.on
+
+let emit t ev =
+  if t.on then List.iter (fun (s : Sink.t) -> s.Sink.on_event ev) t.sinks
+
+let span t ~name ~frame ~slot_start ~slot_end attrs =
+  if t.on then
+    emit t (Event.Span { name; frame; slot_start; slot_end; attrs })
+
+let point t ~name ~frame ~slot attrs =
+  if t.on then emit t (Event.Point { name; frame; slot; attrs })
+
+let metrics t ~frame rows =
+  if t.on then
+    List.iter (fun (s : Sink.t) -> s.Sink.on_metrics ~frame rows) t.sinks
+
+let flush t = List.iter (fun (s : Sink.t) -> s.Sink.flush ()) t.sinks
+
+let close t =
+  List.iter
+    (fun (s : Sink.t) ->
+      s.Sink.flush ();
+      s.Sink.close ())
+    t.sinks

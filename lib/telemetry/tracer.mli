@@ -1,0 +1,44 @@
+(** Span/event tracer: fans trace events out to the attached sinks.
+
+    The tracer is where the enabled/disabled split lives: a disabled
+    tracer ({!disabled}) drops every emission before any allocation, and
+    instrumented code guards its attribute building on {!enabled} (or on
+    a pre-resolved handle being present), so a run without telemetry
+    pays one branch per emission site and allocates nothing. *)
+
+type t
+
+(** The shared disabled tracer: no sinks, {!enabled} is [false], every
+    operation is a no-op. *)
+val disabled : t
+
+(** [create ~sinks ()] — an enabled tracer over [sinks]. *)
+val create : sinks:Sink.t list -> unit -> t
+
+(** Is this tracer recording? *)
+val enabled : t -> bool
+
+(** [emit t ev] — deliver one event to every sink (no-op when
+    disabled). *)
+val emit : t -> Event.t -> unit
+
+(** [span t ~name ~frame ~slot_start ~slot_end attrs] — emit a
+    {!Event.Span}. *)
+val span :
+  t -> name:string -> frame:int -> slot_start:int -> slot_end:int ->
+  (string * Event.value) list -> unit
+
+(** [point t ~name ~frame ~slot attrs] — emit a {!Event.Point}. *)
+val point :
+  t -> name:string -> frame:int -> slot:int ->
+  (string * Event.value) list -> unit
+
+(** [metrics t ~frame rows] — deliver one metrics snapshot to every
+    sink. *)
+val metrics : t -> frame:int -> Metrics.row list -> unit
+
+(** Flush every sink. *)
+val flush : t -> unit
+
+(** Close every sink (flushes first). *)
+val close : t -> unit

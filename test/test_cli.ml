@@ -1,0 +1,121 @@
+(* CLI surface tests for dps_run.
+
+   The dune rule in this directory captures `dps_run --help=plain` into
+   dps_run_help.txt at build time; these tests assert the documented
+   surface against it, and pin the usage examples in the source header
+   against the parser — the header once advertised `--rate 0.2` for the
+   mac/decay example, a rate that mac/decay cannot be dimensioned for. *)
+
+module Measure = Dps_interference.Measure
+module Protocol = Dps_core.Protocol
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let contains needle haystack =
+  let n = String.length needle and l = String.length haystack in
+  let rec go i = i + n <= l && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let help () = read_file "dps_run_help.txt"
+
+let all_flags =
+  [ "--model"; "--topology"; "--algorithm"; "--rate"; "--epsilon"; "--frames";
+    "--flows"; "--adversary"; "--stations"; "--loss"; "--seed"; "--trace";
+    "--metrics"; "--metrics-every" ]
+
+let test_help_lists_every_flag () =
+  let h = help () in
+  List.iter
+    (fun flag ->
+      Alcotest.(check bool) (flag ^ " in --help") true (contains flag h))
+    all_flags
+
+let test_help_mentions_docs () =
+  let h = help () in
+  Alcotest.(check bool) "examples section" true (contains "EXAMPLES" h);
+  Alcotest.(check bool) "see-also docs/CLI.md" true (contains "docs/CLI.md" h);
+  Alcotest.(check bool) "see-also docs/OBSERVABILITY.md" true
+    (contains "docs/OBSERVABILITY.md" h)
+
+(* Every `--flag` token used by the example invocations in the source
+   header must be a flag --help knows about — keeps header and parser
+   from drifting apart. *)
+let header_example_flags () =
+  let src = read_file "../bin/dps_run.ml" in
+  let flags = ref [] in
+  let len = String.length src in
+  let is_flag_char c = (c >= 'a' && c <= 'z') || c = '-' in
+  let i = ref 0 in
+  (* only scan the leading comment block *)
+  let stop =
+    match String.index_opt src '*' with
+    | Some _ -> (
+      match
+        let rec find j =
+          if j + 1 >= len then None
+          else if src.[j] = '*' && src.[j + 1] = ')' then Some j
+          else find (j + 1)
+        in
+        find 0
+      with
+      | Some j -> j
+      | None -> len)
+    | None -> len
+  in
+  while !i + 1 < stop do
+    if src.[!i] = '-' && src.[!i + 1] = '-' then begin
+      let j = ref (!i + 2) in
+      while !j < stop && is_flag_char src.[!j] do
+        incr j
+      done;
+      if !j > !i + 2 then
+        flags := String.sub src !i (!j - !i) :: !flags;
+      i := !j
+    end
+    else incr i
+  done;
+  List.sort_uniq compare !flags
+
+let test_header_examples_match_help () =
+  let h = help () in
+  let flags = header_example_flags () in
+  Alcotest.(check bool) "header has example flags" true (List.length flags > 3);
+  List.iter
+    (fun flag ->
+      Alcotest.(check bool)
+        (flag ^ " from header example exists in --help")
+        true (contains flag h))
+    flags
+
+(* The header's mac/decay example must actually be runnable: mirror the
+   CLI's construction (mac model, 8 stations, decay delta 0.3, default
+   epsilon 0.5, max_hops 1) and check the advertised rate configures
+   while the old broken one (0.2) does not. *)
+let mac_decay_configure rate =
+  Protocol.configure ~epsilon:0.5
+    ~algorithm:(Dps_mac.Decay.make ~delta:0.3 ())
+    ~measure:(Measure.complete 8) ~lambda:rate ~max_hops:1 ()
+
+let test_mac_decay_example_rate () =
+  let cfg = mac_decay_configure 0.15 in
+  Alcotest.(check bool) "rate 0.15 configures" true (cfg.Protocol.frame > 0);
+  try
+    ignore (mac_decay_configure 0.2);
+    Alcotest.fail "rate 0.2 unexpectedly configures — update the examples"
+  with Invalid_argument _ -> ()
+
+let () =
+  Alcotest.run "cli"
+    [ ( "help",
+        [ Alcotest.test_case "every flag listed" `Quick
+            test_help_lists_every_flag;
+          Alcotest.test_case "docs referenced" `Quick test_help_mentions_docs;
+          Alcotest.test_case "header examples vs help" `Quick
+            test_header_examples_match_help ] );
+      ( "examples",
+        [ Alcotest.test_case "mac/decay rate" `Quick
+            test_mac_decay_example_rate ] ) ]

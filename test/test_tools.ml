@@ -24,7 +24,7 @@ let test_sweep_bisects_known_threshold () =
   (* Synthetic predicate: stable iff rate <= 0.37. *)
   let outcome =
     Sweep.critical_rate ~probe:(fun r -> r <= 0.37) ~lo:0.01 ~hi:1.
-      ~tolerance:0.005
+      ~tolerance:0.005 ()
   in
   Alcotest.(check bool) "found threshold" true
     (Float.abs (outcome.Sweep.critical -. 0.37) <= 0.005);
@@ -33,7 +33,7 @@ let test_sweep_bisects_known_threshold () =
 
 let test_sweep_all_stable_returns_hi () =
   let outcome =
-    Sweep.critical_rate ~probe:(fun _ -> true) ~lo:0.1 ~hi:0.9 ~tolerance:0.01
+    Sweep.critical_rate ~probe:(fun _ -> true) ~lo:0.1 ~hi:0.9 ~tolerance:0.01 ()
   in
   Alcotest.(check (float 1e-9)) "hi" 0.9 outcome.Sweep.critical;
   Alcotest.(check (list (float 1e-9))) "no unstable probes" []
@@ -45,14 +45,14 @@ let test_sweep_rejects_unstable_lo () =
     (fun () ->
       ignore
         (Sweep.critical_rate ~probe:(fun _ -> false) ~lo:0.1 ~hi:0.9
-           ~tolerance:0.01))
+           ~tolerance:0.01 ()))
 
 let test_sweep_rejects_bad_bounds () =
   Alcotest.check_raises "lo >= hi"
     (Invalid_argument "Sweep.critical_rate: lo >= hi") (fun () ->
       ignore
         (Sweep.critical_rate ~probe:(fun _ -> true) ~lo:0.9 ~hi:0.1
-           ~tolerance:0.01))
+           ~tolerance:0.01 ()))
 
 let test_sweep_on_real_protocol () =
   (* Wireline line with the oneshot algorithm: per-link service is 1
@@ -83,7 +83,7 @@ let test_sweep_on_real_protocol () =
       Dps_core.Stability.assess r.Protocol.in_system = Dps_core.Stability.Stable
   in
   let outcome =
-    Sweep.critical_rate ~probe ~lo:0.05 ~hi:1.5 ~tolerance:0.05
+    Sweep.critical_rate ~probe ~lo:0.05 ~hi:1.5 ~tolerance:0.05 ()
   in
   Alcotest.(check bool)
     (Printf.sprintf "threshold in a sane band (got %.2f)" outcome.Sweep.critical)
