@@ -38,7 +38,7 @@ let wireline_probe () =
         Driver.run ~config ~oracle:Oracle.Wireline
           ~source:(Driver.Stochastic inj) ~frames:(if smoke then 40 else 80) ~rng
       in
-      Dps_core.Stability.assess r.Protocol.in_system = Dps_core.Stability.Stable
+      Dps_core.Stability.is_stable (Dps_core.Stability.assess r.Protocol.in_system)
     end
   in
   ("wireline oneshot", configured, probe)
@@ -67,7 +67,7 @@ let mac_probe name algorithm epsilon =
         Driver.run ~config ~oracle:Oracle.Mac ~source:(Driver.Stochastic inj)
           ~frames:(if smoke then 40 else 60) ~rng
       in
-      Dps_core.Stability.assess r.Protocol.in_system = Dps_core.Stability.Stable
+      Dps_core.Stability.is_stable (Dps_core.Stability.assess r.Protocol.in_system)
     end
   in
   (name, configured, probe)

@@ -29,7 +29,7 @@ let protocol_threshold ~config ~oracle ~make_injection ~frames ~seed =
       let r =
         Driver.run ~config ~oracle ~source:(Driver.Stochastic inj) ~frames ~rng
       in
-      Stability.assess r.Protocol.in_system = Stability.Stable
+      Stability.is_stable (Stability.assess r.Protocol.in_system)
   in
   (Sweep.critical_rate ~probe ~lo:0.01 ~hi:2. ~tolerance:(if Common.smoke then 0.2 else 0.02) ()).Sweep.critical
 
@@ -46,7 +46,7 @@ let max_weight_threshold ~oracle ~m ~make_injection ~slots ~seed =
           ~inject_slot:(fun slot -> Stochastic.draw inj draw_rng ~slot)
           ~slots:(if Common.smoke then Int.min slots 2000 else slots) rng
       in
-      Max_weight.verdict report = Stability.Stable
+      Stability.is_stable (Max_weight.verdict report)
   in
   (Sweep.critical_rate ~probe ~lo:0.01 ~hi:2. ~tolerance:(if Common.smoke then 0.2 else 0.02) ()).Sweep.critical
 

@@ -22,7 +22,8 @@ let experiments =
     ("a5", "baseline: competitive ratio vs max-weight", Exp_a5.run);
     ("b1", "micro-benchmarks", Exp_b1.run);
     ("p1", "perf: incremental interference engine", Exp_p1.run);
-    ("p2", "perf: telemetry overhead", Exp_p2.run) ]
+    ("p2", "perf: telemetry overhead", Exp_p2.run);
+    ("r1", "robustness: jamming burst + overload guard", Exp_r1.run) ]
 
 let () =
   let requested =

@@ -35,6 +35,8 @@ module Adversary = Dps_injection.Adversary
 module Protocol = Dps_core.Protocol
 module Driver = Dps_core.Driver
 module Stability = Dps_core.Stability
+module Plan = Dps_faults.Plan
+module Injector = Dps_faults.Injector
 module Telemetry = Dps_telemetry.Telemetry
 module Sink = Dps_telemetry.Sink
 
@@ -155,8 +157,46 @@ let make_telemetry ~trace ~metrics =
     let t = Telemetry.make ~sinks () in
     (t, fun () -> Telemetry.close t)
 
+(* HIGH:LOW[:POLICY] with POLICY in {drop-newest, reject}. *)
+let parse_guard s =
+  let watermark what v =
+    match int_of_string_opt v with
+    | Some n -> n
+    | None -> failwith ("--guard: " ^ what ^ " watermark must be an integer")
+  in
+  let make ?policy h l =
+    try Protocol.guard ?policy ~high:(watermark "high" h) ~low:(watermark "low" l) ()
+    with Invalid_argument _ ->
+      failwith "--guard: watermarks must satisfy 0 <= LOW < HIGH"
+  in
+  match String.split_on_char ':' s with
+  | [ h; l ] -> make h l
+  | [ h; l; policy ] ->
+    let policy =
+      match policy with
+      | "drop-newest" -> Protocol.Drop_newest
+      | "reject" -> Protocol.Reject_admission
+      | other -> failwith ("--guard: unknown policy: " ^ other)
+    in
+    make ~policy h l
+  | _ -> failwith "--guard must be HIGH:LOW or HIGH:LOW:POLICY"
+
+(* Episodes from every --fault occurrence plus the --fault-plan file,
+   merged into one plan (Plan.make re-sorts by first slot). *)
+let build_plan ~fault_specs ~fault_plan =
+  let from_flags =
+    List.concat_map (fun s -> Plan.episodes (Plan.parse s)) fault_specs
+  in
+  let from_file =
+    match fault_plan with
+    | None -> []
+    | Some file -> Plan.episodes (Plan.load file)
+  in
+  Plan.make (from_flags @ from_file)
+
 let run model_name topology algorithm_name rate epsilon frames flows adversary
-    stations loss seed trace metrics metrics_every =
+    stations loss seed trace metrics metrics_every fault_specs fault_plan guard
+    =
   let model =
     match model_name with
     | "sinr-linear" -> Sinr_linear
@@ -172,9 +212,13 @@ let run model_name topology algorithm_name rate epsilon frames flows adversary
   let topology = if model = Mac then "mac" else topology in
   let g = parse_topology topology ~stations in
   let measure, oracle = build_model model g in
+  if loss < 0. || loss > 1. then
+    failwith "--loss probability must lie in [0, 1]";
   let oracle =
     if loss > 0. then Oracle.Lossy (oracle, loss) else oracle
   in
+  let plan = build_plan ~fault_specs ~fault_plan in
+  let guard = Option.map parse_guard guard in
   let algorithm =
     build_algorithm ~g
       (match algorithm_name with
@@ -228,11 +272,29 @@ let run model_name topology algorithm_name rate epsilon frames flows adversary
       Driver.Adversarial adv
   in
   let telemetry, close_telemetry = make_telemetry ~trace ~metrics in
-  let r =
+  let r, injector =
     Fun.protect ~finally:close_telemetry (fun () ->
-        Driver.run_traced ~telemetry ~metrics_every ~config ~oracle ~source
-          ~frames ~rng)
+        if Plan.is_empty plan && guard = None then
+          ( Driver.run_traced ~telemetry ~metrics_every ~config ~oracle ~source
+              ~frames ~rng,
+            None )
+        else
+          let r, injector =
+            Driver.run_faulted_traced ?guard ~telemetry ~metrics_every ~config
+              ~oracle ~source ~plan ~frames ~rng ()
+          in
+          (r, Some injector))
   in
+  (match injector with
+  | Some inj when not (Plan.is_empty plan) ->
+    Printf.printf
+      "faults: suppressed %d (outage %d, jam %d, loss %d, degrade %d)\n"
+      (Injector.suppressed inj)
+      (Injector.suppressed_of inj "outage")
+      (Injector.suppressed_of inj "jam")
+      (Injector.suppressed_of inj "loss")
+      (Injector.suppressed_of inj "degrade")
+  | _ -> ());
   Format.printf "@\n%a@\n"
     (Dps_core.Report_pp.pp ~frame:config.Protocol.frame)
     r
@@ -335,12 +397,46 @@ let metrics_every =
           "Emit a metrics snapshot every $(docv) frames (0 = final snapshot \
            only). Only meaningful with $(b,--trace) or $(b,--metrics).")
 
+let fault =
+  Arg.(
+    value & opt_all string []
+    & info [ "fault" ] ~docv:"SPEC"
+        ~doc:
+          "Inject a fault episode: KIND:START-END with KIND one of outage, \
+           jam, loss, degrade, and an inclusive slot interval. Optional \
+           fields narrow the target and set parameters: links=ID+ID..., \
+           near=CENTER~THRESH, p=P (loss), gamma=G (degrade). Repeatable; \
+           each occurrence may also hold a comma-separated list. Grammar \
+           and semantics: docs/FAULTS.md.")
+
+let fault_plan =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "fault-plan" ] ~docv:"FILE"
+        ~doc:
+          "Load fault episodes from $(docv): one $(b,--fault) spec per \
+           line, $(b,#) comments. Merged with any $(b,--fault) flags.")
+
+let guard =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "guard" ] ~docv:"HIGH:LOW[:POLICY]"
+        ~doc:
+          "Enable the overload guard with hysteresis watermarks on the \
+           failed-buffer potential: shedding starts when it reaches HIGH \
+           and stops once it drains to LOW. POLICY is drop-newest \
+           (default) or reject. See DESIGN.md §9.")
+
 let run_safely model_name topology algorithm_name rate epsilon frames flows
-    adversary stations loss seed trace metrics metrics_every =
+    adversary stations loss seed trace metrics metrics_every fault_specs
+    fault_plan guard =
   try
     run model_name topology algorithm_name rate epsilon frames flows adversary
-      stations loss seed trace metrics metrics_every
-  with Invalid_argument msg | Failure msg ->
+      stations loss seed trace metrics metrics_every fault_specs fault_plan
+      guard
+  with Invalid_argument msg | Failure msg | Sys_error msg ->
     Printf.eprintf "dps_run: %s\n" msg;
     exit 1
 
@@ -360,6 +456,10 @@ let cmd =
       `Pre
         "  dps_run --model sinr-linear --rate 0.04 --trace t.jsonl --metrics \
          m.csv --metrics-every 5";
+      `P "A jamming burst absorbed by the overload guard:";
+      `Pre
+        "  dps_run --model wireline --topology line:8 --rate 0.3 --fault \
+         jam:2000-4000 --guard 60:10";
       `S Manpage.s_see_also;
       `P
         "docs/CLI.md (full flag reference with one example per interference \
@@ -371,6 +471,6 @@ let cmd =
     Term.(
       const run_safely $ model $ topology $ algorithm $ rate $ epsilon $ frames
       $ flows $ adversary $ stations $ loss $ seed $ trace $ metrics
-      $ metrics_every)
+      $ metrics_every $ fault $ fault_plan $ guard)
 
 let () = exit (Cmd.eval cmd)

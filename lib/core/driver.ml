@@ -5,6 +5,8 @@ module Stochastic = Dps_injection.Stochastic
 module Adversary = Dps_injection.Adversary
 module Telemetry = Dps_telemetry.Telemetry
 module Event = Dps_telemetry.Event
+module Plan = Dps_faults.Plan
+module Injector = Dps_faults.Injector
 
 type source =
   | Stochastic of Stochastic.t
@@ -33,28 +35,36 @@ let run_protocol_traced ~telemetry ~metrics_every ~protocol ~source ~frames
   in
   let recording = Telemetry.enabled telemetry in
   let start_frame = Protocol.frame_index protocol in
-  for i = 1 to frames do
-    Protocol.run_frame protocol rng ~inject_slot;
-    (* Periodic snapshot so long runs are observable while they execute;
-       the final snapshot below covers the last partial period. *)
-    if recording && metrics_every > 0 && i mod metrics_every = 0 && i < frames
-    then Telemetry.emit_metrics telemetry ~frame:(Protocol.frame_index protocol)
-  done;
-  let report = Protocol.report protocol in
-  if recording then begin
-    let end_frame = Protocol.frame_index protocol in
-    let t = (Protocol.config protocol).Protocol.frame in
-    Telemetry.emit_metrics telemetry ~frame:end_frame;
-    Telemetry.span telemetry ~name:"driver.run" ~frame:start_frame
-      ~slot_start:(start_frame * t) ~slot_end:(end_frame * t)
-      [ ("frames", Event.Int frames);
-        ("injected", Event.Int report.Protocol.injected);
-        ("delivered", Event.Int report.Protocol.delivered);
-        ("failed_events", Event.Int report.Protocol.failed_events);
-        ("max_queue", Event.Int report.Protocol.max_queue) ];
-    Telemetry.flush telemetry
-  end;
-  report
+  let body () =
+    for i = 1 to frames do
+      Protocol.run_frame protocol rng ~inject_slot;
+      (* Periodic snapshot so long runs are observable while they execute;
+         the final snapshot below covers the last partial period. *)
+      if recording && metrics_every > 0 && i mod metrics_every = 0 && i < frames
+      then
+        Telemetry.emit_metrics telemetry ~frame:(Protocol.frame_index protocol)
+    done;
+    let report = Protocol.report protocol in
+    if recording then begin
+      let end_frame = Protocol.frame_index protocol in
+      let t = (Protocol.config protocol).Protocol.frame in
+      Telemetry.emit_metrics telemetry ~frame:end_frame;
+      Telemetry.span telemetry ~name:"driver.run" ~frame:start_frame
+        ~slot_start:(start_frame * t) ~slot_end:(end_frame * t)
+        [ ("frames", Event.Int frames);
+          ("injected", Event.Int report.Protocol.injected);
+          ("delivered", Event.Int report.Protocol.delivered);
+          ("failed_events", Event.Int report.Protocol.failed_events);
+          ("max_queue", Event.Int report.Protocol.max_queue) ]
+    end;
+    report
+  in
+  (* Flush even when a frame raises mid-run: the events emitted so far are
+     exactly what post-mortem debugging needs, so they must reach the
+     sinks before the exception propagates. *)
+  if recording then
+    Fun.protect ~finally:(fun () -> Telemetry.flush telemetry) body
+  else body ()
 
 let run_protocol ~protocol ~source ~frames ~rng =
   run_protocol_traced ~telemetry:Telemetry.disabled ~metrics_every:0 ~protocol
@@ -71,3 +81,35 @@ let run_traced ~telemetry ~metrics_every ~config ~oracle ~source ~frames ~rng =
 let run ~config ~oracle ~source ~frames ~rng =
   run_traced ~telemetry:Telemetry.disabled ~metrics_every:0 ~config ~oracle
     ~source ~frames ~rng
+
+let run_faulted_traced ?guard ~telemetry ~metrics_every ~config ~oracle ~source
+    ~plan ~frames ~rng () =
+  let m = Measure.size config.Protocol.measure in
+  (* Same split discipline as [run_traced]: the channel takes the first
+     split. The fault layer draws from its own split — taken only when the
+     plan actually needs randomness (correlated loss), so a loss-free or
+     empty plan leaves the protocol's stream untouched and the run is
+     bit-identical to the corresponding un-faulted one. *)
+  let channel_rng = Rng.split rng in
+  let fault_rng = if Plan.needs_rng plan then Some (Rng.split rng) else None in
+  let measure =
+    if Plan.needs_measure plan then Some config.Protocol.measure else None
+  in
+  let injector =
+    Injector.create ?rng:fault_rng ?measure ~telemetry
+      ~frame_length:config.Protocol.frame ~m plan
+  in
+  let channel =
+    Channel.create ~rng:channel_rng ?measure ~telemetry
+      ~faults:(Injector.hook injector) ~oracle ~m ()
+  in
+  let protocol = Protocol.create ~telemetry ?guard config ~channel in
+  let report =
+    run_protocol_traced ~telemetry ~metrics_every ~protocol ~source ~frames
+      ~rng
+  in
+  (report, injector)
+
+let run_faulted ?guard ~config ~oracle ~source ~plan ~frames ~rng () =
+  run_faulted_traced ?guard ~telemetry:Telemetry.disabled ~metrics_every:0
+    ~config ~oracle ~source ~plan ~frames ~rng ()

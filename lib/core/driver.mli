@@ -15,7 +15,10 @@ type source =
   | Silent  (** no traffic; useful for draining tests *)
 
 (** [run ~config ~oracle ~source ~frames ~rng] — run the protocol for
-    [frames] frames and report. A fresh channel is created from [oracle]. *)
+    [frames] frames and report. A fresh channel is created from [oracle].
+    To install the overload guard ({!Protocol.guard}) use {!run_faulted}
+    — with {!Dps_faults.Plan.empty} when no faults are wanted; an empty
+    plan reproduces this function bit for bit. *)
 val run :
   config:Protocol.config ->
   oracle:Dps_sim.Oracle.t ->
@@ -25,15 +28,16 @@ val run :
   Protocol.report
 
 (** [run_traced ~telemetry ~metrics_every ~config ~oracle ~source ~frames
-    ~rng] — like {!run}, with instrumentation. When [telemetry] is enabled,
-    the channel and protocol are instrumented (see their [create]
+    ~rng] — like {!run}, with instrumentation. When [telemetry] is
+    enabled, the channel and protocol are instrumented (see their [create]
     functions), a [driver.run] span closes the run, a final metrics
     snapshot is emitted, and — with [metrics_every = n > 0] — an
     intermediate snapshot is emitted every [n] frames, so long runs are
     observable while they execute ([metrics_every = 0] means final snapshot
-    only). Sinks are flushed at the end of the run but {e not} closed; that
-    stays with whoever opened them. Raises [Invalid_argument] on negative
-    [metrics_every]. *)
+    only). Sinks are flushed at the end of the run — also when a frame
+    raises mid-run ([Fun.protect]), so the events emitted up to the
+    failure reach the sinks — but {e not} closed; that stays with whoever
+    opened them. Raises [Invalid_argument] on negative [metrics_every]. *)
 val run_traced :
   telemetry:Dps_telemetry.Telemetry.t ->
   metrics_every:int ->
@@ -43,6 +47,48 @@ val run_traced :
   frames:int ->
   rng:Dps_prelude.Rng.t ->
   Protocol.report
+
+(** [run_faulted ?guard ~config ~oracle ~source ~plan ~frames ~rng ()] —
+    {!run} under a fault plan: a {!Dps_faults.Injector} is built for the
+    plan and hooked into the channel; [guard] installs the overload guard
+    ({!Protocol.guard}). Returns the report together with the injector,
+    whose counters say how many transmissions each fault kind suppressed
+    ({!Dps_faults.Injector.suppressed_of}).
+
+    Determinism: the channel takes the first RNG split exactly as in
+    {!run}; the fault layer takes its own split only when the plan has
+    correlated-loss episodes, so a loss-free or empty plan reproduces the
+    corresponding un-faulted run bit for bit. The interference measure is
+    attached to the channel (and injector) only when the plan needs it —
+    degradation episodes or neighbourhood targets. *)
+val run_faulted :
+  ?guard:Protocol.guard ->
+  config:Protocol.config ->
+  oracle:Dps_sim.Oracle.t ->
+  source:source ->
+  plan:Dps_faults.Plan.t ->
+  frames:int ->
+  rng:Dps_prelude.Rng.t ->
+  unit ->
+  Protocol.report * Dps_faults.Injector.t
+
+(** [run_faulted_traced ?guard ~telemetry ~metrics_every ~config ~oracle
+    ~source ~plan ~frames ~rng ()] — {!run_faulted} with instrumentation
+    as in {!run_traced}; the injector additionally emits
+    [fault.episode.start]/[fault.episode.end] point events and the
+    [fault.suppressed{kind=...}] counters (docs/OBSERVABILITY.md). *)
+val run_faulted_traced :
+  ?guard:Protocol.guard ->
+  telemetry:Dps_telemetry.Telemetry.t ->
+  metrics_every:int ->
+  config:Protocol.config ->
+  oracle:Dps_sim.Oracle.t ->
+  source:source ->
+  plan:Dps_faults.Plan.t ->
+  frames:int ->
+  rng:Dps_prelude.Rng.t ->
+  unit ->
+  Protocol.report * Dps_faults.Injector.t
 
 (** [run_protocol ~protocol ~source ~frames ~rng] — same as {!run}, against
     existing protocol state (continue a run, e.g. to drain after load). *)

@@ -98,11 +98,26 @@ let configure_with_frame ?(epsilon = 0.5) ?cleanup_prob ~algorithm ~measure
     cleanup_prob;
     max_hops }
 
+type shed_policy = Drop_newest | Reject_admission
+
+type guard = { high : int; low : int; policy : shed_policy }
+
+let guard ?(policy = Drop_newest) ~high ~low () =
+  if high <= 0 then invalid_arg "Protocol.guard: high <= 0";
+  if low < 0 || low >= high then
+    invalid_arg "Protocol.guard: low outside [0, high)";
+  { high; low; policy }
+
+type recovery = { onset_frame : int; clear_frame : int }
+
 type report = {
   frames : int;
   injected : int;
   delivered : int;
   failed_events : int;
+  shed : int;
+  overload_frames : int;
+  recoveries : recovery list;
   in_system : Timeseries.t;
   failed_queue : Timeseries.t;
   potential : Timeseries.t;
@@ -131,10 +146,25 @@ type tel = {
   h_latency : Metrics.histogram;
 }
 
+(* Guard telemetry handles, resolved only when a guard is installed so
+   unguarded traced runs keep their metric snapshots byte-identical. *)
+type gtel = {
+  gt_t : Telemetry.t;
+  g_guard_active : Metrics.gauge;
+  c_shed : Metrics.counter;
+}
+
 type t = {
   cfg : config;
   channel : Channel.t;
   tel : tel option;
+  guard : guard option;
+  gtel : gtel option;
+  mutable overloaded : bool;
+  mutable overload_onset : int;
+  mutable shed : int;
+  mutable overload_frames : int;
+  mutable recoveries_rev : recovery list;
   mutable frame_idx : int;
   mutable live : Packet.t list;  (* never-failed, undelivered; newest first *)
   mutable live_count : int;
@@ -157,7 +187,7 @@ type t = {
   mutable max_queue : int;
 }
 
-let create ?telemetry cfg ~channel =
+let create ?telemetry ?guard cfg ~channel =
   if Channel.size channel <> Measure.size cfg.measure then
     invalid_arg "Protocol.create: channel and measure sizes differ";
   let tel =
@@ -182,9 +212,26 @@ let create ?telemetry cfg ~channel =
           h_latency = Metrics.histogram reg "protocol.latency.slots" }
     | _ -> None
   in
+  let gtel =
+    match (guard, telemetry) with
+    | Some _, Some tl when Telemetry.enabled tl ->
+      let reg = Telemetry.metrics tl in
+      Some
+        { gt_t = tl;
+          g_guard_active = Metrics.gauge reg "protocol.guard.active";
+          c_shed = Metrics.counter reg "protocol.guard.shed" }
+    | _ -> None
+  in
   { cfg;
     channel;
     tel;
+    guard;
+    gtel;
+    overloaded = false;
+    overload_onset = 0;
+    shed = 0;
+    overload_frames = 0;
+    recoveries_rev = [];
     frame_idx = 0;
     live = [];
     live_count = 0;
@@ -208,6 +255,8 @@ let config t = t.cfg
 let frame_index t = t.frame_idx
 
 let in_flight t = t.live_count + t.failed_total
+let overloaded t = t.overloaded
+let shed t = t.shed
 
 (* The two failed-buffer mutation points. Every enqueue/dequeue keeps the
    running totals, the potential and the per-link load tracker in sync. *)
@@ -309,15 +358,35 @@ let cleanup t rng =
       offers
 
 let inject_packet t path ~slot ~extra_delay =
+  if extra_delay < 0 then invalid_arg "Protocol: negative extra_delay";
   if Path.length path > t.cfg.max_hops then
     invalid_arg "Protocol: injected path longer than max_hops";
   if Path.length path = 0 then invalid_arg "Protocol: empty path";
-  let p = Packet.make ~id:t.next_id ~path ~injected_slot:slot in
-  t.next_id <- t.next_id + 1;
-  p.Packet.release_frame <- t.frame_idx + 1 + extra_delay;
-  t.injected <- t.injected + 1;
-  t.live <- p :: t.live;
-  t.live_count <- t.live_count + 1
+  (* Overload shedding: while the guard is tripped, arriving traffic is
+     shed instead of queued. Drop-newest admits then discards (the packet
+     counts as injected and as shed); reject-at-admission turns it away at
+     the door (shed only) — so conservation reads
+     [injected = delivered + in_flight + shed] under drop-newest and
+     [injected = delivered + in_flight] under rejection. *)
+  let shed_now =
+    match t.guard with
+    | Some g when t.overloaded ->
+      (match g.policy with
+      | Drop_newest -> t.injected <- t.injected + 1
+      | Reject_admission -> ());
+      t.shed <- t.shed + 1;
+      (match t.gtel with None -> () | Some gt -> Metrics.incr gt.c_shed);
+      true
+    | _ -> false
+  in
+  if not shed_now then begin
+    let p = Packet.make ~id:t.next_id ~path ~injected_slot:slot in
+    t.next_id <- t.next_id + 1;
+    p.Packet.release_frame <- t.frame_idx + 1 + extra_delay;
+    t.injected <- t.injected + 1;
+    t.live <- p :: t.live;
+    t.live_count <- t.live_count + 1
+  end
 
 let run_frame t rng ~inject_slot =
   let frame_start = Channel.now t.channel in
@@ -329,9 +398,7 @@ let run_frame t rng ~inject_slot =
   for off = 0 to t.cfg.frame - 1 do
     let slot = frame_start + off in
     List.iter
-      (fun (path, extra_delay) ->
-        assert (extra_delay >= 0);
-        inject_packet t path ~slot ~extra_delay)
+      (fun (path, extra_delay) -> inject_packet t path ~slot ~extra_delay)
       (inject_slot slot)
   done;
   phase1 t rng;
@@ -378,6 +445,43 @@ let run_frame t rng ~inject_slot =
         ("failed_queue", Event.Int fq);
         ("potential", Event.Int phi);
         ("failed_interference", Event.Float wr) ]);
+  (* Overload guard: hysteresis on the failed-buffer potential Φ, updated
+     at frame boundaries. Crossing [high] trips the guard (shedding starts
+     with the next frame's arrivals); draining to [low] clears it and
+     closes a recovery interval. *)
+  (match t.guard with
+  | None -> ()
+  | Some g ->
+    if (not t.overloaded) && phi >= g.high then begin
+      t.overloaded <- true;
+      t.overload_onset <- t.frame_idx;
+      match t.gtel with
+      | None -> ()
+      | Some gt ->
+        Telemetry.point gt.gt_t ~name:"guard.overload.start"
+          ~frame:t.frame_idx
+          ~slot:(Channel.now t.channel)
+          [ ("potential", Event.Int phi); ("high", Event.Int g.high) ]
+    end
+    else if t.overloaded && phi <= g.low then begin
+      t.overloaded <- false;
+      let rec_ = { onset_frame = t.overload_onset; clear_frame = t.frame_idx } in
+      t.recoveries_rev <- rec_ :: t.recoveries_rev;
+      match t.gtel with
+      | None -> ()
+      | Some gt ->
+        Telemetry.point gt.gt_t ~name:"guard.overload.end" ~frame:t.frame_idx
+          ~slot:(Channel.now t.channel)
+          [ ("potential", Event.Int phi);
+            ("onset_frame", Event.Int rec_.onset_frame);
+            ("drain_frames", Event.Int (rec_.clear_frame - rec_.onset_frame));
+            ("shed", Event.Int t.shed) ]
+    end;
+    if t.overloaded then t.overload_frames <- t.overload_frames + 1;
+    match t.gtel with
+    | None -> ()
+    | Some gt ->
+      Metrics.set gt.g_guard_active (if t.overloaded then 1. else 0.));
   t.frame_idx <- t.frame_idx + 1
 
 let report t =
@@ -385,6 +489,9 @@ let report t =
     injected = t.injected;
     delivered = t.delivered;
     failed_events = t.failed_events;
+    shed = t.shed;
+    overload_frames = t.overload_frames;
+    recoveries = List.rev t.recoveries_rev;
     in_system = t.in_system;
     failed_queue = t.failed_queue;
     potential = t.potential;

@@ -70,12 +70,40 @@ val configure_with_frame :
   unit ->
   config
 
+(** What the overload guard does with traffic arriving while tripped. *)
+type shed_policy =
+  | Drop_newest
+      (** admit then discard: the packet counts as injected {e and} shed,
+          so [injected = delivered + in_flight + shed] *)
+  | Reject_admission
+      (** turn away at the door: shed only, so
+          [injected = delivered + in_flight] is preserved *)
+
+(** Overload guard: hysteresis watermarks on the failed-buffer potential
+    Φ (see DESIGN.md §9). Evaluated at frame boundaries: Φ ≥ [high]
+    trips the guard and arriving traffic is shed (per the policy) until
+    Φ ≤ [low], at which point a {!recovery} interval is recorded. *)
+type guard
+
+(** [guard ?policy ~high ~low ()] — watermarks in units of Φ (remaining
+    hops over failed packets). Raises [Invalid_argument] unless
+    [0 <= low < high]. Default policy: {!Drop_newest}. *)
+val guard : ?policy:shed_policy -> high:int -> low:int -> unit -> guard
+
+(** One closed overload episode: the guard tripped at the end of frame
+    [onset_frame] and cleared at the end of frame [clear_frame];
+    time-to-drain is [clear_frame - onset_frame] frames. *)
+type recovery = { onset_frame : int; clear_frame : int }
+
 (** Per-run report. All series have one point per frame. *)
 type report = {
   frames : int;
   injected : int;
   delivered : int;
   failed_events : int;  (** phase-1 failures (packets, counted once) *)
+  shed : int;  (** packets shed by the overload guard (0 without one) *)
+  overload_frames : int;  (** frames ending with the guard tripped *)
+  recoveries : recovery list;  (** closed overload episodes, in order *)
   in_system : Dps_prelude.Timeseries.t;  (** undelivered packets *)
   failed_queue : Dps_prelude.Timeseries.t;  (** Σ failed-buffer sizes *)
   potential : Dps_prelude.Timeseries.t;
@@ -89,16 +117,23 @@ type report = {
 
 type t
 
-(** [create ?telemetry config ~channel] — fresh protocol state bound to a
-    channel. When [telemetry] is given and enabled, every frame emits a
-    [protocol.frame] span and maintains the [protocol.*] counters, gauges
-    and the latency histogram of docs/OBSERVABILITY.md; when absent or
-    disabled no handles are resolved and the per-frame cost is a single
-    branch (telemetry never consumes randomness, so reports are
-    bit-identical either way — pinned by the determinism goldens). Raises
-    [Invalid_argument] if the channel and measure disagree on [m]. *)
+(** [create ?telemetry ?guard config ~channel] — fresh protocol state
+    bound to a channel. When [telemetry] is given and enabled, every
+    frame emits a [protocol.frame] span and maintains the [protocol.*]
+    counters, gauges and the latency histogram of docs/OBSERVABILITY.md;
+    when absent or disabled no handles are resolved and the per-frame
+    cost is a single branch (telemetry never consumes randomness, so
+    reports are bit-identical either way — pinned by the determinism
+    goldens). When [guard] is given, the overload guard runs at every
+    frame boundary and — with telemetry — additionally maintains
+    [protocol.guard.active] / [protocol.guard.shed] and emits
+    [guard.overload.start]/[guard.overload.end] point events; without a
+    guard none of those handles are resolved, keeping unguarded traces
+    byte-identical to earlier versions. Raises [Invalid_argument] if the
+    channel and measure disagree on [m]. *)
 val create :
   ?telemetry:Dps_telemetry.Telemetry.t ->
+  ?guard:guard ->
   config ->
   channel:Dps_sim.Channel.t ->
   t
@@ -111,7 +146,9 @@ val config : t -> config
     pairs: the packet starts participating [extra_delay] frames after the
     next frame boundary ([0] for plain injection; the adversarial wrapper
     of Section 5 passes its random initial delay here). Raises
-    [Invalid_argument] if a path exceeds [max_hops]. *)
+    [Invalid_argument] if a path exceeds [max_hops], is empty, or an
+    [extra_delay] is negative — injection is validated, not asserted, so
+    a bad traffic source fails loudly in release builds too. *)
 val run_frame :
   t ->
   Dps_prelude.Rng.t ->
@@ -126,3 +163,10 @@ val frame_index : t -> int
 
 (** Packets currently in the system (live + failed + waiting). *)
 val in_flight : t -> int
+
+(** Whether the overload guard is currently tripped (always [false]
+    without a guard). *)
+val overloaded : t -> bool
+
+(** Packets shed by the overload guard so far. *)
+val shed : t -> int

@@ -24,6 +24,18 @@ let pp ?frame ppf (r : Protocol.report) =
     (100. *. delivery_ratio r);
   Format.fprintf ppf "  failures   %d@\n" r.Protocol.failed_events;
   Format.fprintf ppf "  max queue  %d@\n" r.Protocol.max_queue;
+  (* Guard lines appear only when the guard did something, so unguarded
+     (and never-overloaded) output is unchanged. *)
+  if r.Protocol.shed > 0 || r.Protocol.overload_frames > 0 then begin
+    Format.fprintf ppf "  shed       %d (%d overloaded frames)@\n"
+      r.Protocol.shed r.Protocol.overload_frames;
+    List.iter
+      (fun rec_ ->
+        Format.fprintf ppf "  recovery   frames %d-%d (drained in %d)@\n"
+          rec_.Protocol.onset_frame rec_.Protocol.clear_frame
+          (rec_.Protocol.clear_frame - rec_.Protocol.onset_frame))
+      r.Protocol.recoveries
+  end;
   if Histogram.count r.Protocol.latency > 0 then begin
     let q p = Histogram.quantile r.Protocol.latency p in
     match frame with

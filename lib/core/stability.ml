@@ -1,6 +1,6 @@
 module Timeseries = Dps_prelude.Timeseries
 
-type verdict = Stable | Unstable | Marginal
+type verdict = Stable | Recovered | Unstable | Marginal
 
 let growth_per_frame series = Timeseries.tail_slope series ~fraction:0.5
 
@@ -15,13 +15,31 @@ let assess series =
        (slope·(n/2) against a tail mean of slope·(3n/4)); an equilibrated
        series has projected ≈ 0. The cuts sit between those regimes. *)
     let ratio = projected /. Float.max level 1. in
-    if Timeseries.max series <= 5. then Stable
+    let peak = Timeseries.max series in
+    (* A settled tail whose peak towers over it is a drained transient —
+       fault episode, burst — not steady-state behaviour. The excursion
+       must be both relative (3× the tail level) and absolute (≥ 25
+       packets) so ordinary stable jitter never reads as a recovery:
+       small-queue series bounce between near-empty and a couple of
+       bursts' worth, which clears the ratio cut but not the absolute
+       one. *)
+    let settled () =
+      if peak >= 3. *. Float.max level 1. && peak -. level >= 25. then
+        Recovered
+      else Stable
+    in
+    if peak <= 5. then Stable
     else if ratio >= 0.4 then Unstable
-    else if ratio <= 0.15 || projected <= 4. then Stable
+    else if ratio <= 0.15 || projected <= 4. then settled ()
     else Marginal
   end
 
+let is_stable = function
+  | Stable | Recovered -> true
+  | Unstable | Marginal -> false
+
 let to_string = function
   | Stable -> "stable"
+  | Recovered -> "recovered"
   | Unstable -> "unstable"
   | Marginal -> "marginal"

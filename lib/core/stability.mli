@@ -5,18 +5,33 @@
     a stable protocol's queue fluctuates around a constant, an unstable
     one's grows linearly with time. *)
 
-type verdict = Stable | Unstable | Marginal
+type verdict =
+  | Stable
+  | Recovered
+      (** settled tail after a drained transient: the verdict would be
+          [Stable] on the tail criteria, but the series peaked at ≥ 3× the
+          tail level and ≥ 25 packets above it — a fault episode or burst
+          that the protocol absorbed and drained *)
+  | Unstable
+  | Marginal
 
 (** [assess series] — verdict from the final half of the series. The tail
     slope is extrapolated over half the horizon and compared to the tail
     level; a series growing linearly from zero scores 2/3 on that ratio, an
     equilibrated one scores ≈ 0. Ratio ≥ 0.4 is [Unstable]; ratio ≤ 0.15 —
     or absolute projected growth ≤ 4 packets, or a series that never
-    exceeds 5 — is [Stable]; in between is [Marginal]. Series shorter than
-    10 points are [Marginal]. *)
+    exceeds 5 — is [Stable], refined to [Recovered] when the peak towers
+    over the settled tail (≥ 3× the tail level and ≥ 25 packets above it);
+    in between is [Marginal]. Series shorter than 10 points are
+    [Marginal]. *)
 val assess : Dps_prelude.Timeseries.t -> verdict
 
-(** [to_string v] — ["stable" | "unstable" | "marginal"]. *)
+(** [is_stable v] — whether the tail is bounded: [true] for [Stable] and
+    [Recovered] (queues settled, even if a transient was absorbed on the
+    way), [false] for [Unstable] and [Marginal]. *)
+val is_stable : verdict -> bool
+
+(** [to_string v] — ["stable" | "recovered" | "unstable" | "marginal"]. *)
 val to_string : verdict -> string
 
 (** [growth_per_frame series] — tail slope of the series (packets/frame). *)

@@ -49,8 +49,6 @@ let critical_rate ?(telemetry = Telemetry.disabled) ~probe ~lo ~hi ~tolerance
 let protocol_probe ~configure ~run rate =
   match configure rate with
   | exception Invalid_argument _ -> false
-  | config -> (
+  | config ->
     let report = run config in
-    match Stability.assess report.Protocol.in_system with
-    | Stability.Stable -> true
-    | Stability.Unstable | Stability.Marginal -> false)
+    Stability.is_stable (Stability.assess report.Protocol.in_system)

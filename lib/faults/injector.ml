@@ -1,0 +1,235 @@
+module Rng = Dps_prelude.Rng
+module Measure = Dps_interference.Measure
+module Channel = Dps_sim.Channel
+module Telemetry = Dps_telemetry.Telemetry
+module Metrics = Dps_telemetry.Metrics
+module Event = Dps_telemetry.Event
+
+type episode_state = {
+  ep : Plan.episode;
+  member : bool array option;  (* resolved target; None = all links *)
+  links : int;  (* targeted link count (m for All) *)
+  param : float;  (* loss p / degrade gamma; 0 for outage and jam *)
+  mutable ep_suppressed : int;
+}
+
+(* Pre-resolved per-kind suppression counters (see Channel's [tel]). *)
+type tel = {
+  tel_t : Telemetry.t;
+  c_outage : Metrics.counter;
+  c_jam : Metrics.counter;
+  c_loss : Metrics.counter;
+  c_degrade : Metrics.counter;
+}
+
+type t = {
+  rng : Rng.t option;
+  frame_length : int;
+  queue : episode_state array;  (* all episodes, ascending first_slot *)
+  mutable next : int;  (* first queue entry not yet activated *)
+  mutable active : episode_state list;  (* activation order *)
+  mutable n_outage : int;
+  mutable n_jam : int;
+  mutable n_loss : int;
+  mutable n_degrade : int;
+  tel : tel option;
+}
+
+let resolve_target ~m ~measure (ep : Plan.episode) =
+  match ep.Plan.target with
+  | Plan.All -> (None, m)
+  | Plan.Links ids ->
+    let member = Array.make m false in
+    List.iter
+      (fun e ->
+        if e < 0 || e >= m then
+          invalid_arg "Faults.Injector: target link id outside [0, m)";
+        member.(e) <- true)
+      ids;
+    (Some member, List.length (List.sort_uniq compare ids))
+  | Plan.Neighbourhood { center; threshold } -> (
+    match measure with
+    | None ->
+      invalid_arg
+        "Faults.Injector: a neighbourhood target needs the interference \
+         measure"
+    | Some w ->
+      if center < 0 || center >= m then
+        invalid_arg "Faults.Injector: neighbourhood center outside [0, m)";
+      let member = Array.make m false in
+      (* every link whose transmissions disturb [center] by >= threshold;
+         the diagonal is pinned to 1, so the center itself is included. *)
+      Measure.iter_row w center (fun e' weight ->
+          if weight >= threshold then member.(e') <- true);
+      (Some member, Array.fold_left (fun n b -> if b then n + 1 else n) 0 member))
+
+let create ?rng ?measure ?telemetry ?(frame_length = 0) ~m plan =
+  if m <= 0 then invalid_arg "Faults.Injector: m <= 0";
+  (match measure with
+  | Some w when Measure.size w <> m ->
+    invalid_arg "Faults.Injector: measure size differs from m"
+  | _ -> ());
+  if Plan.needs_rng plan && rng = None then
+    invalid_arg "Faults.Injector: a loss episode needs an rng";
+  let queue =
+    Array.of_list
+      (List.map
+         (fun ep ->
+           let member, links = resolve_target ~m ~measure ep in
+           let param =
+             match ep.Plan.kind with
+             | Plan.Outage | Plan.Jam -> 0.
+             | Plan.Loss p -> p
+             | Plan.Degrade gamma -> gamma
+           in
+           { ep; member; links; param; ep_suppressed = 0 })
+         (Plan.episodes plan))
+  in
+  let tel =
+    match telemetry with
+    | Some tl when Telemetry.enabled tl ->
+      let reg = Telemetry.metrics tl in
+      let kind name =
+        Metrics.counter reg "fault.suppressed" ~labels:[ ("kind", name) ]
+      in
+      Some
+        { tel_t = tl;
+          c_outage = kind "outage";
+          c_jam = kind "jam";
+          c_loss = kind "loss";
+          c_degrade = kind "degrade" }
+    | _ -> None
+  in
+  { rng;
+    frame_length;
+    queue;
+    next = 0;
+    active = [];
+    n_outage = 0;
+    n_jam = 0;
+    n_loss = 0;
+    n_degrade = 0;
+    tel }
+
+let frame_of t slot = if t.frame_length > 0 then slot / t.frame_length else 0
+
+let episode_attrs st =
+  [ ("kind", Event.Str (Plan.kind_name st.ep.Plan.kind));
+    ("links", Event.Int st.links);
+    ("param", Event.Float st.param) ]
+
+let emit_start t slot st =
+  match t.tel with
+  | None -> ()
+  | Some h ->
+    Telemetry.point h.tel_t ~name:"fault.episode.start" ~frame:(frame_of t slot)
+      ~slot
+      (episode_attrs st @ [ ("last_slot", Event.Int st.ep.Plan.last_slot) ])
+
+let emit_end t slot st =
+  match t.tel with
+  | None -> ()
+  | Some h ->
+    Telemetry.point h.tel_t ~name:"fault.episode.end" ~frame:(frame_of t slot)
+      ~slot
+      (episode_attrs st @ [ ("suppressed", Event.Int st.ep_suppressed) ])
+
+let on_slot t slot =
+  (* Close episodes whose interval ended before this slot... *)
+  if t.active <> [] then begin
+    let still, ended =
+      List.partition (fun st -> st.ep.Plan.last_slot >= slot) t.active
+    in
+    if ended <> [] then begin
+      t.active <- still;
+      List.iter (emit_end t slot) ended
+    end
+  end;
+  (* ... then open the ones whose interval covers it. *)
+  while
+    t.next < Array.length t.queue
+    && t.queue.(t.next).ep.Plan.first_slot <= slot
+  do
+    let st = t.queue.(t.next) in
+    t.next <- t.next + 1;
+    (* an episode entirely in the past (channel attached mid-run) is
+       skipped without events *)
+    if st.ep.Plan.last_slot >= slot then begin
+      t.active <- t.active @ [ st ];
+      emit_start t slot st
+    end
+  done
+
+let covers st link =
+  match st.member with None -> true | Some a -> a.(link)
+
+let count t st =
+  st.ep_suppressed <- st.ep_suppressed + 1;
+  match st.ep.Plan.kind with
+  | Plan.Outage ->
+    t.n_outage <- t.n_outage + 1;
+    (match t.tel with None -> () | Some h -> Metrics.incr h.c_outage)
+  | Plan.Jam ->
+    t.n_jam <- t.n_jam + 1;
+    (match t.tel with None -> () | Some h -> Metrics.incr h.c_jam)
+  | Plan.Loss _ ->
+    t.n_loss <- t.n_loss + 1;
+    (match t.tel with None -> () | Some h -> Metrics.incr h.c_loss)
+  | Plan.Degrade _ ->
+    t.n_degrade <- t.n_degrade + 1;
+    (match t.tel with None -> () | Some h -> Metrics.incr h.c_degrade)
+
+let outage t link =
+  let rec scan = function
+    | [] -> false
+    | st :: rest ->
+      if
+        (match st.ep.Plan.kind with Plan.Outage -> true | _ -> false)
+        && covers st link
+      then begin
+        count t st;
+        true
+      end
+      else scan rest
+  in
+  scan t.active
+
+let drop t ~link ~interference =
+  let rec scan = function
+    | [] -> false
+    | st :: rest ->
+      let hit =
+        covers st link
+        &&
+        match st.ep.Plan.kind with
+        | Plan.Outage -> false  (* handled before adjudication *)
+        | Plan.Jam -> true
+        | Plan.Degrade gamma -> gamma *. interference >= 1.
+        | Plan.Loss p -> (
+          match t.rng with
+          | None -> false  (* unreachable: validated at create *)
+          | Some rng -> Rng.bernoulli rng p)
+      in
+      if hit then begin
+        count t st;
+        true
+      end
+      else scan rest
+  in
+  scan t.active
+
+let hook t =
+  { Channel.on_slot = on_slot t;
+    outage = (fun link -> outage t link);
+    drop = (fun ~link ~interference -> drop t ~link ~interference) }
+
+let suppressed t = t.n_outage + t.n_jam + t.n_loss + t.n_degrade
+
+let suppressed_of t = function
+  | "outage" -> t.n_outage
+  | "jam" -> t.n_jam
+  | "loss" -> t.n_loss
+  | "degrade" -> t.n_degrade
+  | _ -> 0
+
+let active_episodes t = List.length t.active

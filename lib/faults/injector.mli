@@ -1,0 +1,49 @@
+(** Applies a {!Plan} to a running channel.
+
+    The injector is the stateful side of the fault subsystem: it walks
+    the plan as the channel's clock advances, keeps the set of active
+    episodes, draws the correlated-loss randomness from its own RNG
+    stream, and emits [fault.*] telemetry (episode start/end point
+    events and [fault.suppressed{kind=...}] counters — see
+    docs/OBSERVABILITY.md §fault events).
+
+    Determinism: the injector consumes randomness only for {!Plan.Loss}
+    draws, in channel-slot order, from the [rng] it was created with —
+    a fixed seed plus a fixed plan reproduces the same faulted run byte
+    for byte, and an empty plan consumes no randomness at all. *)
+
+type t
+
+(** [create ?rng ?measure ?telemetry ?frame_length ~m plan] — an
+    injector for a channel with [m] links.
+
+    [rng] is required when the plan has {!Plan.Loss} episodes;
+    [measure] is required to resolve {!Plan.Neighbourhood} targets and
+    for {!Plan.Degrade} episodes to act (pass the same measure the
+    channel tracks — see {!Dps_sim.Channel.create}); [frame_length]
+    (slots per frame, for stamping telemetry events with a frame
+    number; [0] or absent stamps frame 0). Raises [Invalid_argument]
+    when a requirement is missing, a target link id is outside
+    [0, m), or [m <= 0]. *)
+val create :
+  ?rng:Dps_prelude.Rng.t ->
+  ?measure:Dps_interference.Measure.t ->
+  ?telemetry:Dps_telemetry.Telemetry.t ->
+  ?frame_length:int ->
+  m:int ->
+  Plan.t ->
+  t
+
+(** The hook to install into the channel
+    ({!Dps_sim.Channel.create}'s [faults] argument). *)
+val hook : t -> Dps_sim.Channel.faults
+
+(** Transmissions suppressed so far (outage + jam + loss + degrade). *)
+val suppressed : t -> int
+
+(** Suppressions of one kind so far (by {!Plan.kind_name}:
+    ["outage" | "jam" | "loss" | "degrade"]; [0] for unknown names). *)
+val suppressed_of : t -> string -> int
+
+(** Number of episodes currently active. *)
+val active_episodes : t -> int

@@ -1,0 +1,179 @@
+type kind = Outage | Jam | Loss of float | Degrade of float
+
+type target =
+  | All
+  | Links of int list
+  | Neighbourhood of { center : int; threshold : float }
+
+type episode = {
+  kind : kind;
+  target : target;
+  first_slot : int;
+  last_slot : int;
+}
+
+type t = episode list
+
+let empty = []
+
+let kind_name = function
+  | Outage -> "outage"
+  | Jam -> "jam"
+  | Loss _ -> "loss"
+  | Degrade _ -> "degrade"
+
+let validate_episode ep =
+  if ep.first_slot < 0 then invalid_arg "Fault plan: first_slot < 0";
+  if ep.last_slot < ep.first_slot then
+    invalid_arg "Fault plan: last_slot < first_slot";
+  (match ep.kind with
+  | Outage | Jam -> ()
+  | Loss p ->
+    if not (p >= 0. && p <= 1.) then
+      invalid_arg "Fault plan: loss probability outside [0, 1]"
+  | Degrade gamma ->
+    if not (gamma >= 1.) then invalid_arg "Fault plan: degrade factor < 1");
+  match ep.target with
+  | All -> ()
+  | Links [] -> invalid_arg "Fault plan: empty link set"
+  | Links l ->
+    if List.exists (fun e -> e < 0) l then
+      invalid_arg "Fault plan: negative link id"
+  | Neighbourhood { center; threshold } ->
+    if center < 0 then invalid_arg "Fault plan: negative neighbourhood center";
+    if not (threshold > 0. && threshold <= 1.) then
+      invalid_arg "Fault plan: neighbourhood threshold outside (0, 1]"
+
+let make episodes =
+  List.iter validate_episode episodes;
+  List.stable_sort (fun a b -> compare a.first_slot b.first_slot) episodes
+
+let episodes t = t
+let is_empty t = t = []
+
+let needs_measure t =
+  List.exists
+    (fun ep ->
+      match (ep.kind, ep.target) with
+      | Degrade _, _ | _, Neighbourhood _ -> true
+      | _ -> false)
+    t
+
+let needs_rng t = List.exists (fun ep -> match ep.kind with Loss _ -> true | _ -> false) t
+
+(* ----------------------------------------------------------- spec parsing *)
+
+let fail_spec spec msg =
+  invalid_arg (Printf.sprintf "Fault spec %S: %s" spec msg)
+
+let parse_int spec what s =
+  match int_of_string_opt s with
+  | Some n -> n
+  | None -> fail_spec spec (Printf.sprintf "%s is not an integer: %S" what s)
+
+let parse_float spec what s =
+  match float_of_string_opt s with
+  | Some x -> x
+  | None -> fail_spec spec (Printf.sprintf "%s is not a number: %S" what s)
+
+let parse_interval spec s =
+  match String.index_opt s '-' with
+  | None -> fail_spec spec "expected START-END slot interval"
+  | Some i ->
+    let first = parse_int spec "start slot" (String.sub s 0 i) in
+    let last =
+      parse_int spec "end slot"
+        (String.sub s (i + 1) (String.length s - i - 1))
+    in
+    (first, last)
+
+let parse_field spec (target, p, gamma) field =
+  match String.index_opt field '=' with
+  | None -> fail_spec spec (Printf.sprintf "malformed field %S" field)
+  | Some i -> (
+    let key = String.sub field 0 i in
+    let v = String.sub field (i + 1) (String.length field - i - 1) in
+    match key with
+    | "links" ->
+      let ids =
+        List.map (parse_int spec "link id") (String.split_on_char '+' v)
+      in
+      (Some (Links ids), p, gamma)
+    | "near" -> (
+      match String.index_opt v '~' with
+      | None -> fail_spec spec "near target must be CENTER~THRESHOLD"
+      | Some j ->
+        let center = parse_int spec "center link" (String.sub v 0 j) in
+        let threshold =
+          parse_float spec "threshold"
+            (String.sub v (j + 1) (String.length v - j - 1))
+        in
+        (Some (Neighbourhood { center; threshold }), p, gamma))
+    | "p" -> (target, Some (parse_float spec "loss probability" v), gamma)
+    | "gamma" -> (target, p, Some (parse_float spec "degrade factor" v))
+    | other -> fail_spec spec (Printf.sprintf "unknown field %S" other))
+
+let parse_spec spec =
+  match String.split_on_char ':' spec with
+  | kind_s :: interval :: fields ->
+    let first_slot, last_slot = parse_interval spec interval in
+    let target, p, gamma =
+      List.fold_left (parse_field spec) (None, None, None) fields
+    in
+    let target = Option.value ~default:All target in
+    let kind =
+      match kind_s with
+      | "outage" -> Outage
+      | "jam" -> Jam
+      | "loss" -> (
+        match p with
+        | Some p -> Loss p
+        | None -> fail_spec spec "loss needs a p= field")
+      | "degrade" -> (
+        match gamma with
+        | Some g -> Degrade g
+        | None -> fail_spec spec "degrade needs a gamma= field")
+      | other ->
+        fail_spec spec
+          (Printf.sprintf
+             "unknown kind %S (expected outage, jam, loss or degrade)" other)
+    in
+    (match (kind, p, gamma) with
+    | (Outage | Jam | Degrade _), Some _, _ ->
+      fail_spec spec "p= only applies to loss"
+    | (Outage | Jam | Loss _), _, Some _ ->
+      fail_spec spec "gamma= only applies to degrade"
+    | _ -> ());
+    let ep = { kind; target; first_slot; last_slot } in
+    validate_episode ep;
+    ep
+  | _ -> fail_spec spec "expected KIND:START-END[:FIELD...]"
+
+let parse s =
+  make
+    (List.filter_map
+       (fun spec ->
+         let spec = String.trim spec in
+         if spec = "" then None else Some (parse_spec spec))
+       (String.split_on_char ',' s))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let episodes = ref [] in
+      let lineno = ref 0 in
+      (try
+         while true do
+           let line = input_line ic in
+           incr lineno;
+           let line = String.trim line in
+           if line <> "" && line.[0] <> '#' then
+             match parse_spec line with
+             | ep -> episodes := ep :: !episodes
+             | exception Invalid_argument msg ->
+               invalid_arg (Printf.sprintf "%s:%d: %s" path !lineno msg)
+         done
+       with End_of_file -> ());
+      make (List.rev !episodes))

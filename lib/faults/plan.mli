@@ -1,0 +1,100 @@
+(** Deterministic, seed-reproducible fault plans.
+
+    A plan is a schedule of {e fault episodes} over channel slots. Each
+    episode has a kind, a target link set and an inclusive slot interval
+    [[first_slot, last_slot]]. Plans are plain data: all randomness
+    (correlated loss draws) lives in the {!Injector} that applies a plan
+    to a run, so the same seed and the same plan always reproduce the
+    same faulted trajectory byte for byte.
+
+    The textual spec format parsed by {!parse} (and accepted by
+    [dps_run --fault] / [--fault-plan]) is documented in
+    [docs/FAULTS.md]:
+
+    {v
+    SPEC  ::= KIND ':' START '-' END (':' FIELD)*
+    KIND  ::= outage | jam | loss | degrade
+    FIELD ::= 'links=' ID ('+' ID)*        target: an explicit link set
+            | 'near=' CENTER '~' THRESH    target: measure neighbourhood
+            | 'p=' FLOAT                   loss probability (loss only)
+            | 'gamma=' FLOAT               scale factor (degrade only)
+    v}
+
+    e.g. [jam:100-160:links=0+3], [loss:50-120:p=0.3],
+    [degrade:80-150:gamma=3]. The default target is [all]. *)
+
+(** What the fault does while its episode is active. *)
+type kind =
+  | Outage
+      (** targeted links cannot transmit at all: their attempts are
+          removed before adjudication and radiate no interference *)
+  | Jam
+      (** transmissions on targeted links fail: attempts still radiate
+          interference and consume the slot, but never succeed *)
+  | Loss of float
+      (** correlated loss: each successful transmission on a targeted
+          link is dropped with the given probability (generalises
+          {!Dps_sim.Oracle.Lossy} to an interval and a link set) *)
+  | Degrade of float
+      (** measure degradation by factor [gamma >= 1]: a transmission on a
+          targeted link fails when [gamma] times the measured attempt
+          interference it sees from {e other} links (via the channel's
+          {!Dps_interference.Load_tracker}) reaches the unit self-signal,
+          i.e. [gamma * I_e >= 1]. A no-op on channels without a measure
+          or on measures with no off-diagonal weight (wireline). *)
+
+(** Which links an episode hits. *)
+type target =
+  | All
+  | Links of int list  (** an explicit set of link ids *)
+  | Neighbourhood of { center : int; threshold : float }
+      (** every link [e'] with [W(center, e') >= threshold] — the links
+          whose transmissions disturb [center] by at least [threshold]
+          under the interference measure (always includes [center];
+          resolution requires a measure: see {!Injector.create}) *)
+
+type episode = {
+  kind : kind;
+  target : target;
+  first_slot : int;  (** first faulty slot (inclusive) *)
+  last_slot : int;  (** last faulty slot (inclusive) *)
+}
+
+type t
+
+val empty : t
+
+(** [make episodes] — validate and sort (by [first_slot], stable).
+    Raises [Invalid_argument] when an episode has [first_slot < 0],
+    [last_slot < first_slot], a loss probability outside [0, 1], a
+    degrade factor below 1, an empty or negative [Links] target, or a
+    neighbourhood threshold outside (0, 1]. *)
+val make : episode list -> t
+
+(** Episodes in ascending [first_slot] order. *)
+val episodes : t -> episode list
+
+val is_empty : t -> bool
+
+(** Does any episode need the channel's interference measure to act
+    (a {!Degrade} episode, or a {!Neighbourhood} target)? *)
+val needs_measure : t -> bool
+
+(** Does any episode draw randomness (a {!Loss} episode)? *)
+val needs_rng : t -> bool
+
+(** [parse_spec s] — one episode from the spec grammar above. Raises
+    [Invalid_argument] with a descriptive message on malformed specs. *)
+val parse_spec : string -> episode
+
+(** [parse s] — a whole plan from comma-separated specs
+    (["jam:10-20,loss:30-40:p=0.5"]). Raises like {!parse_spec}. *)
+val parse : string -> t
+
+(** [load path] — a plan from a file: one spec per line, blank lines
+    and [#] comments ignored. Raises [Invalid_argument] on parse errors
+    (with the offending line number) and [Sys_error] on I/O errors. *)
+val load : string -> t
+
+(** Display name of a kind: ["outage" | "jam" | "loss" | "degrade"]. *)
+val kind_name : kind -> string

@@ -14,6 +14,12 @@ type tel = {
   c_denied : Metrics.counter;
 }
 
+type faults = {
+  on_slot : int -> unit;
+  outage : int -> bool;
+  drop : link:int -> interference:float -> bool;
+}
+
 type t = {
   oracle : Oracle.t;
   m : int;
@@ -23,10 +29,11 @@ type t = {
   counts : int array;  (* per-slot attempt counts; zero outside step *)
   tracker : Load_tracker.t option;
       (* measured per-slot attempt interference, when a measure is attached *)
+  faults : faults option;
   tel : tel option;
 }
 
-let create ?rng ?measure ?telemetry ~oracle ~m () =
+let create ?rng ?measure ?telemetry ?faults ~oracle ~m () =
   assert (m > 0);
   (match measure with
   | Some w when Dps_interference.Measure.size w <> m ->
@@ -56,6 +63,7 @@ let create ?rng ?measure ?telemetry ~oracle ~m () =
     rng;
     counts = Array.make m 0;
     tracker = Option.map Load_tracker.create measure;
+    faults;
     tel }
 
 let oracle t = t.oracle
@@ -64,6 +72,15 @@ let now t = t.now
 let trace t = t.trace
 
 let step t attempts =
+  (* Fault layer, part 1: advance episodes and remove outaged attempts
+     before anything else — a link in outage cannot transmit, so it
+     neither collides nor radiates interference. *)
+  (match t.faults with None -> () | Some f -> f.on_slot t.now);
+  let attempts =
+    match t.faults with
+    | None -> attempts
+    | Some f -> List.filter (fun e -> not (f.outage e)) attempts
+  in
   match attempts with
   | [] ->
     Trace.record t.trace ~attempted:[] ~succeeded:[];
@@ -87,10 +104,34 @@ let step t attempts =
     | None -> ()
     | Some tracker ->
       List.iter (fun e -> Load_tracker.add tracker e) active;
-      Trace.record_interference t.trace (Load_tracker.interference tracker);
-      Load_tracker.reset tracker);
+      Trace.record_interference t.trace (Load_tracker.interference tracker));
     let winners = Oracle.adjudicate ?rng:t.rng t.oracle active in
     let succeeded = List.filter (fun e -> t.counts.(e) = 1) winners in
+    (* Fault layer, part 2: jam / correlated-loss / degradation drops of
+       adjudicated winners. These transmissions radiated interference
+       and consumed the slot but fail after the fact; channel telemetry
+       counts them as denied. *)
+    let succeeded =
+      match t.faults with
+      | None -> succeeded
+      | Some f ->
+        List.filter
+          (fun e ->
+            let interference =
+              match t.tracker with
+              | None -> 0.
+              | Some tracker ->
+                (* attempt interference from other links: the tracker
+                   holds W·x over the distinct attempt set and the
+                   diagonal is pinned to 1, so subtract e's own unit. *)
+                Float.max 0. (Load_tracker.interference_at tracker e -. 1.)
+            in
+            not (f.drop ~link:e ~interference))
+          succeeded
+    in
+    (match t.tracker with
+    | None -> ()
+    | Some tracker -> Load_tracker.reset tracker);
     (match t.tel with
     | None -> ()
     | Some h ->

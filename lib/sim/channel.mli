@@ -8,7 +8,34 @@
 
 type t
 
-(** [create ?rng ?measure ?telemetry ~oracle ~m ()] — a fresh channel.
+(** A fault hook: the channel-side interface of the fault-injection
+    layer ({!Dps_faults.Injector} builds these from a fault plan; the
+    channel itself knows nothing about plans or episodes). All three
+    closures are consulted by {!step}:
+
+    - [on_slot slot] fires once at the start of every slot (busy or
+      idle), before anything else — the injector uses it to open and
+      close fault episodes;
+    - [outage e] — when [true], link [e] cannot transmit this slot: its
+      attempts are removed {e before} adjudication and radiate no
+      interference (they fail without consuming channel accounting);
+    - [drop ~link ~interference] — consulted for every transmission
+      that survived adjudication; when [true] the transmission fails
+      after the fact (it radiated interference and consumed the slot).
+      [interference] is the measured attempt interference the link saw
+      from {e other} distinct attempting links ([(W·x)(e) - 1] over the
+      slot's attempt set), or [0.] when the channel has no measure.
+
+    With no hook installed, {!step} behaves exactly as before — the
+    fault path costs one [None] branch. *)
+type faults = {
+  on_slot : int -> unit;
+  outage : int -> bool;
+  drop : link:int -> interference:float -> bool;
+}
+
+(** [create ?rng ?measure ?telemetry ?faults ~oracle ~m ()] — a fresh
+    channel.
     [rng] supplies the randomness stochastic oracles ({!Oracle.Lossy})
     need; deterministic oracles never consult it. When [measure] is given,
     the channel keeps a {!Dps_interference.Load_tracker} and records every
@@ -19,12 +46,16 @@ type t
     docs/OBSERVABILITY.md ([channel.slots], [channel.busy_slots],
     [channel.attempts], and [channel.tx] labelled by outcome:
     success / collision / denied); otherwise the per-slot telemetry cost
-    is a single branch. Raises [Invalid_argument] if the measure size
-    differs from [m]. *)
+    is a single branch. When [faults] is given its hook is applied to
+    every slot as documented on {!faults} — transmissions it suppresses
+    count as [outcome=denied] in the channel telemetry (the fault layer
+    keeps its own [fault.*] split). Raises [Invalid_argument] if the
+    measure size differs from [m]. *)
 val create :
   ?rng:Dps_prelude.Rng.t ->
   ?measure:Dps_interference.Measure.t ->
   ?telemetry:Dps_telemetry.Telemetry.t ->
+  ?faults:faults ->
   oracle:Oracle.t ->
   m:int ->
   unit ->

@@ -25,6 +25,8 @@ let rec adjudicate ?rng t attempts =
         not (List.exists (fun e' -> Conflict_graph.conflict cg e e') attempts))
       attempts
   | Lossy (base, loss) -> (
+    if not (loss >= 0. && loss <= 1.) then
+      invalid_arg "Oracle.adjudicate: Lossy probability outside [0, 1]";
     match rng with
     | None -> invalid_arg "Oracle.adjudicate: Lossy oracle needs an rng"
     | Some rng ->

@@ -19,12 +19,15 @@ type t =
   | Lossy of t * float
       (** Section 9's unreliable-network extension: adjudicate with the
           base oracle, then drop each success independently with the given
-          probability. Requires randomness: see {!adjudicate}'s [rng]. *)
+          probability. The probability must lie in [0, 1] and randomness
+          is required: see {!adjudicate}'s [rng]. *)
 
 (** [adjudicate ?rng t attempts] — for the deduplicated set of attempting
     link ids, the subset that succeeds. [rng] is required by {!Lossy}
     (raises [Invalid_argument] when missing) and ignored by the
-    deterministic models. *)
+    deterministic models. Raises [Invalid_argument] when a {!Lossy}
+    probability lies outside [0, 1] — a drop probability would otherwise
+    silently degenerate to the clamped Bernoulli. *)
 val adjudicate : ?rng:Dps_prelude.Rng.t -> t -> int list -> int list
 
 (** Display name of the model. *)

@@ -1,0 +1,121 @@
+(* @faults-smoke — one short faulted scenario per fault kind, each against
+   the mac, wireline and sinr-linear oracle families at toy sizes. Run by
+   `dune runtest`; the point is that every fault kind composes with every
+   oracle end to end (plan parsing, injector, channel hook, driver), not
+   the printed numbers. *)
+
+module Rng = Dps_prelude.Rng
+module Graph = Dps_network.Graph
+module Routing = Dps_network.Routing
+module Path = Dps_network.Path
+module Topology = Dps_network.Topology
+module Measure = Dps_interference.Measure
+module Params = Dps_sinr.Params
+module Power = Dps_sinr.Power
+module Physics = Dps_sinr.Physics
+module Sinr_measure = Dps_sinr.Sinr_measure
+module Oracle = Dps_sim.Oracle
+module Stochastic = Dps_injection.Stochastic
+module Protocol = Dps_core.Protocol
+module Driver = Dps_core.Driver
+module Plan = Dps_faults.Plan
+module Injector = Dps_faults.Injector
+
+type case = {
+  model : string;
+  measure : Measure.t;
+  oracle : Oracle.t;
+  algorithm : Dps_static.Algorithm.t;
+  paths : Path.t list;
+  rate : float;
+}
+
+let specs =
+  [ "outage:0-400";
+    "jam:0-400";
+    "loss:0-400:p=0.5";
+    "degrade:0-400:gamma=4" ]
+
+let path_between g ~src ~dst =
+  match Routing.path (Routing.make g) ~src ~dst with
+  | Some p -> p
+  | None -> failwith "faults_smoke: no route"
+
+let mac () =
+  let g = Topology.mac_channel ~stations:4 in
+  let m = Graph.link_count g in
+  { model = "mac";
+    measure = Measure.complete m;
+    oracle = Oracle.Mac;
+    algorithm = Dps_mac.Decay.make ~delta:0.3 ();
+    paths = List.init m (fun i -> Path.of_links g [ i ]);
+    rate = 0.1 }
+
+let wireline () =
+  let g = Topology.line ~nodes:5 ~spacing:10. in
+  { model = "wireline";
+    measure = Measure.identity (Graph.link_count g);
+    oracle = Oracle.Wireline;
+    algorithm = Dps_static.Oneshot.algorithm;
+    paths = [ path_between g ~src:0 ~dst:4 ];
+    rate = 0.2 }
+
+let sinr_linear () =
+  let g = Topology.line ~nodes:4 ~spacing:10. in
+  let phys = Physics.make (Params.make ~noise:1e-9 ()) (Power.linear 2.) g in
+  { model = "sinr-linear";
+    measure = Sinr_measure.linear_power phys;
+    oracle = Oracle.Sinr phys;
+    algorithm = Dps_static.Delay_select.make ~c:4. ();
+    paths = [ path_between g ~src:0 ~dst:3 ];
+    rate = 0.02 }
+
+let frames = 8
+
+let run_case case ?guard spec =
+  let plan = Plan.parse spec in
+  let config =
+    Protocol.configure ~algorithm:case.algorithm ~measure:case.measure
+      ~lambda:case.rate ~max_hops:8 ()
+  in
+  let source =
+    Driver.Stochastic
+      (Stochastic.calibrate
+         (Stochastic.make (List.map (fun p -> [ (p, 0.001) ]) case.paths))
+         case.measure ~target:case.rate)
+  in
+  let rng = Rng.create ~seed:11 () in
+  let report, injector =
+    Driver.run_faulted ?guard ~config ~oracle:case.oracle ~source ~plan
+      ~frames ~rng ()
+  in
+  if report.Protocol.frames <> frames then
+    failwith
+      (Printf.sprintf "faults_smoke: %s %s ran %d frames, wanted %d"
+         case.model spec report.Protocol.frames frames);
+  if report.Protocol.delivered > report.Protocol.injected then
+    failwith
+      (Printf.sprintf "faults_smoke: %s %s delivered more than injected"
+         case.model spec);
+  (report, injector)
+
+let () =
+  List.iter
+    (fun case ->
+      List.iter
+        (fun spec ->
+          let report, injector = run_case case spec in
+          Printf.printf
+            "faults-smoke %-12s %-20s injected=%d delivered=%d suppressed=%d\n"
+            case.model spec report.Protocol.injected
+            report.Protocol.delivered
+            (Injector.suppressed injector))
+        specs)
+    [ mac (); wireline (); sinr_linear () ];
+  (* And once through the overload guard, so the guarded faulted path is
+     exercised here too. *)
+  let guard = Protocol.guard ~high:20 ~low:2 () in
+  let report, _ = run_case (wireline ()) ~guard "jam:0-400" in
+  Printf.printf "faults-smoke %-12s %-20s shed=%d overload_frames=%d\n"
+    "wireline" "jam+guard" report.Protocol.shed
+    report.Protocol.overload_frames

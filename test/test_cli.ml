@@ -25,7 +25,7 @@ let help () = read_file "dps_run_help.txt"
 let all_flags =
   [ "--model"; "--topology"; "--algorithm"; "--rate"; "--epsilon"; "--frames";
     "--flows"; "--adversary"; "--stations"; "--loss"; "--seed"; "--trace";
-    "--metrics"; "--metrics-every" ]
+    "--metrics"; "--metrics-every"; "--fault"; "--fault-plan"; "--guard" ]
 
 let test_help_lists_every_flag () =
   let h = help () in
@@ -39,7 +39,9 @@ let test_help_mentions_docs () =
   Alcotest.(check bool) "examples section" true (contains "EXAMPLES" h);
   Alcotest.(check bool) "see-also docs/CLI.md" true (contains "docs/CLI.md" h);
   Alcotest.(check bool) "see-also docs/OBSERVABILITY.md" true
-    (contains "docs/OBSERVABILITY.md" h)
+    (contains "docs/OBSERVABILITY.md" h);
+  Alcotest.(check bool) "--fault points at docs/FAULTS.md" true
+    (contains "docs/FAULTS.md" h)
 
 (* Every `--flag` token used by the example invocations in the source
    header must be a flag --help knows about — keeps header and parser

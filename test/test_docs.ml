@@ -4,8 +4,9 @@
    instead this test enforces the part that matters for reviewers: every
    interface of the telemetry library (the subsystem whose output format
    is a documented, stable schema) opens with a module doc comment and
-   documents every exported value, and the interfaces extended this cycle
-   (Load_tracker) keep full coverage. The dune stanza materialises the
+   documents every exported value, and the interfaces extended across
+   cycles (Load_tracker, the dps_faults plan/injector pair) keep full
+   coverage. The dune stanza materialises the
    .mli files as test dependencies. *)
 
 let read_file path =
@@ -46,10 +47,16 @@ let test_telemetry_mlis () =
 
 let test_load_tracker_mli () = check_mli "../lib/interference/load_tracker.mli"
 
+let test_faults_mlis () =
+  List.iter
+    (fun m -> check_mli (Printf.sprintf "../lib/faults/%s.mli" m))
+    [ "plan"; "injector" ]
+
 let () =
   Alcotest.run "docs"
     [ ( "doc-comments",
         [ Alcotest.test_case "telemetry interfaces" `Quick
             test_telemetry_mlis;
           Alcotest.test_case "load_tracker interface" `Quick
-            test_load_tracker_mli ] ) ]
+            test_load_tracker_mli;
+          Alcotest.test_case "faults interfaces" `Quick test_faults_mlis ] ) ]

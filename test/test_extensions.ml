@@ -180,6 +180,19 @@ let test_lossy_requires_rng () =
     (Invalid_argument "Oracle.adjudicate: Lossy oracle needs an rng")
     (fun () -> ignore (Oracle.adjudicate oracle [ 0 ]))
 
+let test_lossy_rejects_bad_probability () =
+  let rng = Rng.create ~seed:41 () in
+  List.iter
+    (fun loss ->
+      Alcotest.check_raises
+        (Printf.sprintf "loss %g rejected" loss)
+        (Invalid_argument "Oracle.adjudicate: Lossy probability outside [0, 1]")
+        (fun () ->
+          ignore
+            (Oracle.adjudicate ~rng (Oracle.Lossy (Oracle.Wireline, loss))
+               [ 0 ])))
+    [ -0.1; 1.5; Float.nan ]
+
 let test_lossy_extremes () =
   let rng = Rng.create ~seed:42 () in
   Alcotest.(check (list int)) "loss 0 = base" [ 0; 1 ]
@@ -372,6 +385,7 @@ let () =
           quick "shared sender" test_radio_shared_sender ] );
       ( "lossy",
         [ quick "requires rng" test_lossy_requires_rng;
+          quick "rejects bad probability" test_lossy_rejects_bad_probability;
           quick "extremes" test_lossy_extremes;
           quick "empirical rate" test_lossy_rate;
           quick "composes with base rule" test_lossy_composes;

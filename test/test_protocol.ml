@@ -136,6 +136,18 @@ let test_rejects_long_paths () =
       Protocol.run_frame proto rng ~inject_slot:(fun slot ->
           if slot = 0 then [ (long_path, 0) ] else []))
 
+let test_rejects_negative_delay () =
+  let _, m, measure, path = wireline_setup () in
+  let cfg = wireline_config m measure in
+  let channel = Channel.create ~oracle:Oracle.Wireline ~m () in
+  let proto = Protocol.create cfg ~channel in
+  let rng = Rng.create () in
+  Alcotest.check_raises "negative extra_delay"
+    (Invalid_argument "Protocol: negative extra_delay")
+    (fun () ->
+      Protocol.run_frame proto rng ~inject_slot:(fun slot ->
+          if slot = 0 then [ (path 0 1, -1) ] else []))
+
 let test_release_frame_delays_participation () =
   let _, m, measure, path = wireline_setup () in
   ignore m;
@@ -356,6 +368,51 @@ let test_assess_equilibrating_is_stable () =
   Alcotest.(check string) "equilibrated" "stable"
     (Stability.to_string (Stability.assess s))
 
+let test_assess_minimum_length_boundary () =
+  (* 9 points is Marginal (too short), exactly 10 already gets a verdict. *)
+  let nine = series_of_list (List.init 9 (fun _ -> 50.)) in
+  Alcotest.(check string) "nine points" "marginal"
+    (Stability.to_string (Stability.assess nine));
+  let ten = series_of_list (List.init 10 (fun _ -> 50.)) in
+  Alcotest.(check string) "ten points" "stable"
+    (Stability.to_string (Stability.assess ten))
+
+let test_assess_all_zero_is_stable () =
+  let s = series_of_list (List.init 100 (fun _ -> 0.)) in
+  Alcotest.(check string) "idle system" "stable"
+    (Stability.to_string (Stability.assess s))
+
+let test_assess_step_up_is_stable () =
+  (* A step to a new, sustained level is equilibrium at that level — not a
+     drained transient, so not Recovered. *)
+  let s =
+    series_of_list
+      (List.init 200 (fun i -> if i < 100 then 0. else 80.))
+  in
+  Alcotest.(check string) "step" "stable"
+    (Stability.to_string (Stability.assess s))
+
+let test_assess_spike_drain_is_recovered () =
+  (* Ramp to ~100, drain back to empty, long flat tail: a fault episode
+     the protocol absorbed. *)
+  let s =
+    series_of_list
+      (List.init 200 (fun i ->
+           if i < 50 then 2. *. float_of_int i
+           else if i < 100 then Float.max 0. (100. -. 2. *. float_of_int (i - 50))
+           else 0.))
+  in
+  let v = Stability.assess s in
+  Alcotest.(check string) "spike then drain" "recovered"
+    (Stability.to_string v);
+  Alcotest.(check bool) "recovered counts as stable" true
+    (Stability.is_stable v)
+
+let test_growth_per_frame_linear_ramp () =
+  (* On q(i) = 3i the tail slope is exactly the per-frame growth. *)
+  let s = series_of_list (List.init 100 (fun i -> 3. *. float_of_int i)) in
+  Alcotest.(check (float 1e-6)) "slope" 3. (Stability.growth_per_frame s)
+
 (* ------------------------------------------------------------ Theorem 20 *)
 
 let test_lower_bound_global_stable () =
@@ -405,6 +462,7 @@ let () =
         [ quick "fixed length" test_frames_have_fixed_length;
           quick "conservation" test_packet_conservation;
           quick "rejects long paths" test_rejects_long_paths;
+          quick "rejects negative delay" test_rejects_negative_delay;
           quick "release delay honored" test_release_frame_delays_participation ] );
       ( "stability",
         [ slow "stable below threshold" test_stable_below_threshold;
@@ -421,7 +479,12 @@ let () =
           quick "linear unstable" test_assess_linear_is_unstable;
           quick "tiny stable" test_assess_tiny_is_stable;
           quick "short marginal" test_assess_short_is_marginal;
-          quick "equilibrating stable" test_assess_equilibrating_is_stable ] );
+          quick "equilibrating stable" test_assess_equilibrating_is_stable;
+          quick "length-10 boundary" test_assess_minimum_length_boundary;
+          quick "all-zero stable" test_assess_all_zero_is_stable;
+          quick "step up stable" test_assess_step_up_is_stable;
+          quick "spike+drain recovered" test_assess_spike_drain_is_recovered;
+          quick "growth on linear ramp" test_growth_per_frame_linear_ramp ] );
       ( "theorem-20",
         [ slow "global clock stable" test_lower_bound_global_stable;
           slow "local clock unstable" test_lower_bound_local_unstable;

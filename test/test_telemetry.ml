@@ -601,6 +601,41 @@ let test_driver_snapshot_cadence () =
   | Event.Span { name = "driver.run"; frame = 0; slot_start = 0; _ } :: _ -> ()
   | _ -> Alcotest.fail "last event is not the driver.run span"
 
+(* A run that dies mid-frame must still flush its sinks on the way out —
+   a crashed experiment with an empty trace file is undebuggable. The
+   injected path is longer than max_hops, so run_frame raises inside the
+   first frame, before any span closes. *)
+let test_flush_on_midrun_exception () =
+  let g = Topology.line ~nodes:5 ~spacing:1. in
+  let m = Graph.link_count g in
+  let measure = Measure.identity m in
+  let routing = Routing.make g in
+  let path = Option.get (Routing.path routing ~src:0 ~dst:4) in
+  let cfg =
+    Protocol.configure ~epsilon:0.5 ~algorithm:Oneshot.algorithm ~measure
+      ~lambda:0.2 ~max_hops:2 ()
+  in
+  let inj = Stochastic.make [ [ (path, 1.0) ] ] in
+  let recorder = Memory_sink.create () in
+  let t = Telemetry.make ~sinks:[ Memory_sink.sink recorder ] () in
+  let rng = Rng.create ~seed:7 () in
+  (try
+     ignore
+       (Driver.run_traced ~telemetry:t ~metrics_every:1 ~config:cfg
+          ~oracle:Oracle.Wireline ~source:(Driver.Stochastic inj) ~frames:30
+          ~rng);
+     Alcotest.fail "over-long path should have aborted the run"
+   with Invalid_argument _ -> ());
+  Alcotest.(check bool) "sinks flushed despite the abort" true
+    (Memory_sink.flushes recorder >= 1);
+  (* and the flush really was the abort path: the run span never closed *)
+  let run_span_emitted =
+    List.exists
+      (function Event.Span { name = "driver.run"; _ } -> true | _ -> false)
+      (Memory_sink.events recorder)
+  in
+  Alcotest.(check bool) "no driver.run span" false run_span_emitted
+
 let test_driver_rejects_negative_cadence () =
   try
     ignore (wireline_run ~telemetry:Telemetry.disabled ~metrics_every:(-1) ~seed:1);
@@ -668,4 +703,6 @@ let () =
             test_driver_snapshot_cadence;
           Alcotest.test_case "negative cadence" `Quick
             test_driver_rejects_negative_cadence;
+          Alcotest.test_case "flush on mid-run exception" `Quick
+            test_flush_on_midrun_exception;
           Alcotest.test_case "sweep events" `Quick test_sweep_events ] ) ]
