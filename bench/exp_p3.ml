@@ -1,0 +1,96 @@
+(* P3 — per-packet tracing overhead on the protocol hot loop (Bechamel).
+
+   The packet event family (schema v2) is opt-in per run and sampled
+   1-in-k per packet, so it has three cost regimes worth pinning:
+
+     off       telemetry enabled (JSONL to /dev/null) but no
+               [packet_trace] — the price every traced run already pays;
+               packet events must add nothing here
+     k=64      sampled: the recommended production setting; the id check
+               [id mod k] runs per emission site but only 1 packet in 64
+               builds and encodes events
+     k=1       full lifecycle tracing, every packet: the debugging
+               setting, expected to dominate — this row bounds the worst
+               case, it is not a budget
+
+   Same configuration across variants (the B1/P2 frame benchmark), each
+   with its own protocol and RNG so no variant warms another's state. *)
+
+open Common
+open Bechamel
+open Toolkit
+module Telemetry = Dps_telemetry.Telemetry
+module Sink = Dps_telemetry.Sink
+
+let make_tests () =
+  let rng = Rng.create ~seed:1300 () in
+  let g = geometric_network rng ~target_links:(links 64) in
+  let m = Graph.link_count g in
+  let phys = linear_physics g in
+  let measure = Sinr_measure.linear_power phys in
+  let design = 0.04 in
+  let algorithm = Dps_static.Delay_select.make ~c:4. () in
+  let config =
+    Protocol.configure ~algorithm ~measure ~lambda:design ~max_hops:6 ()
+  in
+  let inj = traffic rng g measure ~flows:8 ~target:design ~max_hops:6 in
+  let devnull = open_out "/dev/null" in
+  let variant ~name packet_trace =
+    let telemetry = Telemetry.make ~sinks:[ Sink.jsonl devnull ] () in
+    let channel =
+      Channel.create ~telemetry ~oracle:(Oracle.Sinr phys) ~m ()
+    in
+    let protocol =
+      match packet_trace with
+      | None -> Protocol.create ~telemetry config ~channel
+      | Some k -> Protocol.create ~telemetry ~packet_trace:k config ~channel
+    in
+    let frame_rng = Rng.create ~seed:1301 () in
+    let inject_slot slot =
+      List.map (fun p -> (p, 0)) (Stochastic.draw inj frame_rng ~slot)
+    in
+    Test.make
+      ~name:(Printf.sprintf "%s (T=%d)" name config.Protocol.frame)
+      (Staged.stage (fun () ->
+           Protocol.run_frame protocol frame_rng ~inject_slot))
+  in
+  ( [ variant ~name:"frame, packet tracing off" None;
+      variant ~name:"frame, sampled 1-in-64" (Some 64);
+      variant ~name:"frame, full (every packet)" (Some 1) ],
+    fun () -> close_out devnull )
+
+let run () =
+  Printf.printf "\n=== P3: per-packet tracing overhead on one frame ===\n";
+  let tests, cleanup = make_tests () in
+  let cfg =
+    Benchmark.cfg ~limit:3000
+      ~quota:(Time.second (if smoke then 0.05 else 2.))
+      ~kde:None ()
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let analysis =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let baseline = ref Float.nan in
+  Printf.printf "%-44s %14s %8s %10s\n" "variant" "ns/frame" "r²" "vs off";
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let estimates = Analyze.all analysis Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols ->
+          let time =
+            match Analyze.OLS.estimates ols with
+            | Some (t :: _) -> t
+            | _ -> Float.nan
+          in
+          let r2 = Option.value ~default:Float.nan (Analyze.OLS.r_square ols) in
+          if Float.is_nan !baseline then baseline := time;
+          Printf.printf "%-44s %14.1f %8.3f %9.2f%%\n" name time r2
+            ((time -. !baseline) /. !baseline *. 100.))
+        estimates)
+    tests;
+  cleanup ();
+  print_endline
+    "overhead vs the traced-but-untraced-packets frame; sampling at k=64 \
+     should sit within noise of off, k=1 is the debugging worst case"

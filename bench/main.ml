@@ -23,6 +23,7 @@ let experiments =
     ("b1", "micro-benchmarks", Exp_b1.run);
     ("p1", "perf: incremental interference engine", Exp_p1.run);
     ("p2", "perf: telemetry overhead", Exp_p2.run);
+    ("p3", "perf: per-packet tracing overhead", Exp_p3.run);
     ("r1", "robustness: jamming burst + overload guard", Exp_r1.run) ]
 
 let () =

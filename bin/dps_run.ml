@@ -133,14 +133,25 @@ let build_traffic rng g measure ~flows ~rate ~max_hops ~mac =
 
 (* Open the requested sinks (empty when neither --trace nor --metrics is
    given, in which case the bundle is [Telemetry.disabled] and the run pays
-   no instrumentation cost). Returns the bundle and a closer that flushes
-   and closes every opened file. *)
+   no instrumentation cost). Path "-" means stdout: the sink writes to it
+   but the closer only flushes it — stdout stays with the process — and
+   the human-readable output moves to stderr (see [report_channel]) so the
+   machine-readable stream never interleaves with the report. Returns the
+   bundle and a closer that flushes everything and closes every opened
+   file. *)
 let make_telemetry ~trace ~metrics =
+  (match (trace, metrics) with
+  | Some "-", Some "-" ->
+    failwith "--trace - and --metrics - cannot share stdout"
+  | _ -> ());
   let opened = ref [] in
   let open_sink path mk =
-    let oc = open_out path in
-    opened := oc :: !opened;
-    mk oc
+    if path = "-" then mk stdout
+    else begin
+      let oc = open_out path in
+      opened := oc :: !opened;
+      mk oc
+    end
   in
   let sinks =
     List.concat
@@ -155,7 +166,17 @@ let make_telemetry ~trace ~metrics =
   | [] -> (Telemetry.disabled, fun () -> ())
   | sinks ->
     let t = Telemetry.make ~sinks () in
-    (t, fun () -> Telemetry.close t)
+    ( t,
+      fun () ->
+        (* Flush through the bundle (covers the stdout sink), then close
+           only the channels this function opened. *)
+        Telemetry.flush t;
+        List.iter close_out !opened )
+
+(* Where the config line and the report go: stderr when a sink claimed
+   stdout, stdout otherwise. *)
+let report_channel ~trace ~metrics =
+  if trace = Some "-" || metrics = Some "-" then stderr else stdout
 
 (* HIGH:LOW[:POLICY] with POLICY in {drop-newest, reject}. *)
 let parse_guard s =
@@ -195,8 +216,8 @@ let build_plan ~fault_specs ~fault_plan =
   Plan.make (from_flags @ from_file)
 
 let run model_name topology algorithm_name rate epsilon frames flows adversary
-    stations loss seed trace metrics metrics_every fault_specs fault_plan guard
-    =
+    stations loss seed trace metrics metrics_every trace_packets fault_specs
+    fault_plan guard =
   let model =
     match model_name with
     | "sinr-linear" -> Sinr_linear
@@ -236,7 +257,8 @@ let run model_name topology algorithm_name rate epsilon frames flows adversary
   let config =
     Protocol.configure ~epsilon ~algorithm ~measure ~lambda:rate ~max_hops ()
   in
-  Printf.printf
+  let out = report_channel ~trace ~metrics in
+  Printf.fprintf out
     "model=%s topology=%s m=%d algorithm=%s rate=%.4f\nframe T=%d (phase1 %d, \
      clean-up %d)\n"
     model_name topology (Measure.size measure) algorithm.Algorithm.name rate
@@ -271,23 +293,29 @@ let run model_name topology algorithm_name rate epsilon frames flows adversary
       in
       Driver.Adversarial adv
   in
+  (match trace_packets with
+  | Some k when k < 1 -> failwith "--trace-packets: K must be >= 1"
+  | Some _ when trace = None ->
+    failwith "--trace-packets needs --trace (there is no trace to write to)"
+  | _ -> ());
   let telemetry, close_telemetry = make_telemetry ~trace ~metrics in
   let r, injector =
     Fun.protect ~finally:close_telemetry (fun () ->
         if Plan.is_empty plan && guard = None then
-          ( Driver.run_traced ~telemetry ~metrics_every ~config ~oracle ~source
-              ~frames ~rng,
+          ( Driver.run_traced ?packet_trace:trace_packets ~telemetry
+              ~metrics_every ~config ~oracle ~source ~frames ~rng (),
             None )
         else
           let r, injector =
-            Driver.run_faulted_traced ?guard ~telemetry ~metrics_every ~config
-              ~oracle ~source ~plan ~frames ~rng ()
+            Driver.run_faulted_traced ?packet_trace:trace_packets ?guard
+              ~telemetry ~metrics_every ~config ~oracle ~source ~plan ~frames
+              ~rng ()
           in
           (r, Some injector))
   in
   (match injector with
   | Some inj when not (Plan.is_empty plan) ->
-    Printf.printf
+    Printf.fprintf out
       "faults: suppressed %d (outage %d, jam %d, loss %d, degrade %d)\n"
       (Injector.suppressed inj)
       (Injector.suppressed_of inj "outage")
@@ -295,7 +323,8 @@ let run model_name topology algorithm_name rate epsilon frames flows adversary
       (Injector.suppressed_of inj "loss")
       (Injector.suppressed_of inj "degrade")
   | _ -> ());
-  Format.printf "@\n%a@\n"
+  let ppf = Format.formatter_of_out_channel out in
+  Format.fprintf ppf "@\n%a@\n%!"
     (Dps_core.Report_pp.pp ~frame:config.Protocol.frame)
     r
 
@@ -397,6 +426,18 @@ let metrics_every =
           "Emit a metrics snapshot every $(docv) frames (0 = final snapshot \
            only). Only meaningful with $(b,--trace) or $(b,--metrics).")
 
+let trace_packets =
+  Arg.(
+    value
+    & opt ~vopt:(Some 1) (some int) None
+    & info [ "trace-packets" ] ~docv:"K"
+        ~doc:
+          "Add per-packet lifecycle events (packet.inject, packet.hop, \
+           packet.deliver, packet.shed) to the $(b,--trace) stream, \
+           head-sampled 1-in-$(docv) by packet id (default 1 = every \
+           packet). Sampling is deterministic and sticky per packet, so \
+           sampled lifecycles are complete. Requires $(b,--trace).")
+
 let fault =
   Arg.(
     value & opt_all string []
@@ -430,12 +471,12 @@ let guard =
            (default) or reject. See DESIGN.md §9.")
 
 let run_safely model_name topology algorithm_name rate epsilon frames flows
-    adversary stations loss seed trace metrics metrics_every fault_specs
-    fault_plan guard =
+    adversary stations loss seed trace metrics metrics_every trace_packets
+    fault_specs fault_plan guard =
   try
     run model_name topology algorithm_name rate epsilon frames flows adversary
-      stations loss seed trace metrics metrics_every fault_specs fault_plan
-      guard
+      stations loss seed trace metrics metrics_every trace_packets fault_specs
+      fault_plan guard
   with Invalid_argument msg | Failure msg | Sys_error msg ->
     Printf.eprintf "dps_run: %s\n" msg;
     exit 1
@@ -456,6 +497,12 @@ let cmd =
       `Pre
         "  dps_run --model sinr-linear --rate 0.04 --trace t.jsonl --metrics \
          m.csv --metrics-every 5";
+      `P
+        "Trace every packet's lifecycle and pipe it straight into the \
+         analyzer (the report moves to stderr):";
+      `Pre
+        "  dps_run --model wireline --topology line:8 --rate 0.3 --trace - \
+         --trace-packets | dps_trace summary -";
       `P "A jamming burst absorbed by the overload guard:";
       `Pre
         "  dps_run --model wireline --topology line:8 --rate 0.3 --fault \
@@ -471,6 +518,6 @@ let cmd =
     Term.(
       const run_safely $ model $ topology $ algorithm $ rate $ epsilon $ frames
       $ flows $ adversary $ stations $ loss $ seed $ trace $ metrics
-      $ metrics_every $ fault $ fault_plan $ guard)
+      $ metrics_every $ trace_packets $ fault $ fault_plan $ guard)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,558 @@
+(* dps_trace — offline analyzer for dps_run JSONL traces.
+
+   Subcommands:
+     check    FILE       schema validation (exit 1 on the first bad line)
+     summary  FILE       headline numbers for the whole trace
+     packet   ID FILE    one packet's lifecycle, event by event
+     latency  FILE       latency decomposition (--by hop|phase|episode)
+     witness  THM FILE   theorem witnesses: thm3 | thm8 | thm11
+
+   FILE is "-" for stdin, which composes with dps_run --trace -:
+     dps_run --model wireline --rate 0.3 --trace - --trace-packets \
+       | dps_trace summary -
+
+   Output is a human table by default, one JSON object with --json.
+   Schema: docs/OBSERVABILITY.md; reference: docs/CLI.md.
+*)
+
+module Json = Dps_trace.Json
+module Line = Dps_trace.Line
+module Reader = Dps_trace.Reader
+module Lifecycle = Dps_trace.Lifecycle
+module Analyze = Dps_trace.Analyze
+module Witness = Dps_trace.Witness
+module Stability = Dps_core.Stability
+
+(* Deterministic float rendering, shared by tables and JSON so golden
+   outputs never depend on locale or platform. *)
+let fnum f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%d" (int_of_float f)
+  else Printf.sprintf "%.3f" f
+
+let jnum f =
+  if Float.is_finite f then Printf.sprintf "%.12g" f else "null"
+
+let jstr s = "\"" ^ String.concat "\\\"" (String.split_on_char '"' s) ^ "\""
+
+let jbool b = if b then "true" else "false"
+
+let jobj fields =
+  "{" ^ String.concat "," (List.map (fun (k, v) -> jstr k ^ ":" ^ v) fields)
+  ^ "}"
+
+let jarr items = "[" ^ String.concat "," items ^ "]"
+
+let jopt f = function Some v -> f v | None -> "null"
+
+let dist_json (d : Analyze.dist) =
+  jobj
+    [ ("n", string_of_int d.Analyze.n);
+      ("mean", jnum d.Analyze.mean);
+      ("p50", jnum d.Analyze.p50);
+      ("p90", jnum d.Analyze.p90);
+      ("max", jnum d.Analyze.dmax) ]
+
+let dist_line (d : Analyze.dist) =
+  Printf.sprintf "n=%d mean=%s p50=%s p90=%s max=%s" d.Analyze.n
+    (fnum d.Analyze.mean) (fnum d.Analyze.p50) (fnum d.Analyze.p90)
+    (fnum d.Analyze.dmax)
+
+let load path =
+  Reader.with_input path (fun ic ->
+      let b = Lifecycle.builder () in
+      (try
+         Reader.fold_exn ic ~init:() ~f:(fun () ~lineno:_ line ->
+             Lifecycle.add b line)
+       with
+      | Reader.Bad_line (n, msg) ->
+        failwith (Printf.sprintf "%s:%d: %s" path n msg)
+      | Json.Error msg -> failwith (path ^ ": " ^ msg));
+      Lifecycle.finish b)
+
+(* ------------------------------------------------------------- check *)
+
+let run_check path json =
+  let ok, versions =
+    Reader.with_input path (fun ic ->
+        Reader.fold ic ~init:(0, []) ~f:(fun (n, vs) ~lineno -> function
+          | Ok line ->
+            ( n + 1,
+              if List.mem line.Line.version vs then vs
+              else line.Line.version :: vs )
+          | Error msg ->
+            failwith (Printf.sprintf "%s:%d: %s" path lineno msg)))
+  in
+  let versions = List.sort compare versions in
+  if json then
+    print_endline
+      (jobj
+         [ ("lines", string_of_int ok);
+           ("versions", jarr (List.map string_of_int versions));
+           ("ok", "true") ])
+  else
+    Printf.printf "%s: %d lines ok (schema version%s %s)\n" path ok
+      (if List.length versions = 1 then "" else "s")
+      (String.concat "," (List.map string_of_int versions))
+
+(* ----------------------------------------------------------- summary *)
+
+let run_summary path json =
+  let run = load path in
+  let s = Analyze.summary run in
+  if json then
+    print_endline
+      (jobj
+         [ ("events", string_of_int s.Analyze.s_events);
+           ("frames", string_of_int s.Analyze.s_frames);
+           ( "frame_length",
+             jopt string_of_int s.Analyze.s_frame_length );
+           ("packets", string_of_int s.Analyze.s_packets);
+           ("injected", string_of_int s.Analyze.s_injected);
+           ("delivered", string_of_int s.Analyze.s_delivered);
+           ("shed", string_of_int s.Analyze.s_shed);
+           ("in_flight", string_of_int s.Analyze.s_in_flight);
+           ("hop_events", string_of_int s.Analyze.s_hop_events);
+           ("hop_failures", string_of_int s.Analyze.s_hop_failures);
+           ("episodes", string_of_int s.Analyze.s_episodes);
+           ("latency", jopt dist_json s.Analyze.s_latency) ])
+  else begin
+    Printf.printf "trace: %d lines, %d frames%s\n" s.Analyze.s_events
+      s.Analyze.s_frames
+      (match s.Analyze.s_frame_length with
+      | Some t -> Printf.sprintf " (T=%d slots)" t
+      | None -> "");
+    Printf.printf "packets: %d traced, %d injected, %d delivered, %d shed, %d in flight\n"
+      s.Analyze.s_packets s.Analyze.s_injected s.Analyze.s_delivered
+      s.Analyze.s_shed s.Analyze.s_in_flight;
+    Printf.printf "hops: %d attempts, %d failures\n" s.Analyze.s_hop_events
+      s.Analyze.s_hop_failures;
+    Printf.printf "episodes: %d\n" s.Analyze.s_episodes;
+    match s.Analyze.s_latency with
+    | Some d -> Printf.printf "latency (slots): %s\n" (dist_line d)
+    | None -> Printf.printf "latency (slots): no delivered packet traced\n"
+  end
+
+(* ------------------------------------------------------------ packet *)
+
+let run_packet id path json =
+  let run = load path in
+  match Analyze.packet run id with
+  | None ->
+    Printf.eprintf
+      "dps_trace: packet %d is not in the trace (not sampled, or outside \
+       the run)\n"
+      id;
+    exit 1
+  | Some p ->
+    if json then begin
+      let inject_json (i : Lifecycle.inject) =
+        jobj
+          [ ("frame", string_of_int i.Lifecycle.inj_frame);
+            ("slot", string_of_int i.Lifecycle.inj_slot);
+            ("link", string_of_int i.Lifecycle.inj_link);
+            ("d", string_of_int i.Lifecycle.inj_d);
+            ("delay", string_of_int i.Lifecycle.inj_delay) ]
+      in
+      let shed_json (s : Lifecycle.shed) =
+        jobj
+          [ ("frame", string_of_int s.Lifecycle.shed_frame);
+            ("slot", string_of_int s.Lifecycle.shed_slot);
+            ("d", string_of_int s.Lifecycle.shed_d);
+            ("policy", jstr s.Lifecycle.shed_policy) ]
+      in
+      let hop_json (h : Lifecycle.hop) =
+        jobj
+          [ ("frame", string_of_int h.Lifecycle.hop_frame);
+            ("slot", string_of_int h.Lifecycle.hop_slot);
+            ("hop", string_of_int h.Lifecycle.hop_index);
+            ("link", string_of_int h.Lifecycle.hop_link);
+            ("phase", jstr (Lifecycle.phase_name h.Lifecycle.hop_phase));
+            ("ok", jbool h.Lifecycle.hop_ok) ]
+      in
+      let deliver_json (d : Lifecycle.deliver) =
+        jobj
+          [ ("frame", string_of_int d.Lifecycle.del_frame);
+            ("slot", string_of_int d.Lifecycle.del_slot);
+            ("latency", string_of_int d.Lifecycle.del_latency);
+            ("failed", jbool d.Lifecycle.del_failed) ]
+      in
+      print_endline
+        (jobj
+           [ ("id", string_of_int p.Lifecycle.id);
+             ("inject", jopt inject_json p.Lifecycle.inject);
+             ("shed", jopt shed_json p.Lifecycle.shed);
+             ("hops", jarr (List.map hop_json p.Lifecycle.hops));
+             ("deliver", jopt deliver_json p.Lifecycle.deliver) ])
+    end
+    else begin
+      Printf.printf "packet %d\n" p.Lifecycle.id;
+      (match p.Lifecycle.inject with
+      | Some i ->
+        Printf.printf "  inject   frame %-4d slot %-6d link %d d=%d delay=%d\n"
+          i.Lifecycle.inj_frame i.Lifecycle.inj_slot i.Lifecycle.inj_link
+          i.Lifecycle.inj_d i.Lifecycle.inj_delay
+      | None -> ());
+      (match p.Lifecycle.shed with
+      | Some s ->
+        Printf.printf "  shed     frame %-4d slot %-6d d=%d policy=%s\n"
+          s.Lifecycle.shed_frame s.Lifecycle.shed_slot s.Lifecycle.shed_d
+          s.Lifecycle.shed_policy
+      | None -> ());
+      List.iter
+        (fun (h : Lifecycle.hop) ->
+          Printf.printf "  hop %-4d frame %-4d slot %-6d link %d %-7s %s\n"
+            h.Lifecycle.hop_index h.Lifecycle.hop_frame h.Lifecycle.hop_slot
+            h.Lifecycle.hop_link
+            (Lifecycle.phase_name h.Lifecycle.hop_phase)
+            (if h.Lifecycle.hop_ok then "ok" else "failed"))
+        p.Lifecycle.hops;
+      match p.Lifecycle.deliver with
+      | Some d ->
+        Printf.printf "  deliver  frame %-4d slot %-6d latency %d%s\n"
+          d.Lifecycle.del_frame d.Lifecycle.del_slot d.Lifecycle.del_latency
+          (if d.Lifecycle.del_failed then " (via clean-up)" else "")
+      | None -> Printf.printf "  (not delivered within the trace)\n"
+    end
+
+(* ----------------------------------------------------------- latency *)
+
+let run_latency by path json =
+  let run = load path in
+  match by with
+  | "phase" ->
+    let pb = Analyze.by_phase run in
+    if json then
+      print_endline
+        (jobj
+           [ ("by", jstr "phase");
+             ("packets", string_of_int pb.Analyze.pb_packets);
+             ("queue", jopt dist_json pb.Analyze.pb_queue);
+             ("phase1", jopt dist_json pb.Analyze.pb_phase1);
+             ("cleanup", jopt dist_json pb.Analyze.pb_cleanup);
+             ("queue_share", jnum pb.Analyze.pb_queue_share);
+             ("phase1_share", jnum pb.Analyze.pb_phase1_share);
+             ("cleanup_share", jnum pb.Analyze.pb_cleanup_share) ])
+    else begin
+      Printf.printf "latency by phase over %d complete packets\n"
+        pb.Analyze.pb_packets;
+      let row name d share =
+        Printf.printf "  %-8s %-46s share %5.1f%%\n" name
+          (match d with
+          | Some d -> dist_line d
+          | None -> "-")
+          (100. *. share)
+      in
+      row "queue" pb.Analyze.pb_queue pb.Analyze.pb_queue_share;
+      row "phase1" pb.Analyze.pb_phase1 pb.Analyze.pb_phase1_share;
+      row "cleanup" pb.Analyze.pb_cleanup pb.Analyze.pb_cleanup_share
+    end
+  | "hop" ->
+    let rows = Analyze.by_hop run in
+    if json then
+      print_endline
+        (jobj
+           [ ("by", jstr "hop");
+             ( "hops",
+               jarr
+                 (List.map
+                    (fun (i, d) ->
+                      jobj
+                        [ ("hop", string_of_int i); ("slots", dist_json d) ])
+                    rows) ) ])
+    else begin
+      Printf.printf "slots to complete each hop (failed attempts included)\n";
+      List.iter
+        (fun (i, d) -> Printf.printf "  hop %-3d %s\n" i (dist_line d))
+        rows;
+      if rows = [] then Printf.printf "  (no successful hop traced)\n"
+    end
+  | "episode" ->
+    let rows = Analyze.by_episode run in
+    if json then
+      print_endline
+        (jobj
+           [ ("by", jstr "episode");
+             ( "episodes",
+               jarr
+                 (List.map
+                    (fun (e : Analyze.episode_impact) ->
+                      let ep = e.Analyze.ei_episode in
+                      jobj
+                        [ ("kind", jstr ep.Lifecycle.ep_kind);
+                          ("links", string_of_int ep.Lifecycle.ep_links);
+                          ( "first_slot",
+                            string_of_int ep.Lifecycle.ep_first_slot );
+                          ( "last_slot",
+                            string_of_int ep.Lifecycle.ep_last_slot );
+                          ( "suppressed",
+                            jopt string_of_int ep.Lifecycle.ep_suppressed );
+                          ( "overlapping",
+                            jopt dist_json e.Analyze.ei_overlapping );
+                          ("baseline", jopt dist_json e.Analyze.ei_baseline);
+                          ("delta", jopt jnum e.Analyze.ei_delta);
+                          ( "drain_frames",
+                            jopt string_of_int e.Analyze.ei_drain_frames ) ])
+                    rows) ) ])
+    else begin
+      Printf.printf "latency impact per fault episode\n";
+      List.iter
+        (fun (e : Analyze.episode_impact) ->
+          let ep = e.Analyze.ei_episode in
+          Printf.printf "  %s slots %d-%d (%d links)%s\n"
+            ep.Lifecycle.ep_kind ep.Lifecycle.ep_first_slot
+            ep.Lifecycle.ep_last_slot ep.Lifecycle.ep_links
+            (match ep.Lifecycle.ep_suppressed with
+            | Some s -> Printf.sprintf " suppressed %d" s
+            | None -> " (open at end of trace)");
+          (match e.Analyze.ei_overlapping with
+          | Some d -> Printf.printf "    overlapping: %s\n" (dist_line d)
+          | None -> Printf.printf "    overlapping: none delivered\n");
+          (match e.Analyze.ei_baseline with
+          | Some d -> Printf.printf "    baseline:    %s\n" (dist_line d)
+          | None -> ());
+          (match e.Analyze.ei_delta with
+          | Some d -> Printf.printf "    delta mean:  %s slots\n" (fnum d)
+          | None -> ());
+          match e.Analyze.ei_drain_frames with
+          | Some d -> Printf.printf "    drain:       %d frames\n" d
+          | None -> ())
+        rows;
+      if rows = [] then Printf.printf "  (no fault episode in the trace)\n"
+    end
+  | other -> failwith ("--by must be hop, phase or episode, not " ^ other)
+
+(* ----------------------------------------------------------- witness *)
+
+let run_witness which threshold path json =
+  let run = load path in
+  let fail msg =
+    Printf.eprintf "dps_trace: witness %s: %s\n" which msg;
+    exit 1
+  in
+  match which with
+  | "thm8" -> (
+    match Witness.thm8 ?threshold run with
+    | Error msg -> fail msg
+    | Ok w ->
+      if json then
+        print_endline
+          (jobj
+             [ ("witness", jstr "thm8");
+               ("frame_length", string_of_int w.Witness.t8_frame_length);
+               ("threshold", jnum w.Witness.t8_threshold);
+               ("packets", string_of_int w.Witness.t8_n);
+               ("ratio", dist_json w.Witness.t8_ratio);
+               ( "outliers",
+                 jarr
+                   (List.map
+                      (fun (o : Witness.outlier) ->
+                        jobj
+                          [ ("id", string_of_int o.Witness.o_id);
+                            ("d", string_of_int o.Witness.o_d);
+                            ("latency", string_of_int o.Witness.o_latency);
+                            ("ratio", jnum o.Witness.o_ratio);
+                            ("failed", jbool o.Witness.o_failed) ])
+                      w.Witness.t8_outliers) );
+               ("unexplained", string_of_int w.Witness.t8_unexplained);
+               ("consistent", jbool w.Witness.t8_consistent) ])
+      else begin
+        Printf.printf
+          "witness thm8: latency vs (d+delay)*T budget (T=%d, c=%s)\n"
+          w.Witness.t8_frame_length
+          (fnum w.Witness.t8_threshold);
+        Printf.printf "packets: %d   ratio %s\n" w.Witness.t8_n
+          (dist_line w.Witness.t8_ratio);
+        Printf.printf "outliers above c: %d (unexplained %d)\n"
+          (List.length w.Witness.t8_outliers)
+          w.Witness.t8_unexplained;
+        List.iter
+          (fun (o : Witness.outlier) ->
+            Printf.printf "  packet %-6d d=%d latency=%-6d ratio=%s%s\n"
+              o.Witness.o_id o.Witness.o_d o.Witness.o_latency
+              (fnum o.Witness.o_ratio)
+              (if o.Witness.o_failed then " (failed: clean-up path)" else ""))
+          w.Witness.t8_outliers;
+        Printf.printf "verdict: %s\n"
+          (if w.Witness.t8_consistent then
+             "CONSISTENT (p50 <= 2 and no unexplained outliers)"
+           else "INCONSISTENT")
+      end;
+      if not w.Witness.t8_consistent then exit 1)
+  | "thm3" -> (
+    match Witness.thm3 run with
+    | Error msg -> fail msg
+    | Ok w ->
+      if json then
+        print_endline
+          (jobj
+             [ ("witness", jstr "thm3");
+               ("frames", string_of_int w.Witness.t3_frames);
+               ( "verdict",
+                 jstr (Stability.to_string w.Witness.t3_verdict) );
+               ("growth_per_frame", jnum w.Witness.t3_growth);
+               ("max_in_system", string_of_int w.Witness.t3_max_in_system);
+               ("max_potential", string_of_int w.Witness.t3_max_potential);
+               ( "final_potential",
+                 string_of_int w.Witness.t3_final_potential ) ])
+      else begin
+        Printf.printf
+          "witness thm3: stability recomputed from the trace (%d frames)\n"
+          w.Witness.t3_frames;
+        Printf.printf "in_system: max %d, tail growth %s packets/frame\n"
+          w.Witness.t3_max_in_system (fnum w.Witness.t3_growth);
+        Printf.printf "potential: max %d, final %d\n"
+          w.Witness.t3_max_potential w.Witness.t3_final_potential;
+        Printf.printf "verdict: %s\n"
+          (Stability.to_string w.Witness.t3_verdict)
+      end)
+  | "thm11" -> (
+    match Witness.thm11 run with
+    | Error msg -> fail msg
+    | Ok w ->
+      if json then
+        print_endline
+          (jobj
+             [ ("witness", jstr "thm11");
+               ("packets", string_of_int w.Witness.t11_n);
+               ("delayed", string_of_int w.Witness.t11_delayed);
+               ("max_delay", string_of_int w.Witness.t11_max_delay);
+               ("mean_delay", jnum w.Witness.t11_mean_delay);
+               ("distinct_delays", string_of_int w.Witness.t11_distinct);
+               ("coverage", jnum w.Witness.t11_coverage);
+               ("adversarial", jbool w.Witness.t11_adversarial) ])
+      else begin
+        Printf.printf
+          "witness thm11: random initial delays over %d injected packets\n"
+          w.Witness.t11_n;
+        if not w.Witness.t11_adversarial then
+          Printf.printf
+            "all delays are 0 — not an adversarial run (the wrapper only \
+             delays window-adversary traffic)\n"
+        else begin
+          Printf.printf
+            "delayed: %d/%d, delay mean %s max %d frames\n"
+            w.Witness.t11_delayed w.Witness.t11_n
+            (fnum w.Witness.t11_mean_delay)
+            w.Witness.t11_max_delay;
+          Printf.printf "spread: %d distinct values, coverage %s of [0,%d]\n"
+            w.Witness.t11_distinct
+            (fnum w.Witness.t11_coverage)
+            w.Witness.t11_max_delay
+        end
+      end)
+  | other -> failwith ("unknown witness: " ^ other ^ " (thm3|thm8|thm11)")
+
+(* --------------------------------------------------------- cmdliner *)
+
+open Cmdliner
+
+let json_flag =
+  Arg.(
+    value & flag
+    & info [ "json" ] ~doc:"Emit one JSON object instead of a human table.")
+
+let file_arg =
+  Arg.(
+    value
+    & pos ~rev:true 0 string "-"
+    & info [] ~docv:"FILE"
+        ~doc:"JSONL trace file, or - for stdin (default).")
+
+let wrap f =
+  try f () with
+  | Failure msg | Sys_error msg ->
+    Printf.eprintf "dps_trace: %s\n" msg;
+    exit 1
+
+let check_cmd =
+  let doc = "validate every line against the trace schema" in
+  Cmd.v
+    (Cmd.info "check" ~doc)
+    Term.(
+      const (fun path json -> wrap (fun () -> run_check path json))
+      $ file_arg $ json_flag)
+
+let summary_cmd =
+  let doc = "headline numbers for the whole trace" in
+  Cmd.v
+    (Cmd.info "summary" ~doc)
+    Term.(
+      const (fun path json -> wrap (fun () -> run_summary path json))
+      $ file_arg $ json_flag)
+
+let packet_cmd =
+  let doc = "one packet's lifecycle, event by event" in
+  let id =
+    Arg.(
+      required
+      & pos 0 (some int) None
+      & info [] ~docv:"ID" ~doc:"Packet id (see packet.inject events).")
+  in
+  Cmd.v
+    (Cmd.info "packet" ~doc)
+    Term.(
+      const (fun id path json -> wrap (fun () -> run_packet id path json))
+      $ id $ file_arg $ json_flag)
+
+let latency_cmd =
+  let doc = "latency decomposition" in
+  let by =
+    Arg.(
+      value & opt string "phase"
+      & info [ "by" ] ~docv:"DIM"
+          ~doc:"Decomposition dimension: hop, phase (default) or episode.")
+  in
+  Cmd.v
+    (Cmd.info "latency" ~doc)
+    Term.(
+      const (fun by path json -> wrap (fun () -> run_latency by path json))
+      $ by $ file_arg $ json_flag)
+
+let witness_cmd =
+  let doc = "recompute a theorem's evidence from the trace alone" in
+  let which =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"THM" ~doc:"Which witness: thm3, thm8 or thm11.")
+  in
+  let threshold =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "threshold" ] ~docv:"C"
+          ~doc:
+            "Outlier cutoff for thm8: flag packets with latency above \
+             C*(d+delay)*T (default 3.0).")
+  in
+  Cmd.v
+    (Cmd.info "witness" ~doc)
+    Term.(
+      const (fun which threshold path json ->
+          wrap (fun () -> run_witness which threshold path json))
+      $ which $ threshold $ file_arg $ json_flag)
+
+let cmd =
+  let doc = "offline analyzer for dps_run telemetry traces" in
+  let man =
+    [ `S Manpage.s_examples;
+      `P "Check and summarise a recorded trace:";
+      `Pre "  dps_trace check t.jsonl && dps_trace summary t.jsonl";
+      `P "Stream from a live run:";
+      `Pre
+        "  dps_run --model wireline --topology line:8 --rate 0.3 --trace - \
+         --trace-packets | dps_trace summary -";
+      `P "Follow one packet and decompose the tail:";
+      `Pre "  dps_trace packet 42 t.jsonl\n  dps_trace latency --by hop t.jsonl";
+      `P "Recompute the paper's guarantees from the file alone:";
+      `Pre "  dps_trace witness thm8 t.jsonl\n  dps_trace witness thm3 --json t.jsonl";
+      `S Manpage.s_see_also;
+      `P "docs/CLI.md; docs/OBSERVABILITY.md (schema v2, packet events)."
+    ]
+  in
+  Cmd.group
+    (Cmd.info "dps_trace" ~doc ~man)
+    [ check_cmd; summary_cmd; packet_cmd; latency_cmd; witness_cmd ]
+
+let () = exit (Cmd.eval cmd)

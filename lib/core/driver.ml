@@ -70,20 +70,21 @@ let run_protocol ~protocol ~source ~frames ~rng =
   run_protocol_traced ~telemetry:Telemetry.disabled ~metrics_every:0 ~protocol
     ~source ~frames ~rng
 
-let run_traced ~telemetry ~metrics_every ~config ~oracle ~source ~frames ~rng =
+let run_traced ?packet_trace ~telemetry ~metrics_every ~config ~oracle ~source
+    ~frames ~rng () =
   let channel =
     Channel.create ~rng:(Rng.split rng) ~telemetry ~oracle
       ~m:(Measure.size config.Protocol.measure) ()
   in
-  let protocol = Protocol.create ~telemetry config ~channel in
+  let protocol = Protocol.create ~telemetry ?packet_trace config ~channel in
   run_protocol_traced ~telemetry ~metrics_every ~protocol ~source ~frames ~rng
 
 let run ~config ~oracle ~source ~frames ~rng =
   run_traced ~telemetry:Telemetry.disabled ~metrics_every:0 ~config ~oracle
-    ~source ~frames ~rng
+    ~source ~frames ~rng ()
 
-let run_faulted_traced ?guard ~telemetry ~metrics_every ~config ~oracle ~source
-    ~plan ~frames ~rng () =
+let run_faulted_traced ?packet_trace ?guard ~telemetry ~metrics_every ~config
+    ~oracle ~source ~plan ~frames ~rng () =
   let m = Measure.size config.Protocol.measure in
   (* Same split discipline as [run_traced]: the channel takes the first
      split. The fault layer draws from its own split — taken only when the
@@ -103,7 +104,9 @@ let run_faulted_traced ?guard ~telemetry ~metrics_every ~config ~oracle ~source
     Channel.create ~rng:channel_rng ?measure ~telemetry
       ~faults:(Injector.hook injector) ~oracle ~m ()
   in
-  let protocol = Protocol.create ~telemetry ?guard config ~channel in
+  let protocol =
+    Protocol.create ~telemetry ?packet_trace ?guard config ~channel
+  in
   let report =
     run_protocol_traced ~telemetry ~metrics_every ~protocol ~source ~frames
       ~rng

@@ -37,8 +37,11 @@ val run :
     only). Sinks are flushed at the end of the run — also when a frame
     raises mid-run ([Fun.protect]), so the events emitted up to the
     failure reach the sinks — but {e not} closed; that stays with whoever
-    opened them. Raises [Invalid_argument] on negative [metrics_every]. *)
+    opened them. [packet_trace = k] turns on the per-packet lifecycle
+    events with 1-in-[k] head-based sampling (see {!Protocol.create}).
+    Raises [Invalid_argument] on negative [metrics_every]. *)
 val run_traced :
+  ?packet_trace:int ->
   telemetry:Dps_telemetry.Telemetry.t ->
   metrics_every:int ->
   config:Protocol.config ->
@@ -46,6 +49,7 @@ val run_traced :
   source:source ->
   frames:int ->
   rng:Dps_prelude.Rng.t ->
+  unit ->
   Protocol.report
 
 (** [run_faulted ?guard ~config ~oracle ~source ~plan ~frames ~rng ()] —
@@ -72,12 +76,14 @@ val run_faulted :
   unit ->
   Protocol.report * Dps_faults.Injector.t
 
-(** [run_faulted_traced ?guard ~telemetry ~metrics_every ~config ~oracle
-    ~source ~plan ~frames ~rng ()] — {!run_faulted} with instrumentation
-    as in {!run_traced}; the injector additionally emits
+(** [run_faulted_traced ?packet_trace ?guard ~telemetry ~metrics_every
+    ~config ~oracle ~source ~plan ~frames ~rng ()] — {!run_faulted} with
+    instrumentation as in {!run_traced} (including optional per-packet
+    tracing); the injector additionally emits
     [fault.episode.start]/[fault.episode.end] point events and the
     [fault.suppressed{kind=...}] counters (docs/OBSERVABILITY.md). *)
 val run_faulted_traced :
+  ?packet_trace:int ->
   ?guard:Protocol.guard ->
   telemetry:Dps_telemetry.Telemetry.t ->
   metrics_every:int ->

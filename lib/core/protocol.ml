@@ -154,12 +154,22 @@ type gtel = {
   c_shed : Metrics.counter;
 }
 
+(* Packet-lifecycle tracing (schema v2, docs/OBSERVABILITY.md). Resolved
+   only when both telemetry and packet tracing are requested, so runs
+   without [--trace-packets] emit no [packet.*] lines and stay
+   byte-identical to schema-v1 traces modulo the version stamp. *)
+type ptel = {
+  pt_t : Telemetry.t;
+  pt_every : int;  (* head-based sampling: trace ids with id mod k = 0 *)
+}
+
 type t = {
   cfg : config;
   channel : Channel.t;
   tel : tel option;
   guard : guard option;
   gtel : gtel option;
+  ptel : ptel option;
   mutable overloaded : bool;
   mutable overload_onset : int;
   mutable shed : int;
@@ -187,9 +197,12 @@ type t = {
   mutable max_queue : int;
 }
 
-let create ?telemetry ?guard cfg ~channel =
+let create ?telemetry ?packet_trace ?guard cfg ~channel =
   if Channel.size channel <> Measure.size cfg.measure then
     invalid_arg "Protocol.create: channel and measure sizes differ";
+  (match packet_trace with
+  | Some k when k < 1 -> invalid_arg "Protocol.create: packet_trace < 1"
+  | _ -> ());
   let tel =
     match telemetry with
     | Some tl when Telemetry.enabled tl ->
@@ -222,11 +235,18 @@ let create ?telemetry ?guard cfg ~channel =
           c_shed = Metrics.counter reg "protocol.guard.shed" }
     | _ -> None
   in
+  let ptel =
+    match (packet_trace, telemetry) with
+    | Some k, Some tl when Telemetry.enabled tl ->
+      Some { pt_t = tl; pt_every = k }
+    | _ -> None
+  in
   { cfg;
     channel;
     tel;
     guard;
     gtel;
+    ptel;
     overloaded = false;
     overload_onset = 0;
     shed = 0;
@@ -274,6 +294,9 @@ let dequeue_failed t link =
   Load_tracker.remove t.failed_tracker link;
   p
 
+(* Head-based sampling is sticky for a packet's whole lifetime: every
+   [packet.*] emission site tests [id mod pt_every = 0], so a sampled
+   trace contains complete lifecycles, never partial ones. *)
 let record_delivery t rng packet =
   t.delivered <- t.delivered + 1;
   match Packet.latency packet with
@@ -281,7 +304,16 @@ let record_delivery t rng packet =
     Histogram.add t.latency rng (float_of_int l);
     (match t.tel with
     | None -> ()
-    | Some h -> Metrics.observe h.h_latency (float_of_int l))
+    | Some h -> Metrics.observe h.h_latency (float_of_int l));
+    (match t.ptel with
+    | Some pt when packet.Packet.id mod pt.pt_every = 0 ->
+      Telemetry.point pt.pt_t ~name:"packet.deliver" ~frame:t.frame_idx
+        ~slot:(Option.value ~default:0 packet.Packet.delivered_slot)
+        [ ("id", Event.Int packet.Packet.id);
+          ("d", Event.Int (Path.length packet.Packet.path));
+          ("latency", Event.Int l);
+          ("failed", Event.Bool packet.Packet.failed) ]
+    | _ -> ())
   | None -> assert false
 
 (* Phase 1: one shot of the static algorithm on every participating live
@@ -304,10 +336,25 @@ let phase1 t rng =
         ~measure:t.cfg.measure ~requests ~budget:t.cfg.phase1_budget
   in
   let now = Channel.now t.channel in
+  (* Hop events carry the phase-end slot — per-request slot attribution
+     is internal to the static algorithms, and [now] is the same slot
+     [Packet.advance] stamps on deliveries (docs/OBSERVABILITY.md). *)
+  let emit_hop p ~ok =
+    match t.ptel with
+    | Some pt when p.Packet.id mod pt.pt_every = 0 ->
+      Telemetry.point pt.pt_t ~name:"packet.hop" ~frame:t.frame_idx ~slot:now
+        [ ("id", Event.Int p.Packet.id);
+          ("hop", Event.Int p.Packet.hop);
+          ("link", Event.Int (Packet.next_link p));
+          ("phase", Event.Str "phase1");
+          ("ok", Event.Bool ok) ]
+    | _ -> ()
+  in
   let still_live = ref waiting in
   Array.iteri
     (fun idx p ->
       if outcome.Algorithm.served.(idx) then begin
+        emit_hop p ~ok:true;
         Packet.advance p ~slot:now;
         if Packet.delivered p then begin
           record_delivery t rng p;
@@ -316,6 +363,7 @@ let phase1 t rng =
         else still_live := p :: !still_live
       end
       else begin
+        emit_hop p ~ok:false;
         t.failed_events <- t.failed_events + 1;
         p.Packet.failed <- true;
         enqueue_failed t p;
@@ -346,15 +394,29 @@ let cleanup t rng =
         ~measure:t.cfg.measure ~requests ~budget:t.cfg.cleanup_budget
     in
     let now = Channel.now t.channel in
+    let emit_hop p ~link ~ok =
+      match t.ptel with
+      | Some pt when p.Packet.id mod pt.pt_every = 0 ->
+        Telemetry.point pt.pt_t ~name:"packet.hop" ~frame:t.frame_idx
+          ~slot:now
+          [ ("id", Event.Int p.Packet.id);
+            ("hop", Event.Int p.Packet.hop);
+            ("link", Event.Int link);
+            ("phase", Event.Str "cleanup");
+            ("ok", Event.Bool ok) ]
+      | _ -> ()
+    in
     Array.iteri
       (fun idx (link, p) ->
         if outcome.Algorithm.served.(idx) then begin
           let popped = dequeue_failed t link in
           assert (popped == p);
+          emit_hop p ~link ~ok:true;
           Packet.advance p ~slot:now;
           if Packet.delivered p then record_delivery t rng p
           else enqueue_failed t p
-        end)
+        end
+        else emit_hop p ~link ~ok:false)
       offers
 
 let inject_packet t path ~slot ~extra_delay =
@@ -362,6 +424,13 @@ let inject_packet t path ~slot ~extra_delay =
   if Path.length path > t.cfg.max_hops then
     invalid_arg "Protocol: injected path longer than max_hops";
   if Path.length path = 0 then invalid_arg "Protocol: empty path";
+  (* Every arrival gets an id — including shed ones, so [packet.shed]
+     events carry a real id and sampled traces see drops too. Shedding
+     never consumes randomness, so id allocation is the only state a shed
+     arrival touches and reports stay bit-identical to earlier versions
+     (ids are internal; nothing external observes their values). *)
+  let id = t.next_id in
+  t.next_id <- id + 1;
   (* Overload shedding: while the guard is tripped, arriving traffic is
      shed instead of queued. Drop-newest admits then discards (the packet
      counts as injected and as shed); reject-at-admission turns it away at
@@ -376,16 +445,34 @@ let inject_packet t path ~slot ~extra_delay =
       | Reject_admission -> ());
       t.shed <- t.shed + 1;
       (match t.gtel with None -> () | Some gt -> Metrics.incr gt.c_shed);
+      (match t.ptel with
+      | Some pt when id mod pt.pt_every = 0 ->
+        Telemetry.point pt.pt_t ~name:"packet.shed" ~frame:t.frame_idx ~slot
+          [ ("id", Event.Int id);
+            ("d", Event.Int (Path.length path));
+            ("policy",
+             Event.Str
+               (match g.policy with
+               | Drop_newest -> "drop-newest"
+               | Reject_admission -> "reject")) ]
+      | _ -> ());
       true
     | _ -> false
   in
   if not shed_now then begin
-    let p = Packet.make ~id:t.next_id ~path ~injected_slot:slot in
-    t.next_id <- t.next_id + 1;
+    let p = Packet.make ~id ~path ~injected_slot:slot in
     p.Packet.release_frame <- t.frame_idx + 1 + extra_delay;
     t.injected <- t.injected + 1;
     t.live <- p :: t.live;
-    t.live_count <- t.live_count + 1
+    t.live_count <- t.live_count + 1;
+    match t.ptel with
+    | Some pt when id mod pt.pt_every = 0 ->
+      Telemetry.point pt.pt_t ~name:"packet.inject" ~frame:t.frame_idx ~slot
+        [ ("id", Event.Int id);
+          ("link", Event.Int (Path.hop path 0));
+          ("d", Event.Int (Path.length path));
+          ("delay", Event.Int extra_delay) ]
+    | _ -> ()
   end
 
 let run_frame t rng ~inject_slot =

@@ -117,22 +117,39 @@ type report = {
 
 type t
 
-(** [create ?telemetry ?guard config ~channel] — fresh protocol state
-    bound to a channel. When [telemetry] is given and enabled, every
-    frame emits a [protocol.frame] span and maintains the [protocol.*]
-    counters, gauges and the latency histogram of docs/OBSERVABILITY.md;
-    when absent or disabled no handles are resolved and the per-frame
-    cost is a single branch (telemetry never consumes randomness, so
-    reports are bit-identical either way — pinned by the determinism
-    goldens). When [guard] is given, the overload guard runs at every
-    frame boundary and — with telemetry — additionally maintains
-    [protocol.guard.active] / [protocol.guard.shed] and emits
+(** [create ?telemetry ?packet_trace ?guard config ~channel] — fresh
+    protocol state bound to a channel. When [telemetry] is given and
+    enabled, every frame emits a [protocol.frame] span and maintains the
+    [protocol.*] counters, gauges and the latency histogram of
+    docs/OBSERVABILITY.md; when absent or disabled no handles are
+    resolved and the per-frame cost is a single branch (telemetry never
+    consumes randomness, so reports are bit-identical either way —
+    pinned by the determinism goldens). When [guard] is given, the
+    overload guard runs at every frame boundary and — with telemetry —
+    additionally maintains [protocol.guard.active] /
+    [protocol.guard.shed] and emits
     [guard.overload.start]/[guard.overload.end] point events; without a
     guard none of those handles are resolved, keeping unguarded traces
-    byte-identical to earlier versions. Raises [Invalid_argument] if the
-    channel and measure disagree on [m]. *)
+    byte-identical to earlier versions.
+
+    [packet_trace = k] (with enabled telemetry) additionally emits the
+    per-packet lifecycle events of schema v2 — [packet.inject],
+    [packet.hop], [packet.deliver] and (under a guard) [packet.shed] —
+    for the deterministic head-based sample [id mod k = 0] ([k = 1]
+    traces every packet). Sampling is sticky for a packet's lifetime, so
+    sampled traces contain complete lifecycles. Hop and deliver events
+    are stamped with the end slot of the phase that served (or failed)
+    the packet — per-request slots are internal to the static
+    algorithms — which is the same slot delivery latency is measured
+    against. Packet tracing never consumes randomness either; without
+    it no [packet.*] line is emitted and traces are unchanged.
+
+    Raises [Invalid_argument] if the channel and measure disagree on
+    [m], or if [packet_trace < 1] (checked even when telemetry is
+    disabled, so a bad sampling rate fails loudly). *)
 val create :
   ?telemetry:Dps_telemetry.Telemetry.t ->
+  ?packet_trace:int ->
   ?guard:guard ->
   config ->
   channel:Dps_sim.Channel.t ->

@@ -11,7 +11,10 @@
 (** Version of the trace schema emitted by {!to_json}. Bumped whenever a
     field is renamed, removed, or re-ordered; adding a new span/event
     {e name} (with its own attrs) is a compatible change and does not bump
-    the version. *)
+    the version. Version 2 added the opt-in [packet.*] event family
+    (docs/OBSERVABILITY.md §2.2) — line formats are otherwise identical
+    to v1, so v1 consumers can read any v2 trace that does not enable
+    packet tracing. *)
 val schema_version : int
 
 (** Attribute values. Non-finite floats render as JSON [null]; strings

@@ -1,0 +1,240 @@
+type dist = { n : int; mean : float; p50 : float; p90 : float; dmax : float }
+
+(* Nearest-rank quantiles over a sorted copy: deterministic, no
+   interpolation, exact for the golden tests. *)
+let dist_of values =
+  match values with
+  | [] -> None
+  | _ ->
+    let arr = Array.of_list values in
+    Array.sort compare arr;
+    let n = Array.length arr in
+    let q p = arr.(Int.min (n - 1) (int_of_float (p *. float_of_int n))) in
+    let sum = Array.fold_left ( +. ) 0. arr in
+    Some
+      { n;
+        mean = sum /. float_of_int n;
+        p50 = q 0.5;
+        p90 = q 0.9;
+        dmax = arr.(n - 1) }
+
+type summary = {
+  s_events : int;
+  s_frames : int;
+  s_frame_length : int option;
+  s_packets : int;
+  s_injected : int;
+  s_delivered : int;
+  s_shed : int;
+  s_in_flight : int;
+  s_hop_events : int;
+  s_hop_failures : int;
+  s_episodes : int;
+  s_latency : dist option;
+}
+
+let summary (run : Lifecycle.run) =
+  let injected = ref 0
+  and delivered = ref 0
+  and shed = ref 0
+  and in_flight = ref 0
+  and hops = ref 0
+  and failures = ref 0
+  and latencies = ref [] in
+  List.iter
+    (fun (p : Lifecycle.packet) ->
+      if p.Lifecycle.inject <> None then incr injected;
+      if p.Lifecycle.shed <> None then incr shed;
+      (match p.Lifecycle.deliver with
+      | Some d ->
+        incr delivered;
+        latencies := float_of_int d.Lifecycle.del_latency :: !latencies
+      | None ->
+        if p.Lifecycle.inject <> None && p.Lifecycle.shed = None then
+          incr in_flight);
+      List.iter
+        (fun (h : Lifecycle.hop) ->
+          incr hops;
+          if not h.Lifecycle.hop_ok then incr failures)
+        p.Lifecycle.hops)
+    run.Lifecycle.packets;
+  { s_events = run.Lifecycle.events;
+    s_frames = List.length run.Lifecycle.frames;
+    s_frame_length = run.Lifecycle.frame_length;
+    s_packets = List.length run.Lifecycle.packets;
+    s_injected = !injected;
+    s_delivered = !delivered;
+    s_shed = !shed;
+    s_in_flight = !in_flight;
+    s_hop_events = !hops;
+    s_hop_failures = !failures;
+    s_episodes = List.length run.Lifecycle.episodes;
+    s_latency = dist_of !latencies }
+
+type decomposition = {
+  dc_id : int;
+  dc_d : int;
+  dc_latency : int;
+  dc_queue : int;
+  dc_phase1 : int;
+  dc_cleanup : int;
+  dc_attempts : int;
+  dc_failures : int;
+}
+
+let decompose (p : Lifecycle.packet) =
+  match (p.Lifecycle.inject, p.Lifecycle.deliver, p.Lifecycle.hops) with
+  | Some inj, Some del, (_ :: _ as hops) ->
+    let first = List.hd hops in
+    let queue = first.Lifecycle.hop_slot - inj.Lifecycle.inj_slot in
+    let phase1 = ref 0
+    and cleanup = ref 0
+    and failures = ref 0 in
+    let prev = ref first.Lifecycle.hop_slot in
+    List.iteri
+      (fun i (h : Lifecycle.hop) ->
+        if not h.Lifecycle.hop_ok then incr failures;
+        if i > 0 then begin
+          let gap = h.Lifecycle.hop_slot - !prev in
+          (match h.Lifecycle.hop_phase with
+          | Lifecycle.Phase1 -> phase1 := !phase1 + gap
+          | Lifecycle.Cleanup -> cleanup := !cleanup + gap);
+          prev := h.Lifecycle.hop_slot
+        end)
+      hops;
+    Some
+      { dc_id = p.Lifecycle.id;
+        dc_d = inj.Lifecycle.inj_d;
+        dc_latency = del.Lifecycle.del_latency;
+        dc_queue = queue;
+        dc_phase1 = !phase1;
+        dc_cleanup = !cleanup;
+        dc_attempts = List.length hops;
+        dc_failures = !failures }
+  | _ -> None
+
+let decompositions run =
+  List.filter_map decompose run.Lifecycle.packets
+
+type phase_breakdown = {
+  pb_packets : int;
+  pb_queue : dist option;
+  pb_phase1 : dist option;
+  pb_cleanup : dist option;
+  pb_queue_share : float;
+  pb_phase1_share : float;
+  pb_cleanup_share : float;
+}
+
+let by_phase run =
+  let dcs = decompositions run in
+  let f sel = List.map (fun d -> float_of_int (sel d)) dcs in
+  let queue = f (fun d -> d.dc_queue)
+  and phase1 = f (fun d -> d.dc_phase1)
+  and cleanup = f (fun d -> d.dc_cleanup) in
+  let total xs = List.fold_left ( +. ) 0. xs in
+  let tq = total queue and t1 = total phase1 and tc = total cleanup in
+  let all = tq +. t1 +. tc in
+  let share x = if all > 0. then x /. all else 0. in
+  { pb_packets = List.length dcs;
+    pb_queue = dist_of queue;
+    pb_phase1 = dist_of phase1;
+    pb_cleanup = dist_of cleanup;
+    pb_queue_share = share tq;
+    pb_phase1_share = share t1;
+    pb_cleanup_share = share tc }
+
+(* Per hop index: time to complete hop i — the gap from the previous
+   completed stage (injection for hop 0) to the successful attempt at
+   index i, failed attempts included. *)
+let by_hop run =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (p : Lifecycle.packet) ->
+      match p.Lifecycle.inject with
+      | None -> ()
+      | Some inj ->
+        let prev = ref inj.Lifecycle.inj_slot in
+        List.iter
+          (fun (h : Lifecycle.hop) ->
+            if h.Lifecycle.hop_ok then begin
+              let gap = float_of_int (h.Lifecycle.hop_slot - !prev) in
+              let key = h.Lifecycle.hop_index in
+              Hashtbl.replace tbl key
+                (gap :: Option.value ~default:[] (Hashtbl.find_opt tbl key));
+              prev := h.Lifecycle.hop_slot
+            end)
+          p.Lifecycle.hops)
+    run.Lifecycle.packets;
+  Hashtbl.fold (fun k v acc -> (k, Option.get (dist_of v)) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+type episode_impact = {
+  ei_episode : Lifecycle.episode;
+  ei_overlapping : dist option;  (* latency of packets alive during it *)
+  ei_baseline : dist option;  (* latency of the others *)
+  ei_delta : float option;  (* overlapping mean - baseline mean *)
+  ei_drain_frames : int option;
+}
+
+let overlaps (a0, a1) (b0, b1) = a0 <= b1 && b0 <= a1
+
+let by_episode run =
+  let delivered =
+    List.filter_map
+      (fun (p : Lifecycle.packet) ->
+        match (p.Lifecycle.deliver, Lifecycle.lifetime p) with
+        | Some d, Some span -> Some (float_of_int d.Lifecycle.del_latency, span)
+        | _ -> None)
+      run.Lifecycle.packets
+  in
+  List.map
+    (fun (ep : Lifecycle.episode) ->
+      let interval = (ep.Lifecycle.ep_first_slot, ep.Lifecycle.ep_last_slot) in
+      let hit, miss =
+        List.partition (fun (_, span) -> overlaps span interval) delivered
+      in
+      let hit_d = dist_of (List.map fst hit)
+      and miss_d = dist_of (List.map fst miss) in
+      let delta =
+        match (hit_d, miss_d) with
+        | Some h, Some m -> Some (h.mean -. m.mean)
+        | _ -> None
+      in
+      (* Time-to-drain: frames after the episode ends until the failed
+         queue returns to its pre-episode level. *)
+      let pre_level =
+        let rec last_before acc = function
+          | (f : Lifecycle.frame_stat) :: rest
+            when f.Lifecycle.f_slot_end <= ep.Lifecycle.ep_first_slot ->
+            last_before (Some f.Lifecycle.f_failed_queue) rest
+          | _ -> acc
+        in
+        Option.value ~default:0 (last_before None run.Lifecycle.frames)
+      in
+      let drain =
+        let end_frame = ref None
+        and drained = ref None in
+        List.iter
+          (fun (f : Lifecycle.frame_stat) ->
+            if f.Lifecycle.f_slot_start > ep.Lifecycle.ep_last_slot then begin
+              if !end_frame = None then end_frame := Some f.Lifecycle.f_index;
+              if !drained = None && f.Lifecycle.f_failed_queue <= pre_level
+              then drained := Some f.Lifecycle.f_index
+            end)
+          run.Lifecycle.frames;
+        match (!end_frame, !drained) with
+        | Some e, Some d -> Some (d - e)
+        | _ -> None
+      in
+      { ei_episode = ep;
+        ei_overlapping = hit_d;
+        ei_baseline = miss_d;
+        ei_delta = delta;
+        ei_drain_frames = drain })
+    run.Lifecycle.episodes
+
+(* [packet id] — the single-packet view behind [dps_trace packet ID]. *)
+let packet run id =
+  List.find_opt (fun (p : Lifecycle.packet) -> p.Lifecycle.id = id)
+    run.Lifecycle.packets

@@ -1,0 +1,97 @@
+(** Offline analyzers over a reconstructed {!Lifecycle.run}.
+
+    Everything here is pure post-processing of the trace: the same
+    numbers can be recomputed from the JSONL file alone, without rerunning
+    the simulation — that is the point of the packet event family. *)
+
+(** A small deterministic distribution summary (nearest-rank quantiles,
+    no interpolation). *)
+type dist = {
+  n : int;
+  mean : float;
+  p50 : float;
+  p90 : float;
+  dmax : float;  (** the maximum — [max] clashes with Stdlib *)
+}
+
+(** [dist_of values] — summary of [values]; [None] when empty. *)
+val dist_of : float list -> dist option
+
+(** Headline numbers for [dps_trace summary]. *)
+type summary = {
+  s_events : int;  (** trace lines *)
+  s_frames : int;  (** [protocol.frame] spans *)
+  s_frame_length : int option;  (** T in slots *)
+  s_packets : int;  (** distinct traced packet ids *)
+  s_injected : int;
+  s_delivered : int;
+  s_shed : int;
+  s_in_flight : int;  (** injected, neither delivered nor shed *)
+  s_hop_events : int;
+  s_hop_failures : int;  (** hop attempts with [ok = false] *)
+  s_episodes : int;
+  s_latency : dist option;  (** delivery latency in slots *)
+}
+
+(** [summary run] — compute the headline numbers. *)
+val summary : Lifecycle.run -> summary
+
+(** Where one delivered packet's latency went. Gaps between consecutive
+    lifecycle events are attributed to the phase of the event that
+    closes them; the stretch from injection to the first attempt is
+    queueing (frame alignment + release delay). *)
+type decomposition = {
+  dc_id : int;
+  dc_d : int;  (** path length *)
+  dc_latency : int;  (** total, slots *)
+  dc_queue : int;  (** injection → first attempt *)
+  dc_phase1 : int;  (** slots attributed to phase-1 attempts *)
+  dc_cleanup : int;  (** slots attributed to clean-up attempts *)
+  dc_attempts : int;  (** hop events *)
+  dc_failures : int;  (** failed attempts *)
+}
+
+(** [decompose p] — decomposition of one packet; [None] unless the
+    lifecycle is complete (inject, ≥ 1 hop, deliver). *)
+val decompose : Lifecycle.packet -> decomposition option
+
+(** [decompositions run] — every complete lifecycle, decomposed. *)
+val decompositions : Lifecycle.run -> decomposition list
+
+(** Aggregate decomposition: [dps_trace latency --by phase]. Shares are
+    fractions of total accounted slots across all complete packets. *)
+type phase_breakdown = {
+  pb_packets : int;
+  pb_queue : dist option;
+  pb_phase1 : dist option;
+  pb_cleanup : dist option;
+  pb_queue_share : float;
+  pb_phase1_share : float;
+  pb_cleanup_share : float;
+}
+
+(** [by_phase run] — aggregate the decompositions. *)
+val by_phase : Lifecycle.run -> phase_breakdown
+
+(** [by_hop run] — per hop index, the distribution of slots to complete
+    that hop (previous completion → successful attempt, failed attempts
+    included): [dps_trace latency --by hop]. *)
+val by_hop : Lifecycle.run -> (int * dist) list
+
+(** Fault-episode correlation: [dps_trace latency --by episode]. *)
+type episode_impact = {
+  ei_episode : Lifecycle.episode;
+  ei_overlapping : dist option;
+      (** latency of delivered packets alive during the episode *)
+  ei_baseline : dist option;  (** latency of the other delivered packets *)
+  ei_delta : float option;  (** overlapping mean − baseline mean, slots *)
+  ei_drain_frames : int option;
+      (** frames after the episode until the failed queue returns to its
+          pre-episode level ([None] when the trace ends first) *)
+}
+
+(** [by_episode run] — impact of every episode in the trace. *)
+val by_episode : Lifecycle.run -> episode_impact list
+
+(** [packet run id] — the lifecycle of packet [id], if traced. *)
+val packet : Lifecycle.run -> int -> Lifecycle.packet option

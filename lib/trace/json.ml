@@ -1,0 +1,178 @@
+(* Promoted from the mini parser test_telemetry.ml grew for schema
+   round-trips: just enough JSON for the documented trace schema —
+   objects (key order preserved), arrays, strings with escapes, numbers,
+   true/false/null. No dependency on any external JSON library. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Error of string
+
+let error fmt = Printf.ksprintf (fun m -> raise (Error m)) fmt
+
+let parse s =
+  let pos = ref 0 in
+  let len = String.length s in
+  let peek () = if !pos < len then s.[!pos] else '\255' in
+  let advance () = incr pos in
+  let expect c =
+    if peek () <> c then error "expected %c at %d" c !pos;
+    advance ()
+  in
+  let rec skip_ws () =
+    match peek () with
+    | ' ' | '\t' | '\n' | '\r' ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | '"' -> advance ()
+      | '\\' ->
+        advance ();
+        (match peek () with
+        | '"' -> Buffer.add_char b '"'; advance ()
+        | '\\' -> Buffer.add_char b '\\'; advance ()
+        | '/' -> Buffer.add_char b '/'; advance ()
+        | 'n' -> Buffer.add_char b '\n'; advance ()
+        | 'r' -> Buffer.add_char b '\r'; advance ()
+        | 't' -> Buffer.add_char b '\t'; advance ()
+        | 'u' ->
+          advance ();
+          if !pos + 4 > len then error "truncated \\u escape at %d" !pos;
+          let hex = String.sub s !pos 4 in
+          pos := !pos + 4;
+          let code =
+            match int_of_string_opt ("0x" ^ hex) with
+            | Some c -> c
+            | None -> error "bad \\u escape at %d" !pos
+          in
+          Buffer.add_char b (if code < 256 then Char.chr code else '?')
+        | c -> error "bad escape %c at %d" c !pos);
+        go ()
+      | '\255' -> error "unterminated string"
+      | c ->
+        Buffer.add_char b c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let number_char c =
+      (c >= '0' && c <= '9')
+      || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+    in
+    while number_char (peek ()) do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> error "bad number at %d" start
+  in
+  let parse_lit lit v =
+    if
+      !pos + String.length lit <= len
+      && String.sub s !pos (String.length lit) = lit
+    then begin
+      pos := !pos + String.length lit;
+      v
+    end
+    else error "bad literal at %d" !pos
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | '"' -> Str (parse_string ())
+    | '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | ',' ->
+            advance ();
+            members ((k, v) :: acc)
+          | '}' ->
+            advance ();
+            List.rev ((k, v) :: acc)
+          | c -> error "bad object at %d (%c)" !pos c
+        in
+        Obj (members [])
+      end
+    | '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = ']' then begin
+        advance ();
+        Arr []
+      end
+      else begin
+        let rec elements acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | ',' ->
+            advance ();
+            elements (v :: acc)
+          | ']' ->
+            advance ();
+            List.rev (v :: acc)
+          | c -> error "bad array at %d (%c)" !pos c
+        in
+        Arr (elements [])
+      end
+    | 't' -> parse_lit "true" (Bool true)
+    | 'f' -> parse_lit "false" (Bool false)
+    | 'n' -> parse_lit "null" Null
+    | _ -> Num (parse_number ())
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> len then error "trailing garbage at %d" !pos;
+  v
+
+let keys = function Obj kvs -> List.map fst kvs | _ -> error "not an object"
+
+let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
+
+let field k j =
+  match member k j with
+  | Some v -> v
+  | None -> error "missing field %s" k
+
+let to_int = function
+  | Num f when Float.is_integer f -> int_of_float f
+  | _ -> error "not an integer"
+
+let to_float = function Num f -> f | _ -> error "not a number"
+
+let to_string = function Str s -> s | _ -> error "not a string"
+
+let to_bool = function Bool b -> b | _ -> error "not a boolean"
+
+let to_list = function Arr l -> l | _ -> error "not an array"
+
+let int_field k j = to_int (field k j)
+let string_field k j = to_string (field k j)

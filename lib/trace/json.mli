@@ -1,0 +1,56 @@
+(** Minimal JSON for reading JSONL traces.
+
+    Promoted from the mini parser the telemetry tests grew for schema
+    round-trips: objects preserve key order (the schema pins it), and
+    there are no external dependencies. This is a {e reader} for the
+    trace format of docs/OBSERVABILITY.md, not a general JSON library —
+    [\u] escapes above U+00FF are folded to ['?']. *)
+
+(** Parsed JSON. Object fields keep the order they appeared in. *)
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(** Raised by {!parse} and every accessor on a shape mismatch, with a
+    human-readable message (position for parse errors). *)
+exception Error of string
+
+(** [parse s] — the single JSON value in [s] (leading/trailing
+    whitespace allowed, anything else raises {!Error}). *)
+val parse : string -> t
+
+(** [keys j] — field names of the object [j], in order. *)
+val keys : t -> string list
+
+(** [member k j] — field [k] of object [j], or [None] (also [None] when
+    [j] is not an object). *)
+val member : string -> t -> t option
+
+(** [field k j] — field [k] of object [j]; raises {!Error} when
+    missing. *)
+val field : string -> t -> t
+
+(** [to_int j] — [j] as an integer ({!Error} on non-integral numbers). *)
+val to_int : t -> int
+
+(** [to_float j] — [j] as a float. *)
+val to_float : t -> float
+
+(** [to_string j] — [j] as a string. *)
+val to_string : t -> string
+
+(** [to_bool j] — [j] as a boolean. *)
+val to_bool : t -> bool
+
+(** [to_list j] — elements of the array [j]. *)
+val to_list : t -> t list
+
+(** [int_field k j] — [to_int (field k j)]. *)
+val int_field : string -> t -> int
+
+(** [string_field k j] — [to_string (field k j)]. *)
+val string_field : string -> t -> string

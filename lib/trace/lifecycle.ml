@@ -1,0 +1,235 @@
+type phase = Phase1 | Cleanup
+
+let phase_name = function Phase1 -> "phase1" | Cleanup -> "cleanup"
+
+type inject = {
+  inj_frame : int;
+  inj_slot : int;
+  inj_link : int;
+  inj_d : int;
+  inj_delay : int;
+}
+
+type hop = {
+  hop_frame : int;
+  hop_slot : int;
+  hop_index : int;
+  hop_link : int;
+  hop_phase : phase;
+  hop_ok : bool;
+}
+
+type deliver = {
+  del_frame : int;
+  del_slot : int;
+  del_latency : int;
+  del_failed : bool;
+}
+
+type shed = { shed_frame : int; shed_slot : int; shed_d : int; shed_policy : string }
+
+type packet = {
+  id : int;
+  inject : inject option;
+  shed : shed option;
+  hops : hop list;  (* in trace order *)
+  deliver : deliver option;
+}
+
+type frame_stat = {
+  f_index : int;
+  f_slot_start : int;
+  f_slot_end : int;
+  f_injected : int;
+  f_delivered : int;
+  f_phase1_failures : int;
+  f_in_system : int;
+  f_failed_queue : int;
+  f_potential : int;
+}
+
+type episode = {
+  ep_kind : string;
+  ep_links : int;
+  ep_first_slot : int;
+  ep_last_slot : int;
+  ep_suppressed : int option;  (* None while the trace ends mid-episode *)
+}
+
+type run = {
+  packets : packet list;  (* ascending id *)
+  frames : frame_stat list;  (* ascending frame index *)
+  episodes : episode list;  (* in activation order *)
+  frame_length : int option;  (* T, from the first protocol.frame span *)
+  events : int;  (* total lines folded in *)
+}
+
+(* Builder state: packets are keyed by id; the partial records are only
+   assembled into the public list at [finish]. *)
+type partial = {
+  mutable p_inject : inject option;
+  mutable p_shed : shed option;
+  mutable p_hops : hop list;  (* newest first *)
+  mutable p_deliver : deliver option;
+}
+
+type builder = {
+  tbl : (int, partial) Hashtbl.t;
+  mutable b_frames : frame_stat list;  (* newest first *)
+  mutable b_started : episode list;  (* newest first; suppressed = None *)
+  mutable b_frame_length : int option;
+  mutable b_events : int;
+}
+
+let builder () =
+  { tbl = Hashtbl.create 256;
+    b_frames = [];
+    b_started = [];
+    b_frame_length = None;
+    b_events = 0 }
+
+let partial_of b id =
+  match Hashtbl.find_opt b.tbl id with
+  | Some p -> p
+  | None ->
+    let p = { p_inject = None; p_shed = None; p_hops = []; p_deliver = None } in
+    Hashtbl.add b.tbl id p;
+    p
+
+let missing name k = raise (Json.Error (name ^ ": missing attr " ^ k))
+
+let req_int name attrs k =
+  match Line.int_attr k attrs with Some v -> v | None -> missing name k
+
+let req_str name attrs k =
+  match Line.string_attr k attrs with Some v -> v | None -> missing name k
+
+let req_bool name attrs k =
+  match Line.bool_attr k attrs with Some v -> v | None -> missing name k
+
+let add b (line : Line.t) =
+  b.b_events <- b.b_events + 1;
+  match line.Line.body with
+  | Line.Event { name = "packet.inject"; frame; slot; attrs } ->
+    let p = partial_of b (req_int "packet.inject" attrs "id") in
+    p.p_inject <-
+      Some
+        { inj_frame = frame;
+          inj_slot = slot;
+          inj_link = req_int "packet.inject" attrs "link";
+          inj_d = req_int "packet.inject" attrs "d";
+          inj_delay = req_int "packet.inject" attrs "delay" }
+  | Line.Event { name = "packet.shed"; frame; slot; attrs } ->
+    let p = partial_of b (req_int "packet.shed" attrs "id") in
+    p.p_shed <-
+      Some
+        { shed_frame = frame;
+          shed_slot = slot;
+          shed_d = req_int "packet.shed" attrs "d";
+          shed_policy = req_str "packet.shed" attrs "policy" }
+  | Line.Event { name = "packet.hop"; frame; slot; attrs } ->
+    let p = partial_of b (req_int "packet.hop" attrs "id") in
+    let phase =
+      match req_str "packet.hop" attrs "phase" with
+      | "phase1" -> Phase1
+      | "cleanup" -> Cleanup
+      | other -> raise (Json.Error ("packet.hop: unknown phase " ^ other))
+    in
+    p.p_hops <-
+      { hop_frame = frame;
+        hop_slot = slot;
+        hop_index = req_int "packet.hop" attrs "hop";
+        hop_link = req_int "packet.hop" attrs "link";
+        hop_phase = phase;
+        hop_ok = req_bool "packet.hop" attrs "ok" }
+      :: p.p_hops
+  | Line.Event { name = "packet.deliver"; frame; slot; attrs } ->
+    let p = partial_of b (req_int "packet.deliver" attrs "id") in
+    p.p_deliver <-
+      Some
+        { del_frame = frame;
+          del_slot = slot;
+          del_latency = req_int "packet.deliver" attrs "latency";
+          del_failed = req_bool "packet.deliver" attrs "failed" }
+  | Line.Event { name = "fault.episode.start"; slot; attrs; _ } ->
+    b.b_started <-
+      { ep_kind = req_str "fault.episode.start" attrs "kind";
+        ep_links = req_int "fault.episode.start" attrs "links";
+        ep_first_slot = slot;
+        ep_last_slot = req_int "fault.episode.start" attrs "last_slot";
+        ep_suppressed = None }
+      :: b.b_started
+  | Line.Event { name = "fault.episode.end"; attrs; _ } ->
+    (* Close the oldest still-open episode of the same kind — episode
+       events carry no id, but the injector emits starts and ends in
+       activation order. [b_started] is newest first, so scan from the
+       end. *)
+    let kind = req_str "fault.episode.end" attrs "kind" in
+    let suppressed = req_int "fault.episode.end" attrs "suppressed" in
+    let arr = Array.of_list b.b_started in
+    (try
+       for i = Array.length arr - 1 downto 0 do
+         if arr.(i).ep_kind = kind && arr.(i).ep_suppressed = None then begin
+           arr.(i) <- { arr.(i) with ep_suppressed = Some suppressed };
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    b.b_started <- Array.to_list arr
+  | Line.Span { name = "protocol.frame"; frame; slot_start; slot_end; attrs }
+    ->
+    if b.b_frame_length = None then
+      b.b_frame_length <- Some (slot_end - slot_start);
+    b.b_frames <-
+      { f_index = frame;
+        f_slot_start = slot_start;
+        f_slot_end = slot_end;
+        f_injected = req_int "protocol.frame" attrs "injected";
+        f_delivered = req_int "protocol.frame" attrs "delivered";
+        f_phase1_failures = req_int "protocol.frame" attrs "phase1_failures";
+        f_in_system = req_int "protocol.frame" attrs "in_system";
+        f_failed_queue = req_int "protocol.frame" attrs "failed_queue";
+        f_potential = req_int "protocol.frame" attrs "potential" }
+      :: b.b_frames
+  | Line.Event _ | Line.Span _ | Line.Metrics _ -> ()
+
+let finish b =
+  let packets =
+    Hashtbl.fold
+      (fun id p acc ->
+        { id;
+          inject = p.p_inject;
+          shed = p.p_shed;
+          hops = List.rev p.p_hops;
+          deliver = p.p_deliver }
+        :: acc)
+      b.tbl []
+  in
+  { packets = List.sort (fun a b -> compare a.id b.id) packets;
+    frames = List.rev b.b_frames;
+    episodes = List.rev b.b_started;
+    frame_length = b.b_frame_length;
+    events = b.b_events }
+
+let of_lines lines =
+  let b = builder () in
+  List.iter (add b) lines;
+  finish b
+
+let lifetime p =
+  let first =
+    match (p.inject, p.shed) with
+    | Some i, _ -> Some i.inj_slot
+    | None, Some s -> Some s.shed_slot
+    | None, None -> (
+      match p.hops with h :: _ -> Some h.hop_slot | [] -> None)
+  in
+  let last =
+    match p.deliver with
+    | Some d -> Some d.del_slot
+    | None -> (
+      match List.rev p.hops with
+      | h :: _ -> Some h.hop_slot
+      | [] -> first)
+  in
+  match (first, last) with Some a, Some b -> Some (a, b) | _ -> None

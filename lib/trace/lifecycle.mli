@@ -1,0 +1,121 @@
+(** Packet-lifecycle reconstruction from a schema-v2 trace.
+
+    Folds trace lines into per-packet lifecycles (inject → hop* →
+    deliver, or shed), per-frame protocol statistics and fault episodes
+    — the causally-joined view the analyzers and theorem witnesses
+    consume. Events are keyed by the stable packet id threaded through
+    the protocol; a trace recorded with [--trace-packets k] contains
+    complete lifecycles for every sampled id ([id mod k = 0]) and
+    nothing for the rest. *)
+
+(** Which protocol phase attempted the hop. A packet serves hops through
+    phase 1 until its first failure, then through clean-up phases only
+    (Section 4 of the paper). *)
+type phase = Phase1 | Cleanup
+
+(** ["phase1" | "cleanup"] — the wire spelling. *)
+val phase_name : phase -> string
+
+(** A [packet.inject] event: admission into the system. *)
+type inject = {
+  inj_frame : int;
+  inj_slot : int;  (** arrival slot (latency is measured from here) *)
+  inj_link : int;  (** first link of the path *)
+  inj_d : int;  (** path length d *)
+  inj_delay : int;  (** extra frames before participation (Section 5) *)
+}
+
+(** A [packet.hop] event: one attempt to cross a link. [hop_slot] is the
+    end slot of the phase that ran the attempt — per-request slots are
+    internal to the static algorithms. *)
+type hop = {
+  hop_frame : int;
+  hop_slot : int;
+  hop_index : int;  (** 0-based hop position along the path *)
+  hop_link : int;
+  hop_phase : phase;
+  hop_ok : bool;  (** served, or failed into the link's buffer *)
+}
+
+(** A [packet.deliver] event: the last hop completed. *)
+type deliver = {
+  del_frame : int;
+  del_slot : int;
+  del_latency : int;  (** slots since injection *)
+  del_failed : bool;  (** did the packet ever fail into a buffer? *)
+}
+
+(** A [packet.shed] event: turned away by the overload guard. *)
+type shed = {
+  shed_frame : int;
+  shed_slot : int;
+  shed_d : int;
+  shed_policy : string;  (** ["drop-newest" | "reject"] *)
+}
+
+(** One reconstructed lifecycle. Sampling and truncated traces make
+    every stage optional: a packet may appear with hops but no inject
+    (trace started mid-run) or an inject but no deliver (still in
+    flight). *)
+type packet = {
+  id : int;
+  inject : inject option;
+  shed : shed option;
+  hops : hop list;  (** in trace order *)
+  deliver : deliver option;
+}
+
+(** Per-frame statistics lifted from the [protocol.frame] span. *)
+type frame_stat = {
+  f_index : int;
+  f_slot_start : int;
+  f_slot_end : int;
+  f_injected : int;
+  f_delivered : int;
+  f_phase1_failures : int;
+  f_in_system : int;
+  f_failed_queue : int;
+  f_potential : int;  (** Φ: Σ remaining hops over failed packets *)
+}
+
+(** One fault episode, joined from its start/end events. *)
+type episode = {
+  ep_kind : string;  (** outage, jam, loss, degrade *)
+  ep_links : int;  (** targeted link count *)
+  ep_first_slot : int;
+  ep_last_slot : int;  (** inclusive, from the start event *)
+  ep_suppressed : int option;  (** [None] when the trace ends mid-episode *)
+}
+
+(** Everything reconstructed from one trace. *)
+type run = {
+  packets : packet list;  (** ascending id *)
+  frames : frame_stat list;  (** ascending frame index *)
+  episodes : episode list;  (** in activation order *)
+  frame_length : int option;  (** T, from the first [protocol.frame] span *)
+  events : int;  (** total lines folded in *)
+}
+
+(** Incremental builder, for streaming consumption. *)
+type builder
+
+(** A fresh builder. *)
+val builder : unit -> builder
+
+(** [add b line] — fold one parsed line in. Lines that are not packet,
+    frame or episode events are counted and otherwise ignored. Raises
+    {!Json.Error} when a recognised event is missing a documented
+    attribute. *)
+val add : builder -> Line.t -> unit
+
+(** [finish b] — assemble the {!run}. The builder stays usable (calling
+    [finish] again after more [add]s reflects the additions). *)
+val finish : builder -> run
+
+(** [of_lines lines] — one-shot [builder]/[add]/[finish]. *)
+val of_lines : Line.t list -> run
+
+(** [lifetime p] — first and last slot this packet is known to exist at
+    ([None] for a packet with no events — impossible for packets built
+    by this module, but total anyway). *)
+val lifetime : packet -> (int * int) option

@@ -1,0 +1,121 @@
+type metric_row = {
+  metric : string;
+  labels : (string * string) list;
+  kind : string;
+  value : float;
+}
+
+type body =
+  | Span of {
+      name : string;
+      frame : int;
+      slot_start : int;
+      slot_end : int;
+      attrs : (string * Json.t) list;
+    }
+  | Event of {
+      name : string;
+      frame : int;
+      slot : int;
+      attrs : (string * Json.t) list;
+    }
+  | Metrics of { frame : int; rows : metric_row list }
+
+type t = { version : int; body : body }
+
+let min_version = 1
+let max_version = 2
+
+let check fmt = Printf.ksprintf (fun m -> raise (Json.Error m)) fmt
+
+let expect_keys ~what expected j =
+  let got = Json.keys j in
+  if got <> expected then
+    check "%s keys are [%s], expected [%s]" what (String.concat "," got)
+      (String.concat "," expected)
+
+let attrs_of j =
+  match Json.field "attrs" j with
+  | Json.Obj kvs -> kvs
+  | _ -> check "attrs is not an object"
+
+let row_of j =
+  expect_keys ~what:"metrics row" [ "name"; "labels"; "kind"; "value" ] j;
+  let labels =
+    match Json.field "labels" j with
+    | Json.Obj kvs -> List.map (fun (k, v) -> (k, Json.to_string v)) kvs
+    | _ -> check "labels is not an object"
+  in
+  { metric = Json.string_field "name" j;
+    labels;
+    kind = Json.string_field "kind" j;
+    value = Json.to_float (Json.field "value" j) }
+
+let of_json j =
+  let version = Json.int_field "v" j in
+  if version < min_version || version > max_version then
+    check "unsupported schema version %d (supported: %d..%d)" version
+      min_version max_version;
+  (match Json.keys j with
+  | "v" :: _ -> ()
+  | _ -> check "v is not the first key");
+  let body =
+    match Json.string_field "type" j with
+    | "span" ->
+      expect_keys ~what:"span"
+        [ "v"; "type"; "name"; "frame"; "slot_start"; "slot_end"; "attrs" ]
+        j;
+      let slot_start = Json.int_field "slot_start" j in
+      let slot_end = Json.int_field "slot_end" j in
+      if slot_start > slot_end then
+        check "span interval [%d, %d) is not ordered" slot_start slot_end;
+      Span
+        { name = Json.string_field "name" j;
+          frame = Json.int_field "frame" j;
+          slot_start;
+          slot_end;
+          attrs = attrs_of j }
+    | "event" ->
+      expect_keys ~what:"event"
+        [ "v"; "type"; "name"; "frame"; "slot"; "attrs" ]
+        j;
+      Event
+        { name = Json.string_field "name" j;
+          frame = Json.int_field "frame" j;
+          slot = Json.int_field "slot" j;
+          attrs = attrs_of j }
+    | "metrics" ->
+      expect_keys ~what:"metrics" [ "v"; "type"; "frame"; "rows" ] j;
+      let rows = List.map row_of (Json.to_list (Json.field "rows" j)) in
+      if rows = [] then check "empty metrics snapshot";
+      Metrics { frame = Json.int_field "frame" j; rows }
+    | other -> check "unknown line type %S" other
+  in
+  { version; body }
+
+let parse s =
+  match of_json (Json.parse s) with
+  | line -> Ok line
+  | exception Json.Error m -> Error m
+
+let name = function
+  | Span { name; _ } | Event { name; _ } -> Some name
+  | Metrics _ -> None
+
+let frame = function
+  | Span { frame; _ } | Event { frame; _ } | Metrics { frame; _ } -> frame
+
+let int_attr k attrs =
+  match List.assoc_opt k attrs with
+  | Some j -> (try Some (Json.to_int j) with Json.Error _ -> None)
+  | None -> None
+
+let string_attr k attrs =
+  match List.assoc_opt k attrs with
+  | Some (Json.Str s) -> Some s
+  | _ -> None
+
+let bool_attr k attrs =
+  match List.assoc_opt k attrs with
+  | Some (Json.Bool b) -> Some b
+  | _ -> None

@@ -1,0 +1,70 @@
+(** One parsed and schema-checked JSONL trace line.
+
+    Mirrors the wire format of docs/OBSERVABILITY.md: spans, point
+    events and metric snapshots, with the documented key orders enforced
+    — [dps_trace check] is exactly "every line parses through this
+    module". Versions {!min_version}..{!max_version} are accepted; v2 is
+    v1 plus the [packet.*] event family, so a v1 consumer of this module
+    sees no difference on traces that never enabled packet tracing. *)
+
+(** One row of a metrics snapshot. *)
+type metric_row = {
+  metric : string;  (** metric name, e.g. ["protocol.injected"] *)
+  labels : (string * string) list;  (** label set, in emission order *)
+  kind : string;  (** ["counter" | "gauge" | "histogram"] *)
+  value : float;
+}
+
+(** The three line shapes of the schema. Attribute values stay as
+    {!Json.t} — event families type their own attrs (see
+    {!Lifecycle}). *)
+type body =
+  | Span of {
+      name : string;
+      frame : int;
+      slot_start : int;
+      slot_end : int;
+      attrs : (string * Json.t) list;
+    }
+  | Event of {
+      name : string;
+      frame : int;
+      slot : int;
+      attrs : (string * Json.t) list;
+    }
+  | Metrics of { frame : int; rows : metric_row list }
+
+(** A line together with the schema version it declared. *)
+type t = { version : int; body : body }
+
+(** Oldest schema version this reader understands. *)
+val min_version : int
+
+(** Newest schema version this reader understands. *)
+val max_version : int
+
+(** [of_json j] — typed line from parsed JSON; raises {!Json.Error} on
+    any schema violation (wrong keys, wrong order, bad version,
+    unordered span interval, empty metrics snapshot). *)
+val of_json : Json.t -> t
+
+(** [parse s] — {!of_json} over {!Json.parse}, with errors as
+    [Error message] instead of exceptions (the shape [dps_trace check]
+    wants). *)
+val parse : string -> (t, string) result
+
+(** [name body] — the span/event name; [None] for metrics lines. *)
+val name : body -> string option
+
+(** [frame body] — the frame stamp of any line shape. *)
+val frame : body -> int
+
+(** [int_attr k attrs] — attribute [k] as an integer, if present and
+    integral. *)
+val int_attr : string -> (string * Json.t) list -> int option
+
+(** [string_attr k attrs] — attribute [k] as a string, if present. *)
+val string_attr : string -> (string * Json.t) list -> string option
+
+(** [bool_attr k attrs] — attribute [k] as a boolean, if present. *)
+val bool_attr : string -> (string * Json.t) list -> bool option

@@ -1,0 +1,30 @@
+let fold_raw_lines ic ~init ~f =
+  let rec go lineno acc =
+    match input_line ic with
+    | line -> go (lineno + 1) (f acc ~lineno line)
+    | exception End_of_file -> acc
+  in
+  go 1 init
+
+let fold ic ~init ~f =
+  fold_raw_lines ic ~init ~f:(fun acc ~lineno line ->
+      if String.trim line = "" then acc
+      else f acc ~lineno (Line.parse line))
+
+exception Bad_line of int * string
+
+let fold_exn ic ~init ~f =
+  fold ic ~init ~f:(fun acc ~lineno -> function
+    | Ok line -> f acc ~lineno line
+    | Error msg -> raise (Bad_line (lineno, msg)))
+
+let lines_exn ic =
+  List.rev
+    (fold_exn ic ~init:[] ~f:(fun acc ~lineno:_ line -> line :: acc))
+
+let with_input path f =
+  if path = "-" then f stdin
+  else begin
+    let ic = open_in path in
+    Fun.protect ~finally:(fun () -> close_in ic) (fun () -> f ic)
+  end

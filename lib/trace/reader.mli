@@ -1,0 +1,34 @@
+(** Streaming JSONL trace input.
+
+    Traces are read line by line — a multi-million-line trace never
+    needs to fit in memory as text; only whatever the fold accumulates
+    does. Blank lines are skipped (a trailing newline is not an error);
+    everything else must parse through {!Line}. *)
+
+(** [fold ic ~init ~f] — fold [f] over every non-blank line of [ic] with
+    its 1-based line number and parse result; parse failures reach [f]
+    as [Error message] so a checker can keep counting. *)
+val fold :
+  in_channel ->
+  init:'a ->
+  f:('a -> lineno:int -> (Line.t, string) result -> 'a) ->
+  'a
+
+(** Raised by {!fold_exn} and {!lines_exn} on the first malformed line:
+    its 1-based number and the parse error. *)
+exception Bad_line of int * string
+
+(** [fold_exn ic ~init ~f] — {!fold} for consumers that want to stop at
+    the first bad line ({!Bad_line}). *)
+val fold_exn :
+  in_channel -> init:'a -> f:('a -> lineno:int -> Line.t -> 'a) -> 'a
+
+(** [lines_exn ic] — every line of [ic], in order ({!Bad_line} on the
+    first malformed one). Convenient for tests and small traces; large
+    consumers should fold. *)
+val lines_exn : in_channel -> Line.t list
+
+(** [with_input path f] — [f] over an input channel for [path], where
+    ["-"] means stdin (not closed); files are closed on the way out,
+    also on exceptions. *)
+val with_input : string -> (in_channel -> 'a) -> 'a

@@ -1,0 +1,139 @@
+module Timeseries = Dps_prelude.Timeseries
+module Stability = Dps_core.Stability
+
+(* ------------------------------------------------- Theorem 8: latency *)
+
+type outlier = { o_id : int; o_d : int; o_latency : int; o_ratio : float; o_failed : bool }
+
+type thm8 = {
+  t8_frame_length : int;
+  t8_threshold : float;
+  t8_n : int;
+  t8_ratio : Analyze.dist;
+  t8_outliers : outlier list;
+  t8_unexplained : int;
+  t8_consistent : bool;
+}
+
+let thm8 ?(threshold = 3.0) (run : Lifecycle.run) =
+  match run.Lifecycle.frame_length with
+  | None -> Error "no protocol.frame span in the trace (frame length unknown)"
+  | Some tf when tf <= 0 -> Error "degenerate frame length in the trace"
+  | Some tf ->
+    let samples =
+      List.filter_map
+        (fun (p : Lifecycle.packet) ->
+          match (p.Lifecycle.inject, p.Lifecycle.deliver) with
+          | Some inj, Some del ->
+            (* The O(d·T) budget also owes the packet its initial delay:
+               the Section 5 wrapper parks it for [delay] frames before
+               it may participate, so the denominator is (d + delay)·T. *)
+            let d = Int.max 1 inj.Lifecycle.inj_d in
+            let budget = (d + inj.Lifecycle.inj_delay) * tf in
+            let ratio =
+              float_of_int del.Lifecycle.del_latency /. float_of_int budget
+            in
+            Some
+              { o_id = p.Lifecycle.id;
+                o_d = d;
+                o_latency = del.Lifecycle.del_latency;
+                o_ratio = ratio;
+                o_failed = del.Lifecycle.del_failed }
+          | _ -> None)
+        run.Lifecycle.packets
+    in
+    (match Analyze.dist_of (List.map (fun s -> s.o_ratio) samples) with
+    | None -> Error "no delivered packet with a complete lifecycle"
+    | Some ratio ->
+      let outliers =
+        List.filter (fun s -> s.o_ratio > threshold) samples
+        |> List.sort (fun a b -> compare b.o_ratio a.o_ratio)
+      in
+      let unexplained =
+        List.length (List.filter (fun s -> not s.o_failed) outliers)
+      in
+      Ok
+        { t8_frame_length = tf;
+          t8_threshold = threshold;
+          t8_n = List.length samples;
+          t8_ratio = ratio;
+          t8_outliers = outliers;
+          t8_unexplained = unexplained;
+          t8_consistent = ratio.Analyze.p50 <= 2.0 && unexplained = 0 })
+
+(* ----------------------------------------------- Theorem 3: stability *)
+
+type thm3 = {
+  t3_frames : int;
+  t3_verdict : Stability.verdict;
+  t3_growth : float;
+  t3_max_in_system : int;
+  t3_max_potential : int;
+  t3_final_potential : int;
+}
+
+let thm3 (run : Lifecycle.run) =
+  match run.Lifecycle.frames with
+  | [] -> Error "no protocol.frame span in the trace"
+  | frames ->
+    let series = Timeseries.create () in
+    let max_in_system = ref 0
+    and max_potential = ref 0
+    and final_potential = ref 0 in
+    List.iter
+      (fun (f : Lifecycle.frame_stat) ->
+        Timeseries.add series (float_of_int f.Lifecycle.f_in_system);
+        if f.Lifecycle.f_in_system > !max_in_system then
+          max_in_system := f.Lifecycle.f_in_system;
+        if f.Lifecycle.f_potential > !max_potential then
+          max_potential := f.Lifecycle.f_potential;
+        final_potential := f.Lifecycle.f_potential)
+      frames;
+    Ok
+      { t3_frames = List.length frames;
+        t3_verdict = Stability.assess series;
+        t3_growth = Stability.growth_per_frame series;
+        t3_max_in_system = !max_in_system;
+        t3_max_potential = !max_potential;
+        t3_final_potential = !final_potential }
+
+(* ------------------------------------- Theorem 11: delay spreading *)
+
+type thm11 = {
+  t11_n : int;
+  t11_delayed : int;
+  t11_max_delay : int;
+  t11_mean_delay : float;
+  t11_distinct : int;
+  t11_coverage : float;
+  t11_adversarial : bool;
+}
+
+let thm11 (run : Lifecycle.run) =
+  let delays =
+    List.filter_map
+      (fun (p : Lifecycle.packet) ->
+        Option.map (fun (i : Lifecycle.inject) -> i.Lifecycle.inj_delay)
+          p.Lifecycle.inject)
+      run.Lifecycle.packets
+  in
+  match delays with
+  | [] -> Error "no packet.inject event in the trace"
+  | _ ->
+    let n = List.length delays in
+    let delayed = List.length (List.filter (fun d -> d > 0) delays) in
+    let max_delay = List.fold_left Int.max 0 delays in
+    let sum = List.fold_left ( + ) 0 delays in
+    let distinct = List.length (List.sort_uniq compare delays) in
+    let coverage =
+      if max_delay = 0 then 0.
+      else float_of_int distinct /. float_of_int (max_delay + 1)
+    in
+    Ok
+      { t11_n = n;
+        t11_delayed = delayed;
+        t11_max_delay = max_delay;
+        t11_mean_delay = float_of_int sum /. float_of_int n;
+        t11_distinct = distinct;
+        t11_coverage = coverage;
+        t11_adversarial = max_delay > 0 }

@@ -1,0 +1,68 @@
+(** Theorem witnesses: checks of the paper's guarantees recomputed from
+    a trace file alone.
+
+    Each witness consumes a {!Lifecycle.run} and returns the evidence a
+    reviewer would ask for — not a proof, but the empirical shape the
+    theorem predicts, measured on this exact run. All three back the
+    [dps_trace witness thm3|thm8|thm11] subcommands and the PAPER_MAP
+    witness rows. *)
+
+(** A packet whose latency ratio exceeds the outlier threshold. *)
+type outlier = {
+  o_id : int;
+  o_d : int;  (** path length *)
+  o_latency : int;  (** slots *)
+  o_ratio : float;  (** latency / ((d + delay)·T) *)
+  o_failed : bool;
+      (** failed packets finish through clean-up and are outside the
+          O(d·T) claim — an {e explained} outlier *)
+}
+
+(** Theorem 8 evidence: per-packet latency against the O(d·T) budget. *)
+type thm8 = {
+  t8_frame_length : int;  (** T *)
+  t8_threshold : float;  (** the outlier cutoff c *)
+  t8_n : int;  (** delivered packets with complete lifecycles *)
+  t8_ratio : Analyze.dist;  (** distribution of latency/((d+delay)·T) *)
+  t8_outliers : outlier list;  (** ratio > c, worst first *)
+  t8_unexplained : int;  (** outliers that never failed *)
+  t8_consistent : bool;  (** p50 ratio ≤ 2 and no unexplained outliers *)
+}
+
+(** [thm8 ?threshold run] — the Theorem 8 witness (default
+    [threshold = 3.0]); [Error] when the trace has no frame span or no
+    complete delivered lifecycle. *)
+val thm8 : ?threshold:float -> Lifecycle.run -> (thm8, string) result
+
+(** Theorem 3 evidence: the stability verdict recomputed from the trace
+    alone — same series, same {!Dps_core.Stability.assess}, so it must
+    agree with the live run's report (pinned by the parity test). *)
+type thm3 = {
+  t3_frames : int;
+  t3_verdict : Dps_core.Stability.verdict;
+  t3_growth : float;  (** tail slope, packets/frame *)
+  t3_max_in_system : int;
+  t3_max_potential : int;  (** peak failed-buffer potential Φ *)
+  t3_final_potential : int;  (** Φ at the last frame *)
+}
+
+(** [thm3 run] — the Theorem 3 witness; [Error] on a trace with no
+    [protocol.frame] span. *)
+val thm3 : Lifecycle.run -> (thm3, string) result
+
+(** Theorem 11 evidence: the random-initial-delay wrapper must spread
+    injections over the delay window — that spreading is the whole
+    mechanism that turns a window adversary into smooth traffic. *)
+type thm11 = {
+  t11_n : int;  (** injects observed *)
+  t11_delayed : int;  (** with delay > 0 *)
+  t11_max_delay : int;  (** frames *)
+  t11_mean_delay : float;
+  t11_distinct : int;  (** distinct delay values drawn *)
+  t11_coverage : float;  (** distinct / (max_delay + 1) *)
+  t11_adversarial : bool;  (** false on plain stochastic runs (all 0) *)
+}
+
+(** [thm11 run] — the Theorem 11 witness; [Error] when the trace has no
+    [packet.inject] event (packet tracing was off). *)
+val thm11 : Lifecycle.run -> (thm11, string) result

@@ -52,6 +52,11 @@ let test_faults_mlis () =
     (fun m -> check_mli (Printf.sprintf "../lib/faults/%s.mli" m))
     [ "plan"; "injector" ]
 
+let test_trace_mlis () =
+  List.iter
+    (fun m -> check_mli (Printf.sprintf "../lib/trace/%s.mli" m))
+    [ "json"; "line"; "reader"; "lifecycle"; "analyze"; "witness" ]
+
 let () =
   Alcotest.run "docs"
     [ ( "doc-comments",
@@ -59,4 +64,5 @@ let () =
             test_telemetry_mlis;
           Alcotest.test_case "load_tracker interface" `Quick
             test_load_tracker_mli;
-          Alcotest.test_case "faults interfaces" `Quick test_faults_mlis ] ) ]
+          Alcotest.test_case "faults interfaces" `Quick test_faults_mlis;
+          Alcotest.test_case "trace interfaces" `Quick test_trace_mlis ] ) ]

@@ -1,9 +1,10 @@
 (* Tests for the telemetry subsystem: event encoding, the bucket
    histogram, the metrics registry, the sinks, and the wiring through
-   Protocol / Channel / Driver / Sweep. The JSONL schema (v1) is pinned
-   byte-for-byte by the golden test below; if it fails, either restore
-   the output or bump [Event.schema_version] and update
-   docs/OBSERVABILITY.md. *)
+   Protocol / Channel / Driver / Sweep. The JSONL schema (v2) is pinned
+   byte-for-byte by the golden test below (modulo the version stamp,
+   which [normalise_version] folds to "V" so v1-era lines stay pinned);
+   if it fails, either restore the output or bump [Event.schema_version]
+   and update docs/OBSERVABILITY.md. *)
 
 module Rng = Dps_prelude.Rng
 module Timeseries = Dps_prelude.Timeseries
@@ -28,7 +29,7 @@ module Telemetry = Dps_telemetry.Telemetry
 (* ------------------------------------------------------ event encoding *)
 
 let test_schema_version () =
-  Alcotest.(check int) "schema v1" 1 Event.schema_version
+  Alcotest.(check int) "schema v2" 2 Event.schema_version
 
 let test_span_json () =
   let ev =
@@ -44,14 +45,14 @@ let test_span_json () =
             ("s", Event.Str "q\"uo") ] }
   in
   Alcotest.(check string) "span json"
-    "{\"v\":1,\"type\":\"span\",\"name\":\"a\",\"frame\":1,\"slot_start\":2,\
+    "{\"v\":2,\"type\":\"span\",\"name\":\"a\",\"frame\":1,\"slot_start\":2,\
      \"slot_end\":3,\"attrs\":{\"x\":4,\"y\":1.5,\"z\":true,\"s\":\"q\\\"uo\"}}"
     (Event.to_json ev)
 
 let test_point_json () =
   let ev = Event.Point { name = "p"; frame = 0; slot = 5; attrs = [] } in
   Alcotest.(check string) "point json"
-    "{\"v\":1,\"type\":\"event\",\"name\":\"p\",\"frame\":0,\"slot\":5,\
+    "{\"v\":2,\"type\":\"event\",\"name\":\"p\",\"frame\":0,\"slot\":5,\
      \"attrs\":{}}"
     (Event.to_json ev)
 
@@ -133,6 +134,55 @@ let prop_quantile_monotone_bounded =
       v1 <= v2 +. 1e-9
       && v1 >= Histo.min_value h -. 1e-9
       && v2 <= Histo.max_value h +. 1e-9)
+
+(* Quantile edge cases the properties above can miss: samples landing
+   exactly on bucket edges, a one-sample histogram, and merging two
+   histograms whose sample ranges do not overlap at all. *)
+
+let test_histo_boundary_samples () =
+  let h = Histo.create ~bounds:[| 1.; 2.; 4. |] () in
+  (* Every sample sits exactly on an upper edge: x lands in the bucket
+     whose bound equals x, never the next one. *)
+  List.iter (Histo.observe h) [ 1.; 2.; 4. ];
+  Alcotest.(check (list int)) "edge samples stay in their own bucket"
+    [ 1; 1; 1; 0 ]
+    (Array.to_list (Array.map snd (Histo.buckets h)));
+  (* Interpolation must still be clamped to the observed range even
+     though the bucket [0,1] formally starts below min_value. *)
+  Alcotest.(check bool) "q0 clamped to min" true (Histo.quantile h 0. >= 1.);
+  Alcotest.(check bool) "q1 clamped to max" true (Histo.quantile h 1. <= 4.)
+
+let test_histo_single_sample () =
+  let h = Histo.create ~bounds:[| 10.; 100. |] () in
+  Histo.observe h 42.;
+  (* One sample: every quantile is that sample, exactly. *)
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "q=%g of singleton" q)
+        42. (Histo.quantile h q))
+    [ 0.; 0.25; 0.5; 0.9; 1. ];
+  Alcotest.(check (float 1e-9)) "mean" 42. (Histo.mean h)
+
+let test_histo_merge_disjoint_ranges () =
+  let bounds = [| 1.; 10.; 100.; 1000. |] in
+  let lo = Histo.create ~bounds () and hi = Histo.create ~bounds () in
+  List.iter (Histo.observe lo) [ 0.5; 0.75 ];
+  List.iter (Histo.observe hi) [ 500.; 600.; 700. ];
+  let m = Histo.merge lo hi in
+  Alcotest.(check int) "count" 5 (Histo.count m);
+  Alcotest.(check (float 1e-9)) "min from the low half" 0.5 (Histo.min_value m);
+  Alcotest.(check (float 1e-9)) "max from the high half" 700.
+    (Histo.max_value m);
+  Alcotest.(check (list int)) "counts add bucket-wise" [ 2; 0; 0; 3; 0 ]
+    (Array.to_list (Array.map snd (Histo.buckets m)));
+  (* The median rank (3 of 5) falls in the high bucket: the estimate must
+     land inside the populated (100,1000] range, not in the empty gap. *)
+  let p50 = Histo.quantile m 0.5 in
+  Alcotest.(check bool) "p50 lands in the populated high bucket" true
+    (p50 > 100. && p50 <= 700.);
+  Alcotest.(check bool) "merge argument order is immaterial" true
+    (Histo.quantile (Histo.merge hi lo) 0.5 = p50)
 
 (* ----------------------------------------------------- metrics registry *)
 
@@ -540,7 +590,7 @@ let wireline_run ~telemetry ~metrics_every ~seed =
   let inj = Stochastic.make [ [ (path 0 4, 0.1) ]; [ (path 4 0, 0.1) ] ] in
   let rng = Rng.create ~seed () in
   Driver.run_traced ~telemetry ~metrics_every ~config:cfg
-    ~oracle:Oracle.Wireline ~source:(Driver.Stochastic inj) ~frames:30 ~rng
+    ~oracle:Oracle.Wireline ~source:(Driver.Stochastic inj) ~frames:30 ~rng ()
 
 let test_trace_round_trips () =
   with_temp_file (fun path ->
@@ -601,6 +651,49 @@ let test_driver_snapshot_cadence () =
   | Event.Span { name = "driver.run"; frame = 0; slot_start = 0; _ } :: _ -> ()
   | _ -> Alcotest.fail "last event is not the driver.run span"
 
+(* Driver-driven golden: the JSONL event sequence of a whole
+   [Driver.run_traced], pinned with frames (3) not divisible by the
+   cadence (2) so the unconditional end-of-run snapshot is visibly
+   distinct from the periodic one. A regression that drops the final
+   snapshot, reorders it after the run span, or double-emits at the
+   last frame breaks this list. *)
+let test_driver_golden_sequence () =
+  with_temp_file (fun path ->
+      let oc = open_out path in
+      let t = Telemetry.make ~sinks:[ Sink.jsonl oc ] () in
+      let g = Topology.line ~nodes:3 ~spacing:1. in
+      let m = Graph.link_count g in
+      let cfg =
+        Protocol.configure ~epsilon:0.5 ~algorithm:Oneshot.algorithm
+          ~measure:(Measure.identity m) ~lambda:0.2 ~max_hops:2 ()
+      in
+      let rng = Rng.create ~seed:7 () in
+      ignore
+        (Driver.run_traced ~telemetry:t ~metrics_every:2 ~config:cfg
+           ~oracle:Oracle.Wireline ~source:Driver.Silent ~frames:3 ~rng ());
+      Telemetry.close t;
+      let describe line =
+        let j = parse_json line in
+        match obj_field j "type" with
+        | Jstr "metrics" ->
+          Printf.sprintf "metrics@%d" (check_int_field j "frame")
+        | Jstr ty -> (
+          match obj_field j "name" with
+          | Jstr name ->
+            Printf.sprintf "%s %s@%d" ty name (check_int_field j "frame")
+          | _ -> Alcotest.fail "name is not a string")
+        | _ -> Alcotest.fail "type is not a string"
+      in
+      Alcotest.(check (list string))
+        "periodic snapshot at 2, final at 3, run span last"
+        [ "span protocol.frame@0";
+          "span protocol.frame@1";
+          "metrics@2";
+          "span protocol.frame@2";
+          "metrics@3";
+          "span driver.run@0" ]
+        (List.map describe (read_lines path)))
+
 (* A run that dies mid-frame must still flush its sinks on the way out —
    a crashed experiment with an empty trace file is undebuggable. The
    injected path is longer than max_hops, so run_frame raises inside the
@@ -623,7 +716,7 @@ let test_flush_on_midrun_exception () =
      ignore
        (Driver.run_traced ~telemetry:t ~metrics_every:1 ~config:cfg
           ~oracle:Oracle.Wireline ~source:(Driver.Stochastic inj) ~frames:30
-          ~rng);
+          ~rng ());
      Alcotest.fail "over-long path should have aborted the run"
    with Invalid_argument _ -> ());
   Alcotest.(check bool) "sinks flushed despite the abort" true
@@ -680,6 +773,11 @@ let () =
       ( "histo",
         [ Alcotest.test_case "basics" `Quick test_histo_basics;
           Alcotest.test_case "rejects" `Quick test_histo_rejects;
+          Alcotest.test_case "boundary samples" `Quick
+            test_histo_boundary_samples;
+          Alcotest.test_case "single sample" `Quick test_histo_single_sample;
+          Alcotest.test_case "merge disjoint ranges" `Quick
+            test_histo_merge_disjoint_ranges;
           QCheck_alcotest.to_alcotest prop_merge_is_concat;
           QCheck_alcotest.to_alcotest prop_quantile_monotone_bounded ] );
       ( "metrics",
@@ -701,6 +799,8 @@ let () =
             test_telemetry_leaves_run_unchanged;
           Alcotest.test_case "snapshot cadence" `Quick
             test_driver_snapshot_cadence;
+          Alcotest.test_case "driver golden sequence" `Quick
+            test_driver_golden_sequence;
           Alcotest.test_case "negative cadence" `Quick
             test_driver_rejects_negative_cadence;
           Alcotest.test_case "flush on mid-run exception" `Quick

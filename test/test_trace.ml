@@ -1,0 +1,273 @@
+(* Tests for lib/trace: the JSONL parser, the line schema, packet
+   lifecycle reconstruction, the analyzers, and — the load-bearing ones —
+   the witness/live parity checks: a verdict recomputed from the trace
+   file alone must agree with the verdict the live run reported. *)
+
+module Rng = Dps_prelude.Rng
+module Graph = Dps_network.Graph
+module Routing = Dps_network.Routing
+module Topology = Dps_network.Topology
+module Measure = Dps_interference.Measure
+module Oracle = Dps_sim.Oracle
+module Oneshot = Dps_static.Oneshot
+module Stochastic = Dps_injection.Stochastic
+module Protocol = Dps_core.Protocol
+module Driver = Dps_core.Driver
+module Stability = Dps_core.Stability
+module Sink = Dps_telemetry.Sink
+module Telemetry = Dps_telemetry.Telemetry
+module Json = Dps_trace.Json
+module Line = Dps_trace.Line
+module Reader = Dps_trace.Reader
+module Lifecycle = Dps_trace.Lifecycle
+module Analyze = Dps_trace.Analyze
+module Witness = Dps_trace.Witness
+
+(* ------------------------------------------------------------- parser *)
+
+let test_json_parse () =
+  match Json.parse {|{"a":1,"b":[true,null,"x\\n"],"c":-2.5}|} with
+  | Json.Obj kvs ->
+    Alcotest.(check (list string)) "key order preserved" [ "a"; "b"; "c" ]
+      (List.map fst kvs);
+    Alcotest.(check int) "int field" 1 (Json.to_int (List.assoc "a" kvs));
+    Alcotest.(check (float 1e-9)) "float field" (-2.5)
+      (Json.to_float (List.assoc "c" kvs))
+  | _ -> Alcotest.fail "not an object"
+
+let test_json_rejects () =
+  let bad s =
+    match Json.parse s with
+    | exception Json.Error _ -> ()
+    | _ -> Alcotest.failf "accepted %S" s
+  in
+  bad "";
+  bad "{";
+  bad "{\"a\":}";
+  bad "[1,]";
+  bad "{\"a\":1} trailing";
+  bad "\"unterminated";
+  bad "{\"a\":1e}"
+
+let test_line_schema () =
+  let ok s =
+    match Line.parse s with
+    | Ok l -> l
+    | Error msg -> Alcotest.failf "rejected %S: %s" s msg
+  in
+  let bad s =
+    match Line.parse s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "accepted %S" s
+  in
+  let l =
+    ok
+      {|{"v":2,"type":"event","name":"packet.inject","frame":0,"slot":3,"attrs":{"id":0,"link":1,"d":2,"delay":0}}|}
+  in
+  Alcotest.(check int) "version" 2 l.Line.version;
+  (match l.Line.body with
+  | Line.Event { attrs; _ } ->
+    Alcotest.(check (option int)) "id attr" (Some 0)
+      (Line.int_attr "id" attrs)
+  | _ -> Alcotest.fail "not an event line");
+  (* v must come first, key order is part of the schema *)
+  bad {|{"type":"event","v":2,"name":"p","frame":0,"slot":3,"attrs":{}}|};
+  (* unknown type *)
+  bad {|{"v":2,"type":"mystery","name":"p","frame":0,"slot":3,"attrs":{}}|};
+  (* span interval must be ordered *)
+  bad
+    {|{"v":2,"type":"span","name":"s","frame":0,"slot_start":9,"slot_end":3,"attrs":{}}|};
+  (* version outside the supported range *)
+  bad {|{"v":99,"type":"event","name":"p","frame":0,"slot":3,"attrs":{}}|}
+
+(* --------------------------------------------------- traced run fixture *)
+
+let with_temp_file f =
+  let path = Filename.temp_file "dps_trace" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+(* The same 5-node wireline line as test_telemetry's round-trip, with
+   packet tracing on: small enough to run in a test, busy enough to give
+   every analyzer real data. Returns the live report and the
+   reconstructed run. *)
+let traced_run ?(packet_trace = 1) ?(frames = 30) path =
+  let g = Topology.line ~nodes:5 ~spacing:1. in
+  let m = Graph.link_count g in
+  let routing = Routing.make g in
+  let p src dst = Option.get (Routing.path routing ~src ~dst) in
+  let cfg =
+    Protocol.configure ~epsilon:0.5 ~algorithm:Oneshot.algorithm
+      ~measure:(Measure.identity m) ~lambda:0.3 ~max_hops:4 ()
+  in
+  let inj = Stochastic.make [ [ (p 0 4, 0.1) ]; [ (p 4 0, 0.1) ] ] in
+  let oc = open_out path in
+  let t = Telemetry.make ~sinks:[ Sink.jsonl oc ] () in
+  let report =
+    Fun.protect
+      ~finally:(fun () -> Telemetry.close t)
+      (fun () ->
+        Driver.run_traced ~packet_trace ~telemetry:t ~metrics_every:0
+          ~config:cfg ~oracle:Oracle.Wireline
+          ~source:(Driver.Stochastic inj) ~frames
+          ~rng:(Rng.create ~seed:23 ()) ())
+  in
+  let run =
+    Reader.with_input path (fun ic -> Lifecycle.of_lines (Reader.lines_exn ic))
+  in
+  (report, run)
+
+let test_reconstruction_matches_report () =
+  with_temp_file (fun path ->
+      let report, run = traced_run path in
+      let s = Analyze.summary run in
+      (* k = 1: every packet is traced, so the trace-side counters must
+         equal the live report exactly. *)
+      Alcotest.(check int) "injected" report.Protocol.injected
+        s.Analyze.s_injected;
+      Alcotest.(check int) "delivered" report.Protocol.delivered
+        s.Analyze.s_delivered;
+      Alcotest.(check int) "frames" 30 s.Analyze.s_frames;
+      Alcotest.(check bool) "frame length recovered" true
+        (s.Analyze.s_frame_length <> None))
+
+let test_sampling_is_deterministic_mod_k () =
+  with_temp_file (fun path ->
+      let report, run = traced_run ~packet_trace:3 path in
+      let ids = List.map (fun p -> p.Lifecycle.id) run.Lifecycle.packets in
+      Alcotest.(check bool) "some packets sampled" true (ids <> []);
+      List.iter
+        (fun id ->
+          Alcotest.(check int) (Printf.sprintf "id %d mod 3" id) 0 (id mod 3))
+        ids;
+      (* Head-based: a sampled packet carries its whole lifecycle, so a
+         sampled delivered packet has one hop event per path edge. *)
+      List.iter
+        (fun (p : Lifecycle.packet) ->
+          match (p.Lifecycle.inject, p.Lifecycle.deliver) with
+          | Some inj, Some del when not del.Lifecycle.del_failed ->
+            Alcotest.(check int)
+              (Printf.sprintf "packet %d hop count" p.Lifecycle.id)
+              inj.Lifecycle.inj_d
+              (List.length
+                 (List.filter
+                    (fun (h : Lifecycle.hop) -> h.Lifecycle.hop_ok)
+                    p.Lifecycle.hops))
+          | _ -> ())
+        run.Lifecycle.packets;
+      (* Sampling only filters events; the run itself is untouched. *)
+      let full_report, _ =
+        with_temp_file (fun p2 -> traced_run ~packet_trace:1 p2)
+      in
+      Alcotest.(check int) "same delivered count as k=1"
+        full_report.Protocol.delivered report.Protocol.delivered)
+
+let test_decomposition_accounts_all_slots () =
+  with_temp_file (fun path ->
+      let _, run = traced_run path in
+      let ds = Analyze.decompositions run in
+      Alcotest.(check bool) "some packets decomposed" true (ds <> []);
+      List.iter
+        (fun (d : Analyze.decomposition) ->
+          Alcotest.(check int)
+            (Printf.sprintf "packet %d: queue+phase1+cleanup = latency"
+               d.Analyze.dc_id)
+            d.Analyze.dc_latency
+            (d.Analyze.dc_queue + d.Analyze.dc_phase1 + d.Analyze.dc_cleanup))
+        ds)
+
+(* ------------------------------------------------------ witness parity *)
+
+let test_thm3_parity_with_live_verdict () =
+  with_temp_file (fun path ->
+      let report, run = traced_run path in
+      let live = Stability.assess report.Protocol.in_system in
+      match Witness.thm3 run with
+      | Error msg -> Alcotest.failf "thm3 failed: %s" msg
+      | Ok w ->
+        (* Same series, same assessor: the offline verdict must agree
+           with the live one verbatim, not just qualitatively. *)
+        Alcotest.(check string) "verdict parity" (Stability.to_string live)
+          (Stability.to_string w.Witness.t3_verdict);
+        Alcotest.(check (float 1e-9)) "growth parity"
+          (Stability.growth_per_frame report.Protocol.in_system)
+          w.Witness.t3_growth;
+        Alcotest.(check int) "frame count" 30 w.Witness.t3_frames)
+
+let test_thm8_consistent_when_uncongested () =
+  with_temp_file (fun path ->
+      let _, run = traced_run path in
+      match Witness.thm8 run with
+      | Error msg -> Alcotest.failf "thm8 failed: %s" msg
+      | Ok w ->
+        Alcotest.(check bool) "p50 ratio within 2x of (d+delay)*T" true
+          (w.Witness.t8_ratio.Analyze.p50 <= 2.0);
+        Alcotest.(check int) "no unexplained outliers" 0
+          w.Witness.t8_unexplained;
+        Alcotest.(check bool) "consistent" true w.Witness.t8_consistent)
+
+let test_thm11_flags_non_adversarial () =
+  with_temp_file (fun path ->
+      let _, run = traced_run path in
+      match Witness.thm11 run with
+      | Error msg -> Alcotest.failf "thm11 failed: %s" msg
+      | Ok w ->
+        (* Stochastic traffic never takes the delay wrapper. *)
+        Alcotest.(check int) "no delayed packet" 0 w.Witness.t11_delayed;
+        Alcotest.(check bool) "not adversarial" false w.Witness.t11_adversarial)
+
+let test_no_packet_events_without_flag () =
+  with_temp_file (fun path ->
+      (* packet_trace omitted entirely: the v2 trace must contain no
+         packet.* event — byte-compatibility with v1 consumers. *)
+      let g = Topology.line ~nodes:3 ~spacing:1. in
+      let m = Graph.link_count g in
+      let cfg =
+        Protocol.configure ~epsilon:0.5 ~algorithm:Oneshot.algorithm
+          ~measure:(Measure.identity m) ~lambda:0.2 ~max_hops:2 ()
+      in
+      let oc = open_out path in
+      let t = Telemetry.make ~sinks:[ Sink.jsonl oc ] () in
+      ignore
+        (Driver.run_traced ~telemetry:t ~metrics_every:0 ~config:cfg
+           ~oracle:Oracle.Wireline ~source:Driver.Silent ~frames:3
+           ~rng:(Rng.create ~seed:7 ()) ());
+      Telemetry.close t;
+      let run =
+        Reader.with_input path (fun ic ->
+            Lifecycle.of_lines (Reader.lines_exn ic))
+      in
+      Alcotest.(check int) "no traced packet" 0
+        (List.length run.Lifecycle.packets);
+      Alcotest.(check int) "frames still reconstructed" 3
+        (List.length run.Lifecycle.frames);
+      match Witness.thm11 run with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "thm11 should refuse a packet-less trace")
+
+(* ------------------------------------------------------------------ run *)
+
+let () =
+  Alcotest.run "trace"
+    [ ( "parser",
+        [ Alcotest.test_case "json parse" `Quick test_json_parse;
+          Alcotest.test_case "json rejects" `Quick test_json_rejects;
+          Alcotest.test_case "line schema" `Quick test_line_schema ] );
+      ( "lifecycle",
+        [ Alcotest.test_case "reconstruction matches report" `Quick
+            test_reconstruction_matches_report;
+          Alcotest.test_case "sampling mod k" `Quick
+            test_sampling_is_deterministic_mod_k;
+          Alcotest.test_case "decomposition accounts slots" `Quick
+            test_decomposition_accounts_all_slots;
+          Alcotest.test_case "no packet events without flag" `Quick
+            test_no_packet_events_without_flag ] );
+      ( "witness",
+        [ Alcotest.test_case "thm3 parity with live verdict" `Quick
+            test_thm3_parity_with_live_verdict;
+          Alcotest.test_case "thm8 consistent uncongested" `Quick
+            test_thm8_consistent_when_uncongested;
+          Alcotest.test_case "thm11 flags non-adversarial" `Quick
+            test_thm11_flags_non_adversarial ] );
+    ]
