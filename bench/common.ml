@@ -1,9 +1,13 @@
 (* Shared setup code for the experiments. *)
 
 (* Smoke mode (DPS_BENCH_SMOKE=1): every experiment shrinks to toy sizes —
-   m <= 16 links, <= 50 frames — so `dune build @bench-smoke` (wired into
-   `dune runtest`) exercises all benchmark code in seconds. The numbers it
-   prints are meaningless; only the code paths matter. *)
+   m <= 16 links, <= 50 frames, [reps n] replication counts to 2 — so
+   `dune build @bench-smoke` (wired into `dune runtest`) exercises all
+   benchmark code in seconds. The numbers it prints are meaningless; only
+   the code paths matter. Smoke mode also forces [jobs] to at least 2
+   (see below) so the Dps_par fan-out path runs under `dune runtest` too
+   — harmless, because fan-out is jobs-invariant: parallel rows are
+   byte-identical to sequential ones, exactly like `dps_run --jobs`. *)
 let smoke =
   match Sys.getenv_opt "DPS_BENCH_SMOKE" with
   | Some ("1" | "true" | "yes") -> true
@@ -21,6 +25,22 @@ let grid_dim n = if smoke then Int.min n 2 else n
 
 (* Keep the head (smallest case) of a parameter sweep in smoke mode. *)
 let sweep l = if smoke then [ List.hd l ] else l
+
+(* Fan-out width (DPS_BENCH_JOBS=n): experiments whose rows are
+   independent evaluate them [jobs]-way parallel through [par_map].
+   Results never depend on the width — Dps_par.Par.map is ordered and
+   deterministic — so tables stay comparable across machines; only
+   wall-clock changes. Default 1 (plain List.map, no domains); smoke
+   mode floors it at 2 so the parallel path cannot bit-rot. *)
+let jobs =
+  let requested =
+    match Sys.getenv_opt "DPS_BENCH_JOBS" with
+    | Some s -> ( match int_of_string_opt s with Some n when n >= 1 -> n | _ -> 1)
+    | None -> 1
+  in
+  if smoke then Int.max requested 2 else requested
+
+let par_map f xs = Dps_par.Par.map ~jobs f xs
 
 module Rng = Dps_prelude.Rng
 module Graph = Dps_network.Graph

@@ -16,8 +16,12 @@ let run () =
   let config =
     Protocol.configure ~algorithm ~measure ~lambda:design ~max_hops:8 ()
   in
+  (* The rows are independent (fresh RNG and injection per factor, the
+     shared config/measure are only read) — fan out; force the measure's
+     lazy CSC index first so worker domains never race to build it. *)
+  Measure.ensure_transpose measure;
   let rows =
-    List.map
+    par_map
       (fun factor ->
         let rng = Rng.create ~seed:(400 + int_of_float (factor *. 100.)) () in
         let inj =

@@ -53,11 +53,13 @@ let run () =
      1/e ≥ 1/(e(1+δ))) while the capacity 1/((1+δ)(1+ε)e) stays close to
      the theoretical 1/e. *)
   let decay = Dps_mac.Decay.make ~delta:0.1 () in
+  (* Each point builds its own network, measure and protocol — nothing
+     shared across rows — so the sweep fans out as-is. *)
   let rows =
-    List.map
+    par_map
       (fun lambda -> run_point "decay" decay ~lambda ~seed:801)
       (sweep [ 0.10; 0.20; 0.28; 0.36; 0.45 ])
-    @ List.map
+    @ par_map
         (fun lambda ->
           run_point "rrw" Dps_mac.Round_robin.algorithm ~lambda ~seed:802)
         (sweep [ 0.30; 0.60; 0.80; 0.90; 1.10 ])

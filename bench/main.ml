@@ -24,6 +24,7 @@ let experiments =
     ("p1", "perf: incremental interference engine", Exp_p1.run);
     ("p2", "perf: telemetry overhead", Exp_p2.run);
     ("p3", "perf: per-packet tracing overhead", Exp_p3.run);
+    ("p4", "perf: deterministic multicore fan-out", Exp_p4.run);
     ("r1", "robustness: jamming burst + overload guard", Exp_r1.run) ]
 
 let () =

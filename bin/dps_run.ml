@@ -9,6 +9,7 @@
      dps_run --model mac --algorithm decay --stations 8 --rate 0.15
      dps_run --model wireline --topology line:8 --rate 0.3 --adversary burst
      dps_run --model sinr-linear --rate 0.04 --trace t.jsonl --metrics m.csv
+     dps_run --model mac --rate 0.15 --reps 8 --jobs 4
 
    The full flag reference lives in docs/CLI.md; the trace/metrics output
    format in docs/OBSERVABILITY.md.
@@ -216,8 +217,20 @@ let build_plan ~fault_specs ~fault_plan =
   Plan.make (from_flags @ from_file)
 
 let run model_name topology algorithm_name rate epsilon frames flows adversary
-    stations loss seed trace metrics metrics_every trace_packets fault_specs
-    fault_plan guard =
+    stations loss seed reps jobs trace metrics metrics_every trace_packets
+    fault_specs fault_plan guard =
+  if reps < 1 then failwith "--reps must be >= 1";
+  if jobs < 1 then failwith "--jobs must be >= 1";
+  (* Oversubscribing domains only costs context switches; clamp to what
+     the runtime says this machine runs well. Results are identical for
+     every jobs value (docs/PARALLELISM.md), so clamping is invisible. *)
+  let jobs = Int.min jobs (Dps_par.Par.recommended_jobs ()) in
+  if reps > 1 && (fault_specs <> [] || fault_plan <> None || guard <> None)
+  then failwith "--reps does not compose with --fault/--fault-plan/--guard";
+  if reps > 1 && trace_packets <> None then
+    failwith
+      "--reps does not compose with --trace-packets (packet ids would \
+       collide across replicas)";
   let model =
     match model_name with
     | "sinr-linear" -> Sinr_linear
@@ -299,34 +312,64 @@ let run model_name topology algorithm_name rate epsilon frames flows adversary
     failwith "--trace-packets needs --trace (there is no trace to write to)"
   | _ -> ());
   let telemetry, close_telemetry = make_telemetry ~trace ~metrics in
-  let r, injector =
-    Fun.protect ~finally:close_telemetry (fun () ->
-        if Plan.is_empty plan && guard = None then
-          ( Driver.run_traced ?packet_trace:trace_packets ~telemetry
-              ~metrics_every ~config ~oracle ~source ~frames ~rng (),
-            None )
-        else
-          let r, injector =
-            Driver.run_faulted_traced ?packet_trace:trace_packets ?guard
-              ~telemetry ~metrics_every ~config ~oracle ~source ~plan ~frames
-              ~rng ()
-          in
-          (r, Some injector))
-  in
-  (match injector with
-  | Some inj when not (Plan.is_empty plan) ->
-    Printf.fprintf out
-      "faults: suppressed %d (outage %d, jam %d, loss %d, degrade %d)\n"
-      (Injector.suppressed inj)
-      (Injector.suppressed_of inj "outage")
-      (Injector.suppressed_of inj "jam")
-      (Injector.suppressed_of inj "loss")
-      (Injector.suppressed_of inj "degrade")
-  | _ -> ());
-  let ppf = Format.formatter_of_out_channel out in
-  Format.fprintf ppf "@\n%a@\n%!"
-    (Dps_core.Report_pp.pp ~frame:config.Protocol.frame)
-    r
+  if reps > 1 then begin
+    (* Replicated runs over consecutive seeds: one line per replica in
+       seed order, then the aggregate — the run itself and its merged
+       telemetry are identical for every --jobs value. *)
+    let seeds = List.init reps (fun i -> seed + i) in
+    let reports =
+      Fun.protect ~finally:close_telemetry (fun () ->
+          Driver.run_many ~jobs ~telemetry ~metrics_every ~config ~oracle
+            ~source ~seeds ~frames ())
+    in
+    let assess (r : Protocol.report) = Stability.assess r.Protocol.in_system in
+    List.iter2
+      (fun sd (r : Protocol.report) ->
+        Printf.fprintf out
+          "seed=%d injected=%d delivered=%d max-queue=%d verdict=%s\n" sd
+          r.Protocol.injected r.Protocol.delivered r.Protocol.max_queue
+          (Stability.to_string (assess r)))
+      seeds reports;
+    let total f = List.fold_left (fun acc r -> acc + f r) 0 reports in
+    let stable =
+      List.length
+        (List.filter (fun r -> Stability.is_stable (assess r)) reports)
+    in
+    Printf.fprintf out "replicas=%d stable=%d/%d injected=%d delivered=%d\n"
+      reps stable reps
+      (total (fun r -> r.Protocol.injected))
+      (total (fun r -> r.Protocol.delivered))
+  end
+  else begin
+    let r, injector =
+      Fun.protect ~finally:close_telemetry (fun () ->
+          if Plan.is_empty plan && guard = None then
+            ( Driver.run_traced ?packet_trace:trace_packets ~telemetry
+                ~metrics_every ~config ~oracle ~source ~frames ~rng (),
+              None )
+          else
+            let r, injector =
+              Driver.run_faulted_traced ?packet_trace:trace_packets ?guard
+                ~telemetry ~metrics_every ~config ~oracle ~source ~plan
+                ~frames ~rng ()
+            in
+            (r, Some injector))
+    in
+    (match injector with
+    | Some inj when not (Plan.is_empty plan) ->
+      Printf.fprintf out
+        "faults: suppressed %d (outage %d, jam %d, loss %d, degrade %d)\n"
+        (Injector.suppressed inj)
+        (Injector.suppressed_of inj "outage")
+        (Injector.suppressed_of inj "jam")
+        (Injector.suppressed_of inj "loss")
+        (Injector.suppressed_of inj "degrade")
+    | _ -> ());
+    let ppf = Format.formatter_of_out_channel out in
+    Format.fprintf ppf "@\n%a@\n%!"
+      (Dps_core.Report_pp.pp ~frame:config.Protocol.frame)
+      r
+  end
 
 open Cmdliner
 
@@ -400,6 +443,26 @@ let loss =
 let seed =
   Arg.(value & opt int 2012 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
 
+let reps =
+  Arg.(
+    value & opt int 1
+    & info [ "reps" ] ~docv:"R"
+        ~doc:
+          "Replicate the run over $(docv) consecutive seeds (SEED ... \
+           SEED+R-1): one report line per replica plus an aggregate. Does \
+           not compose with $(b,--fault), $(b,--guard) or \
+           $(b,--trace-packets). See docs/PARALLELISM.md.")
+
+let jobs =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs" ] ~docv:"N"
+        ~doc:
+          "Run $(b,--reps) replicas on $(docv) domains in parallel (clamped \
+           to the machine's recommended domain count). Results and \
+           telemetry are identical for every $(docv) — parallelism only \
+           changes the wall clock. Rejected when $(docv) < 1.")
+
 let trace =
   Arg.(
     value
@@ -471,12 +534,12 @@ let guard =
            (default) or reject. See DESIGN.md §9.")
 
 let run_safely model_name topology algorithm_name rate epsilon frames flows
-    adversary stations loss seed trace metrics metrics_every trace_packets
-    fault_specs fault_plan guard =
+    adversary stations loss seed reps jobs trace metrics metrics_every
+    trace_packets fault_specs fault_plan guard =
   try
     run model_name topology algorithm_name rate epsilon frames flows adversary
-      stations loss seed trace metrics metrics_every trace_packets fault_specs
-      fault_plan guard
+      stations loss seed reps jobs trace metrics metrics_every trace_packets
+      fault_specs fault_plan guard
   with Invalid_argument msg | Failure msg | Sys_error msg ->
     Printf.eprintf "dps_run: %s\n" msg;
     exit 1
@@ -507,6 +570,12 @@ let cmd =
       `Pre
         "  dps_run --model wireline --topology line:8 --rate 0.3 --fault \
          jam:2000-4000 --guard 60:10";
+      `P
+        "Eight replicated runs over consecutive seeds, four domains in \
+         parallel (same results as --jobs 1, sooner):";
+      `Pre
+        "  dps_run --model mac --algorithm decay --stations 8 --rate 0.15 \
+         --reps 8 --jobs 4";
       `S Manpage.s_see_also;
       `P
         "docs/CLI.md (full flag reference with one example per interference \
@@ -517,7 +586,7 @@ let cmd =
     (Cmd.info "dps_run" ~doc ~man)
     Term.(
       const run_safely $ model $ topology $ algorithm $ rate $ epsilon $ frames
-      $ flows $ adversary $ stations $ loss $ seed $ trace $ metrics
-      $ metrics_every $ trace_packets $ fault $ fault_plan $ guard)
+      $ flows $ adversary $ stations $ loss $ seed $ reps $ jobs $ trace
+      $ metrics $ metrics_every $ trace_packets $ fault $ fault_plan $ guard)
 
 let () = exit (Cmd.eval cmd)

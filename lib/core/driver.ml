@@ -5,6 +5,10 @@ module Stochastic = Dps_injection.Stochastic
 module Adversary = Dps_injection.Adversary
 module Telemetry = Dps_telemetry.Telemetry
 module Event = Dps_telemetry.Event
+module Metrics = Dps_telemetry.Metrics
+module Histo = Dps_telemetry.Histo
+module Memory_sink = Dps_telemetry.Memory_sink
+module Par = Dps_par.Par
 module Plan = Dps_faults.Plan
 module Injector = Dps_faults.Injector
 
@@ -82,6 +86,97 @@ let run_traced ?packet_trace ~telemetry ~metrics_every ~config ~oracle ~source
 let run ~config ~oracle ~source ~frames ~rng =
   run_traced ~telemetry:Telemetry.disabled ~metrics_every:0 ~config ~oracle
     ~source ~frames ~rng ()
+
+(* Seed-replicated runs. Each replica is self-contained — its own rng
+   from its seed, its own channel/protocol, its own private Memory_sink
+   when the caller traces — so replicas may execute on any domain in any
+   order; everything order-sensitive (replaying the buffered streams,
+   merging the latency histograms, the aggregate span) happens here on
+   the calling domain, in seed order. That is the whole determinism
+   argument: for any [jobs], the same per-seed computations feed the
+   same seed-ordered merge. *)
+let run_many ?(jobs = 1) ?(telemetry = Telemetry.disabled)
+    ?(metrics_every = 0) ~config ~oracle ~source ~seeds ~frames () =
+  if jobs < 1 then invalid_arg "Driver.run_many: jobs must be >= 1";
+  if metrics_every < 0 then invalid_arg "Driver: metrics_every < 0";
+  let recording = Telemetry.enabled telemetry in
+  (* The measure inside [config] is shared by every replica and builds
+     its CSC index lazily (a mutable field); force it before the fan-out
+     so worker domains never race on the initialisation. *)
+  if jobs > 1 then Measure.ensure_transpose config.Protocol.measure;
+  let one seed =
+    let rng = Rng.create ~seed () in
+    if not recording then
+      (run ~config ~oracle ~source ~frames ~rng, None)
+    else begin
+      let recorder = Memory_sink.create () in
+      let tel = Telemetry.make ~sinks:[ Memory_sink.sink recorder ] () in
+      let report =
+        run_traced ~telemetry:tel ~metrics_every ~config ~oracle ~source
+          ~frames ~rng ()
+      in
+      (report, Some (recorder, tel))
+    end
+  in
+  let outcomes = Par.map ~jobs one seeds in
+  let reports = List.map fst outcomes in
+  if recording && seeds <> [] then begin
+    let tracer = Telemetry.tracer telemetry in
+    List.iteri
+      (fun index (seed, ((report : Protocol.report), priv)) ->
+        Telemetry.point telemetry ~name:"driver.replica" ~frame:0 ~slot:0
+          [ ("index", Event.Int index);
+            ("seed", Event.Int seed);
+            ("injected", Event.Int report.Protocol.injected);
+            ("delivered", Event.Int report.Protocol.delivered) ];
+        match priv with
+        | Some (recorder, _) -> Memory_sink.replay recorder tracer
+        | None -> ())
+      (List.combine seeds outcomes);
+    (* One aggregate over all replicas; the latency histograms merge by
+       bucket-count addition (Histo.merge), left-folded in seed order. *)
+    let latency =
+      List.fold_left
+        (fun acc (_, priv) ->
+          match priv with
+          | None -> acc
+          | Some (_, tel) ->
+            let h =
+              Metrics.histo
+                (Metrics.histogram (Telemetry.metrics tel)
+                   "protocol.latency.slots")
+            in
+            (match acc with
+            | None -> Some h
+            | Some merged -> Some (Histo.merge merged h)))
+        None outcomes
+    in
+    let total f = List.fold_left (fun acc r -> acc + f r) 0 reports in
+    let latency_attrs =
+      match latency with
+      | Some h when Histo.count h > 0 ->
+        [ ("latency_count", Event.Int (Histo.count h));
+          ("latency_p50", Event.Float (Histo.quantile h 0.5));
+          ("latency_p99", Event.Float (Histo.quantile h 0.99)) ]
+      | _ -> [ ("latency_count", Event.Int 0) ]
+    in
+    Telemetry.span telemetry ~name:"driver.run_many" ~frame:0 ~slot_start:0
+      ~slot_end:(frames * config.Protocol.frame)
+      ([ ("replicas", Event.Int (List.length seeds));
+         ("frames", Event.Int frames);
+         ("injected", Event.Int (total (fun r -> r.Protocol.injected)));
+         ("delivered", Event.Int (total (fun r -> r.Protocol.delivered)));
+         ("failed_events", Event.Int (total (fun r -> r.Protocol.failed_events)));
+         ("max_queue",
+          Event.Int
+            (List.fold_left
+               (fun acc (r : Protocol.report) ->
+                 Int.max acc r.Protocol.max_queue)
+               0 reports)) ]
+      @ latency_attrs);
+    Telemetry.flush telemetry
+  end;
+  reports
 
 let run_faulted_traced ?packet_trace ?guard ~telemetry ~metrics_every ~config
     ~oracle ~source ~plan ~frames ~rng () =

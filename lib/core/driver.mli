@@ -52,6 +52,39 @@ val run_traced :
   unit ->
   Protocol.report
 
+(** [run_many ?jobs ?telemetry ?metrics_every ~config ~oracle ~source
+    ~seeds ~frames ()] — one full {!run} per seed in [seeds], executed
+    [jobs]-way parallel on a {!Dps_par.Par} domain pool, reports
+    returned in seed order. Each replica draws from its own
+    [Rng.create ~seed], so the result list depends only on [seeds] —
+    {e never} on [jobs]: [~jobs:4] returns byte-identical reports and
+    telemetry to [~jobs:1] (pinned by the [@par-smoke] golden; see
+    docs/PARALLELISM.md).
+
+    Telemetry: each replica records into a private
+    {!Dps_telemetry.Memory_sink} (instrumented exactly as {!run_traced},
+    including [metrics_every]); afterwards, in seed order, a
+    [driver.replica] point (attrs: index, seed, injected, delivered) is
+    emitted followed by that replica's replayed stream, and the run
+    closes with a [driver.run_many] span aggregating all replicas —
+    totals plus the bucket-merged latency histogram
+    ({!Dps_telemetry.Histo.merge}) — and a flush. [source] is shared by
+    every replica; both injection models are immutable, so this is safe
+    — per-replica mutable state must stay out of [source].
+
+    Raises [Invalid_argument] when [jobs < 1] or [metrics_every < 0]. *)
+val run_many :
+  ?jobs:int ->
+  ?telemetry:Dps_telemetry.Telemetry.t ->
+  ?metrics_every:int ->
+  config:Protocol.config ->
+  oracle:Dps_sim.Oracle.t ->
+  source:source ->
+  seeds:int list ->
+  frames:int ->
+  unit ->
+  Protocol.report list
+
 (** [run_faulted ?guard ~config ~oracle ~source ~plan ~frames ~rng ()] —
     {!run} under a fault plan: a {!Dps_faults.Injector} is built for the
     plan and hooked into the channel; [guard] installs the overload guard

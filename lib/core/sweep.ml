@@ -1,5 +1,6 @@
 module Telemetry = Dps_telemetry.Telemetry
 module Event = Dps_telemetry.Event
+module Par = Dps_par.Par
 
 type outcome = {
   critical : float;
@@ -7,20 +8,37 @@ type outcome = {
   unstable_at : float list;
 }
 
-let critical_rate ?(telemetry = Telemetry.disabled) ~probe ~lo ~hi ~tolerance
-    () =
+(* The speculative search: each round probes [speculate] evenly spaced
+   interior points of [lo, hi] instead of one midpoint, shrinking the
+   bracket to width/(speculate+1) per round — ~log2(speculate+1) fewer
+   rounds — and evaluates the round's probes [jobs]-way parallel. The
+   schedule depends only on [speculate]; [jobs] only changes which
+   domain evaluates which probe, and all bookkeeping (probe events,
+   outcome lists, bracket update) runs on the calling domain in
+   ascending-rate order, so the outcome and the telemetry are identical
+   for every [jobs]. [speculate = 1] is classical bisection, probe for
+   probe. *)
+let critical_rate ?(telemetry = Telemetry.disabled) ?(jobs = 1) ?speculate
+    ~probe ~lo ~hi ~tolerance () =
   if not (lo < hi) then invalid_arg "Sweep.critical_rate: lo >= hi";
   if tolerance <= 0. then invalid_arg "Sweep.critical_rate: tolerance <= 0";
+  if jobs < 1 then invalid_arg "Sweep.critical_rate: jobs must be >= 1";
+  let speculate = match speculate with Some s -> s | None -> jobs in
+  if speculate < 1 then
+    invalid_arg "Sweep.critical_rate: speculate must be >= 1";
   let recording = Telemetry.enabled telemetry in
   let stable = ref [] and unstable = ref [] in
   let probes = ref 0 in
-  let check rate =
-    let ok = probe rate in
+  let record rate ok =
     if recording then
       Telemetry.point telemetry ~name:"sweep.probe" ~frame:!probes ~slot:0
         [ ("rate", Event.Float rate); ("stable", Event.Bool ok) ];
     incr probes;
-    if ok then stable := rate :: !stable else unstable := rate :: !unstable;
+    if ok then stable := rate :: !stable else unstable := rate :: !unstable
+  in
+  let check rate =
+    let ok = probe rate in
+    record rate ok;
     ok
   in
   let finish critical =
@@ -32,7 +50,9 @@ let critical_rate ?(telemetry = Telemetry.disabled) ~probe ~lo ~hi ~tolerance
           ("unstable", Event.Int (List.length !unstable)) ];
       Telemetry.flush telemetry
     end;
-    { critical; stable_at = !stable; unstable_at = !unstable }
+    { critical;
+      stable_at = List.rev !stable;
+      unstable_at = List.rev !unstable }
   in
   if not (check lo) then
     invalid_arg "Sweep.critical_rate: lower bound is already unstable";
@@ -40,8 +60,27 @@ let critical_rate ?(telemetry = Telemetry.disabled) ~probe ~lo ~hi ~tolerance
   else begin
     let lo = ref lo and hi = ref hi in
     while !hi -. !lo > tolerance do
-      let mid = (!lo +. !hi) /. 2. in
-      if check mid then lo := mid else hi := mid
+      let width = !hi -. !lo in
+      let mids =
+        List.init speculate (fun i ->
+            !lo
+            +. width
+               *. float_of_int (i + 1)
+               /. float_of_int (speculate + 1))
+      in
+      let oks = Par.map ~jobs probe mids in
+      List.iter2 record mids oks;
+      (* The bracket after the round: the last midpoint of the stable
+         prefix bounds from below, the first unstable midpoint from
+         above (the old bounds where the prefix is empty / total). *)
+      let rec narrow last_stable = function
+        | [] -> (last_stable, !hi)
+        | (rate, true) :: rest -> narrow rate rest
+        | (rate, false) :: _ -> (last_stable, rate)
+      in
+      let lo', hi' = narrow !lo (List.combine mids oks) in
+      lo := lo';
+      hi := hi'
     done;
     finish !lo
   end
@@ -52,3 +91,15 @@ let protocol_probe ~configure ~run rate =
   | config ->
     let report = run config in
     Stability.is_stable (Stability.assess report.Protocol.in_system)
+
+let protocol_probe_replicated ?(jobs = 1) ~configure ~run ~seeds rate =
+  match configure rate with
+  | exception Invalid_argument _ -> false
+  | config ->
+    if jobs > 1 then
+      Dps_interference.Measure.ensure_transpose config.Protocol.measure;
+    let stable_for seed =
+      let report = run ~config ~seed in
+      Stability.is_stable (Stability.assess report.Protocol.in_system)
+    in
+    List.for_all Fun.id (Par.map ~jobs stable_for seeds)

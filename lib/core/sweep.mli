@@ -9,21 +9,41 @@
 type outcome = {
   critical : float;
       (** largest rate that assessed stable (within [tolerance]) *)
-  stable_at : float list;  (** rates probed and found stable *)
-  unstable_at : float list;  (** rates probed and found not stable *)
+  stable_at : float list;
+      (** rates probed and found stable, in probe order *)
+  unstable_at : float list;
+      (** rates probed and found not stable, in probe order *)
 }
 
-(** [critical_rate ?telemetry ~probe ~lo ~hi ~tolerance ()] — bisect on
-    [probe rate = true] (stable). Requires [probe lo = true] (raises
-    [Invalid_argument] otherwise); if [probe hi] is already stable, returns
-    [hi]. Marginal verdicts should be mapped by the caller (a conservative
-    probe treats them as unstable). The probe is called O(log((hi-lo)/
-    tolerance)) times; make it deterministic for reproducible sweeps.
+(** [critical_rate ?telemetry ?jobs ?speculate ~probe ~lo ~hi ~tolerance
+    ()] — search for the largest rate with [probe rate = true] (stable).
+    Requires [probe lo = true] (raises [Invalid_argument] otherwise); if
+    [probe hi] is already stable, returns [hi]. Marginal verdicts should
+    be mapped by the caller (a conservative probe treats them as
+    unstable).
+
+    Each round probes [speculate] evenly spaced interior points of the
+    bracket (default: [jobs]), shrinking it by a factor [speculate + 1]
+    — so the round count falls by ~log2(speculate+1) — and evaluates
+    them on a [jobs]-way {!Dps_par.Par} pool. [speculate = 1] is
+    classical bisection, probe for probe. The probe {e schedule} (and
+    therefore the outcome and every emitted event) depends only on
+    [speculate], never on [jobs] — with [jobs] varied at fixed
+    [speculate], outcome and telemetry are byte-identical (pinned by
+    [@par-smoke]). With [jobs > 1] the probe runs on worker domains:
+    it must not share mutable state across calls (build everything
+    per call; make it deterministic for reproducible sweeps).
+
     When [telemetry] is given and enabled, every probe emits a
-    [sweep.probe] event (attrs: rate, stable) and the search closes with a
-    [sweep.result] event followed by a flush — see docs/OBSERVABILITY.md. *)
+    [sweep.probe] event (attrs: rate, stable) — within a round in
+    ascending rate order, emitted by the calling domain — and the search
+    closes with a [sweep.result] event followed by a flush — see
+    docs/OBSERVABILITY.md. Raises [Invalid_argument] when [jobs < 1] or
+    [speculate < 1]. *)
 val critical_rate :
   ?telemetry:Dps_telemetry.Telemetry.t ->
+  ?jobs:int ->
+  ?speculate:int ->
   probe:(float -> bool) ->
   lo:float ->
   hi:float ->
@@ -37,5 +57,22 @@ val critical_rate :
 val protocol_probe :
   configure:(float -> Protocol.config) ->
   run:(Protocol.config -> Protocol.report) ->
+  float ->
+  bool
+
+(** [protocol_probe_replicated ?jobs ~configure ~run ~seeds rate] — the
+    replicated form: configure once (an exception counts as unstable),
+    run one replica per seed [jobs]-way parallel ({!Dps_par.Par}), and
+    require {e every} replica to assess stable — the conservative vote.
+    [run] executes on worker domains: it must build all mutable state
+    per call (e.g. [Rng.create ~seed] inside, as
+    {!Driver.run_many} does). The config's measure has its lazy CSC
+    index forced before the fan-out. The verdict depends only on
+    [seeds], never on [jobs]. *)
+val protocol_probe_replicated :
+  ?jobs:int ->
+  configure:(float -> Protocol.config) ->
+  run:(config:Protocol.config -> seed:int -> Protocol.report) ->
+  seeds:int list ->
   float ->
   bool

@@ -172,6 +172,8 @@ let transpose t =
     t.transposed <- Some tr;
     tr
 
+let ensure_transpose t = ignore (transpose t)
+
 let column_nnz t e' =
   let tr = transpose t in
   tr.col_ptr.(e' + 1) - tr.col_ptr.(e')

@@ -60,6 +60,14 @@ val row_nnz : t -> int -> int
     in ascending [e'] order, without allocating. *)
 val iter_row : t -> int -> (int -> float -> unit) -> unit
 
+(** [ensure_transpose t] — build the CSC index now if it does not exist
+    yet (idempotent, O(m + nnz)). The lazy build mutates [t], so a
+    measure shared by several domains must be forced {e before} the
+    fan-out — [Driver.run_many] does this for the measure inside its
+    config; call it yourself when handing a fresh measure to your own
+    parallel tasks (docs/PARALLELISM.md). *)
+val ensure_transpose : t -> unit
+
 (** Stored entries in column [e'] (forces the transposed index). *)
 val column_nnz : t -> int -> int
 

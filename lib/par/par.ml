@@ -1,0 +1,160 @@
+(* Fixed-size domain pool with a chunked work queue and ordered result
+   collection.
+
+   One mutex guards everything: the queue, the stop flag, and every
+   batch's completion state. Workers sleep on [work] between tasks; a
+   batch's submitter sleeps on its own per-batch condition (bound to the
+   same mutex) until the chunk counter hits zero. The submitting domain
+   participates: after enqueueing it drains the queue alongside the
+   workers, so a [jobs = n] pool really computes n-way and [jobs = 1]
+   never touches a lock (it short-circuits to [List.map]).
+
+   Determinism lives in two places: results land in a pre-sized array at
+   their input index (collection order is input order by construction),
+   and a failing batch re-raises the exception of the smallest raising
+   index — the one a sequential [List.map] would have surfaced. *)
+
+type pool = {
+  lock : Mutex.t;
+  work : Condition.t;  (* new tasks queued, or shutdown *)
+  queue : (unit -> unit) Queue.t;
+  mutable stop : bool;
+  mutable workers : unit Domain.t array;
+  njobs : int;
+}
+
+(* Under [p.lock]: next task, draining the queue before honoring [stop]
+   so a shutdown never strands queued work. *)
+let rec next_task p =
+  match Queue.take_opt p.queue with
+  | Some _ as t -> t
+  | None ->
+    if p.stop then None
+    else begin
+      Condition.wait p.work p.lock;
+      next_task p
+    end
+
+let rec worker_loop p =
+  Mutex.lock p.lock;
+  let task = next_task p in
+  Mutex.unlock p.lock;
+  match task with
+  | None -> ()
+  | Some t ->
+    t ();
+    worker_loop p
+
+let pool ~jobs () =
+  if jobs < 1 then invalid_arg "Par.pool: jobs must be >= 1";
+  let p =
+    { lock = Mutex.create ();
+      work = Condition.create ();
+      queue = Queue.create ();
+      stop = false;
+      workers = [||];
+      njobs = jobs }
+  in
+  p.workers <-
+    Array.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop p));
+  p
+
+let jobs p = p.njobs
+
+let shutdown p =
+  Mutex.lock p.lock;
+  let ws = p.workers in
+  p.workers <- [||];
+  p.stop <- true;
+  Condition.broadcast p.work;
+  Mutex.unlock p.lock;
+  Array.iter Domain.join ws
+
+let with_pool ~jobs f =
+  let p = pool ~jobs () in
+  Fun.protect ~finally:(fun () -> shutdown p) (fun () -> f p)
+
+let map_pool ?chunk p f xs =
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | xs when p.njobs = 1 -> List.map f xs
+  | xs ->
+    let input = Array.of_list xs in
+    let n = Array.length input in
+    let chunk =
+      match chunk with
+      | Some c when c < 1 -> invalid_arg "Par.map: chunk must be >= 1"
+      | Some c -> c
+      | None -> Int.max 1 (n / (4 * p.njobs))
+    in
+    let results = Array.make n None in
+    let remaining = ref n in
+    (* Smallest raising index wins; a chunk stops at its first failure,
+       so any skipped item has a larger index than a recorded one. *)
+    let failure = ref None in
+    let finished = Condition.create () in
+    let run_chunk start stop () =
+      let failed = ref None in
+      let i = ref start in
+      while Option.is_none !failed && !i < stop do
+        (match f input.(!i) with
+        | y -> results.(!i) <- Some y
+        | exception e -> failed := Some (!i, e));
+        incr i
+      done;
+      Mutex.lock p.lock;
+      (match !failed with
+      | Some (i, _) -> (
+        match !failure with
+        | Some (j, _) when j <= i -> ()
+        | _ -> failure := !failed)
+      | None -> ());
+      remaining := !remaining - (stop - start);
+      if !remaining = 0 then Condition.broadcast finished;
+      Mutex.unlock p.lock
+    in
+    Mutex.lock p.lock;
+    let start = ref 0 in
+    while !start < n do
+      let stop = Int.min n (!start + chunk) in
+      Queue.add (run_chunk !start stop) p.queue;
+      start := stop
+    done;
+    Condition.broadcast p.work;
+    Mutex.unlock p.lock;
+    (* The submitter is worker zero: help drain, then wait for the
+       chunks the workers still hold. *)
+    let rec help () =
+      Mutex.lock p.lock;
+      match Queue.take_opt p.queue with
+      | Some t ->
+        Mutex.unlock p.lock;
+        t ();
+        help ()
+      | None ->
+        while !remaining > 0 do
+          Condition.wait finished p.lock
+        done;
+        Mutex.unlock p.lock
+    in
+    help ();
+    (match !failure with Some (_, e) -> raise e | None -> ());
+    Array.to_list
+      (Array.map (function Some y -> y | None -> assert false) results)
+
+let map ?chunk ~jobs f xs =
+  if jobs < 1 then invalid_arg "Par.map: jobs must be >= 1";
+  (match chunk with
+  | Some c when c < 1 -> invalid_arg "Par.map: chunk must be >= 1"
+  | _ -> ());
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | xs when jobs = 1 -> List.map f xs
+  | xs ->
+    with_pool
+      ~jobs:(Int.min jobs (List.length xs))
+      (fun p -> map_pool ?chunk p f xs)
+
+let recommended_jobs () = Domain.recommended_domain_count ()

@@ -1,0 +1,68 @@
+(** Deterministic multicore fan-out on OCaml 5 domains.
+
+    A fixed-size pool of worker domains (stdlib [Domain] + [Mutex] +
+    [Condition], no dependencies) behind one primitive: {!map}, a
+    parallel [List.map] with {e ordered result collection} — the result
+    list is always in input order, whatever order the chunks finish in.
+
+    The determinism contract every caller in this repo builds on
+    (docs/PARALLELISM.md): when [f] is pure per item — it may mutate
+    state it created itself, but shares nothing writable with other
+    items — then for any [jobs] value [map ~jobs f xs] returns exactly
+    [List.map f xs], and a raising item raises exactly the exception the
+    sequential run would have raised (the smallest-index failure).
+    Parallelism changes wall-clock time and nothing else; that is what
+    turns the fan-out layer into a correctness feature rather than a
+    speedup with caveats ([test_par], [@par-smoke]).
+
+    Scheduling: the input is cut into contiguous chunks which are fed
+    through a shared work queue; the calling domain works too, so a pool
+    of [jobs = n] runs [n] ways on [n - 1] spawned domains, and
+    [jobs = 1] degrades to plain [List.map] on the caller — no domains,
+    no locks, byte-identical by construction. *)
+
+type pool
+
+(** [pool ~jobs ()] — a pool running work [jobs]-way: [jobs - 1] worker
+    domains plus the calling domain. Workers idle on a condition
+    variable between batches. Raises [Invalid_argument] when
+    [jobs < 1]. A pool must be released with {!shutdown} (or use
+    {!with_pool}); it is owned by the domain that created it — submit
+    batches from one domain at a time. *)
+val pool : jobs:int -> unit -> pool
+
+(** Width of the pool: the [jobs] it was created with. *)
+val jobs : pool -> int
+
+(** [shutdown p] — signal the workers to exit once the queue is drained
+    and join them. Idempotent. Call only after outstanding {!map_pool}
+    batches have returned. *)
+val shutdown : pool -> unit
+
+(** [with_pool ~jobs f] — [f] applied to a fresh pool, {!shutdown}
+    guaranteed on the way out (also on exceptions). *)
+val with_pool : jobs:int -> (pool -> 'a) -> 'a
+
+(** [map ?chunk ~jobs f xs] — parallel [List.map f xs] on a transient
+    [jobs]-way pool (capped at [List.length xs]); results in input
+    order. [chunk] is the number of consecutive items a worker claims
+    at a time (default: enough for ~4 chunks per worker, at least 1) —
+    it trades queue traffic against load balance and {e cannot} change
+    the result. With [jobs = 1] this is exactly [List.map f xs] on the
+    calling domain. If one or more items raise, every chunk still runs
+    to its first failure, and the exception of the smallest raising
+    index is re-raised — the same exception a sequential run raises
+    (later items may or may not have been evaluated; their effects on
+    item-private state are discarded with the results). Raises
+    [Invalid_argument] when [jobs < 1] or [chunk < 1]. *)
+val map : ?chunk:int -> jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+
+(** [map_pool ?chunk p f xs] — {!map} on an existing pool: amortizes
+    domain spawn/join across many batches (the bench harness pattern).
+    Same ordering, chunking and exception contract as {!map}. *)
+val map_pool : ?chunk:int -> pool -> ('a -> 'b) -> 'a list -> 'b list
+
+(** The runtime's advice for how many domains this machine runs well
+    ([Domain.recommended_domain_count]) — what the CLI clamps [--jobs]
+    to. *)
+val recommended_jobs : unit -> int

@@ -1,18 +1,39 @@
+type item =
+  | Event of Event.t
+  | Snapshot of int * Metrics.row list
+
 type t = {
-  mutable evs : Event.t list;  (* newest first *)
-  mutable snaps : (int * Metrics.row list) list;  (* newest first *)
+  mutable items : item list;  (* newest first *)
   mutable nflush : int;
 }
 
-let create () = { evs = []; snaps = []; nflush = 0 }
+let create () = { items = []; nflush = 0 }
 
 let sink t =
-  { Sink.on_event = (fun ev -> t.evs <- ev :: t.evs);
-    on_metrics = (fun ~frame rows -> t.snaps <- (frame, rows) :: t.snaps);
+  { Sink.on_event = (fun ev -> t.items <- Event ev :: t.items);
+    on_metrics = (fun ~frame rows -> t.items <- Snapshot (frame, rows) :: t.items);
     flush = (fun () -> t.nflush <- t.nflush + 1);
     close = (fun () -> ()) }
 
-let events t = List.rev t.evs
-let event_lines t = List.rev_map Event.to_json t.evs
-let snapshots t = List.rev t.snaps
+let items t = List.rev t.items
+
+let events t =
+  List.filter_map
+    (function Event ev -> Some ev | Snapshot _ -> None)
+    (items t)
+
+let event_lines t = List.map Event.to_json (events t)
+
+let snapshots t =
+  List.filter_map
+    (function Snapshot (frame, rows) -> Some (frame, rows) | Event _ -> None)
+    (items t)
+
 let flushes t = t.nflush
+
+let replay t tracer =
+  List.iter
+    (function
+      | Event ev -> Tracer.emit tracer ev
+      | Snapshot (frame, rows) -> Tracer.metrics tracer ~frame rows)
+    (items t)

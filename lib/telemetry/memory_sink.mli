@@ -1,16 +1,34 @@
-(** In-memory sink for tests.
+(** In-memory sink for tests and for deterministic parallel merges.
 
     Records every event and metrics snapshot it receives, in emission
     order, so tests can assert on exact telemetry output without
-    touching the filesystem. *)
+    touching the filesystem — and so a parallel run can buffer each
+    task's stream privately and {!replay} the buffers in task order
+    afterwards (the private-sink-per-task + ordered merge pattern of
+    docs/PARALLELISM.md; see {!Sink} on thread safety).
+
+    A recorder is single-domain, like every sink: one domain writes to
+    it, and {!replay}/the accessors are called only after the producing
+    run has finished. *)
 
 type t
+
+(** One recorded delivery, in the stream's chronological position:
+    events and metric snapshots interleave exactly as a JSONL sink
+    would have written them. *)
+type item =
+  | Event of Event.t
+  | Snapshot of int * Metrics.row list  (** [(frame, rows)] *)
 
 (** A fresh, empty recorder. *)
 val create : unit -> t
 
 (** The {!Sink.t} to hand to {!Tracer.create} / {!Telemetry.make}. *)
 val sink : t -> Sink.t
+
+(** Everything received so far, oldest first, events and snapshots
+    interleaved in emission order. *)
+val items : t -> item list
 
 (** Events received so far, oldest first. *)
 val events : t -> Event.t list
@@ -26,3 +44,10 @@ val snapshots : t -> (int * Metrics.row list) list
 
 (** Number of [flush] calls observed. *)
 val flushes : t -> int
+
+(** [replay t tracer] — re-emit the recorded stream, in order, through
+    [tracer] (events via {!Tracer.emit}, snapshots via
+    {!Tracer.metrics}): the merge half of the private-sink-per-task
+    pattern. No-op when [tracer] is disabled; flush counts are not
+    replayed. *)
+val replay : t -> Tracer.t -> unit

@@ -64,3 +64,15 @@ let null =
     on_metrics = (fun ~frame:_ _ -> ());
     flush = (fun () -> ());
     close = (fun () -> ()) }
+
+let locking inner =
+  let lock = Mutex.create () in
+  let guarded f =
+    Mutex.lock lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+  in
+  { on_event = (fun ev -> guarded (fun () -> inner.on_event ev));
+    on_metrics =
+      (fun ~frame rows -> guarded (fun () -> inner.on_metrics ~frame rows));
+    flush = (fun () -> guarded inner.flush);
+    close = (fun () -> guarded inner.close) }

@@ -4,7 +4,18 @@
     snapshots — and owns whatever resource it writes to. Sinks are plain
     records of closures so new back-ends need no functor plumbing; the
     built-in ones cover the three cases the repo needs: a JSONL trace
-    file, a CSV metrics file, and {!Memory_sink} for tests. *)
+    file, a CSV metrics file, and {!Memory_sink} for tests.
+
+    {b Thread safety.} Every built-in sink is single-domain: {!jsonl}
+    and {!csv} write to a bare [out_channel], {!Memory_sink} mutates
+    unsynchronized lists — concurrent emission from several domains
+    corrupts their output. The supported pattern for parallel runs is
+    {e private-sink-per-task + ordered merge}: give each task its own
+    {!Memory_sink} and replay them in task order afterwards
+    ({!Memory_sink.replay}, used by [Driver.run_many] —
+    docs/PARALLELISM.md). {!locking} exists for the cases that genuinely
+    need a single shared sink; it serializes access but surrenders
+    deterministic ordering, so the merge pattern is the default. *)
 
 type t = {
   on_event : Event.t -> unit;  (** one trace event *)
@@ -17,14 +28,25 @@ type t = {
 (** [jsonl oc] — the JSONL sink: every event becomes one
     {!Event.to_json} line; every metrics snapshot becomes one line of
     type ["metrics"] (see [docs/OBSERVABILITY.md] §2.3). [close] closes
-    [oc]. *)
+    [oc]. Single-domain (wrap in {!locking} to share). *)
 val jsonl : out_channel -> t
 
 (** [csv oc] — the CSV metrics sink: writes the header
     [frame,metric,labels,kind,value] on creation, then one row per
     {!Metrics.row} per snapshot; trace events are ignored. [close]
-    closes [oc]. *)
+    closes [oc]. Single-domain (wrap in {!locking} to share). *)
 val csv : out_channel -> t
 
-(** A sink that discards everything (for overhead measurements). *)
+(** A sink that discards everything (for overhead measurements). The
+    one sink that is trivially domain-safe: it touches no state. *)
 val null : t
+
+(** [locking inner] — [inner] behind a private [Mutex]: every
+    [on_event] / [on_metrics] / [flush] / [close] runs in a critical
+    section, so the wrapped sink may be shared across domains without
+    corruption. What it cannot restore is ordering — concurrent
+    emitters interleave at mutex-acquisition order, which is {e not}
+    deterministic; use it for live observation of a parallel run, and
+    the private-sink-per-task + ordered merge pattern (module header)
+    whenever byte-stable output matters. *)
+val locking : t -> t

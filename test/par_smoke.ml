@@ -1,0 +1,86 @@
+(* Parallel determinism smoke: the jobs-invariance golden at toy sizes,
+   with real domains (jobs = 2), on every `dune runtest` via @par-smoke.
+
+   test_par proves Par.map ≡ List.map and pins the call-site goldens;
+   this executable is the belt-and-braces end-to-end check that a
+   multi-domain run of the two dps_core fan-out sites — replicated runs
+   and the speculative sweep — produces byte-identical telemetry to the
+   sequential run. It is deliberately tiny: a few frames, six stations,
+   seconds of work. Any diff is a determinism regression in the pool or
+   the merge order. *)
+
+module Rng = Dps_prelude.Rng
+module Topology = Dps_network.Topology
+module Path = Dps_network.Path
+module Protocol = Dps_core.Protocol
+module Driver = Dps_core.Driver
+module Sweep = Dps_core.Sweep
+module Oracle = Dps_sim.Oracle
+module Stochastic = Dps_injection.Stochastic
+module Telemetry = Dps_telemetry.Telemetry
+module Memory_sink = Dps_telemetry.Memory_sink
+
+let failures = ref 0
+
+let check name ok =
+  if not ok then begin
+    incr failures;
+    Printf.eprintf "par-smoke FAIL: %s\n" name
+  end
+
+let check_streams name (a : Memory_sink.t) (b : Memory_sink.t) =
+  check (name ^ ": event stream")
+    (Memory_sink.event_lines a = Memory_sink.event_lines b);
+  check (name ^ ": snapshots") (Memory_sink.snapshots a = Memory_sink.snapshots b)
+
+let run_many_golden () =
+  let stations = 6 in
+  let lambda = 0.15 in
+  let g = Topology.mac_channel ~stations in
+  let config =
+    Protocol.configure ~epsilon:0.5
+      ~algorithm:(Dps_mac.Decay.make ~delta:0.3 ())
+      ~measure:(Dps_mac.Mac_measure.make ~m:stations)
+      ~lambda ~max_hops:1 ()
+  in
+  let per = lambda /. float_of_int stations in
+  let inj =
+    Stochastic.make (List.init stations (fun i -> [ (Path.of_links g [ i ], per) ]))
+  in
+  let observe jobs =
+    let recorder = Memory_sink.create () in
+    let telemetry = Telemetry.make ~sinks:[ Memory_sink.sink recorder ] () in
+    let reports =
+      Driver.run_many ~jobs ~telemetry ~metrics_every:2 ~config
+        ~oracle:Oracle.Mac ~source:(Driver.Stochastic inj)
+        ~seeds:[ 7; 8; 9 ] ~frames:3 ()
+    in
+    (List.map (fun r -> (r.Protocol.injected, r.Protocol.delivered)) reports,
+     recorder)
+  in
+  let r1, m1 = observe 1 in
+  let r2, m2 = observe 2 in
+  check "run_many: reports" (r1 = r2);
+  check_streams "run_many" m1 m2
+
+let sweep_golden () =
+  let observe jobs =
+    let recorder = Memory_sink.create () in
+    let telemetry = Telemetry.make ~sinks:[ Memory_sink.sink recorder ] () in
+    let outcome =
+      Sweep.critical_rate ~telemetry ~jobs ~speculate:3
+        ~probe:(fun r -> r <= 0.37)
+        ~lo:0.01 ~hi:1. ~tolerance:0.02 ()
+    in
+    (outcome, recorder)
+  in
+  let o1, m1 = observe 1 in
+  let o2, m2 = observe 2 in
+  check "sweep: outcome" (o1 = o2);
+  check_streams "sweep" m1 m2
+
+let () =
+  run_many_golden ();
+  sweep_golden ();
+  if !failures > 0 then exit 1;
+  print_endline "par-smoke: jobs=2 byte-identical to jobs=1 (run_many, sweep)"

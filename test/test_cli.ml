@@ -24,9 +24,9 @@ let help () = read_file "dps_run_help.txt"
 
 let all_flags =
   [ "--model"; "--topology"; "--algorithm"; "--rate"; "--epsilon"; "--frames";
-    "--flows"; "--adversary"; "--stations"; "--loss"; "--seed"; "--trace";
-    "--metrics"; "--metrics-every"; "--trace-packets"; "--fault";
-    "--fault-plan"; "--guard" ]
+    "--flows"; "--adversary"; "--stations"; "--loss"; "--seed"; "--reps";
+    "--jobs"; "--trace"; "--metrics"; "--metrics-every"; "--trace-packets";
+    "--fault"; "--fault-plan"; "--guard" ]
 
 let test_help_lists_every_flag () =
   let h = help () in

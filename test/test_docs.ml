@@ -57,6 +57,8 @@ let test_trace_mlis () =
     (fun m -> check_mli (Printf.sprintf "../lib/trace/%s.mli" m))
     [ "json"; "line"; "reader"; "lifecycle"; "analyze"; "witness" ]
 
+let test_par_mli () = check_mli "../lib/par/par.mli"
+
 let () =
   Alcotest.run "docs"
     [ ( "doc-comments",
@@ -65,4 +67,5 @@ let () =
           Alcotest.test_case "load_tracker interface" `Quick
             test_load_tracker_mli;
           Alcotest.test_case "faults interfaces" `Quick test_faults_mlis;
-          Alcotest.test_case "trace interfaces" `Quick test_trace_mlis ] ) ]
+          Alcotest.test_case "trace interfaces" `Quick test_trace_mlis;
+          Alcotest.test_case "par interface" `Quick test_par_mli ] ) ]

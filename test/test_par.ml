@@ -1,0 +1,201 @@
+(* The parallel execution layer (Dps_par) and its determinism contract.
+
+   Everything here is one claim tested from several sides: [jobs] (and
+   [chunk]) change wall-clock time and nothing else. Par.map must be
+   extensionally List.map — results, ordering, and even the exception a
+   failing batch raises — and the two fan-out call sites in dps_core
+   (Driver.run_many, Sweep.critical_rate) must produce byte-identical
+   reports and telemetry at every width. The toy-size jobs=2 golden also
+   runs on every `dune runtest` via the @par-smoke alias. *)
+
+module Par = Dps_par.Par
+module Rng = Dps_prelude.Rng
+module Timeseries = Dps_prelude.Timeseries
+module Topology = Dps_network.Topology
+module Path = Dps_network.Path
+module Protocol = Dps_core.Protocol
+module Driver = Dps_core.Driver
+module Sweep = Dps_core.Sweep
+module Oracle = Dps_sim.Oracle
+module Stochastic = Dps_injection.Stochastic
+module Telemetry = Dps_telemetry.Telemetry
+module Memory_sink = Dps_telemetry.Memory_sink
+
+(* --- Par.map ≡ List.map ------------------------------------------- *)
+
+let prop_map_is_list_map =
+  QCheck.Test.make ~count:100 ~name:"Par.map ≡ List.map at every width"
+    QCheck.(pair (list small_int) (int_range 1 6))
+    (fun (xs, jobs) ->
+      let f x = (x * x) - (3 * x) + 1 in
+      Par.map ~jobs f xs = List.map f xs)
+
+let prop_chunk_cannot_change_result =
+  QCheck.Test.make ~count:100 ~name:"chunk size cannot change the result"
+    QCheck.(triple (list small_int) (int_range 2 5) (int_range 1 7))
+    (fun (xs, jobs, chunk) ->
+      let f x = string_of_int (x + 7) in
+      Par.map ~chunk ~jobs f xs = List.map f xs)
+
+let test_map_empty_and_singleton () =
+  Alcotest.(check (list int)) "empty" [] (Par.map ~jobs:4 succ []);
+  Alcotest.(check (list int)) "singleton" [ 8 ] (Par.map ~jobs:4 succ [ 7 ])
+
+let test_map_validation () =
+  Alcotest.check_raises "jobs = 0"
+    (Invalid_argument "Par.map: jobs must be >= 1") (fun () ->
+      ignore (Par.map ~jobs:0 succ [ 1 ]));
+  Alcotest.check_raises "chunk = 0"
+    (Invalid_argument "Par.map: chunk must be >= 1") (fun () ->
+      ignore (Par.map ~chunk:0 ~jobs:2 succ [ 1 ]));
+  Alcotest.check_raises "pool jobs = 0"
+    (Invalid_argument "Par.pool: jobs must be >= 1") (fun () ->
+      ignore (Par.pool ~jobs:0 ()))
+
+(* The sequential run raises the exception of the first failing item;
+   the parallel run may evaluate later items too, but must surface the
+   same exception. *)
+let test_exception_determinism () =
+  let f x = if x mod 3 = 0 then failwith (string_of_int x) else x in
+  let xs = [ 1; 3; 5; 6; 9; 2 ] in
+  let observe jobs =
+    match Par.map ~jobs f xs with
+    | _ -> Alcotest.fail "expected a raise"
+    | exception e -> Printexc.to_string e
+  in
+  let sequential = observe 1 in
+  Alcotest.(check string) "jobs=4 raises the sequential exception"
+    sequential (observe 4);
+  Alcotest.(check string) "smallest index wins" (Printexc.to_string
+    (Failure "3")) sequential
+
+let test_pool_reuse () =
+  Par.with_pool ~jobs:3 (fun p ->
+      Alcotest.(check int) "width" 3 (Par.jobs p);
+      for batch = 1 to 5 do
+        let xs = List.init (batch * 7) (fun i -> i - batch) in
+        Alcotest.(check (list int))
+          (Printf.sprintf "batch %d" batch)
+          (List.map (fun x -> (2 * x) + batch) xs)
+          (Par.map_pool p (fun x -> (2 * x) + batch) xs)
+      done)
+
+(* --- the dps_core call sites -------------------------------------- *)
+
+let stations = 6
+let lambda = 0.15
+
+let mac_setup () =
+  let g = Topology.mac_channel ~stations in
+  let config =
+    Protocol.configure ~epsilon:0.5
+      ~algorithm:(Dps_mac.Decay.make ~delta:0.3 ())
+      ~measure:(Dps_mac.Mac_measure.make ~m:stations)
+      ~lambda ~max_hops:1 ()
+  in
+  let per = lambda /. float_of_int stations in
+  let inj =
+    Stochastic.make (List.init stations (fun i -> [ (Path.of_links g [ i ], per) ]))
+  in
+  (config, inj)
+
+let check_same_report label (a : Protocol.report) (b : Protocol.report) =
+  Alcotest.(check int) (label ^ ": injected") a.Protocol.injected
+    b.Protocol.injected;
+  Alcotest.(check int) (label ^ ": delivered") a.Protocol.delivered
+    b.Protocol.delivered;
+  Alcotest.(check int) (label ^ ": failed_events") a.Protocol.failed_events
+    b.Protocol.failed_events;
+  Alcotest.(check int) (label ^ ": max_queue") a.Protocol.max_queue
+    b.Protocol.max_queue;
+  Alcotest.(check bool) (label ^ ": in_system trajectory") true
+    (Timeseries.to_array a.Protocol.in_system
+    = Timeseries.to_array b.Protocol.in_system)
+
+(* Fixed-seed golden: run_many at jobs=1 and jobs=4 from the same seeds —
+   reports field-identical, flushed telemetry byte-identical. *)
+let test_run_many_jobs_invariant () =
+  let config, inj = mac_setup () in
+  let seeds = [ 41; 42; 43; 44; 45 ] in
+  let observe jobs =
+    let recorder = Memory_sink.create () in
+    let telemetry = Telemetry.make ~sinks:[ Memory_sink.sink recorder ] () in
+    let reports =
+      Driver.run_many ~jobs ~telemetry ~metrics_every:2 ~config
+        ~oracle:Oracle.Mac ~source:(Driver.Stochastic inj) ~seeds ~frames:4 ()
+    in
+    (reports, recorder)
+  in
+  let r1, m1 = observe 1 in
+  let r4, m4 = observe 4 in
+  Alcotest.(check int) "one report per seed" (List.length seeds)
+    (List.length r1);
+  List.iteri
+    (fun i (a, b) -> check_same_report (Printf.sprintf "seed %d" i) a b)
+    (List.combine r1 r4);
+  Alcotest.(check (list string)) "event stream byte-identical"
+    (Memory_sink.event_lines m1) (Memory_sink.event_lines m4);
+  Alcotest.(check int) "same snapshot count"
+    (List.length (Memory_sink.snapshots m1))
+    (List.length (Memory_sink.snapshots m4));
+  Alcotest.(check bool) "snapshots identical" true
+    (Memory_sink.snapshots m1 = Memory_sink.snapshots m4);
+  Alcotest.(check int) "same flush count" (Memory_sink.flushes m1)
+    (Memory_sink.flushes m4)
+
+(* Same claim for the sweep: at fixed [speculate] the probe schedule —
+   and with it the outcome and every emitted event — cannot depend on
+   [jobs]. *)
+let test_sweep_jobs_invariant () =
+  let probe r = r <= 0.37 in
+  let observe jobs =
+    let recorder = Memory_sink.create () in
+    let telemetry = Telemetry.make ~sinks:[ Memory_sink.sink recorder ] () in
+    let outcome =
+      Sweep.critical_rate ~telemetry ~jobs ~speculate:4 ~probe ~lo:0.01 ~hi:1.
+        ~tolerance:0.01 ()
+    in
+    (outcome, recorder)
+  in
+  let o1, m1 = observe 1 in
+  let o4, m4 = observe 4 in
+  Alcotest.(check (float 1e-12)) "same critical" o1.Sweep.critical
+    o4.Sweep.critical;
+  Alcotest.(check bool) "same probe history" true
+    (o1.Sweep.stable_at = o4.Sweep.stable_at
+    && o1.Sweep.unstable_at = o4.Sweep.unstable_at);
+  Alcotest.(check (list string)) "event stream byte-identical"
+    (Memory_sink.event_lines m1) (Memory_sink.event_lines m4)
+
+(* stable_at / unstable_at are in probe order (they were reversed once:
+   the lists are built by prepending). lo probes first, hi second, then
+   midpoints — 0.5 stable, 0.7 and 0.6 unstable, in that order. *)
+let test_outcome_probe_order () =
+  let outcome =
+    Sweep.critical_rate ~probe:(fun r -> r <= 0.5) ~lo:0.1 ~hi:0.9
+      ~tolerance:0.1 ()
+  in
+  Alcotest.(check (list (float 1e-9))) "stable_at in probe order"
+    [ 0.1; 0.5 ] outcome.Sweep.stable_at;
+  Alcotest.(check (list (float 1e-9))) "unstable_at in probe order"
+    [ 0.9; 0.7; 0.6 ] outcome.Sweep.unstable_at;
+  Alcotest.(check (float 1e-9)) "critical" 0.5 outcome.Sweep.critical
+
+let () =
+  Alcotest.run "par"
+    [ ( "map",
+        [ QCheck_alcotest.to_alcotest prop_map_is_list_map;
+          QCheck_alcotest.to_alcotest prop_chunk_cannot_change_result;
+          Alcotest.test_case "empty / singleton" `Quick
+            test_map_empty_and_singleton;
+          Alcotest.test_case "validation" `Quick test_map_validation;
+          Alcotest.test_case "exception determinism" `Quick
+            test_exception_determinism;
+          Alcotest.test_case "pool reuse" `Quick test_pool_reuse ] );
+      ( "call sites",
+        [ Alcotest.test_case "run_many jobs-invariant" `Quick
+            test_run_many_jobs_invariant;
+          Alcotest.test_case "sweep jobs-invariant" `Quick
+            test_sweep_jobs_invariant;
+          Alcotest.test_case "outcome in probe order" `Quick
+            test_outcome_probe_order ] ) ]
