@@ -1,0 +1,45 @@
+(* Schema validator for BENCH_P5.json (dps-bench/1, docs/PERFORMANCE.md).
+
+   Run by `dune build @perf-smoke` against both a freshly generated smoke
+   benchmark and the tracked repo-root artifact, so the committed file
+   and the emitter can never drift from the documented schema. *)
+
+module Json = Dps_trace.Json
+
+let fail fmt =
+  Printf.ksprintf
+    (fun m ->
+      prerr_endline ("BENCH_P5 schema violation: " ^ m);
+      exit 1)
+    fmt
+
+let () =
+  let path = Sys.argv.(1) in
+  let ic = open_in path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let j = try Json.parse s with Json.Error m -> fail "%s: %s" path m in
+  if Json.string_field "schema" j <> "dps-bench/1" then
+    fail "schema tag is not dps-bench/1";
+  if Json.string_field "bench" j <> "p5" then fail "bench tag is not p5";
+  let entries = Json.to_list (Json.field "entries" j) in
+  if entries = [] then fail "no entries";
+  let count metric =
+    List.length
+      (List.filter (fun e -> Json.string_field "metric" e = metric) entries)
+  in
+  List.iter
+    (fun e ->
+      let config = Json.string_field "config" e in
+      let metric = Json.string_field "metric" e in
+      let value = Json.to_float (Json.field "value" e) in
+      let jobs = Json.int_field "jobs" e in
+      if config = "" then fail "empty config";
+      if metric <> "slots_per_sec" && metric <> "packet_hops_per_sec" then
+        fail "unknown metric %S in %s" metric config;
+      if not (value > 0.) then fail "non-positive value in %s/%s" config metric;
+      if jobs < 1 then fail "jobs < 1 in %s" config)
+    entries;
+  if count "slots_per_sec" <> count "packet_hops_per_sec" then
+    fail "every config/jobs cell must carry both metrics";
+  Printf.printf "%s: %d entries valid\n" path (List.length entries)

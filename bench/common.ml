@@ -142,3 +142,39 @@ let time_it f =
   let t0 = Unix.gettimeofday () in
   let x = f () in
   (x, Unix.gettimeofday () -. t0)
+
+(* [median_time ?warmup ?runs ?equal f] — robust wall-clock timing for
+   deterministic computations: run [f] [warmup] times untimed (page in
+   code and data, let the allocator reach steady state), then [runs]
+   timed repetitions, and report the MEDIAN elapsed time together with
+   the (identical) result. Single-shot numbers are noisy at small sizes —
+   a background hiccup lands entirely in the one sample — while the
+   median of k discards outliers in both directions.
+
+   When [equal] is given, every repetition's result is checked against
+   the first and a mismatch fails loudly: a benchmark whose repetitions
+   disagree is not measuring a deterministic computation. In smoke mode
+   runs are clamped to 2 so `dune runtest` still exercises the
+   repetition logic without paying for it. *)
+let median_time ?(warmup = 1) ?(runs = 5) ?equal f =
+  let runs = if smoke then Int.min runs 2 else runs in
+  if runs < 1 then invalid_arg "Common.median_time: runs < 1";
+  for _ = 1 to warmup do
+    ignore (f ())
+  done;
+  let samples = List.init runs (fun _ -> time_it f) in
+  (match (equal, samples) with
+  | Some eq, (x0, _) :: rest ->
+    List.iteri
+      (fun i (x, _) ->
+        if not (eq x0 x) then
+          failwith
+            (Printf.sprintf
+               "Common.median_time: repetition %d disagrees with the first \
+                (non-deterministic benchmark)"
+               (i + 1)))
+      rest
+  | _ -> ());
+  let result = fst (List.hd samples) in
+  let times = List.sort compare (List.map snd samples) in
+  (result, List.nth times (runs / 2))

@@ -1,0 +1,299 @@
+(* P5 — headline throughput: slots/sec and packet-hops/sec for full
+   protocol runs (wall clock, median of k runs after warmup).
+
+   Workload: one protocol run per (family, m) cell — network + measure +
+   oracle + static algorithm + calibrated stochastic traffic — timed over
+   a fixed number of frames from a fixed seed. Three model families:
+
+   - wireline: identity measure on a line, oneshot admission (m exact);
+   - mac: complete measure, decay (m exact = stations);
+   - conflict-d2: grid conflict graph, measure-greedy admission
+     (m = 4·s·(s-1) for grid side s — nearest size to the target).
+
+   Traffic always uses a fixed number of generators (64) so injection
+   drawing costs O(1) per slot in m and the cells compare the scheduling
+   loop, not the traffic source. Every timed run is preceded by an
+   untimed warmup run; the reported number is the median of [runs]
+   repetitions of the identical deterministic computation. Totals
+   (slots, hops, injected, delivered) are asserted identical across
+   repetitions before timing is trusted.
+
+   Output: the table below plus a machine-readable BENCH_P5.json at the
+   path in DPS_BENCH_OUT (default: BENCH_P5.json in the working
+   directory; see docs/PERFORMANCE.md for the schema). *)
+
+open Common
+module Oracle = Dps_sim.Oracle
+module Conflict_graph = Dps_interference.Conflict_graph
+module M = Dps_interference.Measure
+
+type cell = {
+  family : string;
+  m : int;
+  algorithm : string;
+  frame : int;
+  frames_run : int;
+  slots : int;
+  hops : int;
+  injected : int;
+  delivered : int;
+  slots_per_sec : float;  (* sequential (jobs=1) *)
+  hops_per_sec : float;
+  par_jobs : int;  (* 0 = no fan-out measurement *)
+  par_slots_per_sec : float;
+  par_hops_per_sec : float;
+}
+
+(* Deterministic short-haul flows: [flows] generators, each a routable
+   path of <= max_hops hops anchored at an evenly spaced source node. *)
+let short_flows rng g measure ~flows ~max_hops ~target =
+  let routing = Routing.make g in
+  let n = Graph.node_count g in
+  let gens = ref [] in
+  let tries = ref 0 in
+  while List.length !gens < flows && !tries < 400 * flows do
+    incr tries;
+    let src = Rng.int rng n in
+    let dst = Rng.int rng n in
+    if src <> dst then
+      match Routing.path routing ~src ~dst with
+      | Some p when Path.length p <= max_hops -> gens := [ (p, 0.003) ] :: !gens
+      | _ -> ()
+  done;
+  (* Lines and big grids rarely connect random pairs within max_hops:
+     fall back to nearby destinations so every family reaches [flows]. *)
+  let tries = ref 0 in
+  while List.length !gens < flows && !tries < 400 * flows do
+    incr tries;
+    let src = Rng.int rng (n - 1) in
+    let dst = Int.min (n - 1) (src + 1 + Rng.int rng max_hops) in
+    if src <> dst then
+      match Routing.path routing ~src ~dst with
+      | Some p when Path.length p <= max_hops -> gens := [ (p, 0.003) ] :: !gens
+      | _ -> ()
+  done;
+  Stochastic.calibrate (Stochastic.make !gens) measure ~target
+
+let mac_flows rng g measure ~flows ~target =
+  let m = Graph.link_count g in
+  let gens =
+    List.init flows (fun _ -> [ (Path.of_links g [ Rng.int rng m ], 0.003) ])
+  in
+  Stochastic.calibrate (Stochastic.make gens) measure ~target
+
+(* Smallest grid side whose bidirectional grid has >= target links. *)
+let grid_side target =
+  let rec go s = if 4 * s * (s - 1) >= target then s else go (s + 1) in
+  go 2
+
+type family = {
+  name : string;
+  algo_name : string;
+  build :
+    Rng.t ->
+    int ->
+    Graph.t * M.t * Oracle.t * Dps_static.Algorithm.t * int (* max_hops *);
+  rate : float;
+}
+
+let families =
+  [ { name = "wireline";
+      algo_name = "oneshot";
+      build =
+        (fun _rng m ->
+          let g = Topology.line ~nodes:((m / 2) + 1) ~spacing:10. in
+          ( g,
+            M.identity (Graph.link_count g),
+            Oracle.Wireline,
+            Dps_static.Oneshot.algorithm,
+            8 ));
+      rate = 0.3 };
+    { name = "mac";
+      algo_name = "decay";
+      build =
+        (fun _rng m ->
+          let g = Topology.mac_channel ~stations:m in
+          ( g,
+            M.complete (Graph.link_count g),
+            Oracle.Mac,
+            Dps_mac.Decay.make ~delta:0.3 (),
+            1 ));
+      rate = 0.15 };
+    { name = "conflict-d2";
+      algo_name = "measure-greedy";
+      build =
+        (fun _rng m ->
+          let s = grid_side m in
+          let g = Topology.grid ~rows:s ~cols:s ~spacing:10. in
+          let cg = Conflict_graph.distance2 g in
+          let order = Conflict_graph.degeneracy_order cg in
+          ( g,
+            Conflict_graph.to_measure cg ~order,
+            Oracle.Conflict cg,
+            Dps_static.Measure_greedy.make ~priority:(Graph.link_length g) (),
+            8 ));
+      rate = 0.04 }
+  ]
+
+let run_cell family ~target_m ~frames:frames_n ~runs ~jobs =
+  let rng = Rng.create ~seed:(5500 + target_m) () in
+  let g, measure, oracle, algorithm, max_hops = family.build rng target_m in
+  let m = M.size measure in
+  let inj =
+    if family.name = "mac" then
+      mac_flows rng g measure ~flows:(Int.min 64 m) ~target:family.rate
+    else
+      short_flows rng g measure ~flows:(Int.min 64 m) ~max_hops
+        ~target:family.rate
+  in
+  let config =
+    Protocol.configure ~algorithm ~measure ~lambda:family.rate ~max_hops ()
+  in
+  (* One deterministic run from a fresh rng; returns its channel totals. *)
+  let one_run seed () =
+    let rng = Rng.create ~seed () in
+    let channel =
+      Channel.create ~rng:(Rng.split rng) ~oracle ~m ()
+    in
+    let protocol = Protocol.create config ~channel in
+    let r =
+      Driver.run_protocol ~protocol ~source:(Driver.Stochastic inj)
+        ~frames:frames_n ~rng
+    in
+    let tr = Channel.trace channel in
+    ( Dps_sim.Trace.slots tr,
+      Dps_sim.Trace.successes tr,
+      r.Protocol.injected,
+      r.Protocol.delivered )
+  in
+  let totals, elapsed =
+    Common.median_time ~warmup:1 ~runs (one_run 42)
+      ~equal:(fun a b -> a = b)
+  in
+  let slots, hops, injected, delivered = totals in
+  (* Multi-domain variant (jobs > 1): [jobs] independent replicas over
+     consecutive seeds through the Par pool; throughput is aggregate
+     slots over the fan-out wall clock, reported alongside — not instead
+     of — the sequential number. *)
+  let par_jobs, par_slots_per_sec, par_hops_per_sec =
+    if jobs <= 1 then (0, 0., 0.)
+    else begin
+      let seeds = List.init jobs (fun i -> 42 + i) in
+      let fan () = Common.par_map (fun s -> one_run s ()) seeds in
+      let all, t = Common.median_time ~warmup:1 ~runs fan ~equal:(fun a b -> a = b) in
+      let sum f = List.fold_left (fun acc x -> acc + f x) 0 all in
+      ( jobs,
+        float_of_int (sum (fun (s, _, _, _) -> s)) /. t,
+        float_of_int (sum (fun (_, h, _, _) -> h)) /. t )
+    end
+  in
+  { family = family.name;
+    m;
+    algorithm = family.algo_name;
+    frame = config.Protocol.frame;
+    frames_run = frames_n;
+    slots;
+    hops;
+    injected;
+    delivered;
+    slots_per_sec = float_of_int slots /. elapsed;
+    hops_per_sec = float_of_int hops /. elapsed;
+    par_jobs;
+    par_slots_per_sec;
+    par_hops_per_sec }
+
+(* --- BENCH_P5.json --- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let emit_json path cells =
+  let oc = open_out path in
+  let entry ~config ~metric ~value ~jobs =
+    Printf.sprintf
+      "    {\"config\": \"%s\", \"metric\": \"%s\", \"value\": %.1f, \
+       \"jobs\": %d}"
+      (json_escape config) metric value jobs
+  in
+  let entries =
+    List.concat_map
+      (fun c ->
+        let config =
+          Printf.sprintf "%s/%s/m=%d" c.family c.algorithm c.m
+        in
+        [ entry ~config ~metric:"slots_per_sec" ~value:c.slots_per_sec
+            ~jobs:1;
+          entry ~config ~metric:"packet_hops_per_sec" ~value:c.hops_per_sec
+            ~jobs:1 ]
+        @
+        if c.par_jobs = 0 then []
+        else
+          [ entry ~config ~metric:"slots_per_sec" ~value:c.par_slots_per_sec
+              ~jobs:c.par_jobs;
+            entry ~config ~metric:"packet_hops_per_sec"
+              ~value:c.par_hops_per_sec ~jobs:c.par_jobs ])
+      cells
+  in
+  Printf.fprintf oc
+    "{\n  \"schema\": \"dps-bench/1\",\n  \"bench\": \"p5\",\n  \"entries\": \
+     [\n%s\n  ]\n}\n"
+    (String.concat ",\n" entries);
+  close_out oc
+
+let run () =
+  Printf.printf "\n=== P5: protocol throughput (slots/sec, packet-hops/sec) ===\n%!";
+  let sizes = if smoke then [ 8 ] else [ 256; 1024; 4096 ] in
+  let frames_for m = frames (if m >= 4096 then 6 else if m >= 1024 then 10 else 20) in
+  let runs = if smoke then 2 else 3 in
+  let cells =
+    List.concat_map
+      (fun family ->
+        List.map
+          (fun target_m ->
+            let c =
+              run_cell family ~target_m ~frames:(frames_for target_m) ~runs
+                ~jobs
+            in
+            Printf.printf "  %s m=%d done\n%!" c.family c.m;
+            c)
+          sizes)
+      families
+  in
+  Tbl.print
+    ~title:"P5: protocol throughput (median wall clock)"
+    ~header:
+      [ "family"; "algorithm"; "m"; "T"; "frames"; "slots"; "hops";
+        "slots/sec"; "hops/sec"; "jobs" ]
+    (List.concat_map
+       (fun c ->
+         let row sps hps jobs =
+           [ Tbl.S c.family;
+             Tbl.S c.algorithm;
+             Tbl.I c.m;
+             Tbl.I c.frame;
+             Tbl.I c.frames_run;
+             Tbl.I c.slots;
+             Tbl.I c.hops;
+             Tbl.F sps;
+             Tbl.F hps;
+             Tbl.I jobs ]
+         in
+         row c.slots_per_sec c.hops_per_sec 1
+         ::
+         (if c.par_jobs = 0 then []
+          else [ row c.par_slots_per_sec c.par_hops_per_sec c.par_jobs ]))
+       cells);
+  let out =
+    match Sys.getenv_opt "DPS_BENCH_OUT" with
+    | Some p -> p
+    | None -> "BENCH_P5.json"
+  in
+  emit_json out cells;
+  Tbl.note "wrote %s; schema and reading guide: docs/PERFORMANCE.md\n" out

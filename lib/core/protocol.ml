@@ -1,11 +1,12 @@
 module Rng = Dps_prelude.Rng
+module Intvec = Dps_prelude.Intvec
 module Timeseries = Dps_prelude.Timeseries
 module Histogram = Dps_prelude.Histogram
 module Measure = Dps_interference.Measure
 module Load_tracker = Dps_interference.Load_tracker
 module Path = Dps_network.Path
 module Channel = Dps_sim.Channel
-module Packet = Dps_sim.Packet
+module Arena = Dps_sim.Packet_arena
 module Algorithm = Dps_static.Algorithm
 module Request = Dps_static.Request
 module Telemetry = Dps_telemetry.Telemetry
@@ -163,9 +164,21 @@ type ptel = {
   pt_every : int;  (* head-based sampling: trace ids with id mod k = 0 *)
 }
 
+(* Packets live in a preallocated structure-of-arrays arena and are
+   referred to by int handles everywhere below; handles are recycled on
+   delivery. The live set is an index vector stored TAIL-FIRST: index 0
+   is the oldest packet and [push] prepends to the logical newest-first
+   list the record implementation kept — so iteration head-to-tail is
+   [iter_rev], and O(1) pushes replace list consing. The per-link failed
+   buffers are intrusive FIFOs threaded through the arena's [next] field
+   ([failed_head]/[failed_tail], -1 = empty). Steady-state frames
+   allocate no minor words (test/test_alloc.ml pins this); all
+   processing orders are byte-identical to the historical
+   list-and-record implementation (test/pin_*.golden). *)
 type t = {
   cfg : config;
   channel : Channel.t;
+  arena : Arena.t;
   tel : tel option;
   guard : guard option;
   gtel : gtel option;
@@ -176,9 +189,15 @@ type t = {
   mutable overload_frames : int;
   mutable recoveries_rev : recovery list;
   mutable frame_idx : int;
-  mutable live : Packet.t list;  (* never-failed, undelivered; newest first *)
-  mutable live_count : int;
-  failed : Packet.t Queue.t array;  (* per link, oldest failure first *)
+  live : Intvec.t;  (* never-failed, undelivered; tail-first (see above) *)
+  failed_head : int array;  (* per link, oldest failure first; -1 = empty *)
+  failed_tail : int array;
+  (* Phase-1 / clean-up working vectors, reused every frame. *)
+  parts : Intvec.t;
+  waiting : Intvec.t;
+  survivors : Intvec.t;
+  offered_links : Intvec.t;
+  offered_pkts : Intvec.t;
   (* Failed-buffer tallies, maintained incrementally at every enqueue and
      dequeue so per-frame statistics cost O(1) instead of a scan over all
      m buffers (and all failed packets, for the potential). *)
@@ -243,6 +262,7 @@ let create ?telemetry ?packet_trace ?guard cfg ~channel =
   in
   { cfg;
     channel;
+    arena = Arena.create ();
     tel;
     guard;
     gtel;
@@ -253,9 +273,14 @@ let create ?telemetry ?packet_trace ?guard cfg ~channel =
     overload_frames = 0;
     recoveries_rev = [];
     frame_idx = 0;
-    live = [];
-    live_count = 0;
-    failed = Array.init (Measure.size cfg.measure) (fun _ -> Queue.create ());
+    live = Intvec.create ();
+    failed_head = Array.make (Measure.size cfg.measure) (-1);
+    failed_tail = Array.make (Measure.size cfg.measure) (-1);
+    parts = Intvec.create ();
+    waiting = Intvec.create ();
+    survivors = Intvec.create ();
+    offered_links = Intvec.create ();
+    offered_pkts = Intvec.create ();
     failed_total = 0;
     failed_potential = 0;
     failed_tracker = Load_tracker.create cfg.measure;
@@ -274,150 +299,188 @@ let config t = t.cfg
 
 let frame_index t = t.frame_idx
 
-let in_flight t = t.live_count + t.failed_total
+let in_flight t = Intvec.length t.live + t.failed_total
 let overloaded t = t.overloaded
 let shed t = t.shed
 
 (* The two failed-buffer mutation points. Every enqueue/dequeue keeps the
    running totals, the potential and the per-link load tracker in sync. *)
 let enqueue_failed t p =
-  let link = Packet.next_link p in
-  Queue.add p t.failed.(link);
+  let link = Arena.next_link t.arena p in
+  Arena.set_next t.arena p (-1);
+  (match t.failed_tail.(link) with
+  | -1 -> t.failed_head.(link) <- p
+  | tail -> Arena.set_next t.arena tail p);
+  t.failed_tail.(link) <- p;
   t.failed_total <- t.failed_total + 1;
-  t.failed_potential <- t.failed_potential + Packet.remaining_hops p;
+  t.failed_potential <- t.failed_potential + Arena.remaining_hops t.arena p;
   Load_tracker.add t.failed_tracker link
 
 let dequeue_failed t link =
-  let p = Queue.pop t.failed.(link) in
+  let p = t.failed_head.(link) in
+  assert (p >= 0);
+  let n = Arena.next t.arena p in
+  t.failed_head.(link) <- n;
+  if n = -1 then t.failed_tail.(link) <- -1;
   t.failed_total <- t.failed_total - 1;
-  t.failed_potential <- t.failed_potential - Packet.remaining_hops p;
+  t.failed_potential <- t.failed_potential - Arena.remaining_hops t.arena p;
   Load_tracker.remove t.failed_tracker link;
   p
 
 (* Head-based sampling is sticky for a packet's whole lifetime: every
    [packet.*] emission site tests [id mod pt_every = 0], so a sampled
    trace contains complete lifecycles, never partial ones. *)
-let record_delivery t rng packet =
+let record_delivery t rng p =
   t.delivered <- t.delivered + 1;
-  match Packet.latency packet with
-  | Some l ->
-    Histogram.add t.latency rng (float_of_int l);
-    (match t.tel with
-    | None -> ()
-    | Some h -> Metrics.observe h.h_latency (float_of_int l));
-    (match t.ptel with
-    | Some pt when packet.Packet.id mod pt.pt_every = 0 ->
-      Telemetry.point pt.pt_t ~name:"packet.deliver" ~frame:t.frame_idx
-        ~slot:(Option.value ~default:0 packet.Packet.delivered_slot)
-        [ ("id", Event.Int packet.Packet.id);
-          ("d", Event.Int (Path.length packet.Packet.path));
-          ("latency", Event.Int l);
-          ("failed", Event.Bool packet.Packet.failed) ]
-    | _ -> ())
-  | None -> assert false
+  let l = Arena.latency t.arena p in
+  assert (l >= 0);
+  Histogram.add t.latency rng (float_of_int l);
+  (match t.tel with
+  | None -> ()
+  | Some h -> Metrics.observe h.h_latency (float_of_int l));
+  match t.ptel with
+  | Some pt when Arena.id t.arena p mod pt.pt_every = 0 ->
+    Telemetry.point pt.pt_t ~name:"packet.deliver" ~frame:t.frame_idx
+      ~slot:(Arena.delivered_slot t.arena p)
+      [ ("id", Event.Int (Arena.id t.arena p));
+        ("d", Event.Int (Path.length (Arena.path t.arena p)));
+        ("latency", Event.Int l);
+        ("failed", Event.Bool (Arena.failed t.arena p)) ]
+  | _ -> ()
+
+(* Shared empty result so packet-free frames allocate nothing. *)
+let empty_outcome = { Algorithm.served = [||]; slots_used = 0 }
+
+(* Hop events carry the phase-end slot — per-request slot attribution
+   is internal to the static algorithms, and [now] is the same slot
+   [Arena.advance] stamps on deliveries (docs/OBSERVABILITY.md). Not a
+   local closure: closure capture would allocate even on empty frames. *)
+let emit_hop t p ~now ~phase ~ok =
+  match t.ptel with
+  | Some pt when Arena.id t.arena p mod pt.pt_every = 0 ->
+    Telemetry.point pt.pt_t ~name:"packet.hop" ~frame:t.frame_idx ~slot:now
+      [ ("id", Event.Int (Arena.id t.arena p));
+        ("hop", Event.Int (Arena.hop t.arena p));
+        ("link", Event.Int (Arena.next_link t.arena p));
+        ("phase", Event.Str phase);
+        ("ok", Event.Bool ok) ]
+  | _ -> ()
 
 (* Phase 1: one shot of the static algorithm on every participating live
-   packet's next hop. Failures become "failed" and join their link buffer. *)
+   packet's next hop. Failures become "failed" and join their link buffer.
+
+   Order bookkeeping (byte-identity with the list implementation): [live]
+   is tail-first, so [iter_rev] visits packets newest first — the order
+   [List.partition] preserved — making [parts]/[waiting] newest-first.
+   The rebuilt live list was [survivors in descending request order]
+   prepended onto [waiting]; tail-first that is reversed [waiting]
+   followed by survivors in ascending request order. *)
 let phase1 t rng =
-  let participating, waiting =
-    List.partition (fun p -> p.Packet.release_frame <= t.frame_idx) t.live
-  in
-  let parts = Array.of_list participating in
-  let requests =
-    Array.mapi
-      (fun idx p -> Request.make ~link:(Packet.next_link p) ~key:idx)
-      parts
-  in
+  let a = t.arena in
+  Intvec.clear t.parts;
+  Intvec.clear t.waiting;
+  (* Index loops, not [Intvec.iter] — closures would allocate per frame. *)
+  for i = Intvec.length t.live - 1 downto 0 do
+    let p = Intvec.get t.live i in
+    if Arena.release_frame a p <= t.frame_idx then Intvec.push t.parts p
+    else Intvec.push t.waiting p
+  done;
+  let n = Intvec.length t.parts in
   let outcome =
-    if Array.length requests = 0 then
-      { Algorithm.served = [||]; slots_used = 0 }
-    else
+    if n = 0 then empty_outcome
+    else begin
+      let requests =
+        Array.init n (fun idx ->
+            Request.make
+              ~link:(Arena.next_link a (Intvec.get t.parts idx))
+              ~key:idx)
+      in
       t.cfg.algorithm.Algorithm.run ~channel:t.channel ~rng
         ~measure:t.cfg.measure ~requests ~budget:t.cfg.phase1_budget
+    end
   in
   let now = Channel.now t.channel in
-  (* Hop events carry the phase-end slot — per-request slot attribution
-     is internal to the static algorithms, and [now] is the same slot
-     [Packet.advance] stamps on deliveries (docs/OBSERVABILITY.md). *)
-  let emit_hop p ~ok =
-    match t.ptel with
-    | Some pt when p.Packet.id mod pt.pt_every = 0 ->
-      Telemetry.point pt.pt_t ~name:"packet.hop" ~frame:t.frame_idx ~slot:now
-        [ ("id", Event.Int p.Packet.id);
-          ("hop", Event.Int p.Packet.hop);
-          ("link", Event.Int (Packet.next_link p));
-          ("phase", Event.Str "phase1");
-          ("ok", Event.Bool ok) ]
-    | _ -> ()
-  in
-  let still_live = ref waiting in
-  Array.iteri
-    (fun idx p ->
-      if outcome.Algorithm.served.(idx) then begin
-        emit_hop p ~ok:true;
-        Packet.advance p ~slot:now;
-        if Packet.delivered p then begin
-          record_delivery t rng p;
-          t.live_count <- t.live_count - 1
-        end
-        else still_live := p :: !still_live
+  Intvec.clear t.survivors;
+  for idx = 0 to n - 1 do
+    let p = Intvec.get t.parts idx in
+    if outcome.Algorithm.served.(idx) then begin
+      emit_hop t p ~now ~phase:"phase1" ~ok:true;
+      Arena.advance a p ~slot:now;
+      if Arena.delivered a p then begin
+        record_delivery t rng p;
+        Arena.free a p
       end
-      else begin
-        emit_hop p ~ok:false;
-        t.failed_events <- t.failed_events + 1;
-        p.Packet.failed <- true;
-        enqueue_failed t p;
-        t.live_count <- t.live_count - 1
-      end)
-    parts;
-  t.live <- !still_live
+      else Intvec.push t.survivors p
+    end
+    else begin
+      emit_hop t p ~now ~phase:"phase1" ~ok:false;
+      t.failed_events <- t.failed_events + 1;
+      Arena.set_failed a p;
+      enqueue_failed t p
+    end
+  done;
+  Intvec.clear t.live;
+  for i = Intvec.length t.waiting - 1 downto 0 do
+    Intvec.push t.live (Intvec.get t.waiting i)
+  done;
+  for i = 0 to Intvec.length t.survivors - 1 do
+    Intvec.push t.live (Intvec.get t.survivors i)
+  done
 
 (* Clean-up: each link with failed packets independently offers its oldest
    one with probability [cleanup_prob]; one more execution of the static
-   algorithm serves the offered set. *)
+   algorithm serves the offered set.
+
+   The Bernoulli draws run in ascending link order (as the historical
+   [Array.iteri] scan did) while the offers were assembled by prepending —
+   so the request array, and everything downstream, sees links in
+   DESCENDING order. [offered_links] keeps the ascending scan order and
+   the serve loop walks it backwards. *)
 let cleanup t rng =
-  let offered = ref [] in
-  Array.iteri
-    (fun link q ->
-      if (not (Queue.is_empty q)) && Rng.bernoulli rng t.cfg.cleanup_prob then
-        offered := (link, Queue.peek q) :: !offered)
-    t.failed;
-  match !offered with
-  | [] -> ()
-  | offers ->
-    let offers = Array.of_list offers in
+  let a = t.arena in
+  Intvec.clear t.offered_links;
+  Intvec.clear t.offered_pkts;
+  for link = 0 to Array.length t.failed_head - 1 do
+    if t.failed_head.(link) >= 0 && Rng.bernoulli rng t.cfg.cleanup_prob
+    then begin
+      Intvec.push t.offered_links link;
+      Intvec.push t.offered_pkts t.failed_head.(link)
+    end
+  done;
+  let k = Intvec.length t.offered_links in
+  if k > 0 then begin
     let requests =
-      Array.mapi (fun idx (link, _) -> Request.make ~link ~key:idx) offers
+      Array.init k (fun idx ->
+          Request.make
+            ~link:(Intvec.get t.offered_links (k - 1 - idx))
+            ~key:idx)
     in
     let outcome =
       t.cfg.algorithm.Algorithm.run ~channel:t.channel ~rng
         ~measure:t.cfg.measure ~requests ~budget:t.cfg.cleanup_budget
     in
     let now = Channel.now t.channel in
-    let emit_hop p ~link ~ok =
-      match t.ptel with
-      | Some pt when p.Packet.id mod pt.pt_every = 0 ->
-        Telemetry.point pt.pt_t ~name:"packet.hop" ~frame:t.frame_idx
-          ~slot:now
-          [ ("id", Event.Int p.Packet.id);
-            ("hop", Event.Int p.Packet.hop);
-            ("link", Event.Int link);
-            ("phase", Event.Str "cleanup");
-            ("ok", Event.Bool ok) ]
-      | _ -> ()
-    in
-    Array.iteri
-      (fun idx (link, p) ->
-        if outcome.Algorithm.served.(idx) then begin
-          let popped = dequeue_failed t link in
-          assert (popped == p);
-          emit_hop p ~link ~ok:true;
-          Packet.advance p ~slot:now;
-          if Packet.delivered p then record_delivery t rng p
-          else enqueue_failed t p
+    for idx = 0 to k - 1 do
+      let j = k - 1 - idx in
+      let link = Intvec.get t.offered_links j in
+      let p = Intvec.get t.offered_pkts j in
+      if outcome.Algorithm.served.(idx) then begin
+        let popped = dequeue_failed t link in
+        (* Offers peeked the FIFO heads before the algorithm ran; nothing
+           enqueues at a head, so each offered packet is still first in
+           line when served. *)
+        assert (popped = p);
+        emit_hop t p ~now ~phase:"cleanup" ~ok:true;
+        Arena.advance a p ~slot:now;
+        if Arena.delivered a p then begin
+          record_delivery t rng p;
+          Arena.free a p
         end
-        else emit_hop p ~link ~ok:false)
-      offers
+        else enqueue_failed t p
+      end
+      else emit_hop t p ~now ~phase:"cleanup" ~ok:false
+    done
+  end
 
 let inject_packet t path ~slot ~extra_delay =
   if extra_delay < 0 then invalid_arg "Protocol: negative extra_delay";
@@ -460,11 +523,10 @@ let inject_packet t path ~slot ~extra_delay =
     | _ -> false
   in
   if not shed_now then begin
-    let p = Packet.make ~id ~path ~injected_slot:slot in
-    p.Packet.release_frame <- t.frame_idx + 1 + extra_delay;
+    let p = Arena.alloc t.arena ~id ~path ~injected_slot:slot in
+    Arena.set_release_frame t.arena p (t.frame_idx + 1 + extra_delay);
     t.injected <- t.injected + 1;
-    t.live <- p :: t.live;
-    t.live_count <- t.live_count + 1;
+    Intvec.push t.live p;
     match t.ptel with
     | Some pt when id mod pt.pt_every = 0 ->
       Telemetry.point pt.pt_t ~name:"packet.inject" ~frame:t.frame_idx ~slot
@@ -475,18 +537,25 @@ let inject_packet t path ~slot ~extra_delay =
     | _ -> ()
   end
 
+let rec inject_arrivals t arrivals ~slot =
+  match arrivals with
+  | [] -> ()
+  | (path, extra_delay) :: rest ->
+    inject_packet t path ~slot ~extra_delay;
+    inject_arrivals t rest ~slot
+
 let run_frame t rng ~inject_slot =
   let frame_start = Channel.now t.channel in
   let injected0 = t.injected in
   let delivered0 = t.delivered in
   let failures0 = t.failed_events in
   (* Traffic arriving during this frame: drawn up front (arrivals are
-     independent of the channel), stamped with their true arrival slot. *)
+     independent of the channel), stamped with their true arrival slot.
+     [inject_arrivals] is top level: a per-slot closure here would defeat
+     the zero-allocation steady state. *)
   for off = 0 to t.cfg.frame - 1 do
     let slot = frame_start + off in
-    List.iter
-      (fun (path, extra_delay) -> inject_packet t path ~slot ~extra_delay)
-      (inject_slot slot)
+    inject_arrivals t (inject_slot slot) ~slot
   done;
   phase1 t rng;
   let phase1_end = Channel.now t.channel in
@@ -497,12 +566,12 @@ let run_frame t rng ~inject_slot =
   Channel.idle t.channel ~slots:(t.cfg.frame - consumed);
   (* Frame statistics — all O(1) from the running tallies. *)
   let fq = t.failed_total in
-  let total = t.live_count + fq in
+  let total = Intvec.length t.live + fq in
   let phi = t.failed_potential in
   let wr = Load_tracker.interference t.failed_tracker in
-  Timeseries.add t.in_system (float_of_int total);
-  Timeseries.add t.failed_queue (float_of_int fq);
-  Timeseries.add t.potential (float_of_int phi);
+  Timeseries.add_int t.in_system total;
+  Timeseries.add_int t.failed_queue fq;
+  Timeseries.add_int t.potential phi;
   Timeseries.add t.failed_interference wr;
   if total > t.max_queue then t.max_queue <- total;
   (match t.tel with

@@ -50,21 +50,31 @@ let calibrate t measure ~target =
   if current <= 0. then invalid_arg "Stochastic.calibrate: current rate is 0";
   scale t (target /. current)
 
-let draw t rng ~slot:_ =
-  let inject g =
-    (* One multinomial draw: u lands in a choice's probability segment, or
-       in the silent remainder [mass, 1). *)
+(* One multinomial draw: u lands in a choice's probability segment, or in
+   the silent remainder [mass, 1). Top level (not a closure) so quiet
+   slots cost no heap traffic beyond the rng draws themselves. *)
+let rec pick choices u idx acc =
+  if idx >= Array.length choices then None
+  else begin
+    let path, prob = choices.(idx) in
+    let acc = acc +. prob in
+    if u < acc then Some path else pick choices u (idx + 1) acc
+  end
+
+(* Ascending generator order fixes the rng stream (one [Rng.float] per
+   generator per slot); arrivals accumulate newest-first and are reversed,
+   so the common no-arrival slot returns [] without allocating the
+   intermediate generator list the old [Array.to_list] pipeline built. *)
+let rec draw_gens gens rng i acc =
+  if i >= Array.length gens then List.rev acc
+  else begin
     let u = Rng.float rng 1. in
-    let rec pick idx acc =
-      if idx >= Array.length g.choices then None
-      else
-        let path, prob = g.choices.(idx) in
-        let acc = acc +. prob in
-        if u < acc then Some path else pick (idx + 1) acc
-    in
-    pick 0 0.
-  in
-  Array.to_list t.gens |> List.filter_map inject
+    match pick gens.(i).choices u 0 0. with
+    | None -> draw_gens gens rng (i + 1) acc
+    | Some path -> draw_gens gens rng (i + 1) (path :: acc)
+  end
+
+let draw t rng ~slot:_ = draw_gens t.gens rng 0 []
 
 let max_path_length t =
   Array.fold_left

@@ -1,8 +1,9 @@
 module Rng = Dps_prelude.Rng
+module Intvec = Dps_prelude.Intvec
 module Channel = Dps_sim.Channel
+module Scratch = Dps_sim.Scratch
 module Algorithm = Dps_static.Algorithm
 module Request = Dps_static.Request
-module Runner = Dps_static.Runner
 
 (* Stage-2 residue size: the proof of Lemma 15 takes
    s = Θ((1+δ)²/δ² · φ·log n); the engineering choice drops the 1/δ²
@@ -57,6 +58,30 @@ let make ?(phi = 1.) ?(delta = 0.5) () =
     if n > 0 then begin
       let s = residue ~phi ~delta ~n in
       let xi = iterations ~delta ~n ~s in
+      let sc = Channel.scratch channel in
+      Scratch.ensure_n sc n;
+      let pending = sc.Scratch.pending in
+      let attempts = sc.Scratch.attempts in
+      (* Unserved request indices, ascending — the order
+         [Runner.pending_indices] returned, which fixes the rng draw
+         order of both stages. *)
+      let refill_pending () =
+        Intvec.clear pending;
+        for idx = 0 to n - 1 do
+          if not served.(idx) then Intvec.push pending idx
+        done
+      in
+      (* Emit one slot's attempts: set the owner map and let the channel
+         adjudicate; served requests are marked through [owner] (only
+         collision-free links succeed, so the map is unambiguous). *)
+      let serve_slot () =
+        let succeeded = Channel.step_vec channel attempts in
+        for i = 0 to Intvec.length succeeded - 1 do
+          served.(sc.Scratch.owner.(Intvec.get succeeded i)) <- true
+        done;
+        incr used;
+        Intvec.length succeeded
+      in
       (* Stage 1: geometrically shrinking random-delay windows. *)
       let i = ref 1 in
       while !i <= xi && !used < budget && not (finished ()) do
@@ -68,42 +93,73 @@ let make ?(phi = 1.) ?(delta = 0.5) () =
             (int_of_float (q ** float_of_int (!i - 1) *. float_of_int n))
         in
         let window = Int.min window (budget - !used) in
-        let buckets = Array.make window [] in
-        List.iter
-          (fun idx ->
-            let d = Rng.int rng window in
-            buckets.(d) <- idx :: buckets.(d))
-          (Runner.pending_indices served);
+        (* Counting sort replaces the per-window bucket-of-lists array.
+           Draws happen in ascending pending order (pass 1); the fill
+           pass walks pending DESCENDING so each bucket region reads
+           newest-first — the prepend order of the historical bucket
+           lists. After the fill, [nc.(d)] is the end of region d. *)
+        refill_pending ();
+        let np = Intvec.length pending in
+        for d = 0 to window - 1 do
+          sc.Scratch.nc.(d) <- 0
+        done;
+        for k = 0 to np - 1 do
+          let d = Rng.int rng window in
+          sc.Scratch.nb.(k) <- d;
+          sc.Scratch.nc.(d) <- sc.Scratch.nc.(d) + 1
+        done;
+        let base = ref 0 in
+        for d = 0 to window - 1 do
+          let c = sc.Scratch.nc.(d) in
+          sc.Scratch.nc.(d) <- !base;
+          base := !base + c
+        done;
+        for k = np - 1 downto 0 do
+          let d = sc.Scratch.nb.(k) in
+          sc.Scratch.na.(sc.Scratch.nc.(d)) <- Intvec.get pending k;
+          sc.Scratch.nc.(d) <- sc.Scratch.nc.(d) + 1
+        done;
         for slot = 0 to window - 1 do
-          let attempts =
-            List.map
-              (fun idx -> (idx, requests.(idx).Request.link))
-              buckets.(slot)
-          in
-          let succeeded = Channel.step channel (List.map snd attempts) in
-          Runner.mark_successes ~served ~attempts ~succeeded;
-          incr used
+          let lo = if slot = 0 then 0 else sc.Scratch.nc.(slot - 1) in
+          let hi = sc.Scratch.nc.(slot) in
+          Intvec.clear attempts;
+          for pos = lo to hi - 1 do
+            let idx = sc.Scratch.na.(pos) in
+            let link = requests.(idx).Request.link in
+            sc.Scratch.owner.(link) <- idx;
+            Intvec.push attempts link
+          done;
+          ignore (serve_slot ())
         done;
         incr i
       done;
       (* Stage 2: Bernoulli(1/s) retransmissions for the residue. *)
       let p = 1. /. float_of_int s in
-      let pending = ref (Runner.pending_indices served) in
-      while !used < budget && !pending <> [] do
-        let attempts =
-          List.filter_map
-            (fun idx ->
-              if Rng.bernoulli rng p then
-                Some (idx, requests.(idx).Request.link)
-              else None)
-            !pending
-        in
-        let succeeded = Channel.step channel (List.map snd attempts) in
-        Runner.mark_successes ~served ~attempts ~succeeded;
-        (match succeeded with
-        | [] -> ()
-        | _ -> pending := List.filter (fun idx -> not served.(idx)) !pending);
-        incr used
+      refill_pending ();
+      while !used < budget && not (Intvec.is_empty pending) do
+        Intvec.clear attempts;
+        for k = 0 to Intvec.length pending - 1 do
+          let idx = Intvec.get pending k in
+          if Rng.bernoulli rng p then begin
+            let link = requests.(idx).Request.link in
+            sc.Scratch.owner.(link) <- idx;
+            Intvec.push attempts link
+          end
+        done;
+        if serve_slot () > 0 then begin
+          (* Stable in-place compaction, as the list filter was. *)
+          let kept = ref 0 in
+          for k = 0 to Intvec.length pending - 1 do
+            let idx = Intvec.get pending k in
+            if not served.(idx) then begin
+              Intvec.set pending !kept idx;
+              incr kept
+            end
+          done;
+          while Intvec.length pending > !kept do
+            ignore (Intvec.pop pending)
+          done
+        end
       done
     end;
     { Algorithm.served; slots_used = !used }

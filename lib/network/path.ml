@@ -1,5 +1,7 @@
 type t = int array
 
+let placeholder = [||]
+
 let of_links g ids =
   (match ids with [] -> invalid_arg "Path.of_links: empty path" | _ -> ());
   let arr = Array.of_list ids in

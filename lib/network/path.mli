@@ -10,6 +10,11 @@ type t
     Raises [Invalid_argument] otherwise. *)
 val of_links : Graph.t -> int list -> t
 
+(** The zero-length placeholder used by preallocated packet storage
+    ({!Dps_sim.Packet_arena}) for unoccupied slots. Not a valid route —
+    [of_links] can never produce it — and must not be injected. *)
+val placeholder : t
+
 (** Number of hops [d]. *)
 val length : t -> int
 

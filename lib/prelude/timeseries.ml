@@ -11,6 +11,21 @@ let add t x =
   t.data.(t.len) <- x;
   t.len <- t.len + 1
 
+(* [add_int] keeps the hot loop's per-frame bookkeeping allocation-free:
+   an int argument is immediate and the [float_of_int] lands directly in
+   the float array store, so no box is created (native code; [add] with a
+   caller-side [float_of_int] boxes the argument). Body deliberately
+   duplicates [add] rather than calling it, so no float crosses a
+   function boundary. *)
+let add_int t x =
+  if t.len = Array.length t.data then begin
+    let bigger = Array.make (2 * t.len) 0. in
+    Array.blit t.data 0 bigger 0 t.len;
+    t.data <- bigger
+  end;
+  t.data.(t.len) <- float_of_int x;
+  t.len <- t.len + 1
+
 let length t = t.len
 
 let get t i =

@@ -11,6 +11,10 @@ val create : unit -> t
 (** [add t x] appends an observation. *)
 val add : t -> float -> unit
 
+(** [add_int t x] appends an integer observation without boxing a float
+    (the hot-loop variant; see docs/PERFORMANCE.md). *)
+val add_int : t -> int -> unit
+
 (** Number of observations. *)
 val length : t -> int
 

@@ -1,4 +1,5 @@
 module Rng = Dps_prelude.Rng
+module Intvec = Dps_prelude.Intvec
 module Load_tracker = Dps_interference.Load_tracker
 module Telemetry = Dps_telemetry.Telemetry
 module Metrics = Dps_telemetry.Metrics
@@ -31,6 +32,15 @@ type t = {
       (* measured per-slot attempt interference, when a measure is attached *)
   faults : faults option;
   tel : tel option;
+  scratch : Scratch.t;  (* borrowed by the algorithm driving this channel *)
+  (* Slot-loop working vectors, reused every step so the steady state
+     allocates nothing. [v_succeeded] is the buffer [step_vec] returns:
+     owned by the channel, valid until the next step. *)
+  v_filtered : Intvec.t;
+  v_active : Intvec.t;
+  v_winners : Intvec.t;
+  v_succeeded : Intvec.t;
+  v_list_in : Intvec.t;  (* list-API shim: converted attempts *)
 }
 
 let create ?rng ?measure ?telemetry ?faults ~oracle ~m () =
@@ -64,14 +74,31 @@ let create ?rng ?measure ?telemetry ?faults ~oracle ~m () =
     counts = Array.make m 0;
     tracker = Option.map Load_tracker.create measure;
     faults;
-    tel }
+    tel;
+    scratch = Scratch.create ~m;
+    v_filtered = Intvec.create ();
+    v_active = Intvec.create ();
+    v_winners = Intvec.create ();
+    v_succeeded = Intvec.create ();
+    v_list_in = Intvec.create () }
 
 let oracle t = t.oracle
 let size t = t.m
 let now t = t.now
 let trace t = t.trace
+let scratch t = t.scratch
 
-let step t attempts =
+(* One slot over an attempt vector (submission order = what the list API
+   would receive head first). Returns the channel-owned success vector,
+   in the same order the list API returns successes; valid until the next
+   step. The steady-state path allocates nothing.
+
+   Equivalence with the historical list implementation is load-bearing:
+   the active set is adjudicated and fed to the load tracker in the exact
+   same order (reverse first-occurrence), so oracle rng streams and the
+   float summation order of the measured interference are byte-identical
+   — test/pin_*.golden pins this. *)
+let step_vec t attempts =
   (* Fault layer, part 1: advance episodes and remove outaged attempts
      before anything else — a link in outage cannot transmit, so it
      neither collides nor radiates interference. *)
@@ -79,56 +106,81 @@ let step t attempts =
   let attempts =
     match t.faults with
     | None -> attempts
-    | Some f -> List.filter (fun e -> not (f.outage e)) attempts
+    | Some f ->
+      Intvec.clear t.v_filtered;
+      for i = 0 to Intvec.length attempts - 1 do
+        let e = Intvec.get attempts i in
+        if not (f.outage e) then Intvec.push t.v_filtered e
+      done;
+      t.v_filtered
   in
-  match attempts with
-  | [] ->
-    Trace.record t.trace ~attempted:[] ~succeeded:[];
+  if Intvec.is_empty attempts then begin
+    Intvec.clear t.v_succeeded;
+    Trace.record_vec t.trace ~attempted:attempts ~succeeded:t.v_succeeded;
     (match t.tel with None -> () | Some h -> Metrics.incr h.c_slots);
     t.now <- t.now + 1;
-    []
-  | _ ->
+    t.v_succeeded
+  end
+  else begin
     (* Per-link exclusivity: a link carrying two packets in one slot is a
        collision at the link itself; neither packet gets through, but the
        transmission still radiates interference. The counts array is
        persistent scratch, cleared sparsely after adjudication. *)
-    let active = ref [] in
-    List.iter
-      (fun e ->
-        assert (e >= 0 && e < t.m);
-        if t.counts.(e) = 0 then active := e :: !active;
-        t.counts.(e) <- t.counts.(e) + 1)
-      attempts;
-    let active = !active in
+    (* Index loops throughout, not [Intvec.iter]: a capturing closure
+       would allocate every busy slot. *)
+    Intvec.clear t.v_active;
+    for i = 0 to Intvec.length attempts - 1 do
+      let e = Intvec.get attempts i in
+      assert (e >= 0 && e < t.m);
+      if t.counts.(e) = 0 then Intvec.push t.v_active e;
+      t.counts.(e) <- t.counts.(e) + 1
+    done;
     (match t.tracker with
     | None -> ()
     | Some tracker ->
-      List.iter (fun e -> Load_tracker.add tracker e) active;
+      (* Reverse first-occurrence order: identical float summation order
+         to the list path's [List.iter ... active]. *)
+      for i = Intvec.length t.v_active - 1 downto 0 do
+        Load_tracker.add tracker (Intvec.get t.v_active i)
+      done;
       Trace.record_interference t.trace (Load_tracker.interference tracker));
-    let winners = Oracle.adjudicate ?rng:t.rng t.oracle active in
-    let succeeded = List.filter (fun e -> t.counts.(e) = 1) winners in
+    Oracle.adjudicate_vec ?rng:t.rng t.oracle ~active:t.v_active
+      ~winners:t.v_winners;
+    Intvec.clear t.v_succeeded;
+    for i = 0 to Intvec.length t.v_winners - 1 do
+      let e = Intvec.get t.v_winners i in
+      if t.counts.(e) = 1 then Intvec.push t.v_succeeded e
+    done;
     (* Fault layer, part 2: jam / correlated-loss / degradation drops of
        adjudicated winners. These transmissions radiated interference
        and consumed the slot but fail after the fact; channel telemetry
-       counts them as denied. *)
-    let succeeded =
-      match t.faults with
-      | None -> succeeded
-      | Some f ->
-        List.filter
-          (fun e ->
-            let interference =
-              match t.tracker with
-              | None -> 0.
-              | Some tracker ->
-                (* attempt interference from other links: the tracker
-                   holds W·x over the distinct attempt set and the
-                   diagonal is pinned to 1, so subtract e's own unit. *)
-                Float.max 0. (Load_tracker.interference_at tracker e -. 1.)
-            in
-            not (f.drop ~link:e ~interference))
-          succeeded
-    in
+       counts them as denied. In-place stable compaction keeps the
+       success order (and any rng the drop hook consumes) identical to
+       the list path's [List.filter]. *)
+    (match t.faults with
+    | None -> ()
+    | Some f ->
+      let kept = ref 0 in
+      let n = Intvec.length t.v_succeeded in
+      for i = 0 to n - 1 do
+        let e = Intvec.get t.v_succeeded i in
+        let interference =
+          match t.tracker with
+          | None -> 0.
+          | Some tracker ->
+            (* attempt interference from other links: the tracker holds
+               W·x over the distinct attempt set and the diagonal is
+               pinned to 1, so subtract e's own unit. *)
+            Float.max 0. (Load_tracker.interference_at tracker e -. 1.)
+        in
+        if not (f.drop ~link:e ~interference) then begin
+          Intvec.set t.v_succeeded !kept e;
+          incr kept
+        end
+      done;
+      while Intvec.length t.v_succeeded > !kept do
+        ignore (Intvec.pop t.v_succeeded)
+      done);
     (match t.tracker with
     | None -> ()
     | Some tracker -> Load_tracker.reset tracker);
@@ -139,24 +191,36 @@ let step t attempts =
          its own link (count > 1), or was denied by the oracle. *)
       Metrics.incr h.c_slots;
       Metrics.incr h.c_busy;
-      let attempts_n = List.length attempts in
-      let success_n = List.length succeeded in
-      let collision_n =
-        List.fold_left
-          (fun acc e -> if t.counts.(e) > 1 then acc + t.counts.(e) else acc)
-          0 active
-      in
+      let attempts_n = Intvec.length attempts in
+      let success_n = Intvec.length t.v_succeeded in
+      let collision_n = ref 0 in
+      for i = 0 to Intvec.length t.v_active - 1 do
+        let e = Intvec.get t.v_active i in
+        if t.counts.(e) > 1 then collision_n := !collision_n + t.counts.(e)
+      done;
       Metrics.add h.c_attempts attempts_n;
       Metrics.add h.c_success success_n;
-      Metrics.add h.c_collision collision_n;
-      Metrics.add h.c_denied (attempts_n - success_n - collision_n));
-    List.iter (fun e -> t.counts.(e) <- 0) active;
-    Trace.record t.trace ~attempted:attempts ~succeeded;
+      Metrics.add h.c_collision !collision_n;
+      Metrics.add h.c_denied (attempts_n - success_n - !collision_n));
+    for i = 0 to Intvec.length t.v_active - 1 do
+      t.counts.(Intvec.get t.v_active i) <- 0
+    done;
+    Trace.record_vec t.trace ~attempted:attempts ~succeeded:t.v_succeeded;
     t.now <- t.now + 1;
-    succeeded
+    t.v_succeeded
+  end
+
+(* List API, now a shim over [step_vec]: same order contracts, so the
+   results are identical to the historical list implementation; only the
+   cold callers (tests, SINR-family algorithms) pay the conversions. *)
+let step t attempts =
+  Intvec.clear t.v_list_in;
+  List.iter (fun e -> Intvec.push t.v_list_in e) attempts;
+  Intvec.to_list (step_vec t t.v_list_in)
 
 let idle t ~slots =
   assert (slots >= 0);
   for _ = 1 to slots do
-    ignore (step t [])
+    Intvec.clear t.v_list_in;
+    ignore (step_vec t t.v_list_in)
   done

@@ -78,5 +78,18 @@ val trace : t -> Trace.t
     set of link ids that transmitted successfully. *)
 val step : t -> int list -> int list
 
+(** [step_vec t attempts] — the zero-allocation variant of {!step}: one
+    slot over an attempt vector (same submission-order semantics).
+    Returns the channel-owned success vector, in the same order {!step}
+    returns successes; it is valid only until the next step, so consume
+    or copy it first. The steady-state path allocates no minor words
+    (test/test_alloc.ml pins this); results are byte-identical to
+    {!step} — which is now a shim over this function. *)
+val step_vec : t -> Dps_prelude.Intvec.t -> Dps_prelude.Intvec.t
+
 (** [idle t ~slots] — let [slots] empty slots pass. *)
 val idle : t -> slots:int -> unit
+
+(** The channel's scratch buffers, borrowed by the static algorithm
+    driving it (single-borrower contract; see {!Scratch}). *)
+val scratch : t -> Scratch.t

@@ -34,6 +34,49 @@ let rec adjudicate ?rng t attempts =
         (fun _ -> not (Rng.bernoulli rng loss))
         (adjudicate ~rng base attempts))
 
+(* Vector adjudication for the zero-allocation slot loop.
+
+   [active] holds the deduplicated attempting links in FIRST-OCCURRENCE
+   order; the list API receives them reversed (the channel builds its
+   active list by prepending), so every rule here iterates [active] back
+   to front to keep adjudication order — and hence the rng stream of
+   stochastic oracles and the float summation order of SINR feasibility —
+   byte-identical to [adjudicate]. Winners are pushed onto [winners]
+   (cleared first) in exactly the order the list API would return them.
+
+   Wireline, Mac and Conflict adjudicate without allocating; the
+   SINR-family rules and Lossy fall back to the list implementation
+   (their math is list-shaped and allocation-dominated by float work, not
+   by the conversion). *)
+(* [Intvec.exists] with a capturing closure would allocate; an index
+   recursion keeps the same early exit without any heap traffic. The scan
+   includes [e] itself, exactly as the list rule's [List.exists] did. *)
+let rec conflicts_with cg active e j =
+  let module V = Dps_prelude.Intvec in
+  j < V.length active
+  && (Conflict_graph.conflict cg e (V.get active j)
+     || conflicts_with cg active e (j + 1))
+
+let adjudicate_vec ?rng t ~active ~winners =
+  let module V = Dps_prelude.Intvec in
+  V.clear winners;
+  match t with
+  | Wireline ->
+    for i = V.length active - 1 downto 0 do
+      V.push winners (V.get active i)
+    done
+  | Mac -> if V.length active = 1 then V.push winners (V.get active 0)
+  | Conflict cg ->
+    for i = V.length active - 1 downto 0 do
+      let e = V.get active i in
+      if not (conflicts_with cg active e 0) then V.push winners e
+    done
+  | Sinr _ | Sinr_power_control _ | Lossy _ ->
+    (* List order = reverse of [active]: build by prepending forward. *)
+    let attempts = ref [] in
+    V.iter (fun e -> attempts := e :: !attempts) active;
+    List.iter (fun e -> V.push winners e) (adjudicate ?rng t !attempts)
+
 let rec name = function
   | Sinr _ -> "sinr"
   | Sinr_power_control _ -> "sinr-power-control"

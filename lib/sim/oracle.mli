@@ -30,5 +30,19 @@ type t =
     silently degenerate to the clamped Bernoulli. *)
 val adjudicate : ?rng:Dps_prelude.Rng.t -> t -> int list -> int list
 
+(** [adjudicate_vec ?rng t ~active ~winners] — vector variant for the
+    zero-allocation slot loop. [active] holds the deduplicated attempting
+    links in first-occurrence order; [winners] is cleared and filled with
+    the succeeding subset in the exact order {!adjudicate} would return
+    it (so stochastic oracles consume randomness identically). Wireline,
+    Mac and Conflict allocate nothing; the SINR family and Lossy convert
+    through the list API. *)
+val adjudicate_vec :
+  ?rng:Dps_prelude.Rng.t ->
+  t ->
+  active:Dps_prelude.Intvec.t ->
+  winners:Dps_prelude.Intvec.t ->
+  unit
+
 (** Display name of the model. *)
 val name : t -> string

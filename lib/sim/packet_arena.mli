@@ -1,0 +1,58 @@
+(** Preallocated structure-of-arrays packet storage.
+
+    Packets live in parallel int arrays indexed by an integer handle;
+    freed handles are recycled through an internal free list, so the
+    steady state of the protocol's hot loop allocates nothing (the
+    arrays double on exhaustion, then plateau at the peak in-flight
+    population). Field semantics mirror {!Packet} exactly —
+    test/test_arena.ml keeps the two equivalent — with
+    [delivered_slot = -1] standing in for [None].
+
+    The [next] chain field is dual-use: free-list link for unoccupied
+    slots, intrusive FIFO link while a packet waits in a per-link failed
+    buffer. A packet is in at most one queue at a time. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Fresh arena (default initial capacity 64). *)
+
+val capacity : t -> int
+val live : t -> int
+(** Number of currently allocated handles. *)
+
+val alloc : t -> id:int -> path:Dps_network.Path.t -> injected_slot:int -> int
+(** Allocate a handle with [hop = 0], in flight, not failed,
+    [release_frame = 0], [next = -1]. Grows (doubling) when full. *)
+
+val free : t -> int -> unit
+(** Recycle a handle. The caller must not use it afterwards. *)
+
+(** {2 Field accessors (mirroring {!Packet})} *)
+
+val id : t -> int -> int
+val path : t -> int -> Dps_network.Path.t
+val injected_slot : t -> int -> int
+val hop : t -> int -> int
+val failed : t -> int -> bool
+val set_failed : t -> int -> unit
+val release_frame : t -> int -> int
+val set_release_frame : t -> int -> int -> unit
+
+val delivered_slot : t -> int -> int
+(** Slot of delivery, or -1 while in flight. *)
+
+val delivered : t -> int -> bool
+val next_link : t -> int -> int
+val remaining_hops : t -> int -> int
+
+val advance : t -> int -> slot:int -> unit
+(** Record a successful hop; stamps [delivered_slot] on the last one. *)
+
+val latency : t -> int -> int
+(** Slots from injection to delivery; -1 while in flight. *)
+
+(** {2 Intrusive chain (failed-buffer FIFOs)} *)
+
+val next : t -> int -> int
+val set_next : t -> int -> int -> unit

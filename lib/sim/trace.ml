@@ -56,6 +56,27 @@ let record t ~attempted ~succeeded =
       t.successes_on.(e) <- t.successes_on.(e) + 1)
     succeeded
 
+(* Vector variant of [record] for the zero-allocation slot loop: folds the
+   same counters without consing. Link order is irrelevant here — only
+   counts are kept. Index loops, not [Intvec.iter]: a capturing closure
+   would allocate every slot. *)
+let record_vec t ~attempted ~succeeded =
+  let module V = Dps_prelude.Intvec in
+  t.slots <- t.slots + 1;
+  let na = V.length attempted in
+  if na > 0 then t.busy_slots <- t.busy_slots + 1;
+  t.attempts <- t.attempts + na;
+  for i = 0 to na - 1 do
+    let e = V.get attempted i in
+    t.attempts_on.(e) <- t.attempts_on.(e) + 1
+  done;
+  let ns = V.length succeeded in
+  t.successes <- t.successes + ns;
+  for i = 0 to ns - 1 do
+    let e = V.get succeeded i in
+    t.successes_on.(e) <- t.successes_on.(e) + 1
+  done
+
 let pp ppf t =
   Format.fprintf ppf "slots=%d busy=%d attempts=%d successes=%d" t.slots
     t.busy_slots t.attempts t.successes

@@ -29,6 +29,14 @@ val attempts_on : t -> int -> int
 (** [record t ~attempted ~succeeded] — fold one slot into the counters. *)
 val record : t -> attempted:int list -> succeeded:int list -> unit
 
+(** [record_vec] — same, from link vectors; allocates nothing (the
+    hot-loop variant used by {!Channel.step_vec}). *)
+val record_vec :
+  t ->
+  attempted:Dps_prelude.Intvec.t ->
+  succeeded:Dps_prelude.Intvec.t ->
+  unit
+
 (** [record_interference t i] — fold one busy slot's measured attempt
     interference [i = ||W·attempts||_inf] into the running aggregates.
     Recorded by channels created with a measure attached. *)

@@ -1,7 +1,9 @@
 module Util = Dps_prelude.Util
+module Intvec = Dps_prelude.Intvec
 module Measure = Dps_interference.Measure
 module Load_tracker = Dps_interference.Load_tracker
 module Channel = Dps_sim.Channel
+module Scratch = Dps_sim.Scratch
 
 let make ?(budget = 0.5) ?(slack = 8) ~priority () =
   assert (budget > 0. && slack >= 0);
@@ -22,18 +24,29 @@ let make ?(budget = 0.5) ?(slack = 8) ~priority () =
         and pb = priority requests.(b).Request.link in
         if pa = pb then compare a b else compare pa pb)
       order;
-    (* One tracker for the whole run, reset sparsely between rounds: it
-       holds the current round's unit load per member link, so
+    (* One tracker for the whole run, cached on the channel's scratch so
+       repeated runs skip the O(m) create; reset sparsely between rounds.
+       It holds the current round's unit load per member link, so
        [interference_at tracker e] is 1 + Σ_{e' ∈ round, e' ≠ e} W(e, e')
        for members and Σ_{e' ∈ round} W(c, e') for outside candidates. *)
-    let m = Measure.size measure in
-    let tracker = Load_tracker.create measure in
-    let in_round = Array.make m false in
+    let s = Channel.scratch channel in
+    let tracker = Scratch.tracker s measure in
+    let in_round = s.Scratch.flags in
+    (* Accepted request indices in acceptance order; the historical list
+       implementation prepended, so the channel must see the links
+       REVERSED (newest acceptance first). *)
+    let round = s.Scratch.pending in
+    let attempts = s.Scratch.attempts in
+    (* [order] is compacted in place as requests are served (stable, so
+       the priority order of the survivors is untouched): round packing
+       scans only the unserved tail instead of all n requests every slot. *)
+    let order_len = ref n in
+    let remaining = ref n in
     let continue = ref true in
     while !continue && !used < slots do
       (* Pack one round: accept the next request (in priority order) if the
          pairwise interference load of the round stays within budget. *)
-      let round = ref [] and round_links = ref [] in
+      Intvec.clear round;
       let load_within candidate =
         (* The candidate's own incoming load over the current members... *)
         Load_tracker.interference_at tracker candidate <= budget
@@ -51,31 +64,49 @@ let make ?(budget = 0.5) ?(slack = 8) ~priority () =
              !ok
            end
       in
-      Array.iter
-        (fun idx ->
-          if not served.(idx) then begin
-            let link = requests.(idx).Request.link in
-            (* One packet per link per slot: skip links already in round. *)
-            if (not in_round.(link)) && load_within link then begin
-              round := idx :: !round;
-              round_links := link :: !round_links;
-              in_round.(link) <- true;
-              Load_tracker.add tracker link
-            end
-          end)
-        order;
-      List.iter (fun link -> in_round.(link) <- false) !round_links;
+      for oi = 0 to !order_len - 1 do
+        let idx = order.(oi) in
+        if not served.(idx) then begin
+          let link = requests.(idx).Request.link in
+          (* One packet per link per slot: skip links already in round. *)
+          if (not in_round.(link)) && load_within link then begin
+            Intvec.push round idx;
+            in_round.(link) <- true;
+            s.Scratch.owner.(link) <- idx;
+            Load_tracker.add tracker link
+          end
+        end
+      done;
+      for k = 0 to Intvec.length round - 1 do
+        in_round.(requests.(Intvec.get round k).Request.link) <- false
+      done;
       Load_tracker.reset tracker;
-      match !round with
-      | [] -> continue := false
-      | round_members ->
-        let attempts =
-          List.map (fun idx -> (idx, requests.(idx).Request.link)) round_members
-        in
-        let succeeded = Channel.step channel (List.map snd attempts) in
-        Runner.mark_successes ~served ~attempts ~succeeded;
+      if Intvec.is_empty round then continue := false
+      else begin
+        Intvec.clear attempts;
+        for k = Intvec.length round - 1 downto 0 do
+          Intvec.push attempts requests.(Intvec.get round k).Request.link
+        done;
+        let succeeded = Channel.step_vec channel attempts in
+        let ns = Intvec.length succeeded in
+        for i = 0 to ns - 1 do
+          served.(s.Scratch.owner.(Intvec.get succeeded i)) <- true
+        done;
+        remaining := !remaining - ns;
         incr used;
-        if Array.for_all Fun.id served then continue := false
+        if ns > 0 then begin
+          let kept = ref 0 in
+          for oi = 0 to !order_len - 1 do
+            let idx = order.(oi) in
+            if not served.(idx) then begin
+              order.(!kept) <- idx;
+              incr kept
+            end
+          done;
+          order_len := !kept
+        end;
+        if !remaining = 0 then continue := false
+      end
     done;
     { Algorithm.served; slots_used = !used }
   in

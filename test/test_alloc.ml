@@ -1,0 +1,128 @@
+(* Allocation pins for the hot loop (ISSUE P5 tentpole): the steady-state
+   slot loop must not allocate minor words.
+
+   Measurement notes. [Gc.minor_words ()] itself returns a boxed float, so
+   the first sample's box is counted by the second sample; [overhead]
+   calibrates that constant and every strict-zero check compares against
+   it exactly — these are counters, not timers, so there is no noise and
+   the checks are equalities, not tolerances.
+
+   The protocol-level pin uses a slope trick: two identical empty-steady-
+   state protocols differing ONLY in frame length T run the same number
+   of frames. Per-frame constants (the frame-stats boxes) cancel in the
+   difference, so delta(T2) - delta(T1) = frames * (T2 - T1) * per_slot
+   — requiring equality proves per_slot = 0 words exactly. Warmups run
+   each Timeseries past its next capacity doubling so no growth lands in
+   the measured window. *)
+
+module Rng = Dps_prelude.Rng
+module Intvec = Dps_prelude.Intvec
+module M = Dps_interference.Measure
+module Oracle = Dps_sim.Oracle
+module Channel = Dps_sim.Channel
+module Protocol = Dps_core.Protocol
+
+let overhead =
+  let a = Gc.minor_words () in
+  let b = Gc.minor_words () in
+  b -. a
+
+let measure f =
+  let a = Gc.minor_words () in
+  f ();
+  let b = Gc.minor_words () in
+  b -. a -. overhead
+
+let check_zero name f = Alcotest.(check (float 0.)) name 0. (measure f)
+
+(* ------------------------------------------------------- channel slots *)
+
+let test_idle_slots () =
+  let channel = Channel.create ~oracle:Oracle.Wireline ~m:8 () in
+  Channel.idle channel ~slots:100;
+  check_zero "10k idle wireline slots" (fun () ->
+      Channel.idle channel ~slots:10_000)
+
+let busy_loop channel attempts =
+  for _ = 1 to 10_000 do
+    ignore (Channel.step_vec channel attempts)
+  done
+
+let test_busy_slots_wireline () =
+  let channel = Channel.create ~oracle:Oracle.Wireline ~m:8 () in
+  let attempts = Intvec.of_list [ 3; 1; 5 ] in
+  busy_loop channel attempts;
+  check_zero "10k busy wireline slots" (fun () -> busy_loop channel attempts)
+
+let test_busy_slots_mac () =
+  let channel = Channel.create ~oracle:Oracle.Mac ~m:4 () in
+  let solo = Intvec.of_list [ 2 ] in
+  let pair = Intvec.of_list [ 0; 1 ] in
+  busy_loop channel solo;
+  busy_loop channel pair;
+  check_zero "10k solo mac slots" (fun () -> busy_loop channel solo);
+  check_zero "10k colliding mac slots" (fun () -> busy_loop channel pair)
+
+(* ------------------------------------------------- protocol slot loop *)
+
+(* Empty steady state: configured protocol, no arrivals — every slot runs
+   the frame machinery (phase 1, clean-up offers, idle channel, frame
+   stats) with nothing in flight. This is the regime the tentpole pins at
+   strictly zero words per slot; busy regimes add only per-frame request
+   batches, which the slope construction cancels anyway. *)
+let frame_delta ~oracle ~algorithm ~lambda ~m ~frame ~frames =
+  let measure_w = M.identity m in
+  let config =
+    Protocol.configure_with_frame ~algorithm ~measure:measure_w ~lambda
+      ~max_hops:4 ~frame ()
+  in
+  let channel = Channel.create ~oracle ~m () in
+  let protocol = Protocol.create config ~channel in
+  let rng = Rng.create ~seed:99 () in
+  let inject_slot _ = [] in
+  (* Warmup past the Timeseries doubling at len 64 (initial capacity):
+     70 warmup + 50 measured frames stay below the next boundary, 128. *)
+  for _ = 1 to 70 do
+    Protocol.run_frame protocol rng ~inject_slot
+  done;
+  measure (fun () ->
+      for _ = 1 to frames do
+        Protocol.run_frame protocol rng ~inject_slot
+      done)
+
+let slope_pin name ~oracle ~algorithm ~lambda ~t1 =
+  let frames = 50 in
+  let d1 = frame_delta ~oracle ~algorithm ~lambda ~m:8 ~frame:t1 ~frames in
+  let d2 =
+    frame_delta ~oracle ~algorithm ~lambda ~m:8 ~frame:(t1 + 512) ~frames
+  in
+  (* 512 extra slots per frame for 50 frames contributed nothing. *)
+  Alcotest.(check (float 0.)) (name ^ ": zero words per slot") 0. (d2 -. d1);
+  (* And the per-frame constant itself is pinned: at most 16 words per
+     frame for the stats boxes (currently ~4; headroom for compiler
+     variation, not for new per-frame work). *)
+  if d1 > float_of_int (16 * frames) then
+    Alcotest.failf "%s: per-frame budget blown: %.0f words over %d frames"
+      name d1 frames
+
+let test_run_frame_wireline () =
+  slope_pin "wireline/oneshot" ~oracle:Oracle.Wireline
+    ~algorithm:Dps_static.Oneshot.algorithm ~lambda:0.1 ~t1:64
+
+(* Decay's duration bound has a Θ(log² n) stage-2 floor that no 64-slot
+   frame fits; λ = 0.01 and a 576-slot base frame keep both lengths of
+   the slope construction feasible. *)
+let test_run_frame_decay () =
+  slope_pin "mac/decay" ~oracle:Oracle.Mac
+    ~algorithm:(Dps_mac.Decay.make ~delta:0.3 ()) ~lambda:0.01 ~t1:576
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "alloc"
+    [ ( "channel",
+        [ quick "idle slots allocate nothing" test_idle_slots;
+          quick "busy wireline slots allocate nothing" test_busy_slots_wireline;
+          quick "busy mac slots allocate nothing" test_busy_slots_mac ] );
+      ( "protocol",
+        [ quick "run_frame slope pin (wireline/oneshot)" test_run_frame_wireline;
+          quick "run_frame slope pin (mac/decay)" test_run_frame_decay ] ) ]
