@@ -1,0 +1,103 @@
+(* Schema validator for BENCH_S1.json (dps-bench/1, docs/SCALING.md).
+
+   Run by `dune build @scale-smoke` against both a freshly generated
+   smoke benchmark and the tracked repo-root artifact, so the committed
+   file and the emitter can never drift from the documented schema.
+
+   Usage: check_s1_json FILE [--require-m M]
+
+   --require-m asserts that at least one config was measured at exactly
+   M links — the tracked artifact must contain the m = 100000 scale
+   point the ISSUE's acceptance criterion names, not just toy sizes. *)
+
+module Json = Dps_trace.Json
+
+let fail fmt =
+  Printf.ksprintf
+    (fun m ->
+      prerr_endline ("BENCH_S1 schema violation: " ^ m);
+      exit 1)
+    fmt
+
+let metrics =
+  [ "construct_links_per_sec"; "nnz_per_link"; "bytes_per_link";
+    "max_row_bound"; "step_ops_per_sec"; "query_links_per_sec";
+    "dense_construct_links_per_sec"; "dense_speedup_measured";
+    "dense_speedup_projected" ]
+
+(* Configs look like "link-cloud/eps=0.1/m=4096": recover the size. *)
+let m_of_config config =
+  match String.rindex_opt config '=' with
+  | None -> None
+  | Some i ->
+    int_of_string_opt (String.sub config (i + 1) (String.length config - i - 1))
+
+let () =
+  let path, require_m =
+    match Array.to_list Sys.argv with
+    | [ _; path ] -> (path, None)
+    | [ _; path; "--require-m"; m ] -> (
+      match int_of_string_opt m with
+      | Some m -> (path, Some m)
+      | None -> fail "--require-m wants an integer, got %S" m)
+    | _ ->
+      prerr_endline "usage: check_s1_json FILE [--require-m M]";
+      exit 2
+  in
+  let ic = open_in path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let j = try Json.parse s with Json.Error m -> fail "%s: %s" path m in
+  if Json.string_field "schema" j <> "dps-bench/1" then
+    fail "schema tag is not dps-bench/1";
+  if Json.string_field "bench" j <> "s1" then fail "bench tag is not s1";
+  let entries = Json.to_list (Json.field "entries" j) in
+  if entries = [] then fail "no entries";
+  List.iter
+    (fun e ->
+      let config = Json.string_field "config" e in
+      let metric = Json.string_field "metric" e in
+      let value = Json.to_float (Json.field "value" e) in
+      let jobs = Json.int_field "jobs" e in
+      if config = "" then fail "empty config";
+      if m_of_config config = None then
+        fail "config %S does not end in m=<links>" config;
+      if not (List.mem metric metrics) then
+        fail "unknown metric %S in %s" metric config;
+      (* max_row_bound may legitimately be 0 (window covers the whole
+         instance); every throughput/size metric must be positive. *)
+      if metric = "max_row_bound" then begin
+        if not (value >= 0.) then fail "negative max_row_bound in %s" config
+      end
+      else if not (value > 0.) then
+        fail "non-positive value in %s/%s" config metric;
+      if jobs < 1 then fail "jobs < 1 in %s" config)
+    entries;
+  (* Every config needs the core tiled metrics at jobs=1. *)
+  let configs =
+    List.sort_uniq compare
+      (List.map (fun e -> Json.string_field "config" e) entries)
+  in
+  List.iter
+    (fun config ->
+      List.iter
+        (fun metric ->
+          if
+            not
+              (List.exists
+                 (fun e ->
+                   Json.string_field "config" e = config
+                   && Json.string_field "metric" e = metric
+                   && Json.int_field "jobs" e = 1)
+                 entries)
+          then fail "config %s lacks %s at jobs=1" config metric)
+        [ "construct_links_per_sec"; "nnz_per_link"; "bytes_per_link";
+          "max_row_bound"; "step_ops_per_sec"; "query_links_per_sec" ])
+    configs;
+  (match require_m with
+  | None -> ()
+  | Some m ->
+    if not (List.exists (fun c -> m_of_config c = Some m) configs) then
+      fail "no config measured at m=%d (got: %s)" m (String.concat ", " configs));
+  Printf.printf "%s: %d entries over %d configs valid\n" path
+    (List.length entries) (List.length configs)

@@ -10,6 +10,7 @@
      dps_run --model wireline --topology line:8 --rate 0.3 --adversary burst
      dps_run --model sinr-linear --rate 0.04 --trace t.jsonl --metrics m.csv
      dps_run --model mac --rate 0.15 --reps 8 --jobs 4
+     dps_run --model sinr-linear --topology grid:8x8 --rate 0.04 --sparse 0.1
 
    The full flag reference lives in docs/CLI.md; the trace/metrics output
    format in docs/OBSERVABILITY.md.
@@ -21,6 +22,8 @@ module Routing = Dps_network.Routing
 module Path = Dps_network.Path
 module Topology = Dps_network.Topology
 module Measure = Dps_interference.Measure
+module Tiled = Dps_interference.Tiled
+module Tiling = Dps_geometry.Tiling
 module Conflict_graph = Dps_interference.Conflict_graph
 module Params = Dps_sinr.Params
 module Power = Dps_sinr.Power
@@ -65,34 +68,43 @@ let parse_topology s ~stations =
   | [ "mac" ] -> Topology.mac_channel ~stations
   | _ -> failwith "unknown topology (grid:RxC | line:N | random:N | mac)"
 
-let build_model model g =
+let build_model ?sparse ?tile model g =
   match model with
   | Sinr_linear ->
     let phys = Physics.make (Params.make ~noise:1e-9 ()) (Power.linear 2.) g in
-    (Sinr_measure.linear_power phys, Oracle.Sinr phys)
+    (match sparse with
+    | None -> (Sinr_measure.linear_power phys, Oracle.Sinr phys, None)
+    | Some epsilon ->
+      (* The ε-sparsified tiled construction (docs/SCALING.md): same
+         protocol downstream, the matrix just underestimates interference
+         by at most ε·||R||_inf. *)
+      let tiled = Sinr_measure.linear_power_tiled ?cell:tile ~epsilon phys in
+      (Tiled.to_measure tiled, Oracle.Sinr phys, Some tiled))
+  | _ when sparse <> None ->
+    failwith "--sparse is only supported for the sinr-linear model"
   | Sinr_sqrt ->
     let phys =
       Physics.make (Params.make ~noise:1e-9 ()) (Power.square_root 2.) g
     in
-    (Sinr_measure.monotone_sublinear phys, Oracle.Sinr phys)
+    (Sinr_measure.monotone_sublinear phys, Oracle.Sinr phys, None)
   | Sinr_pc ->
     let prm = Params.make ~noise:1e-9 () in
     let phys = Physics.make prm (Power.uniform 1.) g in
-    (Sinr_measure.power_control phys, Oracle.Sinr_power_control (prm, g))
+    (Sinr_measure.power_control phys, Oracle.Sinr_power_control (prm, g), None)
   | Conflict_d2 ->
     let cg = Conflict_graph.distance2 g in
     let order = Conflict_graph.degeneracy_order cg in
-    (Conflict_graph.to_measure cg ~order, Oracle.Conflict cg)
+    (Conflict_graph.to_measure cg ~order, Oracle.Conflict cg, None)
   | Node_constraint ->
     let cg = Conflict_graph.node_constraint g in
     let order = Conflict_graph.degeneracy_order cg in
-    (Conflict_graph.to_measure cg ~order, Oracle.Conflict cg)
+    (Conflict_graph.to_measure cg ~order, Oracle.Conflict cg, None)
   | Radio ->
     let cg = Conflict_graph.radio_model g in
     let order = Conflict_graph.degeneracy_order cg in
-    (Conflict_graph.to_measure cg ~order, Oracle.Conflict cg)
-  | Mac -> (Measure.complete (Graph.link_count g), Oracle.Mac)
-  | Wireline -> (Measure.identity (Graph.link_count g), Oracle.Wireline)
+    (Conflict_graph.to_measure cg ~order, Oracle.Conflict cg, None)
+  | Mac -> (Measure.complete (Graph.link_count g), Oracle.Mac, None)
+  | Wireline -> (Measure.identity (Graph.link_count g), Oracle.Wireline, None)
 
 let build_algorithm ?g name =
   match name with
@@ -218,8 +230,15 @@ let build_plan ~fault_specs ~fault_plan =
 
 let run model_name topology algorithm_name rate epsilon frames flows adversary
     stations loss seed reps jobs trace metrics metrics_every trace_packets
-    fault_specs fault_plan guard =
+    fault_specs fault_plan guard sparse tile =
   if reps < 1 then failwith "--reps must be >= 1";
+  (match sparse with
+  | Some eps when eps < 0. -> failwith "--sparse epsilon must be >= 0"
+  | None when tile <> None -> failwith "--tile requires --sparse"
+  | _ -> ());
+  (match tile with
+  | Some c when c <= 0. -> failwith "--tile cell must be > 0"
+  | _ -> ());
   if jobs < 1 then failwith "--jobs must be >= 1";
   (* Oversubscribing domains only costs context switches; clamp to what
      the runtime says this machine runs well. Results are identical for
@@ -245,7 +264,7 @@ let run model_name topology algorithm_name rate epsilon frames flows adversary
   in
   let topology = if model = Mac then "mac" else topology in
   let g = parse_topology topology ~stations in
-  let measure, oracle = build_model model g in
+  let measure, oracle, tiled = build_model ?sparse ?tile model g in
   if loss < 0. || loss > 1. then
     failwith "--loss probability must lie in [0, 1]";
   let oracle =
@@ -277,6 +296,17 @@ let run model_name topology algorithm_name rate epsilon frames flows adversary
     model_name topology (Measure.size measure) algorithm.Algorithm.name rate
     config.Protocol.frame config.Protocol.phase1_budget
     config.Protocol.cleanup_budget;
+  Option.iter
+    (fun tiled ->
+      let m = Tiled.size tiled in
+      Printf.fprintf out
+        "sparse: epsilon=%g tiles=%d near=%d nnz=%d (dense %d) \
+         max-row-bound=%.3g\n"
+        (Tiled.epsilon tiled)
+        (Tiling.tiles (Tiled.tiling tiled))
+        (Tiled.near_radius tiled) (Tiled.nnz tiled) (m * m)
+        (Tiled.max_row_bound tiled))
+    tiled;
   let source =
     match adversary with
     | None ->
@@ -533,13 +563,37 @@ let guard =
            and stops once it drains to LOW. POLICY is drop-newest \
            (default) or reject. See DESIGN.md §9.")
 
+let sparse =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "sparse" ] ~docv:"EPS"
+        ~doc:
+          "Build the interference matrix through the ε-sparsified tiled \
+           engine instead of the dense O(m²) scan (sinr-linear only): \
+           entries whose summed contribution to any row of W·R is provably \
+           below $(docv)·‖R‖∞ are dropped, the per-row dropped mass is \
+           recorded, and a summary line is printed. $(docv) = 0 reproduces \
+           the dense matrix exactly. See docs/SCALING.md.")
+
+let tile =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "tile" ] ~docv:"CELL"
+        ~doc:
+          "Tile side for $(b,--sparse) (default: sized for a mean \
+           occupancy of ~8 links per tile). Changing it moves entries \
+           between the exact near field and the bounded far field; the \
+           result differs only within the $(b,--sparse) bound.")
+
 let run_safely model_name topology algorithm_name rate epsilon frames flows
     adversary stations loss seed reps jobs trace metrics metrics_every
-    trace_packets fault_specs fault_plan guard =
+    trace_packets fault_specs fault_plan guard sparse tile =
   try
     run model_name topology algorithm_name rate epsilon frames flows adversary
       stations loss seed reps jobs trace metrics metrics_every trace_packets
-      fault_specs fault_plan guard
+      fault_specs fault_plan guard sparse tile
   with Invalid_argument msg | Failure msg | Sys_error msg ->
     Printf.eprintf "dps_run: %s\n" msg;
     exit 1
@@ -566,6 +620,12 @@ let cmd =
       `Pre
         "  dps_run --model wireline --topology line:8 --rate 0.3 --trace - \
          --trace-packets | dps_trace summary -";
+      `P
+        "Build W through the ε-sparsified tiled engine instead of the \
+         dense O(m²) scan (docs/SCALING.md):";
+      `Pre
+        "  dps_run --model sinr-linear --topology grid:8x8 --rate 0.04 \
+         --sparse 0.1";
       `P "A jamming burst absorbed by the overload guard:";
       `Pre
         "  dps_run --model wireline --topology line:8 --rate 0.3 --fault \
@@ -587,6 +647,7 @@ let cmd =
     Term.(
       const run_safely $ model $ topology $ algorithm $ rate $ epsilon $ frames
       $ flows $ adversary $ stations $ loss $ seed $ reps $ jobs $ trace
-      $ metrics $ metrics_every $ trace_packets $ fault $ fault_plan $ guard)
+      $ metrics $ metrics_every $ trace_packets $ fault $ fault_plan $ guard
+      $ sparse $ tile)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,147 @@
+(* Uniform grid over the bounding box of a point set. Tiles are indexed
+   row-major (tile = iy * nx + ix). Membership is a CSR packing (counting
+   sort over tile ids, so items stay in ascending point order inside each
+   tile), and a summed-area table over the occupancy grid answers
+   "how many points in this tile rectangle" in O(1) — which makes the
+   chebyshev ring counts the sparsifier needs O(1) each. *)
+
+type t = {
+  cell : float;
+  x0 : float;
+  y0 : float;
+  nx : int;
+  ny : int;
+  tile_of : int array;  (* point id -> tile id *)
+  tile_ptr : int array;  (* length tiles+1: CSR over members *)
+  tile_items : int array;  (* point ids, ascending inside each tile *)
+  sat : int array;  (* (nx+1)*(ny+1) summed-area table of occupancy *)
+}
+
+let max_tiles = 1 lsl 26
+
+let create ?cell ~(points : Point.t array) () =
+  let n = Array.length points in
+  if n = 0 then invalid_arg "Tiling.create: empty point set";
+  let x0 = ref points.(0).Point.x
+  and x1 = ref points.(0).Point.x
+  and y0 = ref points.(0).Point.y
+  and y1 = ref points.(0).Point.y in
+  for i = 1 to n - 1 do
+    let p = points.(i) in
+    if p.Point.x < !x0 then x0 := p.Point.x;
+    if p.Point.x > !x1 then x1 := p.Point.x;
+    if p.Point.y < !y0 then y0 := p.Point.y;
+    if p.Point.y > !y1 then y1 := p.Point.y
+  done;
+  let w = !x1 -. !x0 and h = !y1 -. !y0 in
+  let cell =
+    match cell with
+    | Some c ->
+      if not (c > 0.) then invalid_arg "Tiling.create: cell must be > 0";
+      c
+    | None ->
+      (* Target a mean occupancy of ~8 points per tile: small enough that a
+         tile's rows fit in cache, large enough that per-tile overheads
+         amortize. Degenerate extents (all points collinear or coincident)
+         fall back to the non-degenerate axis or to a unit cell. *)
+      let area = w *. h in
+      if area > 0. then sqrt (8. *. area /. float_of_int n)
+      else Float.max 1. (Float.max w h)
+  in
+  let span extent =
+    let k = int_of_float (extent /. cell) + 1 in
+    Int.max 1 k
+  in
+  let nx = span w and ny = span h in
+  if nx > max_tiles / ny then
+    invalid_arg "Tiling.create: cell too small for the point extent";
+  let clamp v hi = if v < 0 then 0 else if v > hi then hi else v in
+  let tile_of =
+    Array.map
+      (fun p ->
+        let ix = clamp (int_of_float ((p.Point.x -. !x0) /. cell)) (nx - 1) in
+        let iy = clamp (int_of_float ((p.Point.y -. !y0) /. cell)) (ny - 1) in
+        (iy * nx) + ix)
+      points
+  in
+  let tiles = nx * ny in
+  let tile_ptr = Array.make (tiles + 1) 0 in
+  Array.iter (fun t -> tile_ptr.(t + 1) <- tile_ptr.(t + 1) + 1) tile_of;
+  for t = 1 to tiles do
+    tile_ptr.(t) <- tile_ptr.(t) + tile_ptr.(t - 1)
+  done;
+  let next = Array.copy tile_ptr in
+  let tile_items = Array.make n 0 in
+  for i = 0 to n - 1 do
+    let t = tile_of.(i) in
+    tile_items.(next.(t)) <- i;
+    next.(t) <- next.(t) + 1
+  done;
+  let sat = Array.make ((nx + 1) * (ny + 1)) 0 in
+  for iy = 1 to ny do
+    let base = iy * (nx + 1) and prev = (iy - 1) * (nx + 1) in
+    for ix = 1 to nx do
+      let t = ((iy - 1) * nx) + (ix - 1) in
+      let occ = tile_ptr.(t + 1) - tile_ptr.(t) in
+      sat.(base + ix) <-
+        occ + sat.(base + ix - 1) + sat.(prev + ix) - sat.(prev + ix - 1)
+    done
+  done;
+  { cell; x0 = !x0; y0 = !y0; nx; ny; tile_of; tile_ptr; tile_items; sat }
+
+let cell t = t.cell
+let nx t = t.nx
+let ny t = t.ny
+let tiles t = t.nx * t.ny
+let point_count t = Array.length t.tile_of
+let tile_of t i = t.tile_of.(i)
+let coords t tile = (tile mod t.nx, tile / t.nx)
+let occupancy t tile = t.tile_ptr.(tile + 1) - t.tile_ptr.(tile)
+
+let iter_members t tile f =
+  for k = t.tile_ptr.(tile) to t.tile_ptr.(tile + 1) - 1 do
+    f t.tile_items.(k)
+  done
+
+(* Points in the tile rectangle [ix0, ix1] x [iy0, iy1] (inclusive tile
+   coordinates, clamped to the grid) via the summed-area table. *)
+let rect_count t ix0 ix1 iy0 iy1 =
+  let ix0 = Int.max 0 ix0 and iy0 = Int.max 0 iy0 in
+  let ix1 = Int.min (t.nx - 1) ix1 and iy1 = Int.min (t.ny - 1) iy1 in
+  if ix0 > ix1 || iy0 > iy1 then 0
+  else
+    let s ix iy = t.sat.((iy * (t.nx + 1)) + ix) in
+    s (ix1 + 1) (iy1 + 1) - s ix0 (iy1 + 1) - s (ix1 + 1) iy0 + s ix0 iy0
+
+let window_count t tile ~radius =
+  let ix, iy = coords t tile in
+  rect_count t (ix - radius) (ix + radius) (iy - radius) (iy + radius)
+
+let ring_count t tile k =
+  if k < 0 then invalid_arg "Tiling.ring_count: negative ring";
+  if k = 0 then occupancy t tile
+  else window_count t tile ~radius:k - window_count t tile ~radius:(k - 1)
+
+let max_ring t tile =
+  let ix, iy = coords t tile in
+  Int.max (Int.max ix (t.nx - 1 - ix)) (Int.max iy (t.ny - 1 - iy))
+
+let chebyshev t a b =
+  let axa, aya = coords t a and axb, ayb = coords t b in
+  Int.max (abs (axa - axb)) (abs (aya - ayb))
+
+let min_distance t a b =
+  let axa, aya = coords t a and axb, ayb = coords t b in
+  let gap d = float_of_int (Int.max 0 (abs d - 1)) *. t.cell in
+  let gx = gap (axa - axb) and gy = gap (aya - ayb) in
+  sqrt ((gx *. gx) +. (gy *. gy))
+
+let iter_window t tile ~radius f =
+  let ix, iy = coords t tile in
+  let jx0 = Int.max 0 (ix - radius) and jx1 = Int.min (t.nx - 1) (ix + radius) in
+  let jy0 = Int.max 0 (iy - radius) and jy1 = Int.min (t.ny - 1) (iy + radius) in
+  for jy = jy0 to jy1 do
+    for jx = jx0 to jx1 do
+      f ((jy * t.nx) + jx)
+    done
+  done

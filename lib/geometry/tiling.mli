@@ -1,0 +1,83 @@
+(** Uniform grid tiling of a point set — the spatial index behind the
+    ε-sparsified interference engine (docs/SCALING.md).
+
+    The bounding box of the points is cut into square cells of side
+    {!cell}; tile ids are row-major ([tile = iy · nx + ix]). Three
+    queries make the sparsifier cheap:
+
+    - {!iter_members}: the points of one tile, CSR-packed;
+    - {!ring_count}: how many points sit at chebyshev tile-distance
+      exactly [k] — O(1) via a summed-area table over tile occupancy;
+    - {!min_distance}: a lower bound on the euclidean distance between
+      any two points of two tiles.
+
+    All queries are read-only after {!create}; a tiling may be shared
+    freely across domains. *)
+
+type t
+
+(** [create ?cell ~points ()] tiles the bounding box of [points].
+    [cell] defaults to a side targeting a mean occupancy of ~8 points
+    per tile ([sqrt (8 · area / n)]; degenerate extents fall back to a
+    sensible positive side). Raises [Invalid_argument] on an empty
+    point set, a non-positive [cell], or a [cell] so small the grid
+    would exceed 2²⁶ tiles. *)
+val create : ?cell:float -> points:Point.t array -> unit -> t
+
+(** Side length of a tile. *)
+val cell : t -> float
+
+(** Grid width in tiles. *)
+val nx : t -> int
+
+(** Grid height in tiles. *)
+val ny : t -> int
+
+(** Total number of tiles ([nx · ny], empty tiles included). *)
+val tiles : t -> int
+
+(** Number of points the tiling was built over. *)
+val point_count : t -> int
+
+(** [tile_of t i] — the tile containing point [i]. *)
+val tile_of : t -> int -> int
+
+(** [coords t tile] — the [(ix, iy)] grid coordinates of a tile. *)
+val coords : t -> int -> int * int
+
+(** Number of points in a tile. *)
+val occupancy : t -> int -> int
+
+(** [iter_members t tile f] calls [f] on every point id of [tile], in
+    ascending id order, without allocating. *)
+val iter_members : t -> int -> (int -> unit) -> unit
+
+(** [window_count t tile ~radius] — points within chebyshev
+    tile-distance ≤ [radius] of [tile] (the tile's own points
+    included). O(1). *)
+val window_count : t -> int -> radius:int -> int
+
+(** [ring_count t tile k] — points at chebyshev tile-distance exactly
+    [k] ([k = 0] is {!occupancy}). O(1). Raises [Invalid_argument] on
+    negative [k]. *)
+val ring_count : t -> int -> int -> int
+
+(** [max_ring t tile] — the largest [k] for which a tile of the grid
+    lies at chebyshev distance [k] from [tile]; rings beyond it are
+    empty. *)
+val max_ring : t -> int -> int
+
+(** [chebyshev t a b] — chebyshev distance between two tiles in grid
+    coordinates. *)
+val chebyshev : t -> int -> int -> int
+
+(** [min_distance t a b] — a lower bound on the euclidean distance
+    between any point of tile [a] and any point of tile [b]: tiles at
+    chebyshev distance [k] are at least [(k − 1) · cell] apart per
+    axis. [0.] for equal or adjacent tiles. *)
+val min_distance : t -> int -> int -> float
+
+(** [iter_window t tile ~radius f] calls [f] on every tile id within
+    chebyshev distance ≤ [radius] of [tile] (clamped to the grid), in
+    row-major order. *)
+val iter_window : t -> int -> radius:int -> (int -> unit) -> unit

@@ -48,7 +48,10 @@ let normalize_row m e entries =
     (fun (e', w) ->
       if e' < 0 || e' >= m then invalid_arg "Measure: link id out of range";
       if Hashtbl.mem tbl e' then invalid_arg "Measure: duplicate entry in row";
-      if w <= 0. || w > 1. then invalid_arg "Measure: weight outside (0, 1]";
+      (* Negated-positive form so NaN weights are rejected too: both
+         [nan <= 0.] and [nan > 1.] are false. *)
+      if not (w > 0. && w <= 1.) then
+        invalid_arg "Measure: weight outside (0, 1]";
       Hashtbl.add tbl e' w)
     entries;
   Hashtbl.replace tbl e 1.;
@@ -57,9 +60,16 @@ let normalize_row m e entries =
   Array.sort (fun (a, _) (b, _) -> compare a b) arr;
   arr
 
-let of_rows rows =
-  let m = Array.length rows in
-  pack m (Array.mapi (normalize_row m) rows)
+let of_rows ?m rows =
+  let n = Array.length rows in
+  (match m with
+  | Some m when m <> n ->
+    invalid_arg
+      (Printf.sprintf "Measure: of_rows got %d rows for declared size m = %d" n
+         m)
+  | _ -> ());
+  if n = 0 then invalid_arg "Measure: of_rows needs at least one row";
+  pack n (Array.mapi (normalize_row n) rows)
 
 let identity m =
   assert (m > 0);

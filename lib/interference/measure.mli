@@ -36,11 +36,15 @@ val complete : int -> t
     as the model requires. O(m²). *)
 val of_function : m:int -> (int -> int -> float) -> t
 
-(** [of_rows rows] builds the measure from explicit sparse rows:
+(** [of_rows ?m rows] builds the measure from explicit sparse rows:
     [rows.(e)] lists [(e', w)] with [w > 0]. The diagonal is forced to 1.
-    Raises [Invalid_argument] on out-of-range ids, duplicates in a row, or
-    weights outside (0, 1]. *)
-val of_rows : (int * float) list array -> t
+    When [m] is given, [Array.length rows] must equal it — pass it
+    whenever the intended size is known independently of the row data,
+    so a truncated or padded row array fails loudly instead of silently
+    building a smaller or larger matrix. Raises [Invalid_argument] on a
+    size mismatch, an empty [rows], out-of-range ids, duplicates in a
+    row, or weights outside (0, 1] (NaN included). *)
+val of_rows : ?m:int -> (int * float) list array -> t
 
 (** [weight t e e'] is [W(e, e')] ([0.] where absent). *)
 val weight : t -> int -> int -> float

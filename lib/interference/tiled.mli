@@ -1,0 +1,149 @@
+(** ε-sparsified interference measure over a spatial tiling — the
+    million-link construction path (docs/SCALING.md).
+
+    {!Measure.of_function} materializes all m² pairs, which dies around
+    m ≈ 10⁴ on geometric instances. [Tiled.create] instead partitions the
+    links into grid tiles ({!Dps_geometry.Tiling}) and builds each row
+    against a near window only, charging everything farther to a decay
+    bound:
+
+    - {b far field}: a global chebyshev tile radius [near] is chosen so
+      that for every tile, [bound] summed over all links beyond the
+      window is ≤ ε/2;
+    - {b near field}: inside the window, entries ≤ θ = (ε/2)/(window−1)
+      are dropped with their {e exact} mass accumulated per row.
+
+    The per-row dropped mass (exact near mass + far-field bound) is
+    recorded: for every load [R ≥ 0] and every link [e],
+
+    {[ 0 ≤ (W_dense · R)(e) − (W_sparse · R)(e) ≤ row_bound e · ‖R‖∞ ]}
+
+    and [row_bound e ≤ max_row_bound ≤ ε], where [W_dense] is the matrix
+    {!Measure.of_function} would build from the same clamped gain. With
+    [epsilon = 0.] the sparse measure is exactly the dense one.
+
+    Rows are stored in flat [Bigarray] slabs (int32 column ids + float64
+    weights), grouped tile-major so a tile's working set is contiguous.
+    Construction and {!interference} fan out per tile over
+    {!Dps_par.Par} and fold the per-tile results in fixed tile order —
+    results are byte-identical whatever [jobs] is
+    (docs/PARALLELISM.md). *)
+
+type t
+
+(** [create ?jobs ?cell ~epsilon ~points ~gain ~bound ()] builds the
+    sparsified measure for [m = Array.length points] links, where
+    [points.(e)] is link [e]'s representative location (tiling only —
+    gains stay exact).
+
+    - [gain e e'] is the dense entry [W(e, e')], evaluated only for
+      pairs inside the near window, clamped into [0, 1]; the diagonal is
+      forced to 1 and never requested.
+    - [bound d] must upper-bound [gain e e'] whenever
+      [distance points.(e) points.(e') ≥ d] — a monotone decay envelope
+      (bake any representative-point slack into [bound]; see
+      {!Dps_sinr.Sinr_measure.linear_power_tiled}). Values are clamped
+      into [0, 1]; a bound that never decays degrades gracefully to the
+      dense construction.
+    - [cell] overrides the tile side ({!Dps_geometry.Tiling.create}).
+    - [jobs] parallelizes construction per tile ([1] = sequential; the
+      result never depends on it).
+
+    Raises [Invalid_argument] on [epsilon < 0], [jobs < 1], an empty
+    point set, or a NaN from [gain]/[bound]. *)
+val create :
+  ?jobs:int ->
+  ?cell:float ->
+  epsilon:float ->
+  points:Dps_geometry.Point.t array ->
+  gain:(int -> int -> float) ->
+  bound:(float -> float) ->
+  unit ->
+  t
+
+(** Number of links [m]. *)
+val size : t -> int
+
+(** Stored entries in the whole matrix. *)
+val nnz : t -> int
+
+(** The ε the measure was built with. *)
+val epsilon : t -> float
+
+(** The chosen near-window chebyshev tile radius. *)
+val near_radius : t -> int
+
+(** The underlying spatial tiling (links indexed as points). *)
+val tiling : t -> Dps_geometry.Tiling.t
+
+(** [row_bound t e] — the recorded bound on row [e]'s dropped mass:
+    [(W_dense · R)(e) − (W_sparse · R)(e) ≤ row_bound t e · ‖R‖∞ ]. *)
+val row_bound : t -> int -> float
+
+(** Largest {!row_bound} over all rows; at most [epsilon t]. *)
+val max_row_bound : t -> float
+
+(** Approximate resident size of the measure in bytes (slabs + per-link
+    and per-tile index arrays) — the memory model of docs/SCALING.md. *)
+val bytes : t -> int
+
+(** Stored entries in row [e]. *)
+val row_nnz : t -> int -> int
+
+(** [iter_row t e f] calls [f e' w] for every stored entry of row [e],
+    in ascending [e'] order, without allocating. *)
+val iter_row : t -> int -> (int -> float -> unit) -> unit
+
+(** [interference_at t load e] is [(W_sparse · load)(e)]. [load] must
+    have length [m]. *)
+val interference_at : t -> float array -> int -> float
+
+(** [interference ?jobs t load] is [‖W_sparse · load‖∞], computed
+    tile-parallel; byte-identical for every [jobs]. *)
+val interference : ?jobs:int -> t -> float array -> float
+
+(** Convert to a dense-indexed {!Measure.t} (CSR with CSC transpose) so
+    the sparsified matrix can drive the existing protocol stack. O(nnz)
+    but allocates boxed rows — intended for m small enough that the
+    protocol itself is runnable. *)
+val to_measure : t -> Measure.t
+
+type measure = t
+
+(** Incremental [‖W_sparse · R‖∞] under single-link load updates — the
+    tiled counterpart of {!Load_tracker}. Updates mark the tiles whose
+    rows can see the changed link (the near window); queries recompute
+    only dirty tiles, fanning out over {!Dps_par.Par}. The tracked value
+    equals [interference meas load] exactly, for every [jobs]. *)
+module Tracker : sig
+  type t
+
+  (** A fresh tracker over an all-zero load. *)
+  val create : measure -> t
+
+  (** The measure the tracker was built over. *)
+  val measure : t -> measure
+
+  (** Current load of one link. *)
+  val load : t -> int -> float
+
+  (** [add tr e] — one more packet on link [e]. *)
+  val add : t -> int -> unit
+
+  (** [remove tr e] — one packet off link [e]. *)
+  val remove : t -> int -> unit
+
+  (** [add_scaled tr e c] — add [c] (possibly negative) to link [e]'s
+      load. Raises [Invalid_argument] on an out-of-range link. *)
+  val add_scaled : t -> int -> float -> unit
+
+  (** Exact [(W_sparse · load)(e)] for the current load. *)
+  val interference_at : t -> int -> float
+
+  (** Current [‖W_sparse · load‖∞]; recomputes dirty tiles
+      ([jobs]-parallel), then folds all tile maxima in index order. *)
+  val interference : ?jobs:int -> t -> float
+
+  (** Back to the all-zero load. *)
+  val reset : t -> unit
+end

@@ -1,5 +1,6 @@
 module Point = Dps_geometry.Point
 module Placement = Dps_geometry.Placement
+module Rng = Dps_prelude.Rng
 
 let links_of_pairs pairs =
   List.mapi (fun id (src, dst) -> Link.make ~id ~src ~dst) pairs
@@ -50,6 +51,22 @@ let random_geometric rng ~nodes ~side ~radius =
     done
   done;
   Graph.create ~positions ~links:(links_of_pairs (bidirectional (List.rev !pairs)))
+
+let link_cloud rng ~links ~side ~length =
+  assert (links >= 1 && side > 0. && length > 0.);
+  (* O(links): no pairwise distance scan, so it reaches m = 10⁵–10⁶ where
+     random_geometric (O(nodes²)) cannot. Nodes are not shared between
+     links — link i is node 2i → node 2i+1. *)
+  let positions = Array.make (2 * links) Point.origin in
+  let pairs =
+    List.init links (fun i ->
+        let s = Point.make (Rng.float rng side) (Rng.float rng side) in
+        let angle = Rng.float rng (2. *. Float.pi) in
+        positions.(2 * i) <- s;
+        positions.((2 * i) + 1) <- Point.on_circle ~center:s ~radius:length ~angle;
+        (2 * i, (2 * i) + 1))
+  in
+  Graph.create ~positions ~links:(links_of_pairs pairs)
 
 let figure_one ~m =
   assert (m >= 2);

@@ -27,6 +27,15 @@ val mac_channel : stations:int -> Graph.t
 val random_geometric :
   Dps_prelude.Rng.t -> nodes:int -> side:float -> radius:float -> Graph.t
 
+(** [link_cloud rng ~links ~side ~length] — exactly [links] disjoint
+    links: each sender uniform in [0, side]², its receiver at distance
+    [length] in a uniform random direction (nodes [2i → 2i+1]). Unlike
+    {!random_geometric} this is O(links), so it scales to the
+    m = 10⁵–10⁶ instances of the tiled interference engine
+    (docs/SCALING.md). *)
+val link_cloud :
+  Dps_prelude.Rng.t -> links:int -> side:float -> length:float -> Graph.t
+
 (** [figure_one ~m] — the lower-bound instance of Theorem 20 (Figure 1):
     [m - 1] unit-length "short" links whose senders sit on a circle of radius
     [m] around the receiver of one "long" link of length [10·m²]. Under

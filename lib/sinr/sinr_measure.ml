@@ -1,4 +1,5 @@
 module Measure = Dps_interference.Measure
+module Tiled = Dps_interference.Tiled
 module Graph = Dps_network.Graph
 module Link = Dps_network.Link
 module Point = Dps_geometry.Point
@@ -7,6 +8,45 @@ let linear_power phys =
   let m = Physics.size phys in
   Measure.of_function ~m (fun l l' ->
       if l = l' then 1. else Affectance.affectance phys ~src:l' ~dst:l)
+
+let linear_power_tiled ?jobs ?cell ~epsilon phys =
+  let m = Physics.size phys in
+  let g = Physics.graph phys in
+  let prm = Physics.params phys in
+  let points =
+    Array.init m (fun l ->
+        let lk = Graph.link g l in
+        Point.midpoint (Graph.position g lk.Link.src) (Graph.position g lk.Link.dst))
+  in
+  (* Decay envelope for the affectance
+       a(ℓ' → ℓ) = min(1, β · p(ℓ') / (d(s', r)^α · tol(ℓ)))
+     in terms of the midpoint distance the tiling sees: the sender of ℓ'
+     and the receiver of ℓ are each within len/2 of their link midpoint,
+     so d(s', r) ≥ d_mid − max_len. A link that cannot overcome the
+     noise (tol ≤ 0) makes every affectance against it 1, so the bound
+     degrades to the dense construction rather than lying. *)
+  let max_pow = ref 0. in
+  let max_len = ref 0. in
+  let min_tol = ref infinity in
+  for l = 0 to m - 1 do
+    let tol = Physics.signal phys l -. (prm.Params.beta *. prm.Params.noise) in
+    if tol < !min_tol then min_tol := tol;
+    if Physics.power_of phys l > !max_pow then max_pow := Physics.power_of phys l;
+    if Physics.length phys l > !max_len then max_len := Physics.length phys l
+  done;
+  let bound =
+    if !min_tol <= 0. then fun _ -> 1.
+    else begin
+      let c = prm.Params.beta *. !max_pow /. !min_tol in
+      let slack = !max_len in
+      fun d ->
+        let d = d -. slack in
+        if d <= 0. then 1. else Float.min 1. (c /. (d ** prm.Params.alpha))
+    end
+  in
+  Tiled.create ?jobs ?cell ~epsilon ~points
+    ~gain:(fun l l' -> Affectance.affectance phys ~src:l' ~dst:l)
+    ~bound ()
 
 let monotone_sublinear phys =
   let m = Physics.size phys in

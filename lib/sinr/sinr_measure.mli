@@ -11,6 +11,24 @@
     constant-competitive protocol of Corollary 12. *)
 val linear_power : Physics.t -> Dps_interference.Measure.t
 
+(** [linear_power_tiled ?jobs ?cell ~epsilon phys] — the ε-sparsified,
+    spatially tiled construction of the {!linear_power} matrix
+    ({!Dps_interference.Tiled}, docs/SCALING.md): links are tiled by
+    their midpoints, each row is built exactly against a near window and
+    everything farther is charged to the gain-decay envelope
+    [min(1, β·p_max / ((d − max_len)^α · tol_min))], where [tol_min] is
+    the smallest interference tolerance over links. For every load
+    [R ≥ 0] the result underestimates the dense [‖W·R‖∞] by at most
+    [epsilon · ‖R‖∞] (per row: [Tiled.row_bound · ‖R‖∞]); [epsilon = 0.]
+    reproduces {!linear_power} entry for entry. O(m · window) instead of
+    O(m²) — the construction path for m = 10⁵–10⁶ links. *)
+val linear_power_tiled :
+  ?jobs:int ->
+  ?cell:float ->
+  epsilon:float ->
+  Physics.t ->
+  Dps_interference.Tiled.t
+
 (** [monotone_sublinear phys] — Section 6.1, monotone (sub)linear powers:
     [W(ℓ, ℓ') = max(a_p(ℓ, ℓ'), a_p(ℓ', ℓ))] if [d(ℓ) ≤ d(ℓ')], else [0]
     — rows only charge interference against longer links

@@ -26,7 +26,7 @@ let all_flags =
   [ "--model"; "--topology"; "--algorithm"; "--rate"; "--epsilon"; "--frames";
     "--flows"; "--adversary"; "--stations"; "--loss"; "--seed"; "--reps";
     "--jobs"; "--trace"; "--metrics"; "--metrics-every"; "--trace-packets";
-    "--fault"; "--fault-plan"; "--guard" ]
+    "--fault"; "--fault-plan"; "--guard"; "--sparse"; "--tile" ]
 
 let test_help_lists_every_flag () =
   let h = help () in

@@ -1,13 +1,21 @@
 (* Documentation lint, run as part of the tier-1 suite.
 
    The container has no odoc, so `dune build @doc` cannot be the check;
-   instead this test enforces the part that matters for reviewers: every
-   interface of the telemetry library (the subsystem whose output format
-   is a documented, stable schema) opens with a module doc comment and
-   documents every exported value, and the interfaces extended across
-   cycles (Load_tracker, the dps_faults plan/injector pair) keep full
-   coverage. The dune stanza materialises the
-   .mli files as test dependencies. *)
+   instead this test enforces the parts that matter for reviewers:
+
+   - every interface of the libraries whose surface is documented
+     behaviour (telemetry, faults, trace, par, and the interference /
+     geometry substrate including the tiled sparse engine) opens with a
+     module doc comment and documents every exported value;
+   - the flag table of docs/CLI.md and `dps_run --help` agree in BOTH
+     directions — a flag added to the parser without a CLI.md row, or a
+     documented row whose flag the parser dropped, fails the build;
+   - every relative `.md` link inside README.md and docs/*.md resolves
+     to a file that exists — no dead intra-doc links.
+
+   The dune stanza materialises the .mli files and the markdown corpus
+   as test dependencies; the test runs from _build/default/test/, so
+   repo-root paths are `../…`. *)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -25,8 +33,7 @@ let count_occurrences needle haystack =
   in
   go 0 0
 
-let telemetry_mlis =
-  [ "event"; "histo"; "metrics"; "sink"; "memory_sink"; "tracer"; "telemetry" ]
+(* ------------------------------------------------- interface doc lint *)
 
 let check_mli path =
   let src = read_file path in
@@ -40,32 +47,188 @@ let check_mli path =
     Alcotest.failf "%s: %d doc comments for %d vals — document every export"
       path vals docs
 
+let check_dir dir names =
+  List.iter (fun m -> check_mli (Printf.sprintf "../lib/%s/%s.mli" dir m)) names
+
 let test_telemetry_mlis () =
-  List.iter
-    (fun m -> check_mli (Printf.sprintf "../lib/telemetry/%s.mli" m))
-    telemetry_mlis
+  check_dir "telemetry"
+    [ "event"; "histo"; "metrics"; "sink"; "memory_sink"; "tracer"; "telemetry" ]
 
-let test_load_tracker_mli () = check_mli "../lib/interference/load_tracker.mli"
+let test_interference_mlis () =
+  check_dir "interference"
+    [ "measure"; "load"; "load_tracker"; "conflict_graph"; "tiled" ]
 
-let test_faults_mlis () =
-  List.iter
-    (fun m -> check_mli (Printf.sprintf "../lib/faults/%s.mli" m))
-    [ "plan"; "injector" ]
+let test_geometry_mlis () = check_dir "geometry" [ "point"; "placement"; "tiling" ]
+let test_faults_mlis () = check_dir "faults" [ "plan"; "injector" ]
 
 let test_trace_mlis () =
-  List.iter
-    (fun m -> check_mli (Printf.sprintf "../lib/trace/%s.mli" m))
-    [ "json"; "line"; "reader"; "lifecycle"; "analyze"; "witness" ]
+  check_dir "trace" [ "json"; "line"; "reader"; "lifecycle"; "analyze"; "witness" ]
 
-let test_par_mli () = check_mli "../lib/par/par.mli"
+let test_par_mli () = check_dir "par" [ "par" ]
+
+(* -------------------------------------------- CLI.md vs --help drift *)
+
+(* All `--flag` tokens occurring in [s] (longest match, deduplicated). *)
+let flags_in s =
+  let l = String.length s in
+  let is_flag_char c = (c >= 'a' && c <= 'z') || c = '-' in
+  let out = ref [] in
+  let i = ref 0 in
+  while !i + 1 < l do
+    if
+      s.[!i] = '-'
+      && s.[!i + 1] = '-'
+      && (!i = 0 || s.[!i - 1] <> '-')
+      && !i + 2 < l
+      && s.[!i + 2] >= 'a'
+      && s.[!i + 2] <= 'z'
+    then begin
+      let j = ref (!i + 2) in
+      while !j < l && is_flag_char s.[!j] do
+        incr j
+      done;
+      out := String.sub s !i (!j - !i) :: !out;
+      i := !j
+    end
+    else incr i
+  done;
+  List.sort_uniq compare !out
+
+(* Flags documented in the CLI.md flag table: rows shaped "| `--flag …".
+   Parse the flag the row is ABOUT (at the row start) — descriptions may
+   mention other flags. *)
+let cli_md_table_flags () =
+  let lines = String.split_on_char '\n' (read_file "../docs/CLI.md") in
+  List.filter_map
+    (fun line ->
+      if String.length line >= 5 && String.sub line 0 5 = "| `--" then begin
+        let l = String.length line in
+        let is_flag_char c = (c >= 'a' && c <= 'z') || c = '-' in
+        let j = ref 5 in
+        while !j < l && is_flag_char line.[!j] do
+          incr j
+        done;
+        Some (String.sub line 3 (!j - 3))
+      end
+      else None)
+    lines
+  |> List.sort_uniq compare
+
+let help_flags () =
+  List.filter
+    (fun f -> f <> "--help" && f <> "--version")
+    (flags_in (read_file "dps_run_help.txt"))
+
+let test_cli_md_covers_help () =
+  let documented = cli_md_table_flags () in
+  List.iter
+    (fun f ->
+      if not (List.mem f documented) then
+        Alcotest.failf
+          "%s is in dps_run --help but has no row in the docs/CLI.md flag table"
+          f)
+    (help_flags ())
+
+let test_help_covers_cli_md () =
+  let known = help_flags () in
+  List.iter
+    (fun f ->
+      if not (List.mem f known) then
+        Alcotest.failf
+          "%s has a docs/CLI.md flag-table row but dps_run --help does not \
+           know it"
+          f)
+    (cli_md_table_flags ())
+
+(* ------------------------------------------------- dead-link checker *)
+
+(* Normalize a relative path: resolve "." and ".." segments. *)
+let normalize path =
+  let segs = String.split_on_char '/' path in
+  let out =
+    List.fold_left
+      (fun acc seg ->
+        match (seg, acc) with
+        | ("" | "."), _ -> acc
+        | "..", x :: rest when x <> ".." -> rest
+        | s, _ -> s :: acc)
+      [] segs
+  in
+  String.concat "/" (List.rev out)
+
+(* Markdown links [text](target.md[#anchor]) with a relative target. *)
+let md_links src =
+  let l = String.length src in
+  let out = ref [] in
+  for i = 0 to l - 2 do
+    if src.[i] = ']' && src.[i + 1] = '(' then
+      match String.index_from_opt src (i + 2) ')' with
+      | Some j ->
+        let target = String.sub src (i + 2) (j - i - 2) in
+        let target =
+          match String.index_opt target '#' with
+          | Some k -> String.sub target 0 k
+          | None -> target
+        in
+        let is_md =
+          String.length target > 3
+          && String.sub target (String.length target - 3) 3 = ".md"
+        in
+        let is_remote =
+          String.length target > 4
+          && (String.sub target 0 4 = "http" || target.[0] = '/')
+        in
+        if is_md && not is_remote then out := target :: !out
+      | None -> ()
+  done;
+  List.rev !out
+
+let doc_corpus () =
+  let root =
+    Sys.readdir ".." |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".md")
+    |> List.map (fun f -> "../" ^ f)
+  in
+  let docs =
+    Sys.readdir "../docs" |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".md")
+    |> List.map (fun f -> "../docs/" ^ f)
+  in
+  root @ docs
+
+let test_no_dead_links () =
+  let checked = ref 0 in
+  List.iter
+    (fun doc ->
+      let dir = Filename.dirname doc in
+      List.iter
+        (fun target ->
+          incr checked;
+          let resolved = normalize (dir ^ "/" ^ target) in
+          if not (Sys.file_exists resolved) then
+            Alcotest.failf "%s links to %s, which does not exist (resolved %s)"
+              doc target resolved)
+        (md_links (read_file doc)))
+    (doc_corpus ());
+  (* The corpus is wired through dune deps; if the glob breaks we would
+     vacuously pass, so insist we actually saw links. *)
+  Alcotest.(check bool) "saw at least five intra-doc links" true (!checked >= 5)
 
 let () =
   Alcotest.run "docs"
     [ ( "doc-comments",
-        [ Alcotest.test_case "telemetry interfaces" `Quick
-            test_telemetry_mlis;
-          Alcotest.test_case "load_tracker interface" `Quick
-            test_load_tracker_mli;
+        [ Alcotest.test_case "telemetry interfaces" `Quick test_telemetry_mlis;
+          Alcotest.test_case "interference interfaces" `Quick
+            test_interference_mlis;
+          Alcotest.test_case "geometry interfaces" `Quick test_geometry_mlis;
           Alcotest.test_case "faults interfaces" `Quick test_faults_mlis;
           Alcotest.test_case "trace interfaces" `Quick test_trace_mlis;
-          Alcotest.test_case "par interface" `Quick test_par_mli ] ) ]
+          Alcotest.test_case "par interface" `Quick test_par_mli ] );
+      ( "cli-drift",
+        [ Alcotest.test_case "CLI.md covers every --help flag" `Quick
+            test_cli_md_covers_help;
+          Alcotest.test_case "--help knows every CLI.md row" `Quick
+            test_help_covers_cli_md ] );
+      ( "links",
+        [ Alcotest.test_case "no dead intra-doc links" `Quick
+            test_no_dead_links ] ) ]

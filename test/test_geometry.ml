@@ -3,6 +3,7 @@
 module Rng = Dps_prelude.Rng
 module Point = Dps_geometry.Point
 module Placement = Dps_geometry.Placement
+module Tiling = Dps_geometry.Tiling
 
 let check_float = Alcotest.(check (float 1e-9))
 
@@ -113,6 +114,84 @@ let prop_midpoint_equidistant =
       let m = Point.midpoint a b in
       Float.abs (Point.distance a m -. Point.distance m b) < 1e-6)
 
+(* ------------------------------------------------------------- tiling *)
+
+let random_points ~n ~side seed =
+  let rng = Rng.create ~seed () in
+  Array.init n (fun _ -> Point.make (Rng.float rng side) (Rng.float rng side))
+
+let test_tiling_rejects_bad () =
+  Alcotest.check_raises "empty" (Invalid_argument "Tiling.create: empty point set")
+    (fun () -> ignore (Tiling.create ~points:[||] ()));
+  Alcotest.check_raises "bad cell"
+    (Invalid_argument "Tiling.create: cell must be > 0") (fun () ->
+      ignore (Tiling.create ~cell:0. ~points:[| Point.origin |] ()))
+
+let test_tiling_degenerate () =
+  (* All points coincident: one tile, everything in it. *)
+  let t = Tiling.create ~points:(Array.make 5 (Point.make 2. 3.)) () in
+  Alcotest.(check int) "one tile" 1 (Tiling.tiles t);
+  Alcotest.(check int) "all members" 5 (Tiling.occupancy t 0);
+  Alcotest.(check int) "max ring" 0 (Tiling.max_ring t 0)
+
+(* Membership is a partition: every point in exactly the tile it maps to,
+   ascending ids inside a tile, and ring counts over any tile sum to n. *)
+let prop_tiling_partition =
+  QCheck.Test.make ~count:200 ~name:"tiling membership partitions the points"
+    QCheck.(pair small_nat small_nat)
+    (fun (pick, seed) ->
+      let n = 1 + (pick mod 60) in
+      let points = random_points ~n ~side:25. (700 + seed) in
+      let t = Tiling.create ~points () in
+      let seen = Array.make n 0 in
+      let sorted = ref true in
+      for a = 0 to Tiling.tiles t - 1 do
+        let prev = ref (-1) in
+        Tiling.iter_members t a (fun i ->
+            if i <= !prev then sorted := false;
+            prev := i;
+            seen.(i) <- seen.(i) + 1;
+            if Tiling.tile_of t i <> a then sorted := false)
+      done;
+      !sorted && Array.for_all (( = ) 1) seen)
+
+let prop_tiling_ring_counts =
+  QCheck.Test.make ~count:200 ~name:"ring counts sum to the point count"
+    QCheck.(pair small_nat small_nat)
+    (fun (pick, seed) ->
+      let n = 1 + (pick mod 60) in
+      let points = random_points ~n ~side:25. (800 + seed) in
+      let t = Tiling.create ~points () in
+      List.for_all
+        (fun a ->
+          let kmax = Tiling.max_ring t a in
+          let total = ref 0 in
+          for k = 0 to kmax do
+            total := !total + Tiling.ring_count t a k
+          done;
+          !total = n
+          && Tiling.window_count t a ~radius:kmax = n
+          && Tiling.ring_count t a 0 = Tiling.occupancy t a)
+        (List.init (Tiling.tiles t) Fun.id))
+
+(* min_distance is a true lower bound on every pairwise member distance. *)
+let prop_tiling_min_distance =
+  QCheck.Test.make ~count:200 ~name:"tile min_distance lower-bounds members"
+    QCheck.(pair small_nat small_nat)
+    (fun (pick, seed) ->
+      let n = 2 + (pick mod 40) in
+      let points = random_points ~n ~side:25. (900 + seed) in
+      let t = Tiling.create ~points () in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          let d = Point.distance points.(i) points.(j) in
+          let lo = Tiling.min_distance t (Tiling.tile_of t i) (Tiling.tile_of t j) in
+          if lo > d +. 1e-9 then ok := false
+        done
+      done;
+      !ok)
+
 let () =
   let quick name f = Alcotest.test_case name `Quick f in
   Alcotest.run "geometry"
@@ -129,9 +208,15 @@ let () =
           quick "uniform bounds" test_placement_uniform_bounds;
           quick "clusters" test_placement_clusters;
           quick "ring" test_placement_ring ] );
+      ( "tiling",
+        [ quick "rejects bad input" test_tiling_rejects_bad;
+          quick "degenerate extents" test_tiling_degenerate ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
           [ prop_symmetry;
             prop_triangle_inequality;
             prop_identity;
-            prop_midpoint_equidistant ] ) ]
+            prop_midpoint_equidistant;
+            prop_tiling_partition;
+            prop_tiling_ring_counts;
+            prop_tiling_min_distance ] ) ]

@@ -69,6 +69,23 @@ let test_of_rows_error_paths () =
            [| [ (1, 0.1); (2, 0.2); (3, 0.3); (2, 0.4) ]; []; []; [] |]));
   Alcotest.check_raises "bad entry in a later row" out_of_range (fun () ->
       ignore (Measure.of_rows [| [ (1, 0.5) ]; [ (9, 0.5) ] |]));
+  (* NaN compares false against both range bounds; it must still be
+     rejected, not silently stored. *)
+  Alcotest.check_raises "NaN weight" bad_weight (fun () ->
+      ignore (Measure.of_rows [| [ (1, Float.nan) ]; [] |]));
+  (* A declared size must match the row count exactly, and an empty row
+     array can no longer build a 0-link measure by accident. *)
+  Alcotest.check_raises "declared m too large"
+    (Invalid_argument "Measure: of_rows got 2 rows for declared size m = 3")
+    (fun () -> ignore (Measure.of_rows ~m:3 [| [ (1, 0.5) ]; [] |]));
+  Alcotest.check_raises "declared m too small"
+    (Invalid_argument "Measure: of_rows got 2 rows for declared size m = 1")
+    (fun () -> ignore (Measure.of_rows ~m:1 [| [ (1, 0.5) ]; [] |]));
+  Alcotest.check_raises "empty rows"
+    (Invalid_argument "Measure: of_rows needs at least one row") (fun () ->
+      ignore (Measure.of_rows [||]));
+  let w = Measure.of_rows ~m:2 [| [ (1, 0.5) ]; [] |] in
+  check_float "matching declared m accepted" 0.5 (Measure.weight w 0 1);
   (* Boundary acceptances. *)
   let w = Measure.of_rows [| [ (1, 1.) ]; [] |] in
   check_float "weight exactly 1 accepted" 1. (Measure.weight w 0 1);
