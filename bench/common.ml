@@ -177,4 +177,8 @@ let median_time ?(warmup = 1) ?(runs = 5) ?equal f =
   | _ -> ());
   let result = fst (List.hd samples) in
   let times = List.sort compare (List.map snd samples) in
-  (result, List.nth times (runs / 2))
+  (* Floor at the gettimeofday resolution: a sub-microsecond body (tiny
+     smoke sizes on a fast machine) otherwise reports 0 s and every
+     derived rate becomes [inf] — which is not even valid JSON for the
+     S1 schema check. *)
+  (result, Float.max 1e-6 (List.nth times (runs / 2)))

@@ -27,7 +27,9 @@ let experiments =
     ("p4", "perf: deterministic multicore fan-out", Exp_p4.run);
     ("p5", "perf: protocol throughput (slots/sec)", Exp_p5.run);
     ("s1", "scale: tiled sparse interference engine", Exp_s1.run);
-    ("r1", "robustness: jamming burst + overload guard", Exp_r1.run) ]
+    ("r1", "robustness: jamming burst + overload guard", Exp_r1.run);
+    ("r2", "robustness: multi-tenant serving soak (overload + faults + churn)",
+     Exp_r2.run) ]
 
 let () =
   let requested =

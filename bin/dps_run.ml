@@ -20,19 +20,9 @@ module Rng = Dps_prelude.Rng
 module Graph = Dps_network.Graph
 module Routing = Dps_network.Routing
 module Path = Dps_network.Path
-module Topology = Dps_network.Topology
 module Measure = Dps_interference.Measure
 module Tiled = Dps_interference.Tiled
 module Tiling = Dps_geometry.Tiling
-module Conflict_graph = Dps_interference.Conflict_graph
-module Params = Dps_sinr.Params
-module Power = Dps_sinr.Power
-module Physics = Dps_sinr.Physics
-module Sinr_measure = Dps_sinr.Sinr_measure
-module Oracle = Dps_sim.Oracle
-module Delay_select = Dps_static.Delay_select
-module Contention = Dps_static.Contention
-module Oneshot = Dps_static.Oneshot
 module Algorithm = Dps_static.Algorithm
 module Stochastic = Dps_injection.Stochastic
 module Adversary = Dps_injection.Adversary
@@ -43,82 +33,7 @@ module Plan = Dps_faults.Plan
 module Injector = Dps_faults.Injector
 module Telemetry = Dps_telemetry.Telemetry
 module Sink = Dps_telemetry.Sink
-
-type model =
-  | Sinr_linear
-  | Sinr_sqrt
-  | Sinr_pc
-  | Conflict_d2
-  | Node_constraint
-  | Radio
-  | Mac
-  | Wireline
-
-let parse_topology s ~stations =
-  match String.split_on_char ':' s with
-  | [ "grid"; dims ] -> (
-    match String.split_on_char 'x' dims with
-    | [ r; c ] ->
-      Topology.grid ~rows:(int_of_string r) ~cols:(int_of_string c) ~spacing:10.
-    | _ -> failwith "grid topology must be grid:RxC")
-  | [ "line"; n ] -> Topology.line ~nodes:(int_of_string n) ~spacing:10.
-  | [ "random"; n ] ->
-    let rng = Rng.create ~seed:1 () in
-    Topology.random_geometric rng ~nodes:(int_of_string n) ~side:60. ~radius:18.
-  | [ "mac" ] -> Topology.mac_channel ~stations
-  | _ -> failwith "unknown topology (grid:RxC | line:N | random:N | mac)"
-
-let build_model ?sparse ?tile model g =
-  match model with
-  | Sinr_linear ->
-    let phys = Physics.make (Params.make ~noise:1e-9 ()) (Power.linear 2.) g in
-    (match sparse with
-    | None -> (Sinr_measure.linear_power phys, Oracle.Sinr phys, None)
-    | Some epsilon ->
-      (* The ε-sparsified tiled construction (docs/SCALING.md): same
-         protocol downstream, the matrix just underestimates interference
-         by at most ε·||R||_inf. *)
-      let tiled = Sinr_measure.linear_power_tiled ?cell:tile ~epsilon phys in
-      (Tiled.to_measure tiled, Oracle.Sinr phys, Some tiled))
-  | _ when sparse <> None ->
-    failwith "--sparse is only supported for the sinr-linear model"
-  | Sinr_sqrt ->
-    let phys =
-      Physics.make (Params.make ~noise:1e-9 ()) (Power.square_root 2.) g
-    in
-    (Sinr_measure.monotone_sublinear phys, Oracle.Sinr phys, None)
-  | Sinr_pc ->
-    let prm = Params.make ~noise:1e-9 () in
-    let phys = Physics.make prm (Power.uniform 1.) g in
-    (Sinr_measure.power_control phys, Oracle.Sinr_power_control (prm, g), None)
-  | Conflict_d2 ->
-    let cg = Conflict_graph.distance2 g in
-    let order = Conflict_graph.degeneracy_order cg in
-    (Conflict_graph.to_measure cg ~order, Oracle.Conflict cg, None)
-  | Node_constraint ->
-    let cg = Conflict_graph.node_constraint g in
-    let order = Conflict_graph.degeneracy_order cg in
-    (Conflict_graph.to_measure cg ~order, Oracle.Conflict cg, None)
-  | Radio ->
-    let cg = Conflict_graph.radio_model g in
-    let order = Conflict_graph.degeneracy_order cg in
-    (Conflict_graph.to_measure cg ~order, Oracle.Conflict cg, None)
-  | Mac -> (Measure.complete (Graph.link_count g), Oracle.Mac, None)
-  | Wireline -> (Measure.identity (Graph.link_count g), Oracle.Wireline, None)
-
-let build_algorithm ?g name =
-  match name with
-  | "measure-greedy" -> (
-    match g with
-    | Some g -> Dps_static.Measure_greedy.make ~priority:(Graph.link_length g) ()
-    | None -> failwith "measure-greedy needs a geometric topology")
-  | "delay-select" -> Delay_select.make ~c:4. ()
-  | "contention" -> Contention.make ~c:4. ()
-  | "contention-transformed" -> Dps_core.Transform.apply (Contention.make ~c:4. ())
-  | "oneshot" -> Oneshot.algorithm
-  | "decay" -> Dps_mac.Decay.make ~delta:0.3 ()
-  | "round-robin" -> Dps_mac.Round_robin.algorithm
-  | other -> failwith ("unknown algorithm: " ^ other)
+module Scenario = Dps_serve.Scenario
 
 let build_traffic rng g measure ~flows ~rate ~max_hops ~mac =
   if mac then begin
@@ -228,9 +143,19 @@ let build_plan ~fault_specs ~fault_plan =
   in
   Plan.make (from_flags @ from_file)
 
+(* SIGINT/SIGTERM land as {!Driver.Interrupted} inside the frame loop:
+   the driver emits a final metrics snapshot through the same code path
+   as periodic ones and unwinds to the telemetry flush, so an
+   interrupted run leaves a coherent trace instead of a dropped tail. *)
+let install_signal_handlers () =
+  let raise_interrupt _ = raise Driver.Interrupted in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle raise_interrupt);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle raise_interrupt)
+
 let run model_name topology algorithm_name rate epsilon frames flows adversary
     stations loss seed reps jobs trace metrics metrics_every trace_packets
     fault_specs fault_plan guard sparse tile =
+  install_signal_handlers ();
   if reps < 1 then failwith "--reps must be >= 1";
   (match sparse with
   | Some eps when eps < 0. -> failwith "--sparse epsilon must be >= 0"
@@ -250,45 +175,22 @@ let run model_name topology algorithm_name rate epsilon frames flows adversary
     failwith
       "--reps does not compose with --trace-packets (packet ids would \
        collide across replicas)";
-  let model =
-    match model_name with
-    | "sinr-linear" -> Sinr_linear
-    | "sinr-sqrt" -> Sinr_sqrt
-    | "sinr-pc" -> Sinr_pc
-    | "radio" -> Radio
-    | "conflict-d2" -> Conflict_d2
-    | "node-constraint" -> Node_constraint
-    | "mac" -> Mac
-    | "wireline" -> Wireline
-    | other -> failwith ("unknown model: " ^ other)
+  let spec =
+    Scenario.make ?algorithm:algorithm_name ~epsilon ~stations ~loss ?sparse
+      ?tile ~model:model_name ~topology ~rate ()
   in
-  let topology = if model = Mac then "mac" else topology in
-  let g = parse_topology topology ~stations in
-  let measure, oracle, tiled = build_model ?sparse ?tile model g in
-  if loss < 0. || loss > 1. then
-    failwith "--loss probability must lie in [0, 1]";
-  let oracle =
-    if loss > 0. then Oracle.Lossy (oracle, loss) else oracle
-  in
+  let built = Scenario.build spec in
+  let g = built.Scenario.graph in
+  let measure = built.Scenario.measure in
+  let oracle = built.Scenario.oracle in
+  let tiled = built.Scenario.tiled in
+  let algorithm = built.Scenario.algorithm in
+  let config = built.Scenario.config in
+  let max_hops = built.Scenario.max_hops in
+  let topology = if built.Scenario.mac then "mac" else topology in
   let plan = build_plan ~fault_specs ~fault_plan in
   let guard = Option.map parse_guard guard in
-  let algorithm =
-    build_algorithm ~g
-      (match algorithm_name with
-      | Some a -> a
-      | None -> (
-        match model with
-        | Sinr_linear | Sinr_sqrt -> "delay-select"
-        | Sinr_pc -> "measure-greedy"
-        | Conflict_d2 | Node_constraint | Radio -> "contention"
-        | Mac -> "decay"
-        | Wireline -> "oneshot"))
-  in
-  let max_hops = if model = Mac then 1 else 8 in
   let rng = Rng.create ~seed () in
-  let config =
-    Protocol.configure ~epsilon ~algorithm ~measure ~lambda:rate ~max_hops ()
-  in
   let out = report_channel ~trace ~metrics in
   Printf.fprintf out
     "model=%s topology=%s m=%d algorithm=%s rate=%.4f\nframe T=%d (phase1 %d, \
@@ -311,7 +213,8 @@ let run model_name topology algorithm_name rate epsilon frames flows adversary
     match adversary with
     | None ->
       Driver.Stochastic
-        (build_traffic rng g measure ~flows ~rate ~max_hops ~mac:(model = Mac))
+        (build_traffic rng g measure ~flows ~rate ~max_hops
+           ~mac:built.Scenario.mac)
     | Some kind ->
       let routing = Routing.make g in
       let n = Graph.node_count g in
@@ -594,9 +497,16 @@ let run_safely model_name topology algorithm_name rate epsilon frames flows
     run model_name topology algorithm_name rate epsilon frames flows adversary
       stations loss seed reps jobs trace metrics metrics_every trace_packets
       fault_specs fault_plan guard sparse tile
-  with Invalid_argument msg | Failure msg | Sys_error msg ->
+  with
+  | Invalid_argument msg | Failure msg | Sys_error msg ->
     Printf.eprintf "dps_run: %s\n" msg;
     exit 1
+  | Driver.Interrupted ->
+    (* Telemetry already holds the final snapshot (the driver emits it
+       before unwinding, and [Fun.protect] flushed the sinks). 130 =
+       128 + SIGINT, the conventional interrupted-run exit status. *)
+    Printf.eprintf "dps_run: interrupted; telemetry flushed\n";
+    exit 130
 
 let cmd =
   let doc = "dynamic packet scheduling in wireless networks (PODC 2012)" in

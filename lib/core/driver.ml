@@ -31,6 +31,8 @@ let inject_fn source ~config ~rng =
     in
     fun slot -> Adversarial.inject_slot adv rng ~delta_max slot
 
+exception Interrupted
+
 let run_protocol_traced ~telemetry ~metrics_every ~protocol ~source ~frames
     ~rng =
   if metrics_every < 0 then invalid_arg "Driver: metrics_every < 0";
@@ -39,20 +41,36 @@ let run_protocol_traced ~telemetry ~metrics_every ~protocol ~source ~frames
   in
   let recording = Telemetry.enabled telemetry in
   let start_frame = Protocol.frame_index protocol in
+  (* The one snapshot emission point: periodic snapshots, the end-of-run
+     snapshot and the interrupt path all go through it, so checkpoint and
+     status serialization downstream have a single source of truth for
+     what a snapshot is. *)
+  let emit_snapshot () =
+    if recording then
+      Telemetry.emit_metrics telemetry ~frame:(Protocol.frame_index protocol)
+  in
   let body () =
-    for i = 1 to frames do
-      Protocol.run_frame protocol rng ~inject_slot;
-      (* Periodic snapshot so long runs are observable while they execute;
-         the final snapshot below covers the last partial period. *)
-      if recording && metrics_every > 0 && i mod metrics_every = 0 && i < frames
-      then
-        Telemetry.emit_metrics telemetry ~frame:(Protocol.frame_index protocol)
-    done;
+    (try
+       for i = 1 to frames do
+         Protocol.run_frame protocol rng ~inject_slot;
+         (* Periodic snapshot so long runs are observable while they
+            execute; the final snapshot below covers the last partial
+            period. *)
+         if metrics_every > 0 && i mod metrics_every = 0 && i < frames then
+           emit_snapshot ()
+       done
+     with Interrupted ->
+       (* A signal converted to {!Interrupted} by the CLI front ends:
+          record where the run stood before the exception unwinds to the
+          flush below, so an interrupted trace ends with a coherent
+          final snapshot instead of dropping the tail period. *)
+       emit_snapshot ();
+       raise Interrupted);
     let report = Protocol.report protocol in
     if recording then begin
       let end_frame = Protocol.frame_index protocol in
       let t = (Protocol.config protocol).Protocol.frame in
-      Telemetry.emit_metrics telemetry ~frame:end_frame;
+      emit_snapshot ();
       Telemetry.span telemetry ~name:"driver.run" ~frame:start_frame
         ~slot_start:(start_frame * t) ~slot_end:(end_frame * t)
         [ ("frames", Event.Int frames);

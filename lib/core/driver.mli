@@ -14,6 +14,14 @@ type source =
       (** driven through the Section 5 random-initial-delay wrapper *)
   | Silent  (** no traffic; useful for draining tests *)
 
+(** Raised {e into} a run by a signal-handling front end (dps_run /
+    dps_serve convert SIGINT/SIGTERM to this): the frame loop stops
+    where the signal landed, a final metrics snapshot is emitted for
+    the partial period, sinks are flushed, and the exception propagates
+    to the caller — so an interrupted run leaves a coherent trace
+    instead of dropping buffered lines. *)
+exception Interrupted
+
 (** [run ~config ~oracle ~source ~frames ~rng] — run the protocol for
     [frames] frames and report. A fresh channel is created from [oracle].
     To install the overload guard ({!Protocol.guard}) use {!run_faulted}

@@ -179,6 +179,7 @@ type t = {
   cfg : config;
   channel : Channel.t;
   arena : Arena.t;
+  on_deliver : (id:int -> latency:int -> unit) option;
   tel : tel option;
   guard : guard option;
   gtel : gtel option;
@@ -216,7 +217,7 @@ type t = {
   mutable max_queue : int;
 }
 
-let create ?telemetry ?packet_trace ?guard cfg ~channel =
+let create ?telemetry ?packet_trace ?guard ?on_deliver cfg ~channel =
   if Channel.size channel <> Measure.size cfg.measure then
     invalid_arg "Protocol.create: channel and measure sizes differ";
   (match packet_trace with
@@ -263,6 +264,7 @@ let create ?telemetry ?packet_trace ?guard cfg ~channel =
   { cfg;
     channel;
     arena = Arena.create ();
+    on_deliver;
     tel;
     guard;
     gtel;
@@ -302,6 +304,8 @@ let frame_index t = t.frame_idx
 let in_flight t = Intvec.length t.live + t.failed_total
 let overloaded t = t.overloaded
 let shed t = t.shed
+let potential t = t.failed_potential
+let next_packet_id t = t.next_id
 
 (* The two failed-buffer mutation points. Every enqueue/dequeue keeps the
    running totals, the potential and the per-link load tracker in sync. *)
@@ -334,6 +338,9 @@ let record_delivery t rng p =
   t.delivered <- t.delivered + 1;
   let l = Arena.latency t.arena p in
   assert (l >= 0);
+  (match t.on_deliver with
+  | None -> ()
+  | Some f -> f ~id:(Arena.id t.arena p) ~latency:l);
   Histogram.add t.latency rng (float_of_int l);
   (match t.tel with
   | None -> ()

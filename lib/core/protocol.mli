@@ -144,6 +144,13 @@ type t
     against. Packet tracing never consumes randomness either; without
     it no [packet.*] line is emitted and traces are unchanged.
 
+    [on_deliver] is called synchronously on every delivery with the
+    packet's stable id and its latency in slots — the hook the serving
+    layer uses for per-tenant accounting without paying for full packet
+    tracing. It must not raise, consume randomness, or re-enter the
+    protocol; with [None] the delivery path costs one branch and
+    reports stay bit-identical.
+
     Raises [Invalid_argument] if the channel and measure disagree on
     [m], or if [packet_trace < 1] (checked even when telemetry is
     disabled, so a bad sampling rate fails loudly). *)
@@ -151,6 +158,7 @@ val create :
   ?telemetry:Dps_telemetry.Telemetry.t ->
   ?packet_trace:int ->
   ?guard:guard ->
+  ?on_deliver:(id:int -> latency:int -> unit) ->
   config ->
   channel:Dps_sim.Channel.t ->
   t
@@ -187,3 +195,16 @@ val overloaded : t -> bool
 
 (** Packets shed by the overload guard so far. *)
 val shed : t -> int
+
+(** Current failed-buffer potential Φ (Σ remaining hops over failed
+    packets) — the quantity guard watermarks are expressed in. O(1);
+    the serving layer reads it at frame boundaries to drive class-aware
+    admission ({!Dps_faults.Class_guard}). *)
+val potential : t -> int
+
+(** The id the next injected packet will receive. Ids are allocated
+    sequentially in arrival order, so a caller that controls the whole
+    traffic source (the serving engine does) can predict the ids of the
+    packets it is about to inject and attribute {!create}[~on_deliver]
+    callbacks without any per-packet side channel. *)
+val next_packet_id : t -> int

@@ -1,0 +1,85 @@
+type level = { high : int; low : int }
+
+type t = {
+  levels : level array;
+  active : bool array;  (* active.(p): priority p is currently shedding *)
+  onset : int array;  (* frame the level tripped at; meaningful while active *)
+  mutable observations : int;
+}
+
+let create ~levels =
+  let n = Array.length levels in
+  if n = 0 then invalid_arg "Class_guard.create: no levels";
+  Array.iteri
+    (fun i { high; low } ->
+      if low < 0 || low >= high then
+        invalid_arg "Class_guard.create: level watermarks must satisfy 0 <= \
+                     low < high";
+      if i > 0 then begin
+        let prev = levels.(i - 1) in
+        if high < prev.high || low < prev.low then
+          invalid_arg
+            "Class_guard.create: watermarks must be nested (non-decreasing \
+             with priority)"
+      end)
+    levels;
+  { levels;
+    active = Array.make n false;
+    onset = Array.make n 0;
+    observations = 0 }
+
+let levels t = Array.length t.levels
+
+let level t ~priority =
+  if priority < 0 || priority >= Array.length t.levels then
+    invalid_arg "Class_guard.level: priority out of range";
+  t.levels.(priority)
+
+(* One transition per level per observation, exactly the hysteresis rule of
+   the single-class guard (DESIGN.md §9) applied level-wise. Nesting of the
+   watermark arrays makes the active set monotone: see the interface. *)
+let observe t ~frame ~potential =
+  if frame < 0 then invalid_arg "Class_guard.observe: negative frame";
+  t.observations <- t.observations + 1;
+  Array.iteri
+    (fun p { high; low } ->
+      if (not t.active.(p)) && potential >= high then begin
+        t.active.(p) <- true;
+        t.onset.(p) <- frame
+      end
+      else if t.active.(p) && potential <= low then t.active.(p) <- false)
+    t.levels
+
+let shedding t ~priority =
+  if priority < 0 || priority >= Array.length t.active then
+    invalid_arg "Class_guard.shedding: priority out of range";
+  t.active.(priority)
+
+let shed_floor t =
+  let n = Array.length t.active in
+  let rec go p = if p < n && t.active.(p) then go (p + 1) else p in
+  go 0
+
+let onset t ~priority =
+  if priority < 0 || priority >= Array.length t.active then
+    invalid_arg "Class_guard.onset: priority out of range";
+  if t.active.(priority) then Some t.onset.(priority) else None
+
+let any_active t = Array.exists Fun.id t.active
+
+let observations t = t.observations
+
+let parse s =
+  let pair spec =
+    match String.split_on_char ':' spec with
+    | [ h; l ] -> (
+      match (int_of_string_opt h, int_of_string_opt l) with
+      | Some high, Some low -> { high; low }
+      | _ ->
+        invalid_arg
+          "Class_guard.parse: watermarks must be integers (HIGH:LOW)")
+    | _ -> invalid_arg "Class_guard.parse: each level must be HIGH:LOW"
+  in
+  match String.split_on_char ',' (String.trim s) with
+  | [] | [ "" ] -> invalid_arg "Class_guard.parse: empty spec"
+  | specs -> create ~levels:(Array.of_list (List.map pair specs))

@@ -1,0 +1,74 @@
+(** Class-aware overload shedding: one hysteresis guard per service class.
+
+    The single-class overload guard ({!Dps_core.Protocol.guard} is the
+    consumer-facing variant) sheds {e all} arriving traffic while the
+    failed-buffer potential Φ sits between its watermarks. Under
+    multi-tenant service classes degradation must instead be graceful and
+    prioritized: background traffic (mMTC) sheds first, premium traffic
+    (URLLC) last, and a higher class is never refused while a lower class
+    is still being admitted.
+
+    A class guard is an array of watermark levels indexed by {e priority}
+    (0 = least important, shed first). Level [p] trips when Φ ≥
+    [high(p)] and clears when Φ ≤ [low(p)] — the same frame-boundary
+    hysteresis as the single-class guard, evaluated level-wise on one
+    shared potential.
+
+    {b Monotonicity invariant.} Construction requires the watermark
+    arrays to be nested: [high] and [low] both non-decreasing in
+    priority. Under that nesting the active set is always a downward-
+    closed prefix of the priority order — [shedding p] implies
+    [shedding p'] for every [p' < p] — because level [p] can only have
+    tripped after Φ reached [high p ≥ high p'], and level [p'] can only
+    clear after Φ fell to [low p' ≤ low p], which clears [p] first.
+    test/test_serve.ml checks the invariant by qcheck over random
+    potential walks. *)
+
+(** One level's watermarks, in units of the potential Φ. *)
+type level = { high : int; low : int }
+
+type t
+
+(** [create ~levels] — a guard with [levels.(p)] governing priority [p]
+    (priority 0 sheds first). Raises [Invalid_argument] when [levels] is
+    empty, some level violates [0 <= low < high], or the arrays are not
+    nested ([high] or [low] decreasing in priority). *)
+val create : levels:level array -> t
+
+(** Number of priority levels. *)
+val levels : t -> int
+
+(** [level t ~priority] — the watermarks governing [priority]. Raises
+    [Invalid_argument] when out of range. *)
+val level : t -> priority:int -> level
+
+(** [observe t ~frame ~potential] — frame-boundary update: evaluate
+    every level's hysteresis against the shared potential Φ. Call once
+    per frame, after the frame's statistics are known. Raises
+    [Invalid_argument] on a negative [frame]. *)
+val observe : t -> frame:int -> potential:int -> unit
+
+(** [shedding t ~priority] — is traffic of this priority currently
+    shed? Raises [Invalid_argument] when out of range. *)
+val shedding : t -> priority:int -> bool
+
+(** Lowest priority currently admitted: the number of consecutive
+    shedding levels starting at priority 0 (0 = nothing is shed,
+    [levels t] = everything is shed). By the monotonicity invariant the
+    active set is exactly [0 .. shed_floor t - 1]. *)
+val shed_floor : t -> int
+
+(** [onset t ~priority] — the frame the level tripped at, while it is
+    active. Raises [Invalid_argument] when out of range. *)
+val onset : t -> priority:int -> int option
+
+(** Is any level currently shedding? *)
+val any_active : t -> bool
+
+(** Number of {!observe} calls so far (= frames seen). *)
+val observations : t -> int
+
+(** [parse s] — a guard from ["H0:L0,H1:L1,..."] in priority order
+    (lowest priority first), e.g. ["40:10,80:20,160:40"]. Raises
+    [Invalid_argument] on malformed specs or un-nested watermarks. *)
+val parse : string -> t

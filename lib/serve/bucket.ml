@@ -1,0 +1,40 @@
+type t = {
+  rate : float;
+  burst : float;
+  mutable tokens : float;
+}
+
+let create ~rate ~burst =
+  if not (Float.is_finite rate) || rate <= 0. then
+    invalid_arg "Bucket.create: rate must be finite and > 0";
+  if not (Float.is_finite burst) || burst < 1. then
+    invalid_arg "Bucket.create: burst must be finite and >= 1";
+  { rate; burst; tokens = burst }
+
+let rate t = t.rate
+let burst t = t.burst
+let tokens t = t.tokens
+
+let refill t = t.tokens <- Float.min t.burst (t.tokens +. t.rate)
+
+let take t n =
+  if n < 1 then invalid_arg "Bucket.take: n must be >= 1";
+  let need = float_of_int n in
+  if t.tokens >= need then begin
+    t.tokens <- t.tokens -. need;
+    true
+  end
+  else false
+
+(* Ceil of (need - tokens) / rate, floored at one frame: after that many
+   refills the bucket provably holds >= need tokens (refills are capped
+   by burst, but need <= burst is checked by the caller via [can_ever]).
+   Purely arithmetic on the current state, so the guidance is
+   deterministic and replays byte-identically. *)
+let frames_until t n =
+  if n < 1 then invalid_arg "Bucket.frames_until: n must be >= 1";
+  let deficit = float_of_int n -. t.tokens in
+  if deficit <= 0. then 0
+  else Int.max 1 (int_of_float (Float.ceil (deficit /. t.rate)))
+
+let can_ever t n = n >= 1 && float_of_int n <= t.burst

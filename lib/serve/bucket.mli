@@ -1,0 +1,41 @@
+(** Deterministic per-tenant token bucket, in logical frame time.
+
+    Admission quotas for the serving daemon: a bucket holds up to
+    [burst] tokens, gains [rate] tokens at every frame boundary
+    ({!refill}, called by the engine once per completed frame), and an
+    injection of [n] packets costs [n] tokens, all or nothing. Time is
+    logical — buckets never look at the wall clock — so admission
+    decisions are a pure function of the submitted stream and replay
+    byte-identically from a checkpoint journal (docs/SERVING.md §4). *)
+
+type t
+
+(** [create ~rate ~burst] — a full bucket. Raises [Invalid_argument]
+    unless [rate > 0] and [burst >= 1] (both finite). *)
+val create : rate:float -> burst:float -> t
+
+(** Tokens gained per frame. *)
+val rate : t -> float
+
+(** Capacity cap. *)
+val burst : t -> float
+
+(** Current token level. *)
+val tokens : t -> float
+
+(** Frame-boundary refill: [tokens := min burst (tokens + rate)]. *)
+val refill : t -> unit
+
+(** [take t n] — spend [n] tokens if available (all or nothing).
+    Raises [Invalid_argument] when [n < 1]. *)
+val take : t -> int -> bool
+
+(** [frames_until t n] — refills needed before [n] tokens are certain
+    to be available: the deterministic retry guidance an [overloaded]
+    reply carries. [0] when the take would succeed now. Raises
+    [Invalid_argument] when [n < 1]. *)
+val frames_until : t -> int -> int
+
+(** [can_ever t n] — whether an [n]-packet batch fits the burst cap at
+    all; [false] means retrying is pointless and the reply says so. *)
+val can_ever : t -> int -> bool

@@ -1,0 +1,34 @@
+type t = Mmtc | Embb | Urllc
+
+let all = [ Mmtc; Embb; Urllc ]
+
+let priority = function Mmtc -> 0 | Embb -> 1 | Urllc -> 2
+
+let of_priority = function
+  | 0 -> Mmtc
+  | 1 -> Embb
+  | 2 -> Urllc
+  | _ -> invalid_arg "Classes.of_priority: priority outside [0, 3)"
+
+let to_string = function Mmtc -> "mmtc" | Embb -> "embb" | Urllc -> "urllc"
+
+let of_string = function
+  | "mmtc" -> Ok Mmtc
+  | "embb" -> Ok Embb
+  | "urllc" -> Ok Urllc
+  | other -> Error ("unknown service class: " ^ other)
+
+(* Delay budgets in frames: how long a delivered packet of the class may
+   have spent in the system before its class's latency objective is
+   considered violated. The values mirror the 5G service-class folklore
+   the ROADMAP points at — URLLC is latency-critical, eMBB tolerant,
+   mMTC elastic — scaled to protocol frames (a never-failed packet of
+   path length d needs about d+1 frames; see Theorem 8). *)
+let default_budget_frames = function Urllc -> 12 | Embb -> 48 | Mmtc -> 192
+
+(* Default admission quotas (token-bucket rate/burst, tokens per frame).
+   URLLC is thin but sacrosanct; mMTC is wide but the first to be shed —
+   quotas bound *offered* load per tenant, the class guard arbitrates
+   what happens when the system still saturates. *)
+let default_rate = function Urllc -> 1. | Embb -> 4. | Mmtc -> 8.
+let default_burst = function Urllc -> 8. | Embb -> 32. | Mmtc -> 64.

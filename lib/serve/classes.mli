@@ -1,0 +1,42 @@
+(** Multi-tenant service classes (URLLC / eMBB / mMTC).
+
+    Every tenant of the scheduling daemon belongs to one of three
+    5G-style service classes, ordered by {e priority}: mMTC (massive
+    machine-type, elastic background traffic, shed first), eMBB
+    (broadband, middle), URLLC (ultra-reliable low-latency, shed last).
+    Priorities index the levels of a {!Dps_faults.Class_guard}, so
+    overload degradation is graceful and prioritized — see
+    docs/SERVING.md §3. *)
+
+type t = Mmtc | Embb | Urllc
+
+(** The three classes, in priority order (shed-first first). *)
+val all : t list
+
+(** Shed priority: 0 = mMTC (shed first), 1 = eMBB, 2 = URLLC (shed
+    last). Indexes {!Dps_faults.Class_guard} levels. *)
+val priority : t -> int
+
+(** Inverse of {!priority}. Raises [Invalid_argument] outside [0, 3). *)
+val of_priority : int -> t
+
+(** ["mmtc" | "embb" | "urllc"]. *)
+val to_string : t -> string
+
+(** Parse a class name; [Error message] on anything unknown. *)
+val of_string : string -> (t, string) result
+
+(** Default per-class delay budget, in protocol frames: the latency
+    objective a delivered packet of the class is held to (URLLC 12,
+    eMBB 48, mMTC 192). The soak harness (bench/exp_r2.ml,
+    EXPERIMENTS.md §R2) asserts the URLLC p99 stays within this budget
+    under a 2x overload. *)
+val default_budget_frames : t -> int
+
+(** Default token-bucket rate (tokens gained per frame) for a tenant of
+    the class, used when an [attach] names no explicit quota: URLLC 1,
+    eMBB 4, mMTC 8 — thin-but-protected down to wide-but-sheddable. *)
+val default_rate : t -> float
+
+(** Default token-bucket burst cap: URLLC 8, eMBB 32, mMTC 64. *)
+val default_burst : t -> float

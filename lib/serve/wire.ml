@@ -1,0 +1,173 @@
+module Json = Dps_trace.Json
+module Event = Dps_telemetry.Event
+
+type command =
+  | Inject of { tenant : string; links : int list; delay : int; copies : int }
+  | Step of { frames : int }
+  | Status
+  | Checkpoint
+  | Attach of {
+      tenant : string;
+      klass : Classes.t;
+      rate : float option;
+      burst : float option;
+    }
+  | Detach of { tenant : string }
+  | Quit
+
+let valid_tenant_name s =
+  let ok c =
+    (c >= 'a' && c <= 'z')
+    || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9')
+    || c = '_' || c = '-'
+  in
+  s <> "" && String.length s <= 64 && String.for_all ok s
+
+(* Field accessors with request-shaped error messages: every failure
+   names the offending field, so a client can fix its message without
+   reading the daemon source. *)
+let str_field name j =
+  match Json.member name j with
+  | Some (Json.Str s) -> Ok s
+  | Some _ -> Error (Printf.sprintf "field %S must be a string" name)
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let int_field_opt name ~default j =
+  match Json.member name j with
+  | None -> Ok default
+  | Some v -> (
+    match Json.to_int v with
+    | i -> Ok i
+    | exception Json.Error _ ->
+      Error (Printf.sprintf "field %S must be an integer" name))
+
+let float_field_opt name j =
+  match Json.member name j with
+  | None -> Ok None
+  | Some v -> (
+    match Json.to_float v with
+    | f when Float.is_finite f -> Ok (Some f)
+    | _ -> Error (Printf.sprintf "field %S must be a finite number" name)
+    | exception Json.Error _ ->
+      Error (Printf.sprintf "field %S must be a number" name))
+
+let links_field name j =
+  match Json.member name j with
+  | Some (Json.Arr items) -> (
+    try
+      Ok
+        (List.map
+           (fun v ->
+             match Json.to_int v with
+             | i when i >= 0 -> i
+             | _ -> raise (Json.Error "negative link id")
+             | exception Json.Error _ ->
+               raise (Json.Error "non-integer link id"))
+           items)
+    with Json.Error msg ->
+      Error (Printf.sprintf "field %S: %s" name msg))
+  | Some _ -> Error (Printf.sprintf "field %S must be an array of link ids" name)
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let tenant_field j =
+  let* name = str_field "tenant" j in
+  if valid_tenant_name name then Ok name
+  else
+    Error
+      (Printf.sprintf
+         "invalid tenant name %S (allowed: [A-Za-z0-9_-], at most 64 chars)"
+         name)
+
+let of_json j =
+  let* verb = str_field "do" j in
+  match verb with
+  | "inject" ->
+    let* tenant = tenant_field j in
+    let* links = links_field "path" j in
+    let* delay = int_field_opt "delay" ~default:0 j in
+    let* copies = int_field_opt "copies" ~default:1 j in
+    if delay < 0 then Error "field \"delay\" must be >= 0"
+    else if copies < 1 then Error "field \"copies\" must be >= 1"
+    else Ok (Inject { tenant; links; delay; copies })
+  | "step" ->
+    let* frames = int_field_opt "frames" ~default:1 j in
+    if frames < 1 then Error "field \"frames\" must be >= 1"
+    else Ok (Step { frames })
+  | "status" -> Ok Status
+  | "checkpoint" -> Ok Checkpoint
+  | "attach" ->
+    let* tenant = tenant_field j in
+    let* klass = str_field "class" j in
+    let* klass = Classes.of_string klass in
+    let* rate = float_field_opt "rate" j in
+    let* burst = float_field_opt "burst" j in
+    Ok (Attach { tenant; klass; rate; burst })
+  | "detach" ->
+    let* tenant = tenant_field j in
+    Ok (Detach { tenant })
+  | "quit" -> Ok Quit
+  | other -> Error ("unknown command: " ^ other)
+
+let parse line =
+  match Json.parse line with
+  | j -> of_json j
+  | exception Json.Error msg -> Error ("bad JSON: " ^ msg)
+
+(* ------------------------------------------------------------- replies *)
+
+type value =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+  | Raw of string
+
+let render_value = function
+  | Int i -> string_of_int i
+  | Float f -> Event.float_to_json f
+  | Str s -> Event.escape s
+  | Bool b -> if b then "true" else "false"
+  | Raw s -> s
+
+let render_fields b fields =
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_char b ',';
+      Buffer.add_string b (Event.escape k);
+      Buffer.add_char b ':';
+      Buffer.add_string b (render_value v))
+    fields
+
+let ok ~cmd fields =
+  let b = Buffer.create 96 in
+  Buffer.add_string b "{\"ok\":true,\"do\":";
+  Buffer.add_string b (Event.escape cmd);
+  render_fields b fields;
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let error ~err fields =
+  let b = Buffer.create 96 in
+  Buffer.add_string b "{\"ok\":false,\"error\":";
+  Buffer.add_string b (Event.escape err);
+  render_fields b fields;
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let obj fields =
+  let b = Buffer.create 96 in
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Event.escape k);
+      Buffer.add_char b ':';
+      Buffer.add_string b (render_value v))
+    fields;
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let arr items = "[" ^ String.concat "," (List.map render_value items) ^ "]"

@@ -1,0 +1,59 @@
+(** The dps_serve wire protocol: JSONL commands in, JSONL replies out.
+
+    One request per line, parsed through the hardened {!Dps_trace.Json}
+    reader — the same parser the offline trace analyzer trusts — so a
+    malformed line can produce a diagnostic reply but never a crash.
+    One reply per request, a single JSON object with an ["ok"] boolean
+    first; replies are rendered with the deterministic encoders of
+    {!Dps_telemetry.Event}, so a fixed request stream yields a
+    byte-fixed reply stream. Full grammar and examples:
+    docs/SERVING.md §2. *)
+
+(** A parsed request. *)
+type command =
+  | Inject of { tenant : string; links : int list; delay : int; copies : int }
+      (** inject [copies] packets on the path [links], released
+          [delay] frames after the next frame boundary *)
+  | Step of { frames : int }  (** run this many protocol frames *)
+  | Status  (** one-line status snapshot, no state change *)
+  | Checkpoint  (** force a checkpoint write now *)
+  | Attach of {
+      tenant : string;
+      klass : Classes.t;
+      rate : float option;  (** token-bucket rate; class default if absent *)
+      burst : float option;  (** token-bucket burst; class default if absent *)
+    }
+  | Detach of { tenant : string }
+  | Quit
+
+(** Tenant names must be non-empty, at most 64 chars, drawn from
+    [[A-Za-z0-9_-]] — the charset every sink format and reply encoder
+    can embed without quoting. *)
+val valid_tenant_name : string -> bool
+
+(** [parse line] — one command from one request line; [Error message]
+    on anything malformed (bad JSON, unknown verb, missing or
+    ill-typed fields), with the offending field named. *)
+val parse : string -> (command, string) result
+
+(** A reply field value. [Raw] embeds pre-rendered JSON verbatim. *)
+type value =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+  | Raw of string
+
+(** [ok ~cmd fields] — success reply:
+    [{"ok":true,"do":CMD,FIELDS...}]. *)
+val ok : cmd:string -> (string * value) list -> string
+
+(** [error ~err fields] — failure reply:
+    [{"ok":false,"error":ERR,FIELDS...}]. *)
+val error : err:string -> (string * value) list -> string
+
+(** [obj fields] — a JSON object rendered field by field, in order. *)
+val obj : (string * value) list -> string
+
+(** [arr items] — a JSON array. *)
+val arr : value list -> string

@@ -24,6 +24,19 @@ let row_json (r : Metrics.row) =
   Buffer.add_char b '}';
   Buffer.contents b
 
+let metrics_line ~frame rows =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "{\"v\":%d,\"type\":\"metrics\",\"frame\":%d,\"rows\":["
+       Event.schema_version frame);
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (row_json r))
+    rows;
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
 let jsonl oc =
   { on_event =
       (fun ev ->
@@ -31,15 +44,8 @@ let jsonl oc =
         output_char oc '\n');
     on_metrics =
       (fun ~frame rows ->
-        output_string oc
-          (Printf.sprintf "{\"v\":%d,\"type\":\"metrics\",\"frame\":%d,\"rows\":["
-             Event.schema_version frame);
-        List.iteri
-          (fun i r ->
-            if i > 0 then output_char oc ',';
-            output_string oc (row_json r))
-          rows;
-        output_string oc "]}\n");
+        output_string oc (metrics_line ~frame rows);
+        output_char oc '\n');
     flush = (fun () -> flush oc);
     close = (fun () -> close_out oc) }
 

@@ -25,6 +25,14 @@ type t = {
   close : unit -> unit;  (** flush and release the underlying resource *)
 }
 
+(** [metrics_line ~frame rows] — the canonical single-line JSON
+    rendering of one metrics snapshot (no trailing newline): exactly the
+    line the {!jsonl} sink writes, exposed so other emitters of the
+    schema (the [dps_serve] status reply, checkpoint headers) share one
+    encoder and can never drift from the trace format. Parses back
+    through {!Dps_trace.Line}. *)
+val metrics_line : frame:int -> Metrics.row list -> string
+
 (** [jsonl oc] — the JSONL sink: every event becomes one
     {!Event.to_json} line; every metrics snapshot becomes one line of
     type ["metrics"] (see [docs/OBSERVABILITY.md] §2.3). [close] closes

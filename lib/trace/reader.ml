@@ -1,15 +1,61 @@
+(* Raw line iteration that, unlike [input_line], remembers whether the
+   final line was newline-terminated — the only way to tell a complete
+   trailing record from one torn by a crash mid-write. *)
 let fold_raw_lines ic ~init ~f =
+  let buf = Buffer.create 256 in
+  let rec read_line () =
+    match input_char ic with
+    | '\n' -> Some (Buffer.contents buf, true)
+    | c ->
+      Buffer.add_char buf c;
+      read_line ()
+    | exception End_of_file ->
+      if Buffer.length buf = 0 then None
+      else Some (Buffer.contents buf, false)
+  in
   let rec go lineno acc =
-    match input_line ic with
-    | line -> go (lineno + 1) (f acc ~lineno line)
-    | exception End_of_file -> acc
+    Buffer.clear buf;
+    match read_line () with
+    | None -> acc
+    | Some (line, terminated) ->
+      go (lineno + 1) (f acc ~lineno line ~terminated)
   in
   go 1 init
 
-let fold ic ~init ~f =
-  fold_raw_lines ic ~init ~f:(fun acc ~lineno line ->
+type anomaly = Malformed of string | Truncated of string
+
+let truncated_message msg =
+  "truncated final line (crash mid-write?): " ^ msg
+
+let fold_classified ic ~init ~f =
+  fold_raw_lines ic ~init ~f:(fun acc ~lineno line ~terminated ->
       if String.trim line = "" then acc
-      else f acc ~lineno (Line.parse line))
+      else
+        match Line.parse line with
+        | Ok l -> f acc ~lineno (Ok l)
+        | Error msg when not terminated ->
+          (* Only the unterminated final line can be a torn write; a bad
+             line in the middle of the stream is corruption, not a
+             crash artifact. *)
+          f acc ~lineno (Error (Truncated (truncated_message msg)))
+        | Error msg -> f acc ~lineno (Error (Malformed msg)))
+
+(* Same torn-tail classification for streams of raw JSON objects that
+   are not schema'd trace lines — the dps_serve checkpoint journal. *)
+let fold_json_classified ic ~init ~f =
+  fold_raw_lines ic ~init ~f:(fun acc ~lineno line ~terminated ->
+      if String.trim line = "" then acc
+      else
+        match Json.parse line with
+        | j -> f acc ~lineno (Ok j)
+        | exception Json.Error msg ->
+          if terminated then f acc ~lineno (Error (Malformed msg))
+          else f acc ~lineno (Error (Truncated (truncated_message msg))))
+
+let fold ic ~init ~f =
+  fold_classified ic ~init ~f:(fun acc ~lineno -> function
+    | Ok line -> f acc ~lineno (Ok line)
+    | Error (Malformed msg | Truncated msg) -> f acc ~lineno (Error msg))
 
 exception Bad_line of int * string
 

@@ -3,11 +3,49 @@
     Traces are read line by line — a multi-million-line trace never
     needs to fit in memory as text; only whatever the fold accumulates
     does. Blank lines are skipped (a trailing newline is not an error);
-    everything else must parse through {!Line}. *)
+    everything else must parse through {!Line}.
+
+    The reader distinguishes a {e torn} final line — no trailing
+    newline, i.e. the writer crashed mid-write — from corruption in the
+    middle of the stream, so crash-recovery consumers (the dps_serve
+    checkpoint loader) can discard a half-written tail and resume
+    cleanly while still failing loudly on real damage. *)
+
+(** Why a line failed to parse. *)
+type anomaly =
+  | Malformed of string  (** a bad line inside the stream: corruption *)
+  | Truncated of string
+      (** the final line, unterminated and unparseable — the signature
+          of a crash mid-write; the message is prefixed with
+          ["truncated final line (crash mid-write?): "] (pinned by
+          test/test_trace.ml) *)
+
+(** [fold_classified ic ~init ~f] — like {!fold}, with parse failures
+    classified: the unterminated final line reaches [f] as
+    [Error (Truncated _)], every other failure as
+    [Error (Malformed _)]. An unterminated final line that still parses
+    is delivered as [Ok] — a lost newline after a complete record is
+    indistinguishable from a complete write. *)
+val fold_classified :
+  in_channel ->
+  init:'a ->
+  f:('a -> lineno:int -> (Line.t, anomaly) result -> 'a) ->
+  'a
+
+(** [fold_json_classified ic ~init ~f] — {!fold_classified} over streams
+    of raw JSONL objects that are not schema'd trace lines (the
+    dps_serve checkpoint journal): lines parse through {!Json} only,
+    with the same torn-tail classification. *)
+val fold_json_classified :
+  in_channel ->
+  init:'a ->
+  f:('a -> lineno:int -> (Json.t, anomaly) result -> 'a) ->
+  'a
 
 (** [fold ic ~init ~f] — fold [f] over every non-blank line of [ic] with
     its 1-based line number and parse result; parse failures reach [f]
-    as [Error message] so a checker can keep counting. *)
+    as [Error message] so a checker can keep counting (a torn final
+    line carries the {!Truncated} message). *)
 val fold :
   in_channel ->
   init:'a ->

@@ -1,0 +1,144 @@
+(* Crash/restart smoke for dps_serve, one scenario per model family.
+
+   For each family: run a fixed scripted JSONL stream start-to-finish
+   and record every reply (the golden), then replay the same stream
+   against a second daemon that gets SIGKILLed mid-stream and restarted
+   with --restore. Every reply — including the final status line with
+   its full metrics snapshot — must be byte-identical to the golden
+   run's. A reply is only read after the daemon wrote it, and the
+   journal is flushed per op before the reply goes out, so killing
+   after a reply is the adversarial case: the op is on disk, the
+   process state is gone, and replay has to reproduce it exactly.
+
+   Wired into `dune runtest` via the @serve-smoke alias. *)
+
+let exe =
+  if Array.length Sys.argv < 2 then begin
+    prerr_endline "usage: serve_smoke DPS_SERVE_EXE";
+    exit 2
+  end
+  else Sys.argv.(1)
+
+type family = {
+  name : string;
+  args : string list;  (* scenario flags, sans --checkpoint *)
+  prefix : string list;  (* sent before the SIGKILL *)
+  rest : string list;  (* sent to the restored daemon *)
+}
+
+let families =
+  [ { name = "wireline";
+      args =
+        [ "--model"; "wireline"; "--topology"; "line:6"; "--rate"; "0.3";
+          "--seed"; "23"; "--tenant"; "acme:urllc"; "--tenant"; "iot:mmtc";
+          "--class-guard"; "40:10,80:20,160:40"; "--fault"; "jam:50-80";
+          "--checkpoint-every"; "1" ];
+      prefix =
+        [ {|{"do":"inject","tenant":"acme","path":[2,3],"copies":2}|};
+          {|{"do":"step","frames":2}|};
+          {|{"do":"inject","tenant":"iot","path":[4],"copies":2}|} ];
+      rest =
+        [ {|{"do":"step","frames":2}|};
+          {|{"do":"status"}|};
+          {|{"do":"quit"}|} ] };
+    { name = "mac";
+      args =
+        [ "--model"; "mac"; "--stations"; "6"; "--rate"; "0.1"; "--seed";
+          "23"; "--tenant"; "base:embb"; "--checkpoint-every"; "1" ];
+      prefix =
+        [ {|{"do":"attach","tenant":"edge","class":"urllc"}|};
+          {|{"do":"inject","tenant":"base","path":[0],"copies":1}|};
+          {|{"do":"step"}|} ];
+      rest =
+        [ {|{"do":"inject","tenant":"edge","path":[3],"copies":1}|};
+          {|{"do":"step"}|};
+          {|{"do":"status"}|};
+          {|{"do":"quit"}|} ] };
+    { name = "sinr";
+      args =
+        [ "--model"; "sinr-linear"; "--topology"; "grid:3x3"; "--rate";
+          "0.04"; "--seed"; "23"; "--tenant"; "acme:urllc";
+          "--checkpoint-every"; "1" ];
+      prefix =
+        [ {|{"do":"inject","tenant":"acme","path":[0],"copies":1}|};
+          {|{"do":"step"}|} ];
+      rest =
+        [ {|{"do":"step"}|}; {|{"do":"status"}|}; {|{"do":"quit"}|} ] } ]
+
+let fresh_dir tag =
+  let path = Filename.temp_file ("dps_serve_smoke_" ^ tag) ".ck" in
+  Sys.remove path;
+  path
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let spawn args =
+  let cmd_r, cmd_w = Unix.pipe ~cloexec:false () in
+  let rep_r, rep_w = Unix.pipe ~cloexec:false () in
+  let pid =
+    Unix.create_process exe
+      (Array.of_list (exe :: args))
+      cmd_r rep_w Unix.stderr
+  in
+  Unix.close cmd_r;
+  Unix.close rep_w;
+  (pid, Unix.in_channel_of_descr rep_r, Unix.out_channel_of_descr cmd_w)
+
+(* Send one command, wait for its reply: after this returns, the op is
+   journaled (per-op flush precedes the reply). *)
+let roundtrip ic oc line =
+  output_string oc line;
+  output_char oc '\n';
+  flush oc;
+  input_line ic
+
+let finish pid ic oc =
+  (try close_out oc with Sys_error _ -> ());
+  (try close_in ic with Sys_error _ -> ());
+  ignore (Unix.waitpid [] pid)
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt
+
+let run_family f =
+  let golden_dir = fresh_dir (f.name ^ "_golden") in
+  let crash_dir = fresh_dir (f.name ^ "_crash") in
+  Fun.protect
+    ~finally:(fun () ->
+      rm_rf golden_dir;
+      rm_rf crash_dir)
+    (fun () ->
+      (* Golden: the whole stream, uninterrupted. *)
+      let pid, ic, oc = spawn (f.args @ [ "--checkpoint"; golden_dir ]) in
+      let golden = List.map (roundtrip ic oc) (f.prefix @ f.rest) in
+      finish pid ic oc;
+      (* Crash run: prefix, SIGKILL, restore, rest. *)
+      let pid, ic, oc = spawn (f.args @ [ "--checkpoint"; crash_dir ]) in
+      let got_prefix = List.map (roundtrip ic oc) f.prefix in
+      Unix.kill pid Sys.sigkill;
+      ignore (Unix.waitpid [] pid);
+      (try close_out oc with Sys_error _ -> ());
+      (try close_in ic with Sys_error _ -> ());
+      let pid, ic, oc = spawn [ "--checkpoint"; crash_dir; "--restore" ] in
+      let got_rest = List.map (roundtrip ic oc) f.rest in
+      finish pid ic oc;
+      let got = got_prefix @ got_rest in
+      List.iteri
+        (fun i (expected, actual) ->
+          if expected <> actual then
+            fail
+              "serve_smoke[%s]: reply %d diverged after kill/restore\n\
+               golden: %s\n\
+               got:    %s"
+              f.name i expected actual)
+        (List.combine golden got);
+      Printf.printf "serve_smoke[%s]: %d replies byte-identical across \
+                     kill/restore\n%!"
+        f.name (List.length golden))
+
+let () = List.iter run_family families

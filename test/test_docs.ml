@@ -4,11 +4,13 @@
    instead this test enforces the parts that matter for reviewers:
 
    - every interface of the libraries whose surface is documented
-     behaviour (telemetry, faults, trace, par, and the interference /
-     geometry substrate including the tiled sparse engine) opens with a
-     module doc comment and documents every exported value;
-   - the flag table of docs/CLI.md and `dps_run --help` agree in BOTH
-     directions — a flag added to the parser without a CLI.md row, or a
+     behaviour (telemetry, faults, trace, par, serve, and the
+     interference / geometry substrate including the tiled sparse
+     engine) opens with a module doc comment and documents every
+     exported value;
+   - the flag tables of docs/CLI.md and docs/SERVING.md agree with
+     `dps_run --help` and `dps_serve --help` respectively, in BOTH
+     directions — a flag added to a parser without a table row, or a
      documented row whose flag the parser dropped, fails the build;
    - every relative `.md` link inside README.md and docs/*.md resolves
      to a file that exists — no dead intra-doc links.
@@ -66,6 +68,9 @@ let test_trace_mlis () =
 
 let test_par_mli () = check_dir "par" [ "par" ]
 
+let test_serve_mlis () =
+  check_dir "serve" [ "classes"; "bucket"; "wire"; "scenario"; "engine" ]
+
 (* -------------------------------------------- CLI.md vs --help drift *)
 
 (* All `--flag` tokens occurring in [s] (longest match, deduplicated). *)
@@ -94,11 +99,11 @@ let flags_in s =
   done;
   List.sort_uniq compare !out
 
-(* Flags documented in the CLI.md flag table: rows shaped "| `--flag …".
+(* Flags documented in a markdown flag table: rows shaped "| `--flag …".
    Parse the flag the row is ABOUT (at the row start) — descriptions may
    mention other flags. *)
-let cli_md_table_flags () =
-  let lines = String.split_on_char '\n' (read_file "../docs/CLI.md") in
+let md_table_flags doc =
+  let lines = String.split_on_char '\n' (read_file doc) in
   List.filter_map
     (fun line ->
       if String.length line >= 5 && String.sub line 0 5 = "| `--" then begin
@@ -114,31 +119,36 @@ let cli_md_table_flags () =
     lines
   |> List.sort_uniq compare
 
-let help_flags () =
+let help_flags capture =
   List.filter
     (fun f -> f <> "--help" && f <> "--version")
-    (flags_in (read_file "dps_run_help.txt"))
+    (flags_in (read_file capture))
 
-let test_cli_md_covers_help () =
-  let documented = cli_md_table_flags () in
+(* Both directions, for one (doc, captured --help) pair: a flag added to
+   the parser without a table row, or a documented row whose flag the
+   parser dropped, fails the build. *)
+let check_flag_drift ~doc ~capture ~exe =
+  let documented = md_table_flags doc in
   List.iter
     (fun f ->
       if not (List.mem f documented) then
-        Alcotest.failf
-          "%s is in dps_run --help but has no row in the docs/CLI.md flag table"
-          f)
-    (help_flags ())
-
-let test_help_covers_cli_md () =
-  let known = help_flags () in
+        Alcotest.failf "%s is in %s --help but has no row in the %s flag table"
+          f exe doc)
+    (help_flags capture);
   List.iter
     (fun f ->
-      if not (List.mem f known) then
+      if not (List.mem f (help_flags capture)) then
         Alcotest.failf
-          "%s has a docs/CLI.md flag-table row but dps_run --help does not \
-           know it"
-          f)
-    (cli_md_table_flags ())
+          "%s has a %s flag-table row but %s --help does not know it" f doc exe)
+    documented
+
+let test_cli_md_drift () =
+  check_flag_drift ~doc:"../docs/CLI.md" ~capture:"dps_run_help.txt"
+    ~exe:"dps_run"
+
+let test_serving_md_drift () =
+  check_flag_drift ~doc:"../docs/SERVING.md" ~capture:"dps_serve_help.txt"
+    ~exe:"dps_serve"
 
 (* ------------------------------------------------- dead-link checker *)
 
@@ -223,12 +233,13 @@ let () =
           Alcotest.test_case "geometry interfaces" `Quick test_geometry_mlis;
           Alcotest.test_case "faults interfaces" `Quick test_faults_mlis;
           Alcotest.test_case "trace interfaces" `Quick test_trace_mlis;
-          Alcotest.test_case "par interface" `Quick test_par_mli ] );
+          Alcotest.test_case "par interface" `Quick test_par_mli;
+          Alcotest.test_case "serve interfaces" `Quick test_serve_mlis ] );
       ( "cli-drift",
-        [ Alcotest.test_case "CLI.md covers every --help flag" `Quick
-            test_cli_md_covers_help;
-          Alcotest.test_case "--help knows every CLI.md row" `Quick
-            test_help_covers_cli_md ] );
+        [ Alcotest.test_case "CLI.md <-> dps_run --help" `Quick
+            test_cli_md_drift;
+          Alcotest.test_case "SERVING.md <-> dps_serve --help" `Quick
+            test_serving_md_drift ] );
       ( "links",
         [ Alcotest.test_case "no dead intra-doc links" `Quick
             test_no_dead_links ] ) ]

@@ -1,0 +1,472 @@
+(* Tests for lib/serve: the wire protocol, token buckets, the class
+   guard's monotone-shedding invariant (qcheck over random potential
+   walks), engine determinism, checkpoint/restore round-trips with
+   journal tampering, and the --jobs byte-invariance of faulted+guarded
+   runs (the composition dps_serve's determinism story rests on). *)
+
+module Rng = Dps_prelude.Rng
+module Topology = Dps_network.Topology
+module Measure = Dps_interference.Measure
+module Oracle = Dps_sim.Oracle
+module Oneshot = Dps_static.Oneshot
+module Protocol = Dps_core.Protocol
+module Driver = Dps_core.Driver
+module Stability = Dps_core.Stability
+module Plan = Dps_faults.Plan
+module Class_guard = Dps_faults.Class_guard
+module Par = Dps_par.Par
+module Scenario = Dps_serve.Scenario
+module Classes = Dps_serve.Classes
+module Wire = Dps_serve.Wire
+module Bucket = Dps_serve.Bucket
+module Engine = Dps_serve.Engine
+
+(* ---------------------------------------------------------------- wire *)
+
+let test_wire_parse () =
+  (match
+     Wire.parse
+       {|{"do":"inject","tenant":"acme","path":[1,2],"delay":3,"copies":4}|}
+   with
+  | Ok (Wire.Inject { tenant = "acme"; links = [ 1; 2 ]; delay = 3; copies = 4 })
+    -> ()
+  | _ -> Alcotest.fail "inject did not parse");
+  (match Wire.parse {|{"do":"inject","tenant":"a","path":[0]}|} with
+  | Ok (Wire.Inject { delay = 0; copies = 1; _ }) -> ()
+  | _ -> Alcotest.fail "inject defaults wrong");
+  (match Wire.parse {|{"do":"step"}|} with
+  | Ok (Wire.Step { frames = 1 }) -> ()
+  | _ -> Alcotest.fail "step default wrong");
+  (match
+     Wire.parse {|{"do":"attach","tenant":"web","class":"embb","rate":2.5}|}
+   with
+  | Ok (Wire.Attach { klass = Classes.Embb; rate = Some 2.5; burst = None; _ })
+    -> ()
+  | _ -> Alcotest.fail "attach did not parse");
+  (match Wire.parse {|{"do":"status"}|} with
+  | Ok Wire.Status -> ()
+  | _ -> Alcotest.fail "status did not parse")
+
+let test_wire_errors_name_field () =
+  let err line =
+    match Wire.parse line with
+    | Error msg -> msg
+    | Ok _ -> Alcotest.failf "accepted %S" line
+  in
+  (* Every rejection names the offending field or construct, so clients
+     can fix their message without reading the daemon source. *)
+  let contains ~sub s =
+    let n = String.length sub in
+    let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "bad JSON prefixed" true
+    (String.starts_with ~prefix:"bad JSON:" (err "{not json"));
+  Alcotest.(check bool) "unknown verb named" true
+    (contains ~sub:"unknown command" (err {|{"do":"fly"}|}));
+  Alcotest.(check bool) "missing tenant named" true
+    (contains ~sub:{|"tenant"|} (err {|{"do":"inject","path":[0]}|}));
+  Alcotest.(check bool) "bad path named" true
+    (contains ~sub:{|"path"|} (err {|{"do":"inject","tenant":"a","path":[-1]}|}));
+  Alcotest.(check bool) "copies bound named" true
+    (contains ~sub:{|"copies"|}
+       (err {|{"do":"inject","tenant":"a","path":[0],"copies":0}|}));
+  Alcotest.(check bool) "tenant charset enforced" true
+    (contains ~sub:"invalid tenant name"
+       (err {|{"do":"inject","tenant":"a b","path":[0]}|}))
+
+let test_wire_tenant_names () =
+  Alcotest.(check bool) "simple ok" true (Wire.valid_tenant_name "acme-01_x");
+  Alcotest.(check bool) "empty bad" false (Wire.valid_tenant_name "");
+  Alcotest.(check bool) "space bad" false (Wire.valid_tenant_name "a b");
+  Alcotest.(check bool) "quote bad" false (Wire.valid_tenant_name "a\"b");
+  Alcotest.(check bool) "65 chars bad" false
+    (Wire.valid_tenant_name (String.make 65 'a'));
+  Alcotest.(check bool) "64 chars ok" true
+    (Wire.valid_tenant_name (String.make 64 'a'))
+
+let test_wire_render () =
+  Alcotest.(check string) "ok reply"
+    {|{"ok":true,"do":"step","frame":7,"done":true}|}
+    (Wire.ok ~cmd:"step" [ ("frame", Wire.Int 7); ("done", Wire.Bool true) ]);
+  Alcotest.(check string) "error reply escapes"
+    {|{"ok":false,"error":"bad \"x\""}|}
+    (Wire.error ~err:{|bad "x"|} [])
+
+(* -------------------------------------------------------------- bucket *)
+
+let test_bucket_take_refill () =
+  let b = Bucket.create ~rate:1.5 ~burst:4. in
+  Alcotest.(check bool) "full bucket takes" true (Bucket.take b 4);
+  Alcotest.(check bool) "all-or-nothing" false (Bucket.take b 1);
+  Alcotest.(check (float 1e-9)) "nothing consumed on refusal" 0.
+    (Bucket.tokens b);
+  Bucket.refill b;
+  Alcotest.(check (float 1e-9)) "refill adds rate" 1.5 (Bucket.tokens b);
+  Bucket.refill b;
+  Bucket.refill b;
+  Bucket.refill b;
+  Alcotest.(check (float 1e-9)) "refill caps at burst" 4. (Bucket.tokens b)
+
+let test_bucket_retry_guidance () =
+  let b = Bucket.create ~rate:2. ~burst:8. in
+  ignore (Bucket.take b 8);
+  (* Deficit 3 at rate 2: two refills are certain to cover it — and the
+     guidance must be exact, because overloaded replies promise it. *)
+  Alcotest.(check int) "frames_until exact" 2 (Bucket.frames_until b 3);
+  Alcotest.(check int) "zero when takeable" 0
+    (Bucket.frames_until (Bucket.create ~rate:1. ~burst:4.) 3);
+  Bucket.refill b;
+  Bucket.refill b;
+  Alcotest.(check bool) "guidance honored" true (Bucket.take b 3);
+  Alcotest.(check bool) "burst cap rules forever" false (Bucket.can_ever b 9);
+  Alcotest.(check bool) "burst-sized batch possible" true (Bucket.can_ever b 8)
+
+(* --------------------------------------------------------- class guard *)
+
+let test_guard_rejects_unnested () =
+  let bad levels =
+    match Class_guard.create ~levels with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "accepted un-nested watermarks"
+  in
+  bad [||];
+  (* high decreasing across priorities *)
+  bad [| { Class_guard.high = 50; low = 10 }; { high = 40; low = 10 } |];
+  (* low decreasing across priorities *)
+  bad [| { Class_guard.high = 50; low = 20 }; { high = 60; low = 10 } |];
+  (* low >= high within a level *)
+  bad [| { Class_guard.high = 10; low = 10 } |];
+  match Class_guard.parse "40:10,80:20,160:40" with
+  | g -> Alcotest.(check int) "parse levels" 3 (Class_guard.levels g)
+  | exception Invalid_argument msg -> Alcotest.failf "parse refused: %s" msg
+
+(* S3: over any nested guard and any potential walk, the active shed
+   set is always a downward-closed prefix of the priority order — a
+   higher class is never shed while a lower one is admitted. This is
+   the structural property Engine.submit leans on; here it is checked
+   directly against randomized hysteresis trajectories. *)
+let test_guard_monotone_qcheck =
+  let gen =
+    QCheck.Gen.(
+      let* n = int_range 1 3 in
+      let* lows = list_size (return n) (int_range 0 40) in
+      let* highs = list_size (return n) (int_range 50 150) in
+      let* walk = list_size (int_range 1 60) (int_range 0 200) in
+      return (List.sort compare lows, List.sort compare highs, walk))
+  in
+  let arb =
+    QCheck.make gen ~print:(fun (lows, highs, walk) ->
+        Printf.sprintf "lows=[%s] highs=[%s] walk=[%s]"
+          (String.concat ";" (List.map string_of_int lows))
+          (String.concat ";" (List.map string_of_int highs))
+          (String.concat ";" (List.map string_of_int walk)))
+  in
+  QCheck.Test.make ~count:500 ~name:"class guard sheds a prefix" arb
+    (fun (lows, highs, walk) ->
+      (* Sorted lows all < 50 <= sorted highs: nesting holds by
+         construction, so create must accept. *)
+      let levels =
+        Array.of_list
+          (List.map2
+             (fun low high -> { Class_guard.high; low })
+             lows highs)
+      in
+      let g = Class_guard.create ~levels in
+      let n = Class_guard.levels g in
+      List.iteri
+        (fun frame potential ->
+          Class_guard.observe g ~frame ~potential;
+          let floor = Class_guard.shed_floor g in
+          for p = 0 to n - 1 do
+            let shed = Class_guard.shedding g ~priority:p in
+            (* prefix property, and shed_floor describes it exactly *)
+            if shed <> (p < floor) then
+              QCheck.Test.fail_reportf
+                "frame %d (potential %d): priority %d shed=%b but floor=%d"
+                frame potential p shed floor;
+            if shed && p > 0 && not (Class_guard.shedding g ~priority:(p - 1))
+            then
+              QCheck.Test.fail_reportf
+                "frame %d: priority %d shed while %d admitted" frame p (p - 1)
+          done)
+        walk;
+      true)
+
+let test_guard_hysteresis () =
+  let g = Class_guard.parse "40:10,80:20" in
+  let obs frame potential = Class_guard.observe g ~frame ~potential in
+  obs 0 39;
+  Alcotest.(check int) "below high: nothing shed" 0 (Class_guard.shed_floor g);
+  obs 1 45;
+  Alcotest.(check int) "level 0 trips at high" 1 (Class_guard.shed_floor g);
+  Alcotest.(check (option int)) "onset recorded" (Some 1)
+    (Class_guard.onset g ~priority:0);
+  obs 2 85;
+  Alcotest.(check int) "level 1 trips later" 2 (Class_guard.shed_floor g);
+  obs 3 21;
+  (* Φ between the lows: level 1 clears (low 20 < 21 is still above —
+     clears at <= 20), level 0 holds. *)
+  Alcotest.(check bool) "level 1 still shedding above its low" true
+    (Class_guard.shedding g ~priority:1);
+  obs 4 15;
+  Alcotest.(check int) "level 1 clears first" 1 (Class_guard.shed_floor g);
+  obs 5 5;
+  Alcotest.(check int) "level 0 clears at its low" 0 (Class_guard.shed_floor g);
+  Alcotest.(check bool) "nothing active" false (Class_guard.any_active g)
+
+(* -------------------------------------------------------------- engine *)
+
+let scenario () =
+  Scenario.make ~model:"wireline" ~topology:"line:6" ~rate:0.3 ()
+
+let ok_unit what = function
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "%s: %s" what msg
+
+let submit_ok engine ~tenant ~links ~copies =
+  match Engine.submit engine ~tenant ~links ~delay:0 ~copies with
+  | Ok o -> o
+  | Error msg -> Alcotest.failf "submit: %s" msg
+
+(* The command script every engine test drives: two tenants, a couple of
+   batches, a detach, some frames. *)
+let drive engine =
+  ok_unit "attach acme"
+    (Engine.attach engine ~tenant:"acme" ~klass:Classes.Urllc ());
+  ok_unit "attach iot"
+    (Engine.attach engine ~tenant:"iot" ~klass:Classes.Mmtc ());
+  ignore (submit_ok engine ~tenant:"acme" ~links:[ 2; 3 ] ~copies:2);
+  Engine.step engine ~frames:3;
+  ignore (submit_ok engine ~tenant:"iot" ~links:[ 4 ] ~copies:3);
+  Engine.step engine ~frames:2;
+  ok_unit "detach iot" (Engine.detach engine ~tenant:"iot");
+  Engine.step engine ~frames:1
+
+let status_line engine = Wire.ok ~cmd:"status" (Engine.status_fields engine)
+
+let test_engine_deterministic () =
+  (* Logical time only: the engine state is a pure function of the
+     command sequence, so two fresh engines driven identically must
+     render byte-identical status replies. *)
+  let run () =
+    let e =
+      Engine.create
+        (Engine.default_config ~scenario:(scenario ()) ~seed:2012 ())
+    in
+    drive e;
+    let s = status_line e in
+    Engine.close e;
+    s
+  in
+  Alcotest.(check string) "status byte-identical" (run ()) (run ())
+
+let test_engine_quota_backpressure () =
+  let e =
+    Engine.create (Engine.default_config ~scenario:(scenario ()) ~seed:7 ())
+  in
+  ok_unit "attach"
+    (Engine.attach e ~tenant:"t" ~klass:Classes.Urllc ~rate:1. ~burst:2. ());
+  (match submit_ok e ~tenant:"t" ~links:[ 4 ] ~copies:2 with
+  | Engine.Admitted { copies = 2; _ } -> ()
+  | _ -> Alcotest.fail "burst-sized batch must be admitted");
+  (match submit_ok e ~tenant:"t" ~links:[ 4 ] ~copies:1 with
+  | Engine.Overloaded { retry_after = 1 } -> ()
+  | _ -> Alcotest.fail "drained bucket must answer overloaded, retry 1");
+  (match submit_ok e ~tenant:"t" ~links:[ 4 ] ~copies:3 with
+  | Engine.Too_large { burst } ->
+    Alcotest.(check (float 1e-9)) "burst reported" 2. burst
+  | _ -> Alcotest.fail "over-burst batch must answer too-large");
+  (* The retry guidance is a promise: one frame later the take succeeds. *)
+  Engine.step e ~frames:1;
+  (match submit_ok e ~tenant:"t" ~links:[ 4 ] ~copies:1 with
+  | Engine.Admitted _ -> ()
+  | _ -> Alcotest.fail "retry guidance was wrong");
+  (match Engine.submit e ~tenant:"ghost" ~links:[ 4 ] ~delay:0 ~copies:1 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown tenant must be an error");
+  Engine.close e
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "dps_serve_test" ".ck" in
+  Sys.remove dir;
+  let rec rm path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun e -> rm (Filename.concat path e)) (Sys.readdir path);
+        Sys.rmdir path
+      end
+      else Sys.remove path
+  in
+  Fun.protect ~finally:(fun () -> rm dir) (fun () -> f dir)
+
+let checkpointed_run dir =
+  let e =
+    Engine.create ~checkpoint_dir:dir
+      (Engine.default_config ~checkpoint_every:1 ~scenario:(scenario ())
+         ~seed:2012 ())
+  in
+  drive e;
+  let s = status_line e in
+  Engine.close e;
+  s
+
+let test_checkpoint_roundtrip () =
+  with_temp_dir (fun dir ->
+      let before = checkpointed_run dir in
+      match Engine.restore ~dir () with
+      | Error msg -> Alcotest.failf "restore: %s" msg
+      | Ok (e, r) ->
+        Alcotest.(check bool) "clean journal" false r.Engine.dropped_tail;
+        Alcotest.(check int) "frames replayed" 6 r.Engine.replayed_frames;
+        Alcotest.(check string) "restored state byte-identical" before
+          (status_line e);
+        (* The restored engine is live: it can keep serving. *)
+        ok_unit "attach after restore"
+          (Engine.attach e ~tenant:"late" ~klass:Classes.Embb ());
+        Engine.step e ~frames:1;
+        Alcotest.(check int) "time advances" 7 (Engine.frame e);
+        Engine.close e)
+
+let test_restore_drops_torn_tail () =
+  with_temp_dir (fun dir ->
+      let before = checkpointed_run dir in
+      (* A crash mid-append: half an op, no newline. Restore must drop
+         it, say so, and land on the pre-crash state. *)
+      let oc =
+        open_out_gen [ Open_append ] 0o644 (Filename.concat dir "journal.jsonl")
+      in
+      output_string oc {|{"op":"inject","tena|};
+      close_out oc;
+      match Engine.restore ~dir () with
+      | Error msg -> Alcotest.failf "restore refused torn tail: %s" msg
+      | Ok (e, r) ->
+        Alcotest.(check bool) "tail reported dropped" true r.Engine.dropped_tail;
+        Alcotest.(check string) "state as of last complete op" before
+          (status_line e);
+        Engine.close e)
+
+let test_restore_rejects_tampering () =
+  with_temp_dir (fun dir ->
+      ignore (checkpointed_run dir);
+      (* Flip a journaled admission outcome: replay produces a different
+         id, the integrity check must refuse to resume. *)
+      let path = Filename.concat dir "journal.jsonl" in
+      let ic = open_in path in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> ());
+      close_in ic;
+      let replace ~sub ~by s =
+        let n = String.length sub in
+        let b = Buffer.create (String.length s) in
+        let i = ref 0 in
+        while !i < String.length s do
+          if !i + n <= String.length s && String.sub s !i n = sub then begin
+            Buffer.add_string b by;
+            i := !i + n
+          end
+          else begin
+            Buffer.add_char b s.[!i];
+            incr i
+          end
+        done;
+        Buffer.contents b
+      in
+      let tampered =
+        List.rev_map (fun l -> replace ~sub:{|"id":0|} ~by:{|"id":9999|} l) !lines
+      in
+      let oc = open_out path in
+      List.iter
+        (fun l ->
+          output_string oc l;
+          output_char oc '\n')
+        tampered;
+      close_out oc;
+      match Engine.restore ~dir () with
+      | Error _ -> ()
+      | Ok (e, _) ->
+        Engine.close e;
+        Alcotest.fail "restore accepted a tampered journal")
+
+(* ------------------------------------------------- jobs byte-invariance *)
+
+(* S3: faulted + guarded runs fanned out over Par domains must be
+   byte-identical to the sequential evaluation — verdicts, shed counts
+   and recovery episodes included. dps_run already pins this for plain
+   runs (par_smoke); this is the fault/guard composition the daemon's
+   determinism story additionally needs. *)
+let faulted_fingerprint seed =
+  let g = Topology.line ~nodes:5 ~spacing:1. in
+  let m = Dps_network.Graph.link_count g in
+  let routing = Dps_network.Routing.make g in
+  let p src dst = Option.get (Dps_network.Routing.path routing ~src ~dst) in
+  let config =
+    Protocol.configure ~epsilon:0.5 ~algorithm:Oneshot.algorithm
+      ~measure:(Measure.identity m) ~lambda:0.3 ~max_hops:4 ()
+  in
+  let source =
+    Driver.Stochastic
+      (Dps_injection.Stochastic.make [ [ (p 0 4, 0.1) ]; [ (p 4 0, 0.1) ] ])
+  in
+  let plan = Plan.parse "jam:100-220,loss:300-360:p=0.5" in
+  let guard = Protocol.guard ~high:30 ~low:5 () in
+  let report, injector =
+    Driver.run_faulted ~guard ~config ~oracle:Oracle.Wireline ~source ~plan
+      ~frames:8 ~rng:(Rng.create ~seed ()) ()
+  in
+  Printf.sprintf "seed=%d verdict=%s injected=%d delivered=%d shed=%d \
+                  overload=%d recoveries=%d suppressed=%d"
+    seed
+    (Stability.to_string (Stability.assess report.Protocol.in_system))
+    report.Protocol.injected report.Protocol.delivered report.Protocol.shed
+    report.Protocol.overload_frames
+    (List.length report.Protocol.recoveries)
+    (Dps_faults.Injector.suppressed injector)
+
+let test_faulted_jobs_invariance () =
+  let seeds = [ 11; 12; 13; 14; 15; 16 ] in
+  let sequential = List.map faulted_fingerprint seeds in
+  let parallel = Par.map ~jobs:4 faulted_fingerprint seeds in
+  List.iter2
+    (Alcotest.(check string) "fingerprint identical across jobs")
+    sequential parallel
+
+(* ------------------------------------------------------------------ run *)
+
+let () =
+  Alcotest.run "serve"
+    [ ( "wire",
+        [ Alcotest.test_case "commands parse" `Quick test_wire_parse;
+          Alcotest.test_case "errors name the field" `Quick
+            test_wire_errors_name_field;
+          Alcotest.test_case "tenant names" `Quick test_wire_tenant_names;
+          Alcotest.test_case "reply rendering" `Quick test_wire_render ] );
+      ( "bucket",
+        [ Alcotest.test_case "take/refill" `Quick test_bucket_take_refill;
+          Alcotest.test_case "retry guidance exact" `Quick
+            test_bucket_retry_guidance ] );
+      ( "class guard",
+        [ Alcotest.test_case "rejects un-nested" `Quick
+            test_guard_rejects_unnested;
+          QCheck_alcotest.to_alcotest test_guard_monotone_qcheck;
+          Alcotest.test_case "hysteresis trips and clears" `Quick
+            test_guard_hysteresis ] );
+      ( "engine",
+        [ Alcotest.test_case "deterministic status" `Quick
+            test_engine_deterministic;
+          Alcotest.test_case "quota backpressure" `Quick
+            test_engine_quota_backpressure;
+          Alcotest.test_case "checkpoint roundtrip" `Quick
+            test_checkpoint_roundtrip;
+          Alcotest.test_case "torn tail dropped" `Quick
+            test_restore_drops_torn_tail;
+          Alcotest.test_case "tampered journal refused" `Quick
+            test_restore_rejects_tampering ] );
+      ( "parallel",
+        [ Alcotest.test_case "faulted+guarded jobs invariance" `Quick
+            test_faulted_jobs_invariance ] );
+    ]

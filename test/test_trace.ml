@@ -177,6 +177,107 @@ let test_decomposition_accounts_all_slots () =
             (d.Analyze.dc_queue + d.Analyze.dc_phase1 + d.Analyze.dc_cleanup))
         ds)
 
+(* ----------------------------------------------------- torn-tail reader *)
+
+(* The Truncated message prefix is part of the crash-recovery contract:
+   the dps_serve restore path matches on the classification and the
+   message reaches operators verbatim, so it is pinned here — changing
+   it must be a visible, deliberate act. *)
+let truncated_prefix = "truncated final line (crash mid-write?): "
+
+let good_line =
+  {|{"v":2,"type":"event","name":"packet.inject","frame":0,"slot":3,"attrs":{"id":0,"link":1,"d":2,"delay":0}}|}
+
+let with_file_contents contents f =
+  with_temp_file (fun path ->
+      let oc = open_out path in
+      output_string oc contents;
+      close_out oc;
+      f path)
+
+let classify_all path =
+  Reader.with_input path (fun ic ->
+      List.rev
+        (Reader.fold_classified ic ~init:[] ~f:(fun acc ~lineno:_ r ->
+             (match r with
+             | Ok _ -> `Ok
+             | Error (Reader.Malformed _) -> `Malformed
+             | Error (Reader.Truncated msg) -> `Truncated msg)
+             :: acc)))
+
+let test_truncated_final_line () =
+  (* A half-written final line (no newline, does not parse) is the
+     signature of a crash mid-write: classified Truncated, message
+     pinned. *)
+  with_file_contents
+    (good_line ^ "\n" ^ {|{"v":2,"type":"event","na|})
+    (fun path ->
+      match classify_all path with
+      | [ `Ok; `Truncated msg ] ->
+        if not (String.starts_with ~prefix:truncated_prefix msg) then
+          Alcotest.failf "message not pinned: %S" msg
+      | other ->
+        Alcotest.failf "expected [Ok; Truncated], got %d results"
+          (List.length other))
+
+let test_midstream_garbage_is_malformed () =
+  (* The same unparseable text mid-stream — i.e. newline-terminated, or
+     followed by more lines — is corruption, not a torn tail. *)
+  with_file_contents
+    ({|{"v":2,"type":"event","na|} ^ "\n" ^ good_line ^ "\n")
+    (fun path ->
+      match classify_all path with
+      | [ `Malformed; `Ok ] -> ()
+      | _ -> Alcotest.fail "mid-stream garbage must classify Malformed");
+  (* Newline-terminated garbage at the end of the file is also
+     Malformed: the writer finished the line, so it was never torn. *)
+  with_file_contents
+    (good_line ^ "\n" ^ {|{"v":2,"type":"event","na|} ^ "\n")
+    (fun path ->
+      match classify_all path with
+      | [ `Ok; `Malformed ] -> ()
+      | _ -> Alcotest.fail "terminated garbage must classify Malformed")
+
+let test_unterminated_complete_record_is_ok () =
+  (* A complete record that merely lost its newline is indistinguishable
+     from a complete write and must be delivered as Ok. *)
+  with_file_contents
+    (good_line ^ "\n" ^ good_line)
+    (fun path ->
+      match classify_all path with
+      | [ `Ok; `Ok ] -> ()
+      | _ -> Alcotest.fail "newline-less complete record must be Ok")
+
+let test_json_classified_journal () =
+  (* fold_json_classified: the dps_serve journal is raw JSONL, not
+     schema'd trace lines — same torn-tail classification, Json-only
+     parsing. *)
+  let classify path =
+    Reader.with_input path (fun ic ->
+        List.rev
+          (Reader.fold_json_classified ic ~init:[] ~f:(fun acc ~lineno:_ r ->
+               (match r with
+               | Ok _ -> `Ok
+               | Error (Reader.Malformed _) -> `Malformed
+               | Error (Reader.Truncated msg) -> `Truncated msg)
+               :: acc)))
+  in
+  with_file_contents
+    ({|{"op":"attach","tenant":"acme"}|} ^ "\n" ^ {|{"op":"inject","ten|})
+    (fun path ->
+      match classify path with
+      | [ `Ok; `Truncated msg ] ->
+        if not (String.starts_with ~prefix:truncated_prefix msg) then
+          Alcotest.failf "journal message not pinned: %S" msg
+      | _ -> Alcotest.fail "journal tail must classify Truncated");
+  (* Trace-schema'd lines are NOT required: any valid JSON object passes. *)
+  with_file_contents
+    ({|{"anything":[1,2,3]}|} ^ "\n")
+    (fun path ->
+      match classify path with
+      | [ `Ok ] -> ()
+      | _ -> Alcotest.fail "raw JSON object must parse through Json")
+
 (* ------------------------------------------------------ witness parity *)
 
 let test_thm3_parity_with_live_verdict () =
@@ -263,6 +364,15 @@ let () =
             test_decomposition_accounts_all_slots;
           Alcotest.test_case "no packet events without flag" `Quick
             test_no_packet_events_without_flag ] );
+      ( "reader",
+        [ Alcotest.test_case "truncated final line pinned" `Quick
+            test_truncated_final_line;
+          Alcotest.test_case "midstream garbage malformed" `Quick
+            test_midstream_garbage_is_malformed;
+          Alcotest.test_case "unterminated complete record ok" `Quick
+            test_unterminated_complete_record_is_ok;
+          Alcotest.test_case "json classified journal" `Quick
+            test_json_classified_journal ] );
       ( "witness",
         [ Alcotest.test_case "thm3 parity with live verdict" `Quick
             test_thm3_parity_with_live_verdict;
