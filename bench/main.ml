@@ -29,7 +29,9 @@ let experiments =
     ("s1", "scale: tiled sparse interference engine", Exp_s1.run);
     ("r1", "robustness: jamming burst + overload guard", Exp_r1.run);
     ("r2", "robustness: multi-tenant serving soak (overload + faults + churn)",
-     Exp_r2.run) ]
+     Exp_r2.run);
+    ("o1", "observability: metrics subscription overhead on the soak loop",
+     Exp_o1.run) ]
 
 let () =
   let requested =

@@ -110,8 +110,12 @@ let render_outcome = function
     [ ("outcome", Wire.Str "too-large"); ("burst", Wire.Float burst) ]
 
 (* One request line -> one reply line. Every failure becomes a
-   diagnostic reply; nothing a client sends can take the daemon down. *)
-let handle engine ~stop line =
+   diagnostic reply; nothing a client sends can take the daemon down.
+   [push] writes one extra line on the reply stream — the metrics
+   subscription target, bound to the current client. Pushes happen
+   inside Engine.step, so subscribed metrics lines appear *before* the
+   step reply that produced them: a deterministic interleaving. *)
+let handle engine ~stop ~push line =
   match Wire.parse line with
   | Error msg -> Wire.error ~err:msg []
   | Ok cmd -> (
@@ -126,6 +130,14 @@ let handle engine ~stop line =
         [ ("frame", Wire.Int (Engine.frame engine));
           ("in_flight", Wire.Int (Engine.in_flight engine)) ]
     | Wire.Status -> Wire.ok ~cmd:"status" (Engine.status_fields engine)
+    | Wire.Stats -> Wire.ok ~cmd:"stats" (Engine.stats_fields engine)
+    | Wire.Subscribe { every } -> (
+      match Engine.subscribe engine ~every ~push with
+      | Error msg -> Wire.error ~err:msg []
+      | Ok () -> Wire.ok ~cmd:"subscribe" [ ("every", Wire.Int every) ])
+    | Wire.Unsubscribe ->
+      let was = Engine.unsubscribe engine in
+      Wire.ok ~cmd:"unsubscribe" [ ("was_subscribed", Wire.Bool was) ]
     | Wire.Checkpoint ->
       Engine.checkpoint engine;
       Wire.ok ~cmd:"checkpoint" [ ("frame", Wire.Int (Engine.frame engine)) ]
@@ -144,13 +156,23 @@ let handle engine ~stop line =
       stop := true;
       Wire.ok ~cmd:"quit" [ ("frame", Wire.Int (Engine.frame engine)) ])
 
+(* One client session. EOF ends the session only; [stop] (the quit
+   command) ends the daemon — so in socket mode a monitor can attach,
+   look, and detach without taking the service down, while in
+   stdin/stdout mode the caller exits after the single session anyway. *)
 let serve_channel engine ic oc ~stop =
-  while not !stop do
+  let push line =
+    output_string oc line;
+    output_char oc '\n';
+    flush oc
+  in
+  let connected = ref true in
+  while !connected && not !stop do
     match input_line ic with
-    | exception End_of_file -> stop := true
+    | exception End_of_file -> connected := false
     | line ->
       if String.trim line <> "" then begin
-        output_string oc (handle engine ~stop line);
+        output_string oc (handle engine ~stop ~push line);
         output_char oc '\n';
         flush oc
       end
@@ -175,6 +197,9 @@ let serve_socket engine path ~stop =
            determinism story depends on. *)
         (try serve_channel engine ic oc ~stop
          with Sys_error _ | End_of_file -> ());
+        (* The subscription is bound to this client's channel; drop it
+           before the fd can be recycled for the next connection. *)
+        ignore (Engine.unsubscribe engine);
         (try flush oc with Sys_error _ -> ());
         try Unix.close conn with Unix.Unix_error _ -> ()
       done)

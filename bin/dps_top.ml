@@ -1,0 +1,503 @@
+(* dps_top — live terminal monitor for the dps_serve daemon.
+
+   Two sources for the metrics stream:
+
+   - --socket PATH: connect to a running daemon, subscribe to its
+     metrics push, and drive its logical clock with step commands (the
+     daemon serves one client at a time and only advances on step, so
+     the monitor doubles as the pacer).
+   - FILE (or '-' for stdin): replay a captured stream — subscribed
+     metrics lines, or any reply stream whose status replies embed a
+     metrics object.
+
+   Output: a refreshing per-class / per-tenant table (default), --json
+   (one canonical JSON line per refresh), or --prom (Prometheus text
+   exposition). --once renders a single snapshot and exits.
+
+   Metric catalogue and stream schema: docs/OBSERVABILITY.md; wire
+   protocol: docs/SERVING.md. *)
+
+module Json = Dps_trace.Json
+module Metrics = Dps_telemetry.Metrics
+module Snapshot = Dps_telemetry.Snapshot
+module Classes = Dps_serve.Classes
+module Wire = Dps_serve.Wire
+
+(* ------------------------------------------------- stream -> snapshot *)
+
+let is_metrics j =
+  match Json.member "type" j with
+  | Some (Json.Str "metrics") -> true
+  | _ -> false
+
+(* A metrics object from one stream line: either a standalone push line
+   or the ["metrics"] field a status reply embeds. *)
+let metrics_of_line j =
+  if is_metrics j then Some j
+  else
+    match Json.member "metrics" j with
+    | Some m when is_metrics m -> Some m
+    | _ -> None
+
+let snapshot_of_metrics j =
+  let row r =
+    let labels =
+      match Json.member "labels" r with
+      | Some (Json.Obj kvs) ->
+        List.map (fun (k, v) -> (k, Json.to_string v)) kvs
+      | _ -> []
+    in
+    { Metrics.name = Json.string_field "name" r;
+      labels = List.sort compare labels;
+      kind = Json.string_field "kind" r;
+      value = Json.to_float (Json.field "value" r) }
+  in
+  Snapshot.of_rows
+    ~frame:(Json.int_field "frame" j)
+    (List.map row (Json.to_list (Json.field "rows" j)))
+
+(* ---------------------------------------------------------- view model *)
+
+type class_view = {
+  cname : string;
+  c_admitted : int;
+  c_denied : int;
+  c_shed : int;
+  c_violations : int;
+  c_burn : float;
+  c_shed_rate : float;
+  c_deny_rate : float;
+  c_p99 : float option;
+}
+
+type tenant_view = {
+  tname : string;
+  tclass : string;
+  t_admitted : int;
+  t_delivered : int;
+  t_shed : int;
+  t_rejected : int;
+  t_delta : int;  (* admitted since the previous refresh *)
+}
+
+type view = {
+  v_frame : int;
+  v_jain : float;
+  v_pending : int;
+  v_queue_wm : int;
+  v_pending_wm : int;
+  v_classes : class_view list;
+  v_tenants : tenant_view list;
+  v_hidden : int;  (* tenants cut by --top *)
+}
+
+let geti snap ~name ~labels ~kind =
+  match Snapshot.find snap ~name ~labels ~kind with
+  | Some v -> int_of_float v
+  | None -> 0
+
+let getf snap ~name ~labels ~kind =
+  Option.value ~default:0. (Snapshot.find snap ~name ~labels ~kind)
+
+let class_view snap k =
+  let cname = Classes.to_string k in
+  let labels = [ ("class", cname) ] in
+  { cname;
+    c_admitted =
+      geti snap ~name:"serve.admitted.packets" ~labels ~kind:"counter";
+    c_denied = geti snap ~name:"serve.deny.packets" ~labels ~kind:"counter";
+    c_shed = geti snap ~name:"serve.shed.packets" ~labels ~kind:"counter";
+    c_violations =
+      geti snap ~name:"serve.budget.violations" ~labels ~kind:"counter";
+    c_burn = getf snap ~name:"serve.budget.burn" ~labels ~kind:"gauge";
+    c_shed_rate = getf snap ~name:"serve.shed.rate" ~labels ~kind:"gauge";
+    c_deny_rate = getf snap ~name:"serve.deny.rate" ~labels ~kind:"gauge";
+    c_p99 = Snapshot.find snap ~name:"serve.latency.slots" ~labels ~kind:"p99"
+  }
+
+(* Tenants are discovered from the per-tenant admission counters: one
+   ["serve.admitted"] row per attached tenant, class riding along as a
+   label. *)
+let tenant_views ?prev snap =
+  let delta_snap = Option.map (fun base -> Snapshot.diff ~base snap) prev in
+  List.filter_map
+    (fun (r : Metrics.row) ->
+      if r.Metrics.name <> "serve.admitted" || r.Metrics.kind <> "counter"
+      then None
+      else
+        match
+          ( List.assoc_opt "tenant" r.Metrics.labels,
+            List.assoc_opt "class" r.Metrics.labels )
+        with
+        | Some tname, Some tclass ->
+          let labels = [ ("class", tclass); ("tenant", tname) ] in
+          Some
+            { tname;
+              tclass;
+              t_admitted = int_of_float r.Metrics.value;
+              t_delivered =
+                geti snap ~name:"serve.delivered" ~labels ~kind:"counter";
+              t_shed = geti snap ~name:"serve.shed" ~labels ~kind:"counter";
+              t_rejected =
+                geti snap ~name:"serve.rejected.quota" ~labels ~kind:"counter";
+              t_delta =
+                (match delta_snap with
+                | None -> 0
+                | Some d ->
+                  geti d ~name:"serve.admitted" ~labels ~kind:"counter") }
+        | _ -> None)
+    (Snapshot.rows snap)
+
+(* Worst first: most traffic lost (shed + quota-rejected), ties broken
+   by admitted volume then name — the tenants an operator should look
+   at are at the top of the table. *)
+let worst_first a b =
+  match compare (b.t_shed + b.t_rejected) (a.t_shed + a.t_rejected) with
+  | 0 -> (
+    match compare b.t_admitted a.t_admitted with
+    | 0 -> compare a.tname b.tname
+    | c -> c)
+  | c -> c
+
+let view ?prev ~top snap =
+  let tenants = List.sort worst_first (tenant_views ?prev snap) in
+  let shown, hidden =
+    if top > 0 && List.length tenants > top then
+      (List.filteri (fun i _ -> i < top) tenants, List.length tenants - top)
+    else (tenants, 0)
+  in
+  { v_frame = Snapshot.frame snap;
+    v_jain = getf snap ~name:"serve.fairness.jain" ~labels:[] ~kind:"gauge";
+    v_pending = geti snap ~name:"serve.pending" ~labels:[] ~kind:"gauge";
+    v_queue_wm =
+      geti snap ~name:"serve.queue.watermark" ~labels:[] ~kind:"gauge";
+    v_pending_wm =
+      geti snap ~name:"serve.pending.watermark" ~labels:[] ~kind:"gauge";
+    (* URLLC on top: reverse of shed-priority order. *)
+    v_classes = List.rev_map (class_view snap) Classes.all;
+    v_tenants = shown;
+    v_hidden = hidden }
+
+(* ------------------------------------------------------------ renderers *)
+
+let render_table v =
+  let b = Buffer.create 1024 in
+  Printf.bprintf b
+    "dps_top  frame %-8d jain %.3f  pending %d  queue-wm %d  pending-wm %d\n"
+    v.v_frame v.v_jain v.v_pending v.v_queue_wm v.v_pending_wm;
+  Printf.bprintf b "\n%-6s %8s %7s %7s %6s %6s %6s %6s %8s\n" "CLASS" "ADMIT"
+    "DENY" "SHED" "VIOL" "BURN" "SHED%" "DENY%" "P99";
+  List.iter
+    (fun c ->
+      Printf.bprintf b "%-6s %8d %7d %7d %6d %6.2f %6.1f %6.1f %8s\n" c.cname
+        c.c_admitted c.c_denied c.c_shed c.c_violations c.c_burn
+        (100. *. c.c_shed_rate)
+        (100. *. c.c_deny_rate)
+        (match c.c_p99 with
+        | None -> "-"
+        | Some p -> Printf.sprintf "%.1f" p))
+    v.v_classes;
+  Printf.bprintf b "\n%-20s %-6s %8s %8s %7s %7s %7s\n" "TENANT" "CLASS"
+    "ADMIT" "DLVR" "SHED" "REJ" "+ADM";
+  List.iter
+    (fun t ->
+      Printf.bprintf b "%-20s %-6s %8d %8d %7d %7d %7d\n" t.tname t.tclass
+        t.t_admitted t.t_delivered t.t_shed t.t_rejected t.t_delta)
+    v.v_tenants;
+  if v.v_hidden > 0 then
+    Printf.bprintf b "... %d more tenant(s); raise --top to see them\n"
+      v.v_hidden;
+  Buffer.contents b
+
+(* Canonical JSON rendering via the wire encoders: same floats, same
+   escaping as the daemon's own replies, so the output is byte-stable
+   and golden-pinnable. *)
+let render_json v =
+  let class_json c =
+    Wire.obj
+      ([ ("class", Wire.Str c.cname);
+         ("admitted", Wire.Int c.c_admitted);
+         ("denied", Wire.Int c.c_denied);
+         ("shed", Wire.Int c.c_shed);
+         ("violations", Wire.Int c.c_violations);
+         ("burn", Wire.Float c.c_burn);
+         ("shed_rate", Wire.Float c.c_shed_rate);
+         ("deny_rate", Wire.Float c.c_deny_rate) ]
+      @ match c.c_p99 with
+        | None -> []
+        | Some p -> [ ("p99", Wire.Float p) ])
+  in
+  let tenant_json t =
+    Wire.obj
+      [ ("tenant", Wire.Str t.tname);
+        ("class", Wire.Str t.tclass);
+        ("admitted", Wire.Int t.t_admitted);
+        ("delivered", Wire.Int t.t_delivered);
+        ("shed", Wire.Int t.t_shed);
+        ("rejected", Wire.Int t.t_rejected);
+        ("delta_admitted", Wire.Int t.t_delta) ]
+  in
+  Wire.obj
+    [ ("frame", Wire.Int v.v_frame);
+      ("jain", Wire.Float v.v_jain);
+      ("pending", Wire.Int v.v_pending);
+      ("queue_watermark", Wire.Int v.v_queue_wm);
+      ("pending_watermark", Wire.Int v.v_pending_wm);
+      ("classes",
+       Wire.Raw (Wire.arr (List.map (fun c -> Wire.Raw (class_json c)) v.v_classes)));
+      ("tenants",
+       Wire.Raw
+         (Wire.arr (List.map (fun t -> Wire.Raw (tenant_json t)) v.v_tenants)));
+      ("hidden_tenants", Wire.Int v.v_hidden) ]
+  ^ "\n"
+
+type mode = Table | Json_out | Prom
+
+let render ~mode ~top ?prev snap =
+  match mode with
+  | Prom -> Snapshot.to_prometheus snap
+  | Json_out -> render_json (view ?prev ~top snap)
+  | Table -> render_table (view ?prev ~top snap)
+
+let clear_screen () =
+  if Unix.isatty Unix.stdout then print_string "\027[H\027[2J"
+
+let show ~mode ~live s =
+  if live && mode = Table then clear_screen ();
+  print_string s;
+  flush stdout
+
+(* -------------------------------------------------------- file source *)
+
+let run_stream ic ~mode ~once ~top =
+  let last = ref None and prev = ref None and shown = ref false in
+  (try
+     while true do
+       let line = input_line ic in
+       if String.trim line <> "" then
+         match metrics_of_line (Json.parse line) with
+         | None -> ()
+         | Some m ->
+           let snap = snapshot_of_metrics m in
+           if once then last := Some snap
+           else begin
+             show ~mode ~live:true (render ~mode ~top ?prev:!prev snap);
+             shown := true
+           end;
+           prev := Some snap
+         | exception Json.Error _ -> ()  (* foreign lines pass through *)
+     done
+   with End_of_file -> ());
+  match (once, !last) with
+  | true, Some snap -> show ~mode ~live:false (render ~mode ~top snap)
+  | true, None -> failwith "no metrics lines in the stream"
+  | false, _ -> if not !shown then failwith "no metrics lines in the stream"
+
+(* ------------------------------------------------------ socket source *)
+
+let connect path =
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect sock (Unix.ADDR_UNIX path)
+   with Unix.Unix_error (e, _, _) ->
+     failwith (Printf.sprintf "cannot connect to %s: %s" path
+                 (Unix.error_message e)));
+  (Unix.in_channel_of_descr sock, Unix.out_channel_of_descr sock)
+
+let send oc line =
+  output_string oc line;
+  output_char oc '\n';
+  flush oc
+
+let expect_ok ~what line =
+  let j = try Json.parse line with Json.Error m ->
+    failwith (Printf.sprintf "%s: bad reply: %s" what m)
+  in
+  match Json.member "ok" j with
+  | Some (Json.Bool true) -> j
+  | Some (Json.Bool false) ->
+    failwith
+      (Printf.sprintf "%s: daemon error: %s" what
+         (try Json.string_field "error" j with Json.Error _ -> line))
+  | _ -> failwith (Printf.sprintf "%s: not a reply: %s" what line)
+
+(* One-shot over the socket: a status round-trip carries the full
+   metrics snapshot; nothing about the daemon changes. *)
+let run_socket_once path ~mode ~top =
+  let ic, oc = connect path in
+  send oc {|{"do":"status"}|};
+  let reply = expect_ok ~what:"status" (input_line ic) in
+  (match metrics_of_line reply with
+  | Some m ->
+    show ~mode ~live:false (render ~mode ~top (snapshot_of_metrics m))
+  | None -> failwith "status reply carries no metrics snapshot");
+  close_out_noerr oc
+
+(* Live: subscribe, then drive the daemon's logical clock. Each push
+   arrives *before* the step reply that produced it, so reading until
+   the reply drains exactly this step's pushes. *)
+let run_socket_live path ~mode ~top ~every ~step ~frames ~interval_ms =
+  let ic, oc = connect path in
+  send oc (Printf.sprintf {|{"do":"subscribe","every":%d}|} every);
+  ignore (expect_ok ~what:"subscribe" (input_line ic));
+  let prev = ref None in
+  let driven = ref 0 in
+  (try
+     while frames = 0 || !driven < frames do
+       let n = if frames = 0 then step else min step (frames - !driven) in
+       send oc (Printf.sprintf {|{"do":"step","frames":%d}|} n);
+       let rec drain () =
+         let line = input_line ic in
+         let j = Json.parse line in
+         if is_metrics j then begin
+           let snap = snapshot_of_metrics j in
+           show ~mode ~live:true (render ~mode ~top ?prev:!prev snap);
+           prev := Some snap;
+           drain ()
+         end
+         else ignore (expect_ok ~what:"step" line)
+       in
+       drain ();
+       driven := !driven + n;
+       if interval_ms > 0 then Unix.sleepf (float_of_int interval_ms /. 1000.)
+     done;
+     send oc {|{"do":"unsubscribe"}|};
+     ignore (expect_ok ~what:"unsubscribe" (input_line ic))
+   with End_of_file -> ());
+  close_out_noerr oc
+
+(* ---------------------------------------------------------------- CLI *)
+
+let run source socket json prom once top every step frames interval_ms =
+  if every < 1 then failwith "--every must be >= 1";
+  if step < 0 then failwith "--step must be >= 1";
+  if json && prom then failwith "--json and --prom are mutually exclusive";
+  let mode = if prom then Prom else if json then Json_out else Table in
+  let step = if step = 0 then every else step in
+  match socket with
+  | Some path ->
+    if once then run_socket_once path ~mode ~top
+    else run_socket_live path ~mode ~top ~every ~step ~frames ~interval_ms
+  | None ->
+    if source = "-" then run_stream stdin ~mode ~once ~top
+    else begin
+      let ic = open_in source in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> run_stream ic ~mode ~once ~top)
+    end
+
+open Cmdliner
+
+let source =
+  Arg.(
+    value & pos 0 string "-"
+    & info [] ~docv:"FILE"
+        ~doc:
+          "Captured JSONL stream to render ($(b,-) = stdin): subscribed \
+           metrics lines, or any reply stream whose status replies embed a \
+           metrics snapshot. Ignored with $(b,--socket).")
+
+let socket =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:
+          "Connect to the dps_serve daemon listening on $(docv), subscribe, \
+           and drive its logical clock ($(b,--step) frames per refresh).")
+
+let json =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:
+          "Emit one canonical JSON line per refresh instead of the table \
+           (same float and string encoding as the daemon's replies).")
+
+let prom =
+  Arg.(
+    value & flag
+    & info [ "prom" ]
+        ~doc:
+          "Emit the snapshot in Prometheus text exposition format instead \
+           of the table.")
+
+let once =
+  Arg.(
+    value & flag
+    & info [ "once" ]
+        ~doc:
+          "Render a single snapshot and exit: the last metrics line of a \
+           stream, or one status round-trip over $(b,--socket).")
+
+let top =
+  Arg.(
+    value & opt int 0
+    & info [ "top" ] ~docv:"K"
+        ~doc:
+          "Show only the $(docv) worst tenants (most shed + quota-rejected \
+           traffic first). 0 shows all.")
+
+let every =
+  Arg.(
+    value & opt int 16
+    & info [ "every" ] ~docv:"N"
+        ~doc:"Subscription cadence: one metrics push every $(docv) frames.")
+
+let step =
+  Arg.(
+    value & opt int 0
+    & info [ "step" ] ~docv:"N"
+        ~doc:
+          "Frames per step command when driving a daemon (default: \
+           $(b,--every)).")
+
+let frames =
+  Arg.(
+    value & opt int 0
+    & info [ "frames" ] ~docv:"N"
+        ~doc:
+          "Stop after driving $(docv) frames over $(b,--socket) (0 = run \
+           until interrupted).")
+
+let interval_ms =
+  Arg.(
+    value & opt int 0
+    & info [ "interval-ms" ] ~docv:"MS"
+        ~doc:
+          "Wall-clock pause between step commands — the refresh rate of \
+           the live table.")
+
+let run_safely source socket json prom once top every step frames interval_ms =
+  try run source socket json prom once top every step frames interval_ms
+  with
+  | Invalid_argument msg | Failure msg | Sys_error msg ->
+    Printf.eprintf "dps_top: %s\n" msg;
+    exit 1
+  | Json.Error msg ->
+    Printf.eprintf "dps_top: bad stream: %s\n" msg;
+    exit 1
+
+let cmd =
+  let doc = "live monitor for the dps_serve daemon (top-like table, JSON, \
+             or Prometheus exposition)" in
+  let man =
+    [ `S Manpage.s_examples;
+      `P "Watch a running daemon, refreshing every 16 frames, twice a second:";
+      `Pre "  dps_top --socket /tmp/dps.sock --interval-ms 500";
+      `P "One deterministic JSON snapshot from a captured stream:";
+      `Pre "  dps_top --once --json captured.jsonl";
+      `P "Scrape-style export of the latest state:";
+      `Pre "  dps_top --once --prom captured.jsonl";
+      `S Manpage.s_see_also;
+      `P
+        "docs/CLI.md §dps_top; docs/OBSERVABILITY.md (metric catalogue, \
+         stream schema); docs/SERVING.md (wire protocol)." ]
+  in
+  Cmd.v
+    (Cmd.info "dps_top" ~doc ~man)
+    Term.(
+      const run_safely $ source $ socket $ json $ prom $ once $ top $ every
+      $ step $ frames $ interval_ms)
+
+let () = exit (Cmd.eval cmd)

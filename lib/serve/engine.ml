@@ -8,6 +8,7 @@ module Injector = Dps_faults.Injector
 module Class_guard = Dps_faults.Class_guard
 module Telemetry = Dps_telemetry.Telemetry
 module Metrics = Dps_telemetry.Metrics
+module Histo = Dps_telemetry.Histo
 module Sink = Dps_telemetry.Sink
 module Json = Dps_trace.Json
 module Reader = Dps_trace.Reader
@@ -40,6 +41,11 @@ type class_stats = {
   h_latency : Metrics.histogram;
   c_budget : Metrics.counter;
   c_class_shed : Metrics.counter;
+  c_class_admitted : Metrics.counter;
+  c_class_denied : Metrics.counter;
+  g_burn : Metrics.gauge;  (* p99 latency / delay budget, per frame *)
+  g_shed_rate : Metrics.gauge;
+  g_deny_rate : Metrics.gauge;
   budget_slots : int;
 }
 
@@ -65,6 +71,13 @@ type t = {
   g_frames : Metrics.gauge;
   g_pending : Metrics.gauge;
   g_tenants : Metrics.gauge;
+  g_jain : Metrics.gauge;
+  g_queue_watermark : Metrics.gauge;
+  g_pending_watermark : Metrics.gauge;
+  mutable sub : (int * (string -> unit)) option;
+      (* metrics push: cadence in frames + writer; never journaled *)
+  sub_buf : Buffer.t;  (* scratch for rendering pushes, reused across frames *)
+  sub_enc : Sink.cached_encoder;  (* row-prefix cache for the same *)
   mutable pending : (Path.t * int) list;  (* reversed arrival order *)
   mutable pending_copies : int;
   mutable fresh_frame : bool;
@@ -122,6 +135,12 @@ let make_engine ?(sinks = []) cfg =
            { h_latency = Metrics.histogram reg ~labels "serve.latency.slots";
              c_budget = Metrics.counter reg ~labels "serve.budget.violations";
              c_class_shed = Metrics.counter reg ~labels "serve.shed.packets";
+             c_class_admitted =
+               Metrics.counter reg ~labels "serve.admitted.packets";
+             c_class_denied = Metrics.counter reg ~labels "serve.deny.packets";
+             g_burn = Metrics.gauge reg ~labels "serve.budget.burn";
+             g_shed_rate = Metrics.gauge reg ~labels "serve.shed.rate";
+             g_deny_rate = Metrics.gauge reg ~labels "serve.deny.rate";
              budget_slots = Classes.default_budget_frames k * frame_slots })
          Classes.all)
   in
@@ -155,6 +174,12 @@ let make_engine ?(sinks = []) cfg =
     g_frames = Metrics.gauge reg "serve.uptime.frames";
     g_pending = Metrics.gauge reg "serve.pending";
     g_tenants = Metrics.gauge reg "serve.tenants";
+    g_jain = Metrics.gauge reg "serve.fairness.jain";
+    g_queue_watermark = Metrics.gauge reg "serve.queue.watermark";
+    g_pending_watermark = Metrics.gauge reg "serve.pending.watermark";
+    sub = None;
+    sub_buf = Buffer.create 4096;
+    sub_enc = Sink.cached_encoder ();
     pending = [];
     pending_copies = 0;
     fresh_frame = false;
@@ -162,6 +187,11 @@ let make_engine ?(sinks = []) cfg =
     frames_since_ckpt = 0;
     ck = None;
     closed = false }
+  |> fun t ->
+  (* An empty system is perfectly fair: Jain's index reads 1 before the
+     first tenant attaches, not a meaningless 0. *)
+  Metrics.set t.g_jain 1.;
+  t
 
 (* -------------------------------------------------- checkpoint files *)
 
@@ -255,7 +285,12 @@ let attach_impl t ~record ~tenant ~klass ~rate ~burst =
     match Bucket.create ~rate ~burst with
     | exception Invalid_argument msg -> Error msg
     | bucket ->
-      let labels = [ ("tenant", tenant) ] in
+      (* The class label rides along on every per-tenant metric so
+         downstream consumers (dps_top, Prometheus) can group tenants by
+         class without a side channel. *)
+      let labels =
+        [ ("class", Classes.to_string klass); ("tenant", tenant) ]
+      in
       let reg = Telemetry.metrics t.tel in
       let ten =
         { tname = tenant;
@@ -350,11 +385,17 @@ let submit_impl t ~record ~tenant ~links ~delay ~copies =
               done;
               t.pending_copies <- t.pending_copies + copies;
               Metrics.add ten.c_admitted copies;
+              Metrics.add
+                t.class_stats.(Classes.priority ten.klass).c_class_admitted
+                copies;
               Metrics.set t.g_pending (float_of_int t.pending_copies);
               Admitted { first_id; copies }
             end
             else begin
               Metrics.incr ten.c_quota;
+              Metrics.add
+                t.class_stats.(Classes.priority ten.klass).c_class_denied
+                copies;
               Overloaded { retry_after = Bucket.frames_until ten.bucket copies }
             end
           in
@@ -373,6 +414,59 @@ let submit_impl t ~record ~tenant ~links ~delay ~copies =
 
 let submit t ~tenant ~links ~delay ~copies =
   submit_impl t ~record:true ~tenant ~links ~delay ~copies
+
+(* ----------------------------------------------------- observability *)
+
+(* Jain's fairness index over per-tenant admitted counts:
+   (sum x)^2 / (n * sum x^2), 1 when every share is equal, 1/n when one
+   tenant has everything. An empty or all-idle system is perfectly fair
+   by convention (1, not a meaningless 0/0). *)
+let jain_index t =
+  let n = Hashtbl.length t.by_name in
+  if n = 0 then 1.
+  else begin
+    let s = ref 0. and s2 = ref 0. in
+    Hashtbl.iter
+      (fun _ ten ->
+        let x = float_of_int (Metrics.counter_value ten.c_admitted) in
+        s := !s +. x;
+        s2 := !s2 +. (x *. x))
+      t.by_name;
+    if !s2 = 0. then 1. else !s *. !s /. (float_of_int n *. !s2)
+  end
+
+(* Delay-budget burn: p99 delivery latency as a fraction of the class
+   budget. Above 1 means the tail is blowing its budget; 0 while no
+   sample has been delivered. *)
+let class_burn cs =
+  let h = Metrics.histo cs.h_latency in
+  if Histo.count h = 0 || cs.budget_slots = 0 then 0.
+  else Histo.quantile h 0.99 /. float_of_int cs.budget_slots
+
+(* Fraction of submitted copies lost to [c] (shed or deny) relative to
+   everything that reached the same decision point; 0 when idle. *)
+let class_loss_rate ~admitted c =
+  let x = float_of_int (Metrics.counter_value c) in
+  let a = float_of_int (Metrics.counter_value admitted) in
+  if x +. a = 0. then 0. else x /. (x +. a)
+
+(* Refresh every derived gauge from the raw counters/histograms. Cheap
+   (a hashtable fold and a few quantile interpolations) and
+   deterministic, so it runs at every frame boundary rather than only
+   on scrape — the metrics stream always carries current values. *)
+let update_observability t =
+  Metrics.set t.g_jain (jain_index t);
+  Array.iter
+    (fun cs ->
+      Metrics.set cs.g_burn (class_burn cs);
+      Metrics.set cs.g_shed_rate
+        (class_loss_rate ~admitted:cs.c_class_admitted cs.c_class_shed);
+      Metrics.set cs.g_deny_rate
+        (class_loss_rate ~admitted:cs.c_class_admitted cs.c_class_denied))
+    t.class_stats;
+  let bump g v = if v > Metrics.gauge_value g then Metrics.set g v in
+  bump t.g_queue_watermark (float_of_int (Protocol.in_flight t.protocol));
+  bump t.g_pending_watermark (float_of_int t.pending_copies)
 
 let run_frames t n =
   for _ = 1 to n do
@@ -395,9 +489,24 @@ let run_frames t n =
     Hashtbl.iter (fun _ ten -> Bucket.refill ten.bucket) t.by_name;
     Metrics.set t.g_frames (float_of_int fr);
     Metrics.set t.g_pending (float_of_int t.pending_copies);
+    update_observability t;
     t.frames_since_ckpt <- t.frames_since_ckpt + 1;
     if t.cfg.metrics_every > 0 && fr mod t.cfg.metrics_every = 0 then
-      Telemetry.emit_metrics t.tel ~frame:fr
+      Telemetry.emit_metrics t.tel ~frame:fr;
+    (* Subscription push: journal-exempt by construction — it happens
+       after the frame boundary and writes only to the reply stream, so
+       the journal still records this step as one "frames" op and replay
+       stays byte-identical. A push that raises (dead client) is
+       detached on the spot: letting it escape mid-step would advance
+       state the journal never sees. *)
+    (match t.sub with
+    | Some (every, push) when fr mod every = 0 -> (
+      Buffer.clear t.sub_buf;
+      Sink.add_metrics_line_cached t.sub_enc t.sub_buf ~frame:fr
+        (Metrics.snapshot (Telemetry.metrics t.tel));
+      let line = Buffer.contents t.sub_buf in
+      try push line with _ -> t.sub <- None)
+    | _ -> ())
   done
 
 let step_impl t ~record ~frames =
@@ -462,6 +571,91 @@ let status_fields t =
              (fun k -> (Classes.to_string k, Wire.Bool (class_shedding t k)))
              Classes.all)));
     ("metrics", Wire.Raw (Sink.metrics_line ~frame:r.Protocol.frames rows)) ]
+
+(* Read-only by design: everything is recomputed from the raw counters
+   rather than read from (or written to) the derived gauges, so a
+   "stats" between frames reports current values without perturbing any
+   state the metrics stream or a restore replay could observe. *)
+let stats_fields t =
+  let tenants =
+    Hashtbl.fold (fun _ ten acc -> ten :: acc) t.by_name []
+    |> List.sort (fun a b -> compare a.tname b.tname)
+  in
+  let total_admitted =
+    List.fold_left
+      (fun acc ten -> acc + Metrics.counter_value ten.c_admitted)
+      0 tenants
+  in
+  let tenant_row ten =
+    let admitted = Metrics.counter_value ten.c_admitted in
+    let share =
+      if total_admitted = 0 then 0.
+      else float_of_int admitted /. float_of_int total_admitted
+    in
+    Wire.Raw
+      (Wire.obj
+         [ ("tenant", Wire.Str ten.tname);
+           ("class", Wire.Str (Classes.to_string ten.klass));
+           ("admitted", Wire.Int admitted);
+           ("shed", Wire.Int (Metrics.counter_value ten.c_shed));
+           ("rejected", Wire.Int (Metrics.counter_value ten.c_quota));
+           ("delivered", Wire.Int (Metrics.counter_value ten.c_delivered));
+           ("share", Wire.Float share) ])
+  in
+  let class_row k =
+    let cs = t.class_stats.(Classes.priority k) in
+    let h = Metrics.histo cs.h_latency in
+    let quantiles =
+      if Histo.count h = 0 then []
+      else
+        [ ("p50", Wire.Float (Histo.quantile h 0.5));
+          ("p99", Wire.Float (Histo.quantile h 0.99)) ]
+    in
+    Wire.Raw
+      (Wire.obj
+         ([ ("class", Wire.Str (Classes.to_string k));
+            ("admitted", Wire.Int (Metrics.counter_value cs.c_class_admitted));
+            ("denied", Wire.Int (Metrics.counter_value cs.c_class_denied));
+            ("shed", Wire.Int (Metrics.counter_value cs.c_class_shed));
+            ("violations", Wire.Int (Metrics.counter_value cs.c_budget));
+            ("delivered", Wire.Int (Histo.count h));
+            ("budget_slots", Wire.Int cs.budget_slots);
+            ("burn", Wire.Float (class_burn cs));
+            ("shed_rate",
+             Wire.Float
+               (class_loss_rate ~admitted:cs.c_class_admitted cs.c_class_shed));
+            ("deny_rate",
+             Wire.Float
+               (class_loss_rate ~admitted:cs.c_class_admitted cs.c_class_denied))
+          ]
+         @ quantiles))
+  in
+  [ ("frame", Wire.Int (Protocol.frame_index t.protocol));
+    ("jain", Wire.Float (jain_index t));
+    ("in_flight", Wire.Int (Protocol.in_flight t.protocol));
+    ("pending", Wire.Int t.pending_copies);
+    ("queue_watermark",
+     Wire.Int (int_of_float (Metrics.gauge_value t.g_queue_watermark)));
+    ("pending_watermark",
+     Wire.Int (int_of_float (Metrics.gauge_value t.g_pending_watermark)));
+    ("tenants", Wire.Raw (Wire.arr (List.map tenant_row tenants)));
+    ("classes", Wire.Raw (Wire.arr (List.map class_row Classes.all))) ]
+
+(* ------------------------------------------------------ subscription *)
+
+let subscribe t ~every ~push =
+  if every < 1 then Error "field \"every\" must be >= 1"
+  else begin
+    t.sub <- Some (every, push);
+    Ok ()
+  end
+
+let unsubscribe t =
+  let was = t.sub <> None in
+  t.sub <- None;
+  was
+
+let subscribed t = Option.map fst t.sub
 
 (* --------------------------------------------------- create / close *)
 

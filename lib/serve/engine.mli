@@ -158,6 +158,42 @@ val tenant_stats : t -> tenant:string -> (Classes.t * int * int) option
     and recorded telemetry can never drift apart. *)
 val status_fields : t -> (string * Wire.value) list
 
+(** The stats reply body: a structured fairness/SLO snapshot — Jain's
+    index over per-tenant admitted shares, a per-tenant table (sorted by
+    name: class, admitted/shed/rejected/delivered, share of total
+    admissions) and a per-class table (admitted/denied/shed, budget
+    violations, delay-budget burn = p99 latency / budget, shed and deny
+    rates, p50/p99 when samples exist), plus queue/pending depths and
+    their high-water marks. Read-only: everything is recomputed from the
+    raw counters, so issuing [stats] perturbs nothing replay or the
+    metrics stream could observe. Schema: docs/OBSERVABILITY.md §7. *)
+val stats_fields : t -> (string * Wire.value) list
+
+(** {2 Metrics subscription}
+
+    A single optional push target for the live metrics stream: while
+    subscribed, {!step} calls [push line] at every frame boundary whose
+    index is a multiple of the cadence, where [line] is the canonical
+    {!Dps_telemetry.Sink.metrics_line} for the full registry. The
+    subscription is {e journal-exempt} — it is never recorded, a
+    restored engine starts unsubscribed, and pushes happen after the
+    frame boundary — so the reply/journal byte streams of a replayed
+    run are unchanged by whoever was watching. *)
+
+(** [subscribe t ~every ~push] — install (or replace) the push target;
+    [Error] when [every < 1]. A [push] that raises is detached on the
+    spot and the exception swallowed: a dead client must not be able to
+    interrupt {!step} between state advance and journaling. *)
+val subscribe :
+  t -> every:int -> push:(string -> unit) -> (unit, string) result
+
+(** [unsubscribe t] — drop the push target; returns whether one was
+    installed. *)
+val unsubscribe : t -> bool
+
+(** The current cadence, when subscribed. *)
+val subscribed : t -> int option
+
 (** {2 Crash recovery} *)
 
 type restore_report = {

@@ -5,6 +5,9 @@ type command =
   | Inject of { tenant : string; links : int list; delay : int; copies : int }
   | Step of { frames : int }
   | Status
+  | Stats
+  | Subscribe of { every : int }
+  | Unsubscribe
   | Checkpoint
   | Attach of {
       tenant : string;
@@ -24,35 +27,62 @@ let valid_tenant_name s =
   in
   s <> "" && String.length s <= 64 && String.for_all ok s
 
+(* Byte offset of the key's opening quote in the request line, so a
+   diagnostic can point at the offending key, not just name it. Keys are
+   drawn from the identifier charset (no escapes), so a plain substring
+   search for "\"key\"" is exact; [None] when the key is absent (the
+   missing-field case has nothing to point at). *)
+let key_offset line name =
+  let needle = "\"" ^ name ^ "\"" in
+  let n = String.length needle and l = String.length line in
+  let rec go i =
+    if i + n > l then None
+    else if String.sub line i n = needle then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let locate line name =
+  match key_offset line name with
+  | Some i -> Printf.sprintf " (key %S at byte %d)" name i
+  | None -> ""
+
 (* Field accessors with request-shaped error messages: every failure
-   names the offending field, so a client can fix its message without
-   reading the daemon source. *)
-let str_field name j =
+   names the offending key and, when the key is present in the line, its
+   byte offset — so a client can fix its message without reading the
+   daemon source. *)
+let str_field ~line name j =
   match Json.member name j with
   | Some (Json.Str s) -> Ok s
-  | Some _ -> Error (Printf.sprintf "field %S must be a string" name)
+  | Some _ ->
+    Error (Printf.sprintf "field %S must be a string%s" name (locate line name))
   | None -> Error (Printf.sprintf "missing field %S" name)
 
-let int_field_opt name ~default j =
+let int_field_opt ~line name ~default j =
   match Json.member name j with
   | None -> Ok default
   | Some v -> (
     match Json.to_int v with
     | i -> Ok i
     | exception Json.Error _ ->
-      Error (Printf.sprintf "field %S must be an integer" name))
+      Error
+        (Printf.sprintf "field %S must be an integer%s" name (locate line name)))
 
-let float_field_opt name j =
+let float_field_opt ~line name j =
   match Json.member name j with
   | None -> Ok None
   | Some v -> (
     match Json.to_float v with
     | f when Float.is_finite f -> Ok (Some f)
-    | _ -> Error (Printf.sprintf "field %S must be a finite number" name)
+    | _ ->
+      Error
+        (Printf.sprintf "field %S must be a finite number%s" name
+           (locate line name))
     | exception Json.Error _ ->
-      Error (Printf.sprintf "field %S must be a number" name))
+      Error
+        (Printf.sprintf "field %S must be a number%s" name (locate line name)))
 
-let links_field name j =
+let links_field ~line name j =
   match Json.member name j with
   | Some (Json.Arr items) -> (
     try
@@ -66,54 +96,71 @@ let links_field name j =
                raise (Json.Error "non-integer link id"))
            items)
     with Json.Error msg ->
-      Error (Printf.sprintf "field %S: %s" name msg))
-  | Some _ -> Error (Printf.sprintf "field %S must be an array of link ids" name)
+      Error (Printf.sprintf "field %S: %s%s" name msg (locate line name)))
+  | Some _ ->
+    Error
+      (Printf.sprintf "field %S must be an array of link ids%s" name
+         (locate line name))
   | None -> Error (Printf.sprintf "missing field %S" name)
 
 let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
 
-let tenant_field j =
-  let* name = str_field "tenant" j in
+let tenant_field ~line j =
+  let* name = str_field ~line "tenant" j in
   if valid_tenant_name name then Ok name
   else
     Error
       (Printf.sprintf
-         "invalid tenant name %S (allowed: [A-Za-z0-9_-], at most 64 chars)"
-         name)
+         "invalid tenant name %S (allowed: [A-Za-z0-9_-], at most 64 chars)%s"
+         name (locate line "tenant"))
 
-let of_json j =
-  let* verb = str_field "do" j in
+let of_json ~line j =
+  let* verb = str_field ~line "do" j in
   match verb with
   | "inject" ->
-    let* tenant = tenant_field j in
-    let* links = links_field "path" j in
-    let* delay = int_field_opt "delay" ~default:0 j in
-    let* copies = int_field_opt "copies" ~default:1 j in
-    if delay < 0 then Error "field \"delay\" must be >= 0"
-    else if copies < 1 then Error "field \"copies\" must be >= 1"
+    let* tenant = tenant_field ~line j in
+    let* links = links_field ~line "path" j in
+    let* delay = int_field_opt ~line "delay" ~default:0 j in
+    let* copies = int_field_opt ~line "copies" ~default:1 j in
+    if delay < 0 then
+      Error ("field \"delay\" must be >= 0" ^ locate line "delay")
+    else if copies < 1 then
+      Error ("field \"copies\" must be >= 1" ^ locate line "copies")
     else Ok (Inject { tenant; links; delay; copies })
   | "step" ->
-    let* frames = int_field_opt "frames" ~default:1 j in
-    if frames < 1 then Error "field \"frames\" must be >= 1"
+    let* frames = int_field_opt ~line "frames" ~default:1 j in
+    if frames < 1 then
+      Error ("field \"frames\" must be >= 1" ^ locate line "frames")
     else Ok (Step { frames })
   | "status" -> Ok Status
+  | "stats" -> Ok Stats
+  | "subscribe" ->
+    let* every = int_field_opt ~line "every" ~default:16 j in
+    if every < 1 then
+      Error ("field \"every\" must be >= 1" ^ locate line "every")
+    else Ok (Subscribe { every })
+  | "unsubscribe" -> Ok Unsubscribe
   | "checkpoint" -> Ok Checkpoint
   | "attach" ->
-    let* tenant = tenant_field j in
-    let* klass = str_field "class" j in
-    let* klass = Classes.of_string klass in
-    let* rate = float_field_opt "rate" j in
-    let* burst = float_field_opt "burst" j in
+    let* tenant = tenant_field ~line j in
+    let* klass = str_field ~line "class" j in
+    let* klass =
+      match Classes.of_string klass with
+      | Ok _ as ok -> ok
+      | Error msg -> Error (msg ^ locate line "class")
+    in
+    let* rate = float_field_opt ~line "rate" j in
+    let* burst = float_field_opt ~line "burst" j in
     Ok (Attach { tenant; klass; rate; burst })
   | "detach" ->
-    let* tenant = tenant_field j in
+    let* tenant = tenant_field ~line j in
     Ok (Detach { tenant })
   | "quit" -> Ok Quit
-  | other -> Error ("unknown command: " ^ other)
+  | other -> Error ("unknown command: " ^ other ^ locate line "do")
 
 let parse line =
   match Json.parse line with
-  | j -> of_json j
+  | j -> of_json ~line j
   | exception Json.Error msg -> Error ("bad JSON: " ^ msg)
 
 (* ------------------------------------------------------------- replies *)

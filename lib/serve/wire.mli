@@ -16,6 +16,14 @@ type command =
           [delay] frames after the next frame boundary *)
   | Step of { frames : int }  (** run this many protocol frames *)
   | Status  (** one-line status snapshot, no state change *)
+  | Stats
+      (** structured fairness/SLO snapshot: per-tenant and per-class
+          tables plus Jain's index — no state change *)
+  | Subscribe of { every : int }
+      (** push one metrics line every [every] frames on the reply
+          stream; journal-exempt (a restored daemon starts
+          unsubscribed) *)
+  | Unsubscribe  (** stop the metrics push *)
   | Checkpoint  (** force a checkpoint write now *)
   | Attach of {
       tenant : string;
@@ -33,7 +41,11 @@ val valid_tenant_name : string -> bool
 
 (** [parse line] — one command from one request line; [Error message]
     on anything malformed (bad JSON, unknown verb, missing or
-    ill-typed fields), with the offending field named. *)
+    ill-typed fields), with the offending field named and — when the
+    key is present in the line — its byte offset
+    (["... (key \"copies\" at byte 41)"]), so clients can point an
+    editor at the exact spot. Messages are pinned by
+    [test/test_serve.ml]. *)
 val parse : string -> (command, string) result
 
 (** A reply field value. [Raw] embeds pre-rendered JSON verbatim. *)

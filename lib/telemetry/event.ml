@@ -17,26 +17,63 @@ type t =
       attrs : (string * value) list;
     }
 
+(* Almost every string that reaches a sink (metric names, label keys,
+   event names) is plain — detect that in one pass and skip the
+   character-by-character copy: the quoting path is what a metrics push
+   pays ~5 times per row. *)
+let needs_escaping s =
+  let n = String.length s in
+  let rec go i =
+    i < n
+    &&
+    let c = String.unsafe_get s i in
+    c = '"' || c = '\\' || Char.code c < 0x20 || go (i + 1)
+  in
+  go 0
+
+let add_escaped b s =
+  Buffer.add_char b '"';
+  if not (needs_escaping s) then Buffer.add_string b s
+  else
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\r' -> Buffer.add_string b "\\r"
+        | '\t' -> Buffer.add_string b "\\t"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+  Buffer.add_char b '"'
+
 let escape s =
-  let b = Buffer.create (String.length s + 2) in
-  Buffer.add_char b '"';
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\r' -> Buffer.add_string b "\\r"
-      | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.add_char b '"';
-  Buffer.contents b
+  if not (needs_escaping s) then "\"" ^ s ^ "\""
+  else begin
+    let b = Buffer.create (String.length s + 2) in
+    add_escaped b s;
+    Buffer.contents b
+  end
+
+(* %.12g prints an integer-valued float below 10^12 as its plain digit
+   string — exactly [Int64.to_string] — so the common case (counters,
+   histogram counts, whole-slot latencies) skips the printf machinery.
+   Negative zero must keep the sign %.12g would give it. *)
+(* The C primitive behind every %g in the stdlib: same bytes as
+   [Printf.sprintf "%.12g"] without the format-string interpreter, which
+   dominates the cost of rendering fractional metric values. *)
+external format_float : string -> float -> string = "caml_format_float"
 
 let float_to_json f =
-  if Float.is_finite f then Printf.sprintf "%.12g" f else "null"
+  if not (Float.is_finite f) then "null"
+  else if
+    Float.is_integer f
+    && Float.abs f < 1e12
+    && not (f = 0. && 1. /. f < 0.)
+  then Int64.to_string (Int64.of_float f)
+  else format_float "%.12g" f
 
 let value_to_json = function
   | Int i -> string_of_int i

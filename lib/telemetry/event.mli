@@ -49,6 +49,10 @@ val to_json : t -> string
     included), escaping backslash, quote and control characters. *)
 val escape : string -> string
 
+(** [add_escaped b s] — {!escape} written straight into [b], sparing the
+    intermediate string (the hot path of metrics rendering). *)
+val add_escaped : Buffer.t -> string -> unit
+
 (** [float_to_json f] — deterministic JSON number rendering ([%.12g]);
     non-finite values render as [null]. *)
 val float_to_json : float -> string

@@ -63,6 +63,17 @@ let observe t x =
 
 let count t = t.n
 let sum t = t.total
+
+(* Streaming rate between two observations of the same histogram: the
+   caller remembers [count] at an earlier frame and asks for samples per
+   frame since. Guarded against every degenerate interval — no frames
+   elapsed, a stale [count0] from a different histogram — so monitors
+   can divide blindly: the result is finite, never NaN. *)
+let rate_since t ~count0 ~frames =
+  if frames <= 0 then 0.
+  else
+    let delta = t.n - count0 in
+    if delta <= 0 then 0. else float_of_int delta /. float_of_int frames
 let mean t = if t.n = 0 then 0. else t.total /. float_of_int t.n
 let min_value t = t.minv
 let max_value t = t.maxv

@@ -36,6 +36,13 @@ val count : t -> int
 (** Sum of all samples; [0.] when empty. *)
 val sum : t -> float
 
+(** [rate_since t ~count0 ~frames] — samples per frame accumulated since
+    an earlier observation that saw [count0] samples:
+    [(count t - count0) / frames]. Total on degenerate intervals:
+    [frames <= 0] or a non-positive sample delta (a stale [count0])
+    yield [0.], never NaN or a negative rate. *)
+val rate_since : t -> count0:int -> frames:int -> float
+
 (** Mean sample; [0.] when empty. *)
 val mean : t -> float
 

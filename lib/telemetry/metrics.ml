@@ -3,13 +3,21 @@ type kind = Counter | Gauge | Histogram
 type entry = {
   e_name : string;
   e_labels : (string * string) list;  (* sorted by key *)
+  e_lkey : string;  (* encode_labels e_labels, fixed at registration *)
   e_kind : kind;
   mutable e_count : int;  (* counters *)
   mutable e_gauge : float;  (* gauges *)
   e_histo : Histo.t option;
 }
 
-type t = { entries : (string, entry) Hashtbl.t }
+(* [sorted] caches the entries in canonical (name, labels) order; it is
+   rebuilt lazily after a registration invalidates it, so a steady-state
+   {!snapshot} — the per-push cost of a live metrics subscription —
+   never sorts, only reads values. *)
+type t = {
+  entries : (string, entry) Hashtbl.t;
+  mutable sorted : entry list option;
+}
 type counter = entry
 type gauge = entry
 type histogram = entry
@@ -28,7 +36,7 @@ let check_token what s =
 let encode_labels labels =
   String.concat ";" (List.map (fun (k, v) -> k ^ "=" ^ v) labels)
 
-let create () = { entries = Hashtbl.create 32 }
+let create () = { entries = Hashtbl.create 32; sorted = None }
 
 let kind_name = function
   | Counter -> "counter"
@@ -60,12 +68,14 @@ let register t ~name ~labels ~kind ~histo =
     let e =
       { e_name = name;
         e_labels = labels;
+        e_lkey = encode_labels labels;
         e_kind = kind;
         e_count = 0;
         e_gauge = 0.;
         e_histo = (if kind = Histogram then Some (histo ()) else None) }
     in
     Hashtbl.add t.entries key e;
+    t.sorted <- None;
     e
 
 let counter t ?(labels = []) name =
@@ -101,6 +111,10 @@ type row = {
   value : float;
 }
 
+(* One entry's rows, already in canonical kind order — for a histogram
+   that is the alphabetical count < max < min < p50 < p90 < p99 < sum,
+   so concatenating entries sorted by (name, labels) yields the global
+   (name, labels, kind) sort without comparing rendered rows. *)
 let rows_of_entry e =
   let row kind value = { name = e.e_name; labels = e.e_labels; kind; value } in
   match e.e_kind with
@@ -108,26 +122,29 @@ let rows_of_entry e =
   | Gauge -> [ row "gauge" e.e_gauge ]
   | Histogram ->
     let h = the_histo e in
-    let base =
-      [ row "count" (float_of_int (Histo.count h));
-        row "sum" (Histo.sum h);
+    if Histo.count h = 0 then
+      [ row "count" 0.;
+        row "max" (Histo.max_value h);
         row "min" (Histo.min_value h);
-        row "max" (Histo.max_value h) ]
-    in
-    if Histo.count h = 0 then base
+        row "sum" (Histo.sum h) ]
     else
-      base
-      @ [ row "p50" (Histo.quantile h 0.5);
-          row "p90" (Histo.quantile h 0.9);
-          row "p99" (Histo.quantile h 0.99) ]
+      [ row "count" (float_of_int (Histo.count h));
+        row "max" (Histo.max_value h);
+        row "min" (Histo.min_value h);
+        row "p50" (Histo.quantile h 0.5);
+        row "p90" (Histo.quantile h 0.9);
+        row "p99" (Histo.quantile h 0.99);
+        row "sum" (Histo.sum h) ]
 
-let snapshot t =
-  let rows =
-    Hashtbl.fold (fun _ e acc -> rows_of_entry e @ acc) t.entries []
-  in
-  List.sort
-    (fun a b ->
-      compare
-        (a.name, encode_labels a.labels, a.kind)
-        (b.name, encode_labels b.labels, b.kind))
-    rows
+let sorted_entries t =
+  match t.sorted with
+  | Some es -> es
+  | None ->
+    let es =
+      Hashtbl.fold (fun _ e acc -> e :: acc) t.entries []
+      |> List.sort (fun a b -> compare (a.e_name, a.e_lkey) (b.e_name, b.e_lkey))
+    in
+    t.sorted <- Some es;
+    es
+
+let snapshot t = List.concat_map rows_of_entry (sorted_entries t)

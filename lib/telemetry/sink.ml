@@ -5,37 +5,109 @@ type t = {
   close : unit -> unit;
 }
 
-let row_json (r : Metrics.row) =
-  let b = Buffer.create 96 in
+(* Rendered into the caller's buffer: a metrics push pays this once per
+   row, so the row never materialises as an intermediate string. The
+   prefix (everything up to the value) is split out so the cached
+   encoder below can precompute it — one source for the bytes. *)
+let add_row_prefix b (r : Metrics.row) =
   Buffer.add_string b "{\"name\":";
-  Buffer.add_string b (Event.escape r.Metrics.name);
+  Event.add_escaped b r.Metrics.name;
   Buffer.add_string b ",\"labels\":{";
   List.iteri
     (fun i (k, v) ->
       if i > 0 then Buffer.add_char b ',';
-      Buffer.add_string b (Event.escape k);
+      Event.add_escaped b k;
       Buffer.add_char b ':';
-      Buffer.add_string b (Event.escape v))
+      Event.add_escaped b v)
     r.Metrics.labels;
   Buffer.add_string b "},\"kind\":";
-  Buffer.add_string b (Event.escape r.Metrics.kind);
-  Buffer.add_string b ",\"value\":";
-  Buffer.add_string b (Event.float_to_json r.Metrics.value);
-  Buffer.add_char b '}';
-  Buffer.contents b
+  Event.add_escaped b r.Metrics.kind;
+  Buffer.add_string b ",\"value\":"
 
-let metrics_line ~frame rows =
-  let b = Buffer.create 256 in
-  Buffer.add_string b
-    (Printf.sprintf "{\"v\":%d,\"type\":\"metrics\",\"frame\":%d,\"rows\":["
-       Event.schema_version frame);
+let add_row_json b (r : Metrics.row) =
+  add_row_prefix b r;
+  Buffer.add_string b (Event.float_to_json r.Metrics.value);
+  Buffer.add_char b '}'
+
+let add_metrics_head b ~frame =
+  Buffer.add_string b "{\"v\":";
+  Buffer.add_string b (string_of_int Event.schema_version);
+  Buffer.add_string b ",\"type\":\"metrics\",\"frame\":";
+  Buffer.add_string b (string_of_int frame);
+  Buffer.add_string b ",\"rows\":["
+
+let add_metrics_line b ~frame rows =
+  add_metrics_head b ~frame;
   List.iteri
     (fun i r ->
       if i > 0 then Buffer.add_char b ',';
-      Buffer.add_string b (row_json r))
+      add_row_json b r)
     rows;
-  Buffer.add_string b "]}";
+  Buffer.add_string b "]}"
+
+let metrics_line ~frame rows =
+  let b = Buffer.create 4096 in
+  add_metrics_line b ~frame rows;
   Buffer.contents b
+
+(* A metrics push renders the same row skeleton every time — only the
+   values move between pushes, because {!Metrics.snapshot} rebuilds its
+   rows from stable registry entries (names, label lists and kind
+   literals are physically shared across calls). The cached encoder
+   exploits exactly that: it keeps one precomputed prefix string per row
+   and revalidates the cache with physical equality — three pointer
+   compares per row — falling back to a full structural rebuild whenever
+   the registry shape changed (attach/detach). Correctness never depends
+   on the check hitting: a rebuild re-derives the prefixes through
+   [add_row_prefix], the same code the uncached path runs, so the bytes
+   are identical either way. *)
+type cached_encoder = {
+  mutable c_names : string array;
+  mutable c_kinds : string array;
+  mutable c_labels : (string * string) list array;
+  mutable c_prefixes : string array;
+}
+
+let cached_encoder () =
+  { c_names = [||]; c_kinds = [||]; c_labels = [||]; c_prefixes = [||] }
+
+let rows_cached enc rows =
+  let n = Array.length enc.c_names in
+  let rec go i = function
+    | [] -> i = n
+    | (r : Metrics.row) :: tl ->
+      i < n
+      && r.Metrics.name == enc.c_names.(i)
+      && r.Metrics.kind == enc.c_kinds.(i)
+      && r.Metrics.labels == enc.c_labels.(i)
+      && go (i + 1) tl
+  in
+  go 0 rows
+
+let rebuild_cache enc rows =
+  let arr = Array.of_list rows in
+  enc.c_names <- Array.map (fun (r : Metrics.row) -> r.Metrics.name) arr;
+  enc.c_kinds <- Array.map (fun (r : Metrics.row) -> r.Metrics.kind) arr;
+  enc.c_labels <- Array.map (fun (r : Metrics.row) -> r.Metrics.labels) arr;
+  enc.c_prefixes <-
+    Array.map
+      (fun r ->
+        let b = Buffer.create 128 in
+        add_row_prefix b r;
+        Buffer.contents b)
+      arr
+
+let add_metrics_line_cached enc b ~frame rows =
+  if not (rows_cached enc rows) then rebuild_cache enc rows;
+  add_metrics_head b ~frame;
+  List.iteri
+    (fun i (r : Metrics.row) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b enc.c_prefixes.(i);
+      Buffer.add_string b (Event.float_to_json r.Metrics.value);
+      Buffer.add_char b '}')
+    rows;
+  Buffer.add_string b "]}"
 
 let jsonl oc =
   { on_event =

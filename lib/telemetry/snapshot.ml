@@ -1,0 +1,138 @@
+type t = { frame : int; rows : Metrics.row list }
+
+let row_key (r : Metrics.row) =
+  (r.Metrics.name, Metrics.encode_labels r.Metrics.labels, r.Metrics.kind)
+
+let sort_rows rows =
+  List.sort (fun a b -> compare (row_key a) (row_key b)) rows
+
+let of_rows ~frame rows = { frame; rows = sort_rows rows }
+let capture ~frame reg = { frame; rows = Metrics.snapshot reg }
+let frame t = t.frame
+let rows t = t.rows
+
+let find t ~name ~labels ~kind =
+  let key = (name, Metrics.encode_labels (List.sort compare labels), kind) in
+  List.find_map
+    (fun r -> if row_key r = key then Some r.Metrics.value else None)
+    t.rows
+
+(* Monotone row kinds: values that only ever grow, so a delta against an
+   earlier capture is a well-defined per-interval quantity. Everything
+   else (gauges, min/max, quantile estimates) is a statement about "now"
+   and passes through unchanged. *)
+let monotone kind = kind = "counter" || kind = "count" || kind = "sum"
+
+let diff ~base t =
+  if base.frame > t.frame then
+    invalid_arg "Snapshot.diff: base is newer than the snapshot";
+  let prev = Hashtbl.create 64 in
+  List.iter
+    (fun (r : Metrics.row) ->
+      if monotone r.Metrics.kind then Hashtbl.replace prev (row_key r) r.Metrics.value)
+    base.rows;
+  let rows =
+    List.map
+      (fun (r : Metrics.row) ->
+        if not (monotone r.Metrics.kind) then r
+        else
+          let before =
+            Option.value ~default:0. (Hashtbl.find_opt prev (row_key r))
+          in
+          (* A metric registered after [base] simply deltas against 0;
+             a counter that appears to shrink (foreign base) clamps. *)
+          { r with Metrics.value = Float.max 0. (r.Metrics.value -. before) })
+      t.rows
+  in
+  { frame = t.frame; rows }
+
+(* ------------------------------------------- Prometheus text exposition *)
+
+let sanitize name =
+  String.map (fun c -> if c = '.' || c = ':' || c = '-' then '_' else c) name
+
+(* Family kind per metric name: plain counters and gauges map directly;
+   a name whose rows are histogram statistics (count/sum/min/max/pNN)
+   renders as a Prometheus summary. *)
+let family_kind rows name =
+  let kinds =
+    List.filter_map
+      (fun (r : Metrics.row) ->
+        if r.Metrics.name = name then Some r.Metrics.kind else None)
+      rows
+  in
+  if List.mem "counter" kinds then "counter"
+  else if List.mem "gauge" kinds then "gauge"
+  else "summary"
+
+let prom_value f =
+  if Float.is_nan f then "NaN"
+  else if f = Float.infinity then "+Inf"
+  else if f = Float.neg_infinity then "-Inf"
+  else Printf.sprintf "%.12g" f
+
+let prom_labels b pairs =
+  match pairs with
+  | [] -> ()
+  | pairs ->
+    Buffer.add_char b '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b (sanitize k);
+        Buffer.add_string b "=\"";
+        String.iter
+          (fun c ->
+            match c with
+            | '"' -> Buffer.add_string b "\\\""
+            | '\\' -> Buffer.add_string b "\\\\"
+            | '\n' -> Buffer.add_string b "\\n"
+            | c -> Buffer.add_char b c)
+          v;
+        Buffer.add_char b '"')
+      pairs;
+    Buffer.add_char b '}'
+
+let prom_line b ~name ~suffix ~labels value =
+  Buffer.add_string b (sanitize name);
+  Buffer.add_string b suffix;
+  prom_labels b labels;
+  Buffer.add_char b ' ';
+  Buffer.add_string b (prom_value value);
+  Buffer.add_char b '\n'
+
+let to_prometheus t =
+  let b = Buffer.create 1024 in
+  let last_name = ref "" in
+  List.iter
+    (fun (r : Metrics.row) ->
+      let name = r.Metrics.name in
+      if name <> !last_name then begin
+        last_name := name;
+        Buffer.add_string b "# TYPE ";
+        Buffer.add_string b (sanitize name);
+        Buffer.add_char b ' ';
+        Buffer.add_string b (family_kind t.rows name);
+        Buffer.add_char b '\n'
+      end;
+      let labels = r.Metrics.labels in
+      match r.Metrics.kind with
+      | "counter" | "gauge" ->
+        prom_line b ~name ~suffix:"" ~labels r.Metrics.value
+      | "count" -> prom_line b ~name ~suffix:"_count" ~labels r.Metrics.value
+      | "sum" -> prom_line b ~name ~suffix:"_sum" ~labels r.Metrics.value
+      | "min" -> prom_line b ~name ~suffix:"_min" ~labels r.Metrics.value
+      | "max" -> prom_line b ~name ~suffix:"_max" ~labels r.Metrics.value
+      | "p50" ->
+        prom_line b ~name ~suffix:"" ~labels:(("quantile", "0.5") :: labels)
+          r.Metrics.value
+      | "p90" ->
+        prom_line b ~name ~suffix:"" ~labels:(("quantile", "0.9") :: labels)
+          r.Metrics.value
+      | "p99" ->
+        prom_line b ~name ~suffix:"" ~labels:(("quantile", "0.99") :: labels)
+          r.Metrics.value
+      | other -> prom_line b ~name ~suffix:("_" ^ sanitize other) ~labels
+                   r.Metrics.value)
+    t.rows;
+  Buffer.contents b

@@ -1,0 +1,50 @@
+(** Diffable metric snapshots and a Prometheus-style text renderer.
+
+    A snapshot freezes one registry state ({!Metrics.snapshot} rows,
+    sorted) together with the logical frame it was taken at. Two
+    snapshots of the same registry {!diff} into a since-base view —
+    monotone rows (counters, histogram [count]/[sum]) become deltas,
+    instantaneous rows (gauges, min/max, quantiles) pass through — which
+    is what a live monitor shows as "since the last refresh". The
+    {!to_prometheus} renderer turns any snapshot into the text
+    exposition format scrape endpoints speak, so recorded telemetry can
+    feed a dashboard without a custom converter. Deterministic
+    throughout: same rows in, same bytes out (docs/OBSERVABILITY.md §6). *)
+
+type t
+
+(** [capture ~frame reg] — snapshot the registry now (rows as sorted by
+    {!Metrics.snapshot}). *)
+val capture : frame:int -> Metrics.t -> t
+
+(** [of_rows ~frame rows] — wrap already-materialised rows (e.g. parsed
+    back from a JSONL metrics line); rows are re-sorted into canonical
+    (name, labels, kind) order. *)
+val of_rows : frame:int -> Metrics.row list -> t
+
+(** The logical frame the snapshot was taken at. *)
+val frame : t -> int
+
+(** The rows, in canonical sorted order. *)
+val rows : t -> Metrics.row list
+
+(** [find t ~name ~labels ~kind] — one row's value, if present. Label
+    order is irrelevant. *)
+val find :
+  t -> name:string -> labels:(string * string) list -> kind:string ->
+  float option
+
+(** [diff ~base t] — the delta snapshot: monotone rows
+    ([counter], histogram [count] and [sum]) become [t - base] (a row
+    absent from [base] deltas against 0; apparent shrinkage — a foreign
+    [base] — clamps to 0), all other rows keep [t]'s value, and the
+    result is stamped with [t]'s frame. Raises [Invalid_argument] when
+    [base] is newer than [t]. *)
+val diff : base:t -> t -> t
+
+(** Prometheus text exposition: one [# TYPE] comment per metric name
+    (counters and gauges map directly; histogram statistics render as a
+    summary — [_count]/[_sum]/[_min]/[_max] plus [quantile]-labelled
+    lines), names sanitised to [[A-Za-z0-9_]] (dots become
+    underscores). Deterministic row order (the canonical sort). *)
+val to_prometheus : t -> string

@@ -1,0 +1,140 @@
+(* Observability smoke for dps_serve: the subscribed metrics stream must
+   be byte-identical across a SIGKILL + --restore replay.
+
+   The subscription itself is journal-exempt (a restored daemon starts
+   unsubscribed), so the scripted stream re-subscribes right after the
+   crash point — the same command the golden run executes as an
+   idempotent cadence replace. Everything the client reads — pushed
+   metrics lines interleaved with replies, in their deterministic
+   order (pushes precede the step reply that produced them) — is then
+   compared line by line between the uninterrupted run and the
+   kill/restore run.
+
+   Wired into `dune runtest` via the @obs-smoke alias, next to the
+   golden-pinned stream capture (obs_stream.golden) and the dps_top
+   renders over it. *)
+
+let exe =
+  if Array.length Sys.argv < 2 then begin
+    prerr_endline "usage: obs_smoke DPS_SERVE_EXE";
+    exit 2
+  end
+  else Sys.argv.(1)
+
+let args =
+  [ "--model"; "wireline"; "--topology"; "line:6"; "--rate"; "0.3"; "--seed";
+    "23"; "--tenant"; "acme:urllc"; "--tenant"; "iot:mmtc";
+    "--checkpoint-every"; "1" ]
+
+(* Sent before the SIGKILL; the subscription is live across the last
+   step, so pushed metrics lines land in the prefix capture. *)
+let prefix =
+  [ {|{"do":"inject","tenant":"acme","path":[2,3],"copies":2}|};
+    {|{"do":"subscribe","every":2}|};
+    {|{"do":"step","frames":4}|};
+    {|{"do":"inject","tenant":"iot","path":[4],"copies":3}|} ]
+
+(* Sent to the restored daemon. The leading subscribe restores the
+   cadence the crash wiped (and is a no-op replace in the golden run). *)
+let rest =
+  [ {|{"do":"subscribe","every":2}|};
+    {|{"do":"step","frames":4}|};
+    {|{"do":"stats"}|};
+    {|{"do":"unsubscribe"}|};
+    {|{"do":"quit"}|} ]
+
+let fresh_dir tag =
+  let path = Filename.temp_file ("dps_obs_smoke_" ^ tag) ".ck" in
+  Sys.remove path;
+  path
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let spawn args =
+  let cmd_r, cmd_w = Unix.pipe ~cloexec:false () in
+  let rep_r, rep_w = Unix.pipe ~cloexec:false () in
+  let pid =
+    Unix.create_process exe
+      (Array.of_list (exe :: args))
+      cmd_r rep_w Unix.stderr
+  in
+  Unix.close cmd_r;
+  Unix.close rep_w;
+  (pid, Unix.in_channel_of_descr rep_r, Unix.out_channel_of_descr cmd_w)
+
+let is_reply line =
+  String.length line >= 6 && String.sub line 0 6 = "{\"ok\":"
+
+(* Send one command; read the pushed metrics lines (if any) and the
+   reply that terminates them. After this returns the op is journaled —
+   the per-op flush precedes the reply. *)
+let roundtrip ic oc line =
+  output_string oc line;
+  output_char oc '\n';
+  flush oc;
+  let rec collect acc =
+    let l = input_line ic in
+    if is_reply l then List.rev (l :: acc) else collect (l :: acc)
+  in
+  collect []
+
+let finish pid ic oc =
+  (try close_out oc with Sys_error _ -> ());
+  (try close_in ic with Sys_error _ -> ());
+  ignore (Unix.waitpid [] pid)
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt
+
+let () =
+  let golden_dir = fresh_dir "golden" in
+  let crash_dir = fresh_dir "crash" in
+  Fun.protect
+    ~finally:(fun () ->
+      rm_rf golden_dir;
+      rm_rf crash_dir)
+    (fun () ->
+      let pid, ic, oc = spawn (args @ [ "--checkpoint"; golden_dir ]) in
+      let golden =
+        List.concat_map (roundtrip ic oc) (prefix @ rest)
+      in
+      finish pid ic oc;
+      let pid, ic, oc = spawn (args @ [ "--checkpoint"; crash_dir ]) in
+      let got_prefix = List.concat_map (roundtrip ic oc) prefix in
+      Unix.kill pid Sys.sigkill;
+      ignore (Unix.waitpid [] pid);
+      (try close_out oc with Sys_error _ -> ());
+      (try close_in ic with Sys_error _ -> ());
+      let pid, ic, oc = spawn [ "--checkpoint"; crash_dir; "--restore" ] in
+      let got_rest = List.concat_map (roundtrip ic oc) rest in
+      finish pid ic oc;
+      let got = got_prefix @ got_rest in
+      if List.length golden <> List.length got then
+        fail
+          "obs_smoke: line count diverged after kill/restore (golden %d, got \
+           %d)"
+          (List.length golden) (List.length got);
+      List.iteri
+        (fun i (expected, actual) ->
+          if expected <> actual then
+            fail
+              "obs_smoke: line %d diverged after kill/restore\n\
+               golden: %s\n\
+               got:    %s"
+              i expected actual)
+        (List.combine golden got);
+      let pushes =
+        List.length (List.filter (fun l -> not (is_reply l)) golden)
+      in
+      if pushes < 4 then
+        fail "obs_smoke: expected at least 4 pushed metrics lines, saw %d"
+          pushes;
+      Printf.printf
+        "obs_smoke: %d lines (%d metrics pushes) byte-identical across \
+         kill/restore\n%!"
+        (List.length golden) pushes)

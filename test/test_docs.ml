@@ -54,7 +54,8 @@ let check_dir dir names =
 
 let test_telemetry_mlis () =
   check_dir "telemetry"
-    [ "event"; "histo"; "metrics"; "sink"; "memory_sink"; "tracer"; "telemetry" ]
+    [ "event"; "histo"; "metrics"; "sink"; "memory_sink"; "snapshot"; "tracer";
+      "telemetry" ]
 
 let test_interference_mlis () =
   check_dir "interference"
@@ -99,11 +100,38 @@ let flags_in s =
   done;
   List.sort_uniq compare !out
 
+let find_sub s sub =
+  let n = String.length sub and l = String.length s in
+  let rec go i =
+    if i + n > l then None
+    else if String.sub s i n = sub then Some i
+    else go (i + 1)
+  in
+  go 0
+
+(* The slice of [doc] between two headers (file start / end when
+   omitted) — one markdown file can then carry flag tables for several
+   executables (docs/CLI.md: dps_run, dps_trace, dps_top) without the
+   drift checks cross-contaminating. *)
+let md_section ?from_header ?until_header doc =
+  let src = read_file doc in
+  let locate h =
+    match find_sub src h with
+    | Some i -> i
+    | None -> Alcotest.failf "%s: section header %S not found" doc h
+  in
+  let a = match from_header with None -> 0 | Some h -> locate h in
+  let b =
+    match until_header with None -> String.length src | Some h -> locate h
+  in
+  if b < a then Alcotest.failf "%s: section headers out of order" doc;
+  String.sub src a (b - a)
+
 (* Flags documented in a markdown flag table: rows shaped "| `--flag …".
    Parse the flag the row is ABOUT (at the row start) — descriptions may
    mention other flags. *)
-let md_table_flags doc =
-  let lines = String.split_on_char '\n' (read_file doc) in
+let md_table_flags src =
+  let lines = String.split_on_char '\n' src in
   List.filter_map
     (fun line ->
       if String.length line >= 5 && String.sub line 0 5 = "| `--" then begin
@@ -127,8 +155,8 @@ let help_flags capture =
 (* Both directions, for one (doc, captured --help) pair: a flag added to
    the parser without a table row, or a documented row whose flag the
    parser dropped, fails the build. *)
-let check_flag_drift ~doc ~capture ~exe =
-  let documented = md_table_flags doc in
+let check_flag_drift ~doc ~doc_src ~capture ~exe =
+  let documented = md_table_flags doc_src in
   List.iter
     (fun f ->
       if not (List.mem f documented) then
@@ -143,12 +171,21 @@ let check_flag_drift ~doc ~capture ~exe =
     documented
 
 let test_cli_md_drift () =
-  check_flag_drift ~doc:"../docs/CLI.md" ~capture:"dps_run_help.txt"
-    ~exe:"dps_run"
+  let doc = "../docs/CLI.md" in
+  check_flag_drift ~doc
+    ~doc_src:(md_section ~until_header:"# dps_trace" doc)
+    ~capture:"dps_run_help.txt" ~exe:"dps_run"
 
 let test_serving_md_drift () =
-  check_flag_drift ~doc:"../docs/SERVING.md" ~capture:"dps_serve_help.txt"
-    ~exe:"dps_serve"
+  let doc = "../docs/SERVING.md" in
+  check_flag_drift ~doc ~doc_src:(read_file doc)
+    ~capture:"dps_serve_help.txt" ~exe:"dps_serve"
+
+let test_top_md_drift () =
+  let doc = "../docs/CLI.md" in
+  check_flag_drift ~doc
+    ~doc_src:(md_section ~from_header:"# dps_top" doc)
+    ~capture:"dps_top_help.txt" ~exe:"dps_top"
 
 (* ------------------------------------------------- dead-link checker *)
 
@@ -239,7 +276,9 @@ let () =
         [ Alcotest.test_case "CLI.md <-> dps_run --help" `Quick
             test_cli_md_drift;
           Alcotest.test_case "SERVING.md <-> dps_serve --help" `Quick
-            test_serving_md_drift ] );
+            test_serving_md_drift;
+          Alcotest.test_case "CLI.md <-> dps_top --help" `Quick
+            test_top_md_drift ] );
       ( "links",
         [ Alcotest.test_case "no dead intra-doc links" `Quick
             test_no_dead_links ] ) ]

@@ -75,6 +75,42 @@ let test_wire_errors_name_field () =
     (contains ~sub:"invalid tenant name"
        (err {|{"do":"inject","tenant":"a b","path":[0]}|}))
 
+let test_wire_parse_observability () =
+  (match Wire.parse {|{"do":"stats"}|} with
+  | Ok Wire.Stats -> ()
+  | _ -> Alcotest.fail "stats did not parse");
+  (match Wire.parse {|{"do":"subscribe"}|} with
+  | Ok (Wire.Subscribe { every = 16 }) -> ()
+  | _ -> Alcotest.fail "subscribe default cadence wrong");
+  (match Wire.parse {|{"do":"subscribe","every":4}|} with
+  | Ok (Wire.Subscribe { every = 4 }) -> ()
+  | _ -> Alcotest.fail "subscribe cadence not honoured");
+  match Wire.parse {|{"do":"unsubscribe"}|} with
+  | Ok Wire.Unsubscribe -> ()
+  | _ -> Alcotest.fail "unsubscribe did not parse"
+
+(* The diagnostics are part of the wire contract: exact text, including
+   the byte offset of the offending key, pinned so clients can rely on
+   them (docs/SERVING.md). *)
+let test_wire_diagnostic_offsets () =
+  let err line =
+    match Wire.parse line with
+    | Error msg -> msg
+    | Ok _ -> Alcotest.failf "accepted %S" line
+  in
+  Alcotest.(check string) "wrong type points at the key"
+    {|field "copies" must be an integer (key "copies" at byte 39)|}
+    (err {|{"do":"inject","tenant":"a","path":[0],"copies":"x"}|});
+  Alcotest.(check string) "range violation points at the key"
+    {|field "every" must be >= 1 (key "every" at byte 18)|}
+    (err {|{"do":"subscribe","every":0}|});
+  Alcotest.(check string) "frames bound points at the key"
+    {|field "frames" must be >= 1 (key "frames" at byte 13)|}
+    (err {|{"do":"step","frames":0}|});
+  Alcotest.(check string) "missing key has no offset to point at"
+    {|missing field "tenant"|}
+    (err {|{"do":"inject","path":[0]}|})
+
 let test_wire_tenant_names () =
   Alcotest.(check bool) "simple ok" true (Wire.valid_tenant_name "acme-01_x");
   Alcotest.(check bool) "empty bad" false (Wire.valid_tenant_name "");
@@ -287,6 +323,67 @@ let test_engine_quota_backpressure () =
   | Ok _ -> Alcotest.fail "unknown tenant must be an error");
   Engine.close e
 
+let test_engine_subscription () =
+  let e =
+    Engine.create (Engine.default_config ~scenario:(scenario ()) ~seed:5 ())
+  in
+  let pushed = ref [] in
+  let push line = pushed := line :: !pushed in
+  ok_unit "attach"
+    (Engine.attach e ~tenant:"acme" ~klass:Classes.Urllc ());
+  (match Engine.subscribe e ~every:0 ~push with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "cadence 0 must be rejected");
+  Alcotest.(check (option int)) "rejected subscribe leaves none" None
+    (Engine.subscribed e);
+  ok_unit "subscribe" (Engine.subscribe e ~every:2 ~push);
+  Alcotest.(check (option int)) "cadence visible" (Some 2)
+    (Engine.subscribed e);
+  Engine.step e ~frames:4;
+  (* frames 1..4, cadence 2: pushes at 2 and 4 *)
+  Alcotest.(check int) "one push per cadence boundary" 2
+    (List.length !pushed);
+  List.iter
+    (fun line ->
+      Alcotest.(check bool) "push is a self-identifying metrics line" true
+        (String.starts_with ~prefix:{|{"v":2,"type":"metrics","frame":|} line))
+    !pushed;
+  (* replace, not stack: a second subscribe just changes the cadence *)
+  ok_unit "re-subscribe" (Engine.subscribe e ~every:3 ~push);
+  Alcotest.(check (option int)) "cadence replaced" (Some 3)
+    (Engine.subscribed e);
+  Alcotest.(check bool) "unsubscribe reports it was live" true
+    (Engine.unsubscribe e);
+  Alcotest.(check bool) "second unsubscribe is a no-op" false
+    (Engine.unsubscribe e);
+  pushed := [];
+  Engine.step e ~frames:3;
+  Alcotest.(check int) "no pushes after unsubscribe" 0 (List.length !pushed);
+  (* a push target that throws must auto-detach, not poison the frame
+     loop (the step itself is journaled; the push is best-effort) *)
+  ok_unit "subscribe doomed" (Engine.subscribe e ~every:1 ~push:(fun _ -> raise Exit));
+  Engine.step e ~frames:1;
+  Alcotest.(check (option int)) "dead client detached" None
+    (Engine.subscribed e);
+  Engine.close e
+
+let test_engine_stats_read_only () =
+  (* stats recomputes its derived figures from raw counters; asking for
+     it must not disturb engine state (it is not journaled, so any side
+     effect would diverge a restore replay). *)
+  let e =
+    Engine.create (Engine.default_config ~scenario:(scenario ()) ~seed:2012 ())
+  in
+  drive e;
+  let before = status_line e in
+  let stats1 = Wire.ok ~cmd:"stats" (Engine.stats_fields e) in
+  let stats2 = Wire.ok ~cmd:"stats" (Engine.stats_fields e) in
+  Alcotest.(check string) "stats deterministic" stats1 stats2;
+  Alcotest.(check string) "status untouched by stats" before (status_line e);
+  Alcotest.(check bool) "jain index present" true
+    (List.mem_assoc "jain" (Engine.stats_fields e));
+  Engine.close e
+
 let with_temp_dir f =
   let dir = Filename.temp_file "dps_serve_test" ".ck" in
   Sys.remove dir;
@@ -443,6 +540,10 @@ let () =
         [ Alcotest.test_case "commands parse" `Quick test_wire_parse;
           Alcotest.test_case "errors name the field" `Quick
             test_wire_errors_name_field;
+          Alcotest.test_case "observability commands parse" `Quick
+            test_wire_parse_observability;
+          Alcotest.test_case "diagnostic byte offsets pinned" `Quick
+            test_wire_diagnostic_offsets;
           Alcotest.test_case "tenant names" `Quick test_wire_tenant_names;
           Alcotest.test_case "reply rendering" `Quick test_wire_render ] );
       ( "bucket",
@@ -460,6 +561,10 @@ let () =
             test_engine_deterministic;
           Alcotest.test_case "quota backpressure" `Quick
             test_engine_quota_backpressure;
+          Alcotest.test_case "metrics subscription" `Quick
+            test_engine_subscription;
+          Alcotest.test_case "stats is read-only" `Quick
+            test_engine_stats_read_only;
           Alcotest.test_case "checkpoint roundtrip" `Quick
             test_checkpoint_roundtrip;
           Alcotest.test_case "torn tail dropped" `Quick

@@ -23,6 +23,7 @@ module Event = Dps_telemetry.Event
 module Histo = Dps_telemetry.Histo
 module Metrics = Dps_telemetry.Metrics
 module Sink = Dps_telemetry.Sink
+module Snapshot = Dps_telemetry.Snapshot
 module Memory_sink = Dps_telemetry.Memory_sink
 module Telemetry = Dps_telemetry.Telemetry
 
@@ -120,6 +121,32 @@ let prop_merge_is_concat =
            (fun (_, a) (_, b) -> a = b)
            (Histo.buckets m) (Histo.buckets c)
       && Histo.quantile m 0.5 = Histo.quantile c 0.5)
+
+let prop_rate_since =
+  QCheck.Test.make ~count:300
+    ~name:"Histo.rate_since: delta/frames, 0 on degenerate intervals, no NaN"
+    QCheck.(triple finite_samples (int_range 0 100) (int_range (-5) 50))
+    (fun (xs, count0, frames) ->
+      let h = histo_of xs in
+      let r = Histo.rate_since h ~count0 ~frames in
+      let delta = Histo.count h - count0 in
+      Float.is_finite r && r >= 0.
+      &&
+      if frames <= 0 || delta <= 0 then r = 0.
+      else Float.abs (r -. (float_of_int delta /. float_of_int frames)) <= 1e-9)
+
+(* The accumulate-then-diff pattern dps_top lives on: a merge must look
+   exactly like one histogram that saw both streams, so count/sum deltas
+   taken against an earlier capture stay meaningful after aggregation. *)
+let prop_merge_preserves_count_sum =
+  QCheck.Test.make ~count:300 ~name:"Histo.merge preserves count and sum"
+    QCheck.(pair finite_samples finite_samples)
+    (fun (xs, ys) ->
+      let a = histo_of xs and b = histo_of ys in
+      let m = Histo.merge a b in
+      Histo.count m = Histo.count a + Histo.count b
+      && Float.abs (Histo.sum m -. (Histo.sum a +. Histo.sum b))
+         <= 1e-6 *. (1. +. Float.abs (Histo.sum a +. Histo.sum b)))
 
 let prop_quantile_monotone_bounded =
   QCheck.Test.make ~count:200
@@ -760,6 +787,188 @@ let test_sweep_events () =
     names;
   Alcotest.(check int) "flushed" 1 (Memory_sink.flushes recorder)
 
+(* -------------------------------------------------- metric snapshots *)
+
+(* A small registry with all three metric kinds, advanced between the
+   two captures the diff tests compare. *)
+let snapshot_fixture () =
+  let reg = Metrics.create () in
+  let c = Metrics.counter reg ~labels:[ ("k", "a") ] "snap.hits" in
+  let g = Metrics.gauge reg "snap.depth" in
+  let h = Metrics.histogram reg ~bounds:[| 10.; 100. |] "snap.lat" in
+  Metrics.add c 5;
+  Metrics.set g 3.;
+  Metrics.observe h 7.;
+  (reg, c, g, h)
+
+let test_snapshot_capture_find () =
+  let reg, _, _, _ = snapshot_fixture () in
+  let s = Snapshot.capture ~frame:4 reg in
+  Alcotest.(check int) "frame" 4 (Snapshot.frame s);
+  Alcotest.(check (option (float 1e-9))) "counter, labels in any order"
+    (Some 5.)
+    (Snapshot.find s ~name:"snap.hits" ~labels:[ ("k", "a") ] ~kind:"counter");
+  Alcotest.(check (option (float 1e-9))) "histogram count row" (Some 1.)
+    (Snapshot.find s ~name:"snap.lat" ~labels:[] ~kind:"count");
+  Alcotest.(check (option (float 1e-9))) "absent row" None
+    (Snapshot.find s ~name:"snap.hits" ~labels:[] ~kind:"counter")
+
+let test_snapshot_diff () =
+  let reg, c, g, h = snapshot_fixture () in
+  let base = Snapshot.capture ~frame:4 reg in
+  Metrics.add c 3;
+  Metrics.set g 9.;
+  Metrics.observe h 50.;
+  (* a counter born after [base] must delta against zero *)
+  let late = Metrics.counter reg "snap.late" in
+  Metrics.add late 2;
+  let now = Snapshot.capture ~frame:8 reg in
+  let d = Snapshot.diff ~base now in
+  Alcotest.(check int) "diff keeps the newer frame" 8 (Snapshot.frame d);
+  let get ~name ~kind =
+    Option.get
+      (Snapshot.find d ~name
+         ~labels:(if name = "snap.hits" then [ ("k", "a") ] else [])
+         ~kind)
+  in
+  Alcotest.(check (float 1e-9)) "counter delta" 3. (get ~name:"snap.hits" ~kind:"counter");
+  Alcotest.(check (float 1e-9)) "gauge passes through" 9.
+    (get ~name:"snap.depth" ~kind:"gauge");
+  Alcotest.(check (float 1e-9)) "histogram count delta" 1.
+    (get ~name:"snap.lat" ~kind:"count");
+  Alcotest.(check (float 1e-9)) "histogram sum delta" 50.
+    (get ~name:"snap.lat" ~kind:"sum");
+  Alcotest.(check (float 1e-9)) "quantile passes through" 50.
+    (get ~name:"snap.lat" ~kind:"p99");
+  Alcotest.(check (float 1e-9)) "new counter deltas against 0" 2.
+    (get ~name:"snap.late" ~kind:"counter");
+  (* a foreign base (larger counter) clamps instead of going negative *)
+  let clamped = Snapshot.diff ~base:now (Snapshot.diff ~base now) in
+  Alcotest.(check bool) "shrinkage clamps to 0" true
+    (Option.get
+       (Snapshot.find clamped ~name:"snap.hits" ~labels:[ ("k", "a") ]
+          ~kind:"counter")
+    = 0.);
+  try
+    ignore (Snapshot.diff ~base:now base);
+    Alcotest.fail "base newer than snapshot accepted"
+  with Invalid_argument _ -> ()
+
+let test_snapshot_prometheus () =
+  let reg, _, _, _ = snapshot_fixture () in
+  let s = Snapshot.capture ~frame:4 reg in
+  Alcotest.(check string) "text exposition"
+    "# TYPE snap_depth gauge\n\
+     snap_depth 3\n\
+     # TYPE snap_hits counter\n\
+     snap_hits{k=\"a\"} 5\n\
+     # TYPE snap_lat summary\n\
+     snap_lat_count 1\n\
+     snap_lat_max 7\n\
+     snap_lat_min 7\n\
+     snap_lat{quantile=\"0.5\"} 7\n\
+     snap_lat{quantile=\"0.9\"} 7\n\
+     snap_lat{quantile=\"0.99\"} 7\n\
+     snap_lat_sum 7\n"
+    (Snapshot.to_prometheus s)
+
+let test_snapshot_of_rows_sorts () =
+  let rows =
+    [ { Metrics.name = "z.b"; labels = []; kind = "gauge"; value = 1. };
+      { Metrics.name = "a.a"; labels = []; kind = "counter"; value = 2. } ]
+  in
+  let s = Snapshot.of_rows ~frame:0 (rows : Metrics.row list) in
+  Alcotest.(check (list string)) "canonical order" [ "a.a"; "z.b" ]
+    (List.map (fun (r : Metrics.row) -> r.Metrics.name) (Snapshot.rows s))
+
+(* The cached encoder's only contract is byte-for-byte agreement with
+   [Sink.metrics_line], warm or cold: across value-only changes (cache
+   hit), across a registry shape change (attach-style rebuild), and on
+   rows whose strings are NOT physically shared with any registry (a
+   permanent cache miss — still correct, just uncached). *)
+let test_cached_encoder_identity () =
+  let reg, c, g, h = snapshot_fixture () in
+  let enc = Sink.cached_encoder () in
+  let b = Buffer.create 256 in
+  let check_frame msg frame rows =
+    Buffer.clear b;
+    Sink.add_metrics_line_cached enc b ~frame rows;
+    Alcotest.(check string) msg (Sink.metrics_line ~frame rows)
+      (Buffer.contents b)
+  in
+  check_frame "cold cache" 1 (Metrics.snapshot reg);
+  Metrics.add c 2;
+  Metrics.set g 11.5;
+  Metrics.observe h 42.;
+  check_frame "warm cache, values moved" 2 (Metrics.snapshot reg);
+  let late = Metrics.counter reg ~labels:[ ("k", "b") ] "snap.hits" in
+  Metrics.add late 1;
+  check_frame "registry shape changed" 3 (Metrics.snapshot reg);
+  let foreign =
+    [ { Metrics.name = "other.metric"; labels = [ ("x", "y") ];
+        kind = "gauge"; value = 0.25 } ]
+  in
+  check_frame "foreign rows (cache miss)" 4 foreign;
+  check_frame "back to the registry" 5 (Metrics.snapshot reg)
+
+(* --------------------------------------------- locking sink under load *)
+
+(* Writers on 4 domains hammer one Sink.locking (jsonl to a pipe-backed
+   channel): every line read back must be a complete, parseable event
+   (no torn interleavings) and nothing may be lost or duplicated. *)
+let test_locking_sink_concurrent () =
+  let path = Filename.temp_file "dps_locking_sink" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out path in
+      let sink = Sink.locking (Sink.jsonl oc) in
+      let domains = 4 and per_domain = 500 in
+      let writer d () =
+        for i = 1 to per_domain do
+          sink.Sink.on_event
+            (Event.Point
+               { name = "load";
+                 frame = d;
+                 slot = i;
+                 attrs = [ ("writer", Event.Int d) ] })
+        done
+      in
+      let spawned =
+        List.init domains (fun d -> Domain.spawn (writer d))
+      in
+      List.iter Domain.join spawned;
+      sink.Sink.flush ();
+      close_out oc;
+      let ic = open_in path in
+      let seen = Hashtbl.create 64 in
+      let lines = ref 0 in
+      (try
+         while true do
+           let line = input_line ic in
+           incr lines;
+           (* a torn line would fail to parse (or parse to the wrong
+              shape) *)
+           match Dps_trace.Json.parse line with
+           | Dps_trace.Json.Obj _ as j ->
+             let d =
+               Dps_trace.Json.to_int
+                 (Dps_trace.Json.field "writer"
+                    (Dps_trace.Json.field "attrs" j))
+             in
+             Hashtbl.replace seen d (1 + Option.value ~default:0 (Hashtbl.find_opt seen d))
+           | _ -> Alcotest.fail ("non-object line: " ^ line)
+         done
+       with End_of_file -> close_in ic);
+      Alcotest.(check int) "no line lost or torn" (domains * per_domain)
+        !lines;
+      for d = 0 to domains - 1 do
+        Alcotest.(check int)
+          (Printf.sprintf "writer %d fully accounted" d)
+          per_domain
+          (Option.value ~default:0 (Hashtbl.find_opt seen d))
+      done)
+
 (* ------------------------------------------------------------------ run *)
 
 let () =
@@ -779,7 +988,17 @@ let () =
           Alcotest.test_case "merge disjoint ranges" `Quick
             test_histo_merge_disjoint_ranges;
           QCheck_alcotest.to_alcotest prop_merge_is_concat;
-          QCheck_alcotest.to_alcotest prop_quantile_monotone_bounded ] );
+          QCheck_alcotest.to_alcotest prop_quantile_monotone_bounded;
+          QCheck_alcotest.to_alcotest prop_rate_since;
+          QCheck_alcotest.to_alcotest prop_merge_preserves_count_sum ] );
+      ( "snapshot",
+        [ Alcotest.test_case "capture and find" `Quick
+            test_snapshot_capture_find;
+          Alcotest.test_case "diff" `Quick test_snapshot_diff;
+          Alcotest.test_case "prometheus exposition" `Quick
+            test_snapshot_prometheus;
+          Alcotest.test_case "of_rows sorts" `Quick
+            test_snapshot_of_rows_sorts ] );
       ( "metrics",
         [ Alcotest.test_case "counter and gauge" `Quick
             test_metrics_counter_gauge;
@@ -793,7 +1012,11 @@ let () =
           Alcotest.test_case "golden jsonl" `Quick test_golden_jsonl;
           Alcotest.test_case "deterministic" `Quick
             test_trace_is_deterministic;
-          Alcotest.test_case "round-trip" `Quick test_trace_round_trips ] );
+          Alcotest.test_case "round-trip" `Quick test_trace_round_trips;
+          Alcotest.test_case "locking under concurrent writers" `Quick
+            test_locking_sink_concurrent;
+          Alcotest.test_case "cached encoder byte-identity" `Quick
+            test_cached_encoder_identity ] );
       ( "wiring",
         [ Alcotest.test_case "runs unchanged" `Quick
             test_telemetry_leaves_run_unchanged;
