@@ -31,14 +31,27 @@ let sweep l = if smoke then [ List.hd l ] else l
    Results never depend on the width — Dps_par.Par.map is ordered and
    deterministic — so tables stay comparable across machines; only
    wall-clock changes. Default 1 (plain List.map, no domains); smoke
-   mode floors it at 2 so the parallel path cannot bit-rot. *)
+   mode floors it at 2 so the parallel path cannot bit-rot.
+
+   Outside smoke mode the width is clamped to
+   [Par.recommended_jobs ()], exactly as `dps_run --jobs` is: on a
+   host with fewer cores than the requested fan-out, extra domains
+   only pay spawn/join and GC contention, and the tracked artifacts
+   recorded the resulting slowdown as if it were a parallelism
+   measurement (BENCH_P5 wireline/oneshot/m=256 fell 287k -> 110k
+   slots/sec at jobs=2 on this single-core container — EXPERIMENTS.md
+   §P4/§P5). Parallel rows now appear only when the host can actually
+   run them in parallel; smoke mode keeps the floor of 2 because there
+   the numbers are explicitly meaningless and only the code path
+   matters. *)
 let jobs =
   let requested =
     match Sys.getenv_opt "DPS_BENCH_JOBS" with
     | Some s -> ( match int_of_string_opt s with Some n when n >= 1 -> n | _ -> 1)
     | None -> 1
   in
-  if smoke then Int.max requested 2 else requested
+  if smoke then Int.max requested 2
+  else Int.min requested (Dps_par.Par.recommended_jobs ())
 
 let par_map f xs = Dps_par.Par.map ~jobs f xs
 

@@ -1,0 +1,286 @@
+(* P6 — sparse hot path end-to-end: full-protocol slots/sec with the
+   interference measure served directly by the ε-sparsified tiled engine
+   (Tiled.as_measure, no densification) against the dense CSR measure on
+   the same physics.
+
+   Workload: a constant-density link cloud (side 2·√m, unit links) under
+   the linear power assignment (alpha = 4) — the Section 6.1 geometry
+   where every affectance is positive, so the dense W holds all m²
+   entries. The admission algorithm is delay-select, deliberately the
+   measure-HUNGRY one: every window round recomputes
+   Measure.interference over the live request load, which costs O(m²)
+   against the dense matrix but O(nnz) = O(m · window) against the tiled
+   one. That per-round query — not construction — is what separates the
+   backends at protocol level; oneshot reads the measure only at
+   configure time and would show almost no gap.
+
+   Per size the protocol is configured ONCE, on the sparse measure, and
+   both backends run with that identical config ({cfg with measure}), so
+   frame and phase budgets — hence total slots — are byte-identical and
+   the cells compare nothing but per-slot cost. Dense is built only for
+   m ≤ dense-cap (4096): above that its construction exhausts memory. At
+   larger m the dense column is a PROJECTION from the measured per-pair
+   rate (per-slot dense cost scales as m²), and the table marks it as
+   such. When the fan-out width allows it, the sparse run is repeated
+   with intra-slot tile-parallel interference (as_measure ~jobs) and its
+   totals are asserted byte-identical to the sequential run before the
+   parallel wall clock is trusted.
+
+   Output: the table below plus BENCH_P6.json (dps-bench/1, bench "p6")
+   at DPS_BENCH_OUT; schema and reading guide in docs/PERFORMANCE.md. *)
+
+open Common
+module Tiled = Dps_interference.Tiled
+
+let epsilon = 0.1
+
+type cell = {
+  m : int;
+  lambda : float;
+  frame : int;
+  frames_run : int;
+  slots : int;
+  injected : int;
+  delivered : int;
+  error_bound : float; (* realized max row bound, <= epsilon *)
+  sparse_sps : float;
+  par_jobs : int; (* 0 = no tile-parallel measurement *)
+  par_sps : float;
+  dense_sps : float; (* 0. when dense was skipped *)
+  dense_projected_sps : float; (* 0. until projected *)
+}
+
+let physics_for m =
+  let rng = Rng.create ~seed:(7300 + m) () in
+  let side = 2. *. sqrt (float_of_int m) in
+  let g = Topology.link_cloud rng ~links:m ~side ~length:1. in
+  ( g,
+    Physics.make
+      (Params.make ~alpha:4. ~beta:1. ~noise:1e-9 ())
+      (Power.linear 2.) g )
+
+(* A fixed number of single-hop flows on random links, calibrated to the
+   cell rate: injection costs O(1) per slot in m, so the cells compare
+   the scheduling loop, not the traffic source. *)
+let single_link_flows rng g measure ~flows ~target =
+  let m = Graph.link_count g in
+  let gens =
+    List.init flows (fun _ -> [ (Path.of_links g [ Rng.int rng m ], 0.003) ])
+  in
+  Stochastic.calibrate (Stochastic.make gens) measure ~target
+
+(* Largest feasible injection rate from a fixed geometric menu — the
+   feasible rates form an interval (too-large rates blow the frame cap,
+   too-small ones fall under the concentration floor), so scan downward
+   and keep the first configurable point. *)
+let pick_rate ~algorithm ~measure =
+  let rec go = function
+    | [] -> failwith "exp_p6: no feasible rate"
+    | l :: rest -> (
+      match
+        Protocol.configure ~algorithm ~measure ~lambda:l ~max_hops:1 ()
+      with
+      | cfg -> (l, cfg)
+      | exception Invalid_argument _ -> go rest)
+  in
+  go [ 0.05; 0.02; 0.01; 0.005; 0.002; 0.001 ]
+
+let run_cell ~m ~dense_cap ~runs ~jobs =
+  let g, phys = physics_for m in
+  let tiled = Sinr_measure.linear_power_tiled ~epsilon phys in
+  let sparse = Tiled.as_measure tiled in
+  let algorithm = Dps_static.Delay_select.make ~c:4. () in
+  let lambda, config = pick_rate ~algorithm ~measure:sparse in
+  let rng = Rng.create ~seed:(7400 + m) () in
+  let inj =
+    single_link_flows rng g sparse ~flows:(Int.min 64 m) ~target:lambda
+  in
+  let frames_n = frames (if m >= 100_000 then 2 else 4) in
+  (* One deterministic run from a fresh rng with the measure swapped in;
+     returns its channel totals. *)
+  let one_run measure_w seed () =
+    let rng = Rng.create ~seed () in
+    let channel =
+      Channel.create ~rng:(Rng.split rng) ~oracle:(Oracle.Sinr phys) ~m ()
+    in
+    let protocol =
+      Protocol.create { config with Protocol.measure = measure_w } ~channel
+    in
+    let r =
+      Driver.run_protocol ~protocol ~source:(Driver.Stochastic inj)
+        ~frames:frames_n ~rng
+    in
+    ( Dps_sim.Trace.slots (Channel.trace channel),
+      r.Protocol.injected,
+      r.Protocol.delivered )
+  in
+  let totals, sparse_t =
+    Common.median_time ~warmup:1 ~runs (one_run sparse 42)
+      ~equal:(fun a b -> a = b)
+  in
+  let slots, injected, delivered = totals in
+  let par_jobs, par_sps =
+    if jobs <= 1 then (0, 0.)
+    else begin
+      let sparse_par = Tiled.as_measure ~jobs tiled in
+      let par_totals, t =
+        Common.median_time ~warmup:1 ~runs (one_run sparse_par 42)
+          ~equal:(fun a b -> a = b)
+      in
+      if par_totals <> totals then
+        failwith "exp_p6: tile-parallel run disagrees with sequential";
+      (jobs, float_of_int slots /. t)
+    end
+  in
+  let dense_sps =
+    if m > dense_cap then 0.
+    else begin
+      let dense = Sinr_measure.linear_power phys in
+      let (dslots, _, _), t =
+        Common.median_time ~warmup:1 ~runs (one_run dense 42)
+          ~equal:(fun a b -> a = b)
+      in
+      float_of_int dslots /. t
+    end
+  in
+  { m;
+    lambda;
+    frame = config.Protocol.frame;
+    frames_run = frames_n;
+    slots;
+    injected;
+    delivered;
+    error_bound = Tiled.max_row_bound tiled;
+    sparse_sps = float_of_int slots /. sparse_t;
+    par_jobs;
+    par_sps;
+    dense_sps;
+    dense_projected_sps = 0. }
+
+(* Fill in the dense projection for cells where dense was skipped, from
+   the per-pair rate of the largest measured dense cell: per-slot dense
+   cost is dominated by the m² interference recomputation, so projected
+   slots/sec falls off as 1/m². *)
+let project_dense cells =
+  let rate =
+    List.fold_left
+      (fun acc c ->
+        if c.dense_sps > 0. then
+          Some (c.dense_sps *. float_of_int c.m *. float_of_int c.m)
+        else acc)
+      None cells
+  in
+  match rate with
+  | None -> cells
+  | Some pairs_per_sec ->
+    List.map
+      (fun c ->
+        if c.dense_sps > 0. then c
+        else
+          let fm = float_of_int c.m in
+          { c with dense_projected_sps = pairs_per_sec /. (fm *. fm) })
+      cells
+
+(* --- BENCH_P6.json --- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let emit_json path cells =
+  let oc = open_out path in
+  let entry ~config ~metric ~value ~jobs =
+    Printf.sprintf
+      "    {\"config\": \"%s\", \"metric\": \"%s\", \"value\": %g, \
+       \"jobs\": %d}"
+      (json_escape config) metric value jobs
+  in
+  let entries =
+    List.concat_map
+      (fun c ->
+        let base =
+          Printf.sprintf "link-cloud/eps=%g/delay-select/m=%d" epsilon c.m
+        in
+        [ entry ~config:(base ^ "/backend=sparse")
+            ~metric:"protocol_slots_per_sec" ~value:c.sparse_sps ~jobs:1 ]
+        @ (if c.par_jobs = 0 then []
+           else
+             [ entry ~config:(base ^ "/backend=sparse")
+                 ~metric:"protocol_slots_per_sec" ~value:c.par_sps
+                 ~jobs:c.par_jobs ])
+        @ (if c.dense_sps > 0. then
+             [ entry ~config:(base ^ "/backend=dense")
+                 ~metric:"protocol_slots_per_sec" ~value:c.dense_sps ~jobs:1;
+               entry ~config:base ~metric:"speedup_measured"
+                 ~value:(c.sparse_sps /. c.dense_sps) ~jobs:1 ]
+           else if c.dense_projected_sps > 0. then
+             [ entry ~config:base ~metric:"speedup_projected"
+                 ~value:(c.sparse_sps /. c.dense_projected_sps) ~jobs:1 ]
+           else []))
+      cells
+  in
+  Printf.fprintf oc
+    "{\n  \"schema\": \"dps-bench/1\",\n  \"bench\": \"p6\",\n  \"entries\": \
+     [\n%s\n  ]\n}\n"
+    (String.concat ",\n" entries);
+  close_out oc
+
+let run () =
+  Printf.printf "\n=== P6: sparse hot-path protocol throughput ===\n%!";
+  let sizes = List.map links (sweep [ 4096; 10_000; 100_000 ]) in
+  let dense_cap = 4096 in
+  let cells =
+    List.map
+      (fun m ->
+        let runs = if smoke then 2 else if m >= 100_000 then 2 else 3 in
+        let c = run_cell ~m ~dense_cap ~runs ~jobs in
+        Printf.printf "  m=%d done\n%!" c.m;
+        c)
+      sizes
+  in
+  let cells = project_dense cells in
+  Tbl.print
+    ~title:
+      (Printf.sprintf
+         "P6: protocol on the tiled engine, link cloud, eps=%g (median wall \
+          clock)"
+         epsilon)
+    ~header:
+      [ "m"; "lambda"; "T"; "frames"; "slots"; "bound"; "sparse sl/s";
+        "par sl/s"; "jobs"; "dense sl/s"; "speedup" ]
+    (List.map
+       (fun c ->
+         [ Tbl.I c.m;
+           Tbl.F c.lambda;
+           Tbl.I c.frame;
+           Tbl.I c.frames_run;
+           Tbl.I c.slots;
+           Tbl.F c.error_bound;
+           Tbl.F c.sparse_sps;
+           Tbl.F c.par_sps;
+           Tbl.I c.par_jobs;
+           Tbl.F c.dense_sps;
+           (if c.dense_sps > 0. then Tbl.F2 (c.sparse_sps /. c.dense_sps)
+            else if c.dense_projected_sps > 0. then
+              Tbl.S
+                (Printf.sprintf "%.0fx (proj)"
+                   (c.sparse_sps /. c.dense_projected_sps))
+            else Tbl.S "-") ])
+       cells);
+  let out =
+    match Sys.getenv_opt "DPS_BENCH_OUT" with
+    | Some p -> p
+    | None -> "BENCH_P6.json"
+  in
+  emit_json out cells;
+  Tbl.note
+    "dense skipped above m=%d (memory: ~48 bytes x m^2); speedups there are \
+     projections from the measured per-pair rate.\n"
+    dense_cap;
+  Tbl.note "wrote %s; schema and reading guide: docs/PERFORMANCE.md\n" out

@@ -26,6 +26,7 @@ let experiments =
     ("p3", "perf: per-packet tracing overhead", Exp_p3.run);
     ("p4", "perf: deterministic multicore fan-out", Exp_p4.run);
     ("p5", "perf: protocol throughput (slots/sec)", Exp_p5.run);
+    ("p6", "perf: sparse hot-path protocol throughput", Exp_p6.run);
     ("s1", "scale: tiled sparse interference engine", Exp_s1.run);
     ("r1", "robustness: jamming burst + overload guard", Exp_r1.run);
     ("r2", "robustness: multi-tenant serving soak (overload + faults + churn)",

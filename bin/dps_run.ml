@@ -179,7 +179,7 @@ let run model_name topology algorithm_name rate epsilon frames flows adversary
     Scenario.make ?algorithm:algorithm_name ~epsilon ~stations ~loss ?sparse
       ?tile ~model:model_name ~topology ~rate ()
   in
-  let built = Scenario.build spec in
+  let built = Scenario.build ~jobs spec in
   let g = built.Scenario.graph in
   let measure = built.Scenario.measure in
   let oracle = built.Scenario.oracle in
@@ -277,13 +277,13 @@ let run model_name topology algorithm_name rate epsilon frames flows adversary
     let r, injector =
       Fun.protect ~finally:close_telemetry (fun () ->
           if Plan.is_empty plan && guard = None then
-            ( Driver.run_traced ?packet_trace:trace_packets ~telemetry
+            ( Driver.run_traced ?packet_trace:trace_packets ~jobs ~telemetry
                 ~metrics_every ~config ~oracle ~source ~frames ~rng (),
               None )
           else
             let r, injector =
               Driver.run_faulted_traced ?packet_trace:trace_packets ?guard
-                ~telemetry ~metrics_every ~config ~oracle ~source ~plan
+                ~jobs ~telemetry ~metrics_every ~config ~oracle ~source ~plan
                 ~frames ~rng ()
             in
             (r, Some injector))
@@ -391,10 +391,12 @@ let jobs =
     value & opt int 1
     & info [ "jobs" ] ~docv:"N"
         ~doc:
-          "Run $(b,--reps) replicas on $(docv) domains in parallel (clamped \
-           to the machine's recommended domain count). Results and \
-           telemetry are identical for every $(docv) — parallelism only \
-           changes the wall clock. Rejected when $(docv) < 1.")
+          "Parallelism on $(docv) domains (clamped to the machine's \
+           recommended domain count): $(b,--reps) replicas fan out one per \
+           domain, and a single $(b,--sparse) run evaluates interference \
+           tile-parallel inside each slot. Results and telemetry are \
+           identical for every $(docv) — parallelism only changes the wall \
+           clock. Rejected when $(docv) < 1.")
 
 let trace =
   Arg.(

@@ -206,15 +206,20 @@ let serve_socket engine path ~stop =
 
 let run model topology algorithm rate epsilon stations loss sparse tile seed
     tenants class_guard fault_specs fault_plan socket checkpoint restore
-    checkpoint_every trace metrics metrics_every =
+    checkpoint_every trace metrics metrics_every jobs =
   if restore && checkpoint = None then
     failwith "--restore needs --checkpoint DIR";
+  if jobs < 1 then failwith "--jobs must be >= 1";
+  (* An execution knob, never state: results, journals and checkpoints
+     are byte-identical for every jobs value, so clamping to what the
+     machine runs well is invisible (docs/PARALLELISM.md). *)
+  let jobs = Int.min jobs (Dps_par.Par.recommended_jobs ()) in
   let sinks, close_sinks = make_sinks ~trace ~metrics in
   let faults = merge_fault_specs ~fault_specs ~fault_plan in
   let engine =
     if restore then begin
       let dir = Option.get checkpoint in
-      match Engine.restore ~sinks ~dir () with
+      match Engine.restore ~sinks ~jobs ~dir () with
       | Error msg -> failwith ("restore: " ^ msg)
       | Ok (engine, r) ->
         Printf.eprintf
@@ -233,7 +238,7 @@ let run model topology algorithm rate epsilon stations loss sparse tile seed
         Engine.default_config ?guard:class_guard ?faults ~checkpoint_every
           ~metrics_every ~scenario ~seed ()
       in
-      let engine = Engine.create ~sinks ?checkpoint_dir:checkpoint cfg in
+      let engine = Engine.create ~sinks ?checkpoint_dir:checkpoint ~jobs cfg in
       List.iter
         (fun spec ->
           let tenant, klass, rate, burst = parse_tenant spec in
@@ -427,13 +432,23 @@ let metrics_every =
           "Emit a metrics snapshot every $(docv) frames (0 = final snapshot \
            only).")
 
+let jobs =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs" ] ~docv:"N"
+        ~doc:
+          "Evaluate $(b,--sparse) interference tile-parallel on $(docv) \
+           domains (clamped to the machine's recommended domain count). An \
+           execution knob, not state: replies, journals and checkpoints are \
+           byte-identical for every $(docv). Rejected when $(docv) < 1.")
+
 let run_safely model topology algorithm rate epsilon stations loss sparse tile
     seed tenants class_guard fault_specs fault_plan socket checkpoint restore
-    checkpoint_every trace metrics metrics_every =
+    checkpoint_every trace metrics metrics_every jobs =
   try
     run model topology algorithm rate epsilon stations loss sparse tile seed
       tenants class_guard fault_specs fault_plan socket checkpoint restore
-      checkpoint_every trace metrics metrics_every
+      checkpoint_every trace metrics metrics_every jobs
   with Invalid_argument msg | Failure msg | Sys_error msg ->
     Printf.eprintf "dps_serve: %s\n" msg;
     exit 1
@@ -471,6 +486,6 @@ let cmd =
       const run_safely $ model $ topology $ algorithm $ rate $ epsilon
       $ stations $ loss $ sparse $ tile $ seed $ tenants $ class_guard $ fault
       $ fault_plan $ socket $ checkpoint $ restore $ checkpoint_every $ trace
-      $ metrics $ metrics_every)
+      $ metrics $ metrics_every $ jobs)
 
 let () = exit (Cmd.eval cmd)

@@ -92,13 +92,15 @@ let run_protocol ~protocol ~source ~frames ~rng =
   run_protocol_traced ~telemetry:Telemetry.disabled ~metrics_every:0 ~protocol
     ~source ~frames ~rng
 
-let run_traced ?packet_trace ~telemetry ~metrics_every ~config ~oracle ~source
-    ~frames ~rng () =
+let run_traced ?packet_trace ?jobs ~telemetry ~metrics_every ~config ~oracle
+    ~source ~frames ~rng () =
   let channel =
-    Channel.create ~rng:(Rng.split rng) ~telemetry ~oracle
+    Channel.create ~rng:(Rng.split rng) ~telemetry ?jobs ~oracle
       ~m:(Measure.size config.Protocol.measure) ()
   in
-  let protocol = Protocol.create ~telemetry ?packet_trace config ~channel in
+  let protocol =
+    Protocol.create ~telemetry ?packet_trace ?jobs config ~channel
+  in
   run_protocol_traced ~telemetry ~metrics_every ~protocol ~source ~frames ~rng
 
 let run ~config ~oracle ~source ~frames ~rng =
@@ -196,8 +198,8 @@ let run_many ?(jobs = 1) ?(telemetry = Telemetry.disabled)
   end;
   reports
 
-let run_faulted_traced ?packet_trace ?guard ~telemetry ~metrics_every ~config
-    ~oracle ~source ~plan ~frames ~rng () =
+let run_faulted_traced ?packet_trace ?guard ?jobs ~telemetry ~metrics_every
+    ~config ~oracle ~source ~plan ~frames ~rng () =
   let m = Measure.size config.Protocol.measure in
   (* Same split discipline as [run_traced]: the channel takes the first
      split. The fault layer draws from its own split — taken only when the
@@ -214,11 +216,11 @@ let run_faulted_traced ?packet_trace ?guard ~telemetry ~metrics_every ~config
       ~frame_length:config.Protocol.frame ~m plan
   in
   let channel =
-    Channel.create ~rng:channel_rng ?measure ~telemetry
+    Channel.create ~rng:channel_rng ?measure ~telemetry ?jobs
       ~faults:(Injector.hook injector) ~oracle ~m ()
   in
   let protocol =
-    Protocol.create ~telemetry ?packet_trace ?guard config ~channel
+    Protocol.create ~telemetry ?packet_trace ?guard ?jobs config ~channel
   in
   let report =
     run_protocol_traced ~telemetry ~metrics_every ~protocol ~source ~frames

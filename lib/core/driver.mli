@@ -47,9 +47,13 @@ val run :
     failure reach the sinks — but {e not} closed; that stays with whoever
     opened them. [packet_trace = k] turns on the per-packet lifecycle
     events with 1-in-[k] head-based sampling (see {!Protocol.create}).
-    Raises [Invalid_argument] on negative [metrics_every]. *)
+    [jobs] is the intra-run tracker fan-out handed to the channel and
+    protocol (default 1; results never depend on it — it only pays off
+    on large sparse backends, docs/SCALING.md). Raises
+    [Invalid_argument] on negative [metrics_every]. *)
 val run_traced :
   ?packet_trace:int ->
+  ?jobs:int ->
   telemetry:Dps_telemetry.Telemetry.t ->
   metrics_every:int ->
   config:Protocol.config ->
@@ -122,10 +126,12 @@ val run_faulted :
     instrumentation as in {!run_traced} (including optional per-packet
     tracing); the injector additionally emits
     [fault.episode.start]/[fault.episode.end] point events and the
-    [fault.suppressed{kind=...}] counters (docs/OBSERVABILITY.md). *)
+    [fault.suppressed{kind=...}] counters (docs/OBSERVABILITY.md).
+    [jobs] as in {!run_traced}. *)
 val run_faulted_traced :
   ?packet_trace:int ->
   ?guard:Protocol.guard ->
+  ?jobs:int ->
   telemetry:Dps_telemetry.Telemetry.t ->
   metrics_every:int ->
   config:Protocol.config ->

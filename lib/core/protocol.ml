@@ -155,6 +155,11 @@ type gtel = {
   c_shed : Metrics.counter;
 }
 
+(* Sparse-backend error telemetry, resolved only when the measure is an
+   ε-sparsified backend (Measure.error_bound > 0) so dense runs keep
+   their metric snapshots byte-identical. *)
+type etel = { e_bound : float; g_failed_error : Metrics.gauge }
+
 (* Packet-lifecycle tracing (schema v2, docs/OBSERVABILITY.md). Resolved
    only when both telemetry and packet tracing are requested, so runs
    without [--trace-packets] emit no [packet.*] lines and stay
@@ -183,6 +188,7 @@ type t = {
   tel : tel option;
   guard : guard option;
   gtel : gtel option;
+  etel : etel option;
   ptel : ptel option;
   mutable overloaded : bool;
   mutable overload_onset : int;
@@ -217,9 +223,11 @@ type t = {
   mutable max_queue : int;
 }
 
-let create ?telemetry ?packet_trace ?guard ?on_deliver cfg ~channel =
+let create ?telemetry ?packet_trace ?guard ?on_deliver ?(jobs = 1) cfg
+    ~channel =
   if Channel.size channel <> Measure.size cfg.measure then
     invalid_arg "Protocol.create: channel and measure sizes differ";
+  if jobs < 1 then invalid_arg "Protocol.create: jobs must be >= 1";
   (match packet_trace with
   | Some k when k < 1 -> invalid_arg "Protocol.create: packet_trace < 1"
   | _ -> ());
@@ -255,6 +263,17 @@ let create ?telemetry ?packet_trace ?guard ?on_deliver cfg ~channel =
           c_shed = Metrics.counter reg "protocol.guard.shed" }
     | _ -> None
   in
+  let etel =
+    match telemetry with
+    | Some tl
+      when Telemetry.enabled tl && Measure.error_bound cfg.measure > 0. ->
+      Some
+        { e_bound = Measure.error_bound cfg.measure;
+          g_failed_error =
+            Metrics.gauge (Telemetry.metrics tl)
+              "protocol.failed_interference.error_bound" }
+    | _ -> None
+  in
   let ptel =
     match (packet_trace, telemetry) with
     | Some k, Some tl when Telemetry.enabled tl ->
@@ -268,6 +287,7 @@ let create ?telemetry ?packet_trace ?guard ?on_deliver cfg ~channel =
     tel;
     guard;
     gtel;
+    etel;
     ptel;
     overloaded = false;
     overload_onset = 0;
@@ -285,7 +305,7 @@ let create ?telemetry ?packet_trace ?guard ?on_deliver cfg ~channel =
     offered_pkts = Intvec.create ();
     failed_total = 0;
     failed_potential = 0;
-    failed_tracker = Load_tracker.create cfg.measure;
+    failed_tracker = Load_tracker.create ~jobs cfg.measure;
     injected = 0;
     delivered = 0;
     failed_events = 0;
@@ -576,6 +596,15 @@ let run_frame t rng ~inject_slot =
   let total = Intvec.length t.live + fq in
   let phi = t.failed_potential in
   let wr = Load_tracker.interference t.failed_tracker in
+  (* Sparse-backend auditability: the dense failed-buffer interference
+     exceeds [wr] by at most error_bound · ‖R‖∞ where R is the current
+     failed-buffer load. Computed only when the backend has nonzero
+     slack, so dense frames are untouched. *)
+  (match t.etel with
+  | None -> ()
+  | Some et ->
+    Metrics.set et.g_failed_error
+      (et.e_bound *. Load_tracker.max_load t.failed_tracker));
   Timeseries.add_int t.in_system total;
   Timeseries.add_int t.failed_queue fq;
   Timeseries.add_int t.potential phi;

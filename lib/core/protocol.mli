@@ -151,14 +151,28 @@ type t
     protocol; with [None] the delivery path costs one branch and
     reports stay bit-identical.
 
+    [jobs] (default 1) is the stale-rescan fan-out for the failed-buffer
+    tracker; results are byte-identical whatever it is
+    (docs/PARALLELISM.md).
+
+    When the measure is a sparse backend
+    ([Dps_interference.Measure.error_bound > 0]) and telemetry is
+    enabled, every frame sets the gauge
+    [protocol.failed_interference.error_bound] to
+    [error_bound · ‖failed load‖∞] — the most the true dense
+    failed-buffer interference can exceed the recorded
+    [protocol.failed_interference]. Dense measures resolve no extra
+    handle and their snapshots are unchanged.
+
     Raises [Invalid_argument] if the channel and measure disagree on
-    [m], or if [packet_trace < 1] (checked even when telemetry is
-    disabled, so a bad sampling rate fails loudly). *)
+    [m], if [packet_trace < 1] (checked even when telemetry is
+    disabled, so a bad sampling rate fails loudly), or if [jobs < 1]. *)
 val create :
   ?telemetry:Dps_telemetry.Telemetry.t ->
   ?packet_trace:int ->
   ?guard:guard ->
   ?on_deliver:(id:int -> latency:int -> unit) ->
+  ?jobs:int ->
   config ->
   channel:Dps_sim.Channel.t ->
   t

@@ -1,11 +1,18 @@
+module Par = Dps_par.Par
+
+type backing = Measure.t
+
 type t = {
   measure : Measure.t;
+  jobs : int;  (* default fan-out for stale rescans *)
+  par_threshold : int;  (* rescan sequentially below this many touched rows *)
   load : float array;  (* R *)
   wr : float array;  (* W·R, maintained incrementally *)
   link_touched : bool array;
   mutable touched_links : int list;
   row_touched : bool array;
   mutable touched_rows : int list;
+  mutable touched_rows_n : int;
   (* Cached argmax of wr. When an update lowers wr at the cached argmax the
      cache goes stale and the next interference query rescans the touched
      rows (untouched rows are exactly 0). *)
@@ -14,15 +21,21 @@ type t = {
   mutable stale : bool;
 }
 
-let create measure =
+let default_par_threshold = 4096
+
+let create ?(jobs = 1) ?(par_threshold = default_par_threshold) measure =
+  if jobs < 1 then invalid_arg "Load_tracker.create: jobs must be >= 1";
   let m = Measure.size measure in
   { measure;
+    jobs;
+    par_threshold;
     load = Array.make m 0.;
     wr = Array.make m 0.;
     link_touched = Array.make m false;
     touched_links = [];
     row_touched = Array.make m false;
     touched_rows = [];
+    touched_rows_n = 0;
     max_val = 0.;
     max_row = -1;
     stale = false }
@@ -43,7 +56,8 @@ let add_scaled t e c =
     Measure.iter_column t.measure e (fun row w ->
         if not t.row_touched.(row) then begin
           t.row_touched.(row) <- true;
-          t.touched_rows <- row :: t.touched_rows
+          t.touched_rows <- row :: t.touched_rows;
+          t.touched_rows_n <- t.touched_rows_n + 1
         end;
         let v = t.wr.(row) +. (w *. c) in
         t.wr.(row) <- v;
@@ -61,20 +75,75 @@ let remove t e = add_scaled t e (-1.)
 
 let interference_at t e = t.wr.(e)
 
-let interference t =
-  if t.stale then begin
+let max_load t =
+  let best = ref 0. in
+  List.iter
+    (fun e ->
+      let v = t.load.(e) in
+      if v > !best then best := v)
+    t.touched_links;
+  !best
+
+(* Sequential stale rescan: first occurrence wins on ties (strict >),
+   scanning the touched list head to tail. Allocation-free. *)
+let rescan_seq t =
+  let best = ref 0. and best_row = ref (-1) in
+  List.iter
+    (fun row ->
+      let v = t.wr.(row) in
+      if v > !best then begin
+        best := v;
+        best_row := row
+      end)
+    t.touched_rows;
+  t.max_val <- !best;
+  t.max_row <- !best_row;
+  t.stale <- false
+
+(* Parallel stale rescan: chunk the touched rows in list order, take each
+   chunk's strict-> first-occurrence maximum, fold the per-chunk results
+   in chunk order with strict > again. Comparisons only (no float
+   arithmetic), and ties resolve to the earliest occurrence exactly as
+   the sequential scan does — so value AND argmax are byte-identical to
+   [rescan_seq] for any [jobs] or chunking (the Dps_par.Par contract). *)
+let rescan_par t ~jobs =
+  let rows = Array.of_list t.touched_rows in
+  let n = Array.length rows in
+  let nchunks = Int.min jobs ((n + t.par_threshold - 1) / t.par_threshold) in
+  let nchunks = Int.max nchunks 1 in
+  let chunk_len = (n + nchunks - 1) / nchunks in
+  let scan_chunk c =
+    let lo = c * chunk_len in
+    let hi = Int.min n (lo + chunk_len) - 1 in
     let best = ref 0. and best_row = ref (-1) in
-    List.iter
-      (fun row ->
-        let v = t.wr.(row) in
-        if v > !best then begin
-          best := v;
-          best_row := row
-        end)
-      t.touched_rows;
-    t.max_val <- !best;
-    t.max_row <- !best_row;
-    t.stale <- false
+    for i = lo to hi do
+      let row = rows.(i) in
+      let v = t.wr.(row) in
+      if v > !best then begin
+        best := v;
+        best_row := row
+      end
+    done;
+    (!best, !best_row)
+  in
+  let per_chunk = Par.map ~jobs scan_chunk (List.init nchunks Fun.id) in
+  let best = ref 0. and best_row = ref (-1) in
+  List.iter
+    (fun (v, row) ->
+      if v > !best then begin
+        best := v;
+        best_row := row
+      end)
+    per_chunk;
+  t.max_val <- !best;
+  t.max_row <- !best_row;
+  t.stale <- false
+
+let interference ?jobs t =
+  if t.stale then begin
+    let jobs = match jobs with Some j -> j | None -> t.jobs in
+    if jobs > 1 && t.touched_rows_n >= t.par_threshold then rescan_par t ~jobs
+    else rescan_seq t
   end;
   (* Matches [Measure.interference]: never below the empty maximum 0. *)
   Float.max 0. t.max_val
@@ -92,13 +161,14 @@ let reset t =
       t.row_touched.(row) <- false)
     t.touched_rows;
   t.touched_rows <- [];
+  t.touched_rows_n <- 0;
   t.max_val <- 0.;
   t.max_row <- -1;
   t.stale <- false
 
-let of_load measure r =
+let of_load ?jobs ?par_threshold measure r =
   if Array.length r <> Measure.size measure then
     invalid_arg "Load_tracker.of_load: load length differs from measure size";
-  let t = create measure in
+  let t = create ?jobs ?par_threshold measure in
   Array.iteri (fun e c -> add_scaled t e c) r;
   t

@@ -8,6 +8,19 @@
     O(1) amortized (a query after the cached argmax row decreased rescans
     the touched rows — the epoch scan; rows never touched are exactly 0).
 
+    The backend is whatever {!Measure.t} wraps: the dense CSR/CSC packing
+    or an external sparse engine ({!Tiled.as_measure}) — the tracker only
+    ever asks for columns, so it is exact for both and is the single
+    implementation behind {!Tracker_intf.S}.
+
+    Stale-epoch rescans can fan out over {!Dps_par.Par} when the tracker
+    was created with [jobs > 1] (or per query via [?jobs]): the touched
+    rows are chunked in list order and per-chunk first-occurrence maxima
+    are folded in chunk order, so both the value and the cached argmax
+    are byte-identical to the sequential scan for every [jobs]
+    (docs/PARALLELISM.md). With [jobs = 1] the rescan is the sequential
+    allocation-free loop.
+
     Updates and queries agree with recomputing {!Measure.interference} on
     the tracked load up to floating-point associativity; the property suite
     [test_load_tracker] pins the two to within 1e-9 on random measures and
@@ -15,13 +28,19 @@
 
 type t
 
+(** The backend type, for {!Tracker_intf.S} conformance. *)
+type backing = Measure.t
+
 (** A fresh tracker over the all-zero load. Forces the measure's column
-    (CSC) index on first update: O(m + nnz) once. *)
-val create : Measure.t -> t
+    (CSC) index on first update: O(m + nnz) once. [jobs] (default 1) is
+    the fan-out for stale rescans; [par_threshold] (default 4096) is the
+    touched-row count below which rescans stay sequential even when
+    [jobs > 1]. Raises [Invalid_argument] on [jobs < 1]. *)
+val create : ?jobs:int -> ?par_threshold:int -> Measure.t -> t
 
 (** [of_load measure r] starts from load [r]. Raises [Invalid_argument]
     when [r]'s length differs from the measure size. *)
-val of_load : Measure.t -> float array -> t
+val of_load : ?jobs:int -> ?par_threshold:int -> Measure.t -> float array -> t
 
 (** The measure this tracker was created over (shared, not a copy). *)
 val measure : t -> Measure.t
@@ -44,12 +63,21 @@ val load : t -> int -> float
 (** Snapshot of the full load vector (fresh array). *)
 val load_vector : t -> float array
 
+(** [‖R‖∞] of the current load (max over links touched since the last
+    reset; never below [0.]). O(touched links) — pairs with
+    {!Measure.error_bound} to bound a sparse backend's slack:
+    the dense interference exceeds {!interference} by at most
+    [Measure.error_bound m ·  max_load t]. *)
+val max_load : t -> float
+
 (** [(W·R)(e)] for the current load — the interference link [e] sees. O(1). *)
 val interference_at : t -> int -> float
 
 (** [I = ||W·R||_inf] for the current load, never below [0.] (matching
-    {!Measure.interference} on an empty system). *)
-val interference : t -> float
+    {!Measure.interference} on an empty system). [jobs] overrides the
+    creation-time fan-out for this query's rescan (if one is due); the
+    result is byte-identical regardless. *)
+val interference : ?jobs:int -> t -> float
 
 (** Back to the all-zero load in time proportional to the entries touched
     since the last reset, not O(m). *)

@@ -1,8 +1,21 @@
-(* CSR-packed sparse matrix: rows are contiguous slices of flat arrays.
-   Row e spans [row_ptr.(e), row_ptr.(e+1)) in col_idx/weights, with
-   col_idx sorted ascending inside each row and the diagonal always
+(* Two backends behind one measure type.
+
+   Dense: CSR-packed sparse matrix — rows are contiguous slices of flat
+   arrays. Row e spans [row_ptr.(e), row_ptr.(e+1)) in col_idx/weights,
+   with col_idx sorted ascending inside each row and the diagonal always
    present. The transposed (CSC) index is built lazily on first column
-   access — it is only needed by incremental consumers (Load_tracker). *)
+   access — it is only needed by incremental consumers (Load_tracker).
+
+   Ext: a closure record delegating every operation to an external
+   backend (Tiled.as_measure wraps the ε-sparsified slab engine this
+   way). The ext arm exists so the whole protocol stack — trackers,
+   static algorithms, adversaries, calibration — runs on the sparse
+   engine without densifying; the backend contract mirrors the dense
+   semantics exactly, column iteration in ascending link-id order
+   included, so an exact (ε = 0) ext measure is byte-identical to its
+   dense counterpart under every consumer. The only addition is the
+   recorded [error_bound]: dense measures are exact (0), ext measures
+   may underestimate any (W·R)(e) by at most row_error(e)·‖R‖∞. *)
 
 type transpose = {
   col_ptr : int array;  (* length m+1 *)
@@ -10,7 +23,7 @@ type transpose = {
   col_weights : float array;
 }
 
-type t = {
+type dense = {
   m : int;
   row_ptr : int array;  (* length m+1 *)
   col_idx : int array;  (* length nnz *)
@@ -18,9 +31,55 @@ type t = {
   mutable transposed : transpose option;
 }
 
-let size t = t.m
+type ext = {
+  e_m : int;
+  e_nnz : unit -> int;
+  e_row_nnz : int -> int;
+  e_iter_row : int -> (int -> float -> unit) -> unit;
+  e_weight : int -> int -> float;
+  e_ensure_transpose : unit -> unit;
+  e_column_nnz : int -> int;
+  e_iter_column : int -> (int -> float -> unit) -> unit;
+  e_interference_at : float array -> int -> float;
+  e_interference : float array -> float;
+  e_max_row_sum : unit -> float;
+  e_error_bound : float;
+  e_row_error : int -> float;
+}
 
-let nnz t = t.row_ptr.(t.m)
+type t = Dense of dense | Ext of ext
+
+let size = function Dense d -> d.m | Ext e -> e.e_m
+
+let nnz = function Dense d -> d.row_ptr.(d.m) | Ext e -> e.e_nnz ()
+
+let is_dense = function Dense _ -> true | Ext _ -> false
+
+let error_bound = function Dense _ -> 0. | Ext e -> e.e_error_bound
+
+let row_error t e' =
+  match t with Dense _ -> 0. | Ext e -> e.e_row_error e'
+
+let of_ext ~m ~nnz ~row_nnz ~iter_row ~weight ~ensure_transpose ~column_nnz
+    ~iter_column ~interference_at ~interference ~max_row_sum ~error_bound
+    ~row_error () =
+  if m <= 0 then invalid_arg "Measure.of_ext: m must be > 0";
+  if not (error_bound >= 0.) then
+    invalid_arg "Measure.of_ext: error_bound must be >= 0";
+  Ext
+    { e_m = m;
+      e_nnz = nnz;
+      e_row_nnz = row_nnz;
+      e_iter_row = iter_row;
+      e_weight = weight;
+      e_ensure_transpose = ensure_transpose;
+      e_column_nnz = column_nnz;
+      e_iter_column = iter_column;
+      e_interference_at = interference_at;
+      e_interference = interference;
+      e_max_row_sum = max_row_sum;
+      e_error_bound = error_bound;
+      e_row_error = row_error }
 
 (* Pack validated sorted rows ((e', w) pairs) into CSR. *)
 let pack m rows =
@@ -69,23 +128,25 @@ let of_rows ?m rows =
          m)
   | _ -> ());
   if n = 0 then invalid_arg "Measure: of_rows needs at least one row";
-  pack n (Array.mapi (normalize_row n) rows)
+  Dense (pack n (Array.mapi (normalize_row n) rows))
 
 let identity m =
   assert (m > 0);
-  { m;
-    row_ptr = Array.init (m + 1) Fun.id;
-    col_idx = Array.init m Fun.id;
-    weights = Array.make m 1.;
-    transposed = None }
+  Dense
+    { m;
+      row_ptr = Array.init (m + 1) Fun.id;
+      col_idx = Array.init m Fun.id;
+      weights = Array.make m 1.;
+      transposed = None }
 
 let complete m =
   assert (m > 0);
-  { m;
-    row_ptr = Array.init (m + 1) (fun e -> e * m);
-    col_idx = Array.init (m * m) (fun k -> k mod m);
-    weights = Array.make (m * m) 1.;
-    transposed = None }
+  Dense
+    { m;
+      row_ptr = Array.init (m + 1) (fun e -> e * m);
+      col_idx = Array.init (m * m) (fun k -> k mod m);
+      weights = Array.make (m * m) 1.;
+      transposed = None }
 
 let of_function ~m f =
   assert (m > 0);
@@ -118,108 +179,144 @@ let of_function ~m f =
     done
   done;
   row_ptr.(m) <- !k;
-  { m;
-    row_ptr;
-    col_idx = Array.sub !col_idx 0 (Int.max !k 1);
-    weights = Array.sub !weights 0 (Int.max !k 1);
-    transposed = None }
+  Dense
+    { m;
+      row_ptr;
+      col_idx = Array.sub !col_idx 0 (Int.max !k 1);
+      weights = Array.sub !weights 0 (Int.max !k 1);
+      transposed = None }
 
-let row t e =
-  Array.init
-    (t.row_ptr.(e + 1) - t.row_ptr.(e))
-    (fun i ->
-      let k = t.row_ptr.(e) + i in
-      (t.col_idx.(k), t.weights.(k)))
-
-let row_nnz t e = t.row_ptr.(e + 1) - t.row_ptr.(e)
+let row_nnz t e =
+  match t with
+  | Dense d -> d.row_ptr.(e + 1) - d.row_ptr.(e)
+  | Ext x -> x.e_row_nnz e
 
 let iter_row t e f =
-  for k = t.row_ptr.(e) to t.row_ptr.(e + 1) - 1 do
-    f t.col_idx.(k) t.weights.(k)
-  done
+  match t with
+  | Dense d ->
+    for k = d.row_ptr.(e) to d.row_ptr.(e + 1) - 1 do
+      f d.col_idx.(k) d.weights.(k)
+    done
+  | Ext x -> x.e_iter_row e f
+
+let row t e =
+  match t with
+  | Dense d ->
+    Array.init
+      (d.row_ptr.(e + 1) - d.row_ptr.(e))
+      (fun i ->
+        let k = d.row_ptr.(e) + i in
+        (d.col_idx.(k), d.weights.(k)))
+  | Ext x ->
+    let out = Array.make (x.e_row_nnz e) (0, 0.) in
+    let i = ref 0 in
+    x.e_iter_row e (fun e' w ->
+        out.(!i) <- (e', w);
+        incr i);
+    out
 
 let weight t e e' =
-  (* Rows are sorted by link id: binary search inside the row slice. *)
-  let rec search lo hi =
-    if lo > hi then 0.
-    else
-      let mid = (lo + hi) / 2 in
-      let id = t.col_idx.(mid) in
-      if id = e' then t.weights.(mid)
-      else if id < e' then search (mid + 1) hi
-      else search lo (mid - 1)
-  in
-  search t.row_ptr.(e) (t.row_ptr.(e + 1) - 1)
+  match t with
+  | Dense d ->
+    (* Rows are sorted by link id: binary search inside the row slice. *)
+    let rec search lo hi =
+      if lo > hi then 0.
+      else
+        let mid = (lo + hi) / 2 in
+        let id = d.col_idx.(mid) in
+        if id = e' then d.weights.(mid)
+        else if id < e' then search (mid + 1) hi
+        else search lo (mid - 1)
+    in
+    search d.row_ptr.(e) (d.row_ptr.(e + 1) - 1)
+  | Ext x -> x.e_weight e e'
 
 (* CSR -> CSC by counting sort: scanning rows in order scatters each
    column's row indices already sorted. *)
-let transpose t =
-  match t.transposed with
+let dense_transpose d =
+  match d.transposed with
   | Some tr -> tr
   | None ->
-    let n = nnz t in
-    let col_ptr = Array.make (t.m + 1) 0 in
+    let n = d.row_ptr.(d.m) in
+    let col_ptr = Array.make (d.m + 1) 0 in
     for k = 0 to n - 1 do
-      let c = t.col_idx.(k) in
+      let c = d.col_idx.(k) in
       col_ptr.(c + 1) <- col_ptr.(c + 1) + 1
     done;
-    for c = 1 to t.m do
+    for c = 1 to d.m do
       col_ptr.(c) <- col_ptr.(c) + col_ptr.(c - 1)
     done;
     let next = Array.copy col_ptr in
     let row_idx = Array.make (Int.max n 1) 0 in
     let col_weights = Array.make (Int.max n 1) 0. in
-    for e = 0 to t.m - 1 do
-      for k = t.row_ptr.(e) to t.row_ptr.(e + 1) - 1 do
-        let c = t.col_idx.(k) in
+    for e = 0 to d.m - 1 do
+      for k = d.row_ptr.(e) to d.row_ptr.(e + 1) - 1 do
+        let c = d.col_idx.(k) in
         let slot = next.(c) in
         row_idx.(slot) <- e;
-        col_weights.(slot) <- t.weights.(k);
+        col_weights.(slot) <- d.weights.(k);
         next.(c) <- slot + 1
       done
     done;
     let tr = { col_ptr; row_idx; col_weights } in
-    t.transposed <- Some tr;
+    d.transposed <- Some tr;
     tr
 
-let ensure_transpose t = ignore (transpose t)
+let ensure_transpose = function
+  | Dense d -> ignore (dense_transpose d)
+  | Ext x -> x.e_ensure_transpose ()
 
 let column_nnz t e' =
-  let tr = transpose t in
-  tr.col_ptr.(e' + 1) - tr.col_ptr.(e')
+  match t with
+  | Dense d ->
+    let tr = dense_transpose d in
+    tr.col_ptr.(e' + 1) - tr.col_ptr.(e')
+  | Ext x -> x.e_column_nnz e'
 
 let iter_column t e' f =
-  let tr = transpose t in
-  for k = tr.col_ptr.(e') to tr.col_ptr.(e' + 1) - 1 do
-    f tr.row_idx.(k) tr.col_weights.(k)
-  done
+  match t with
+  | Dense d ->
+    let tr = dense_transpose d in
+    for k = tr.col_ptr.(e') to tr.col_ptr.(e' + 1) - 1 do
+      f tr.row_idx.(k) tr.col_weights.(k)
+    done
+  | Ext x -> x.e_iter_column e' f
 
 let interference_at t load e =
-  assert (Array.length load = t.m);
-  let acc = ref 0. in
-  for k = t.row_ptr.(e) to t.row_ptr.(e + 1) - 1 do
-    acc := !acc +. (t.weights.(k) *. load.(t.col_idx.(k)))
-  done;
-  !acc
+  match t with
+  | Dense d ->
+    assert (Array.length load = d.m);
+    let acc = ref 0. in
+    for k = d.row_ptr.(e) to d.row_ptr.(e + 1) - 1 do
+      acc := !acc +. (d.weights.(k) *. load.(d.col_idx.(k)))
+    done;
+    !acc
+  | Ext x -> x.e_interference_at load e
 
 let interference t load =
-  let best = ref 0. in
-  for e = 0 to t.m - 1 do
-    let v = interference_at t load e in
-    if v > !best then best := v
-  done;
-  !best
+  match t with
+  | Dense d ->
+    let best = ref 0. in
+    for e = 0 to d.m - 1 do
+      let v = interference_at t load e in
+      if v > !best then best := v
+    done;
+    !best
+  | Ext x -> x.e_interference load
 
 let interference_of_counts t counts =
   interference t (Array.map float_of_int counts)
 
 let max_row_sum t =
-  let best = ref 0. in
-  for e = 0 to t.m - 1 do
-    let s = ref 0. in
-    for k = t.row_ptr.(e) to t.row_ptr.(e + 1) - 1 do
-      s := !s +. t.weights.(k)
+  match t with
+  | Dense d ->
+    let best = ref 0. in
+    for e = 0 to d.m - 1 do
+      let s = ref 0. in
+      for k = d.row_ptr.(e) to d.row_ptr.(e + 1) - 1 do
+        s := !s +. d.weights.(k)
+      done;
+      if !s > !best then best := !s
     done;
-    if !s > !best then best := !s
-  done;
-  !best
+    !best
+  | Ext x -> x.e_max_row_sum ()

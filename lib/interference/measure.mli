@@ -17,7 +17,16 @@
     scans are cache-friendly. A transposed (CSC) index is materialized
     lazily the first time a column is scanned; {!Load_tracker} uses it to
     push single-link load changes to the affected rows in
-    O(nnz(column)). *)
+    O(nnz(column)).
+
+    A measure may also wrap an {e external} backend ({!of_ext}): a record
+    of closures delegating every operation, used by {!Tiled.as_measure} to
+    run the whole protocol stack on the ε-sparsified slab engine without
+    densifying. External backends follow the same semantics — column
+    iteration in ascending link-id order included, so an exact (ε = 0)
+    external measure behaves byte-identically to its dense equivalent —
+    and additionally record an {!error_bound}: how far below the true
+    dense value their interference answers may fall. *)
 
 type t
 
@@ -95,3 +104,43 @@ val interference_of_counts : t -> int array -> float
 (** Largest row sum [max_e Σ_e' W(e, e')]; an upper bound on the measure of
     a unit load on every link. *)
 val max_row_sum : t -> float
+
+(** [of_ext ~m … ()] wraps an external interference backend as a measure.
+    Every closure must honour the dense contract documented on the
+    corresponding accessor above; in particular [iter_row]/[iter_column]
+    must visit entries in ascending id order and [ensure_transpose] must
+    be idempotent and safe to call before a parallel fan-out.
+    [error_bound] is the backend's global slack: for any load vector [R],
+    the true dense interference exceeds the backend's answer by at most
+    [error_bound · ||R||_inf] (per-row refinement via [row_error]).
+    Raises [Invalid_argument] if [m <= 0] or [error_bound < 0]. *)
+val of_ext :
+  m:int ->
+  nnz:(unit -> int) ->
+  row_nnz:(int -> int) ->
+  iter_row:(int -> (int -> float -> unit) -> unit) ->
+  weight:(int -> int -> float) ->
+  ensure_transpose:(unit -> unit) ->
+  column_nnz:(int -> int) ->
+  iter_column:(int -> (int -> float -> unit) -> unit) ->
+  interference_at:(float array -> int -> float) ->
+  interference:(float array -> float) ->
+  max_row_sum:(unit -> float) ->
+  error_bound:float ->
+  row_error:(int -> float) ->
+  unit ->
+  t
+
+(** Whether this measure is backed by the dense CSR packing (true) or an
+    external backend (false). Dense measures are exact; sparse scenario
+    builds assert on this to prove no densification happened. *)
+val is_dense : t -> bool
+
+(** Global underestimation slack: the true interference of any load [R]
+    exceeds [interference t R] by at most [error_bound t · ||R||_inf].
+    [0.] for dense measures — their answers are exact. *)
+val error_bound : t -> float
+
+(** [row_error t e] — per-row slack: the dense [(W·R)(e)] exceeds the
+    backend's by at most [row_error t e · ||R||_inf]. [0.] for dense. *)
+val row_error : t -> int -> float

@@ -26,6 +26,18 @@ module Par = Dps_par.Par
 type cols_slab = (int32, Bigarray.int32_elt, Bigarray.c_layout) Bigarray.Array1.t
 type wts_slab = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
 
+(* CSC view of the slabs, built lazily on first column access. Columns
+   are filled scanning links in ascending id order (via pos), so each
+   column lists its rows ascending by link id — exactly the dense
+   [Measure] transpose order, which keeps Load_tracker's column-push
+   summation order (and hence every float) identical to the dense
+   backend at ε = 0. *)
+type transpose = {
+  col_ptr : int array;  (* length m+1 *)
+  t_rows : cols_slab;  (* link ids, ascending inside a column *)
+  t_wts : wts_slab;
+}
+
 type t = {
   m : int;
   tiling : Tiling.t;
@@ -40,6 +52,7 @@ type t = {
   nonempty : int list;  (* occupied tiles, ascending *)
   row_bound : float array;  (* link id -> dropped-mass bound *)
   max_row_bound : float;
+  mutable transposed : transpose option;
 }
 
 let size t = t.m
@@ -212,7 +225,8 @@ let create ?(jobs = 1) ?cell ~epsilon ~points ~gain ~bound () =
     tile_rows;
     nonempty;
     row_bound;
-    max_row_bound }
+    max_row_bound;
+    transposed = None }
 
 let row_nnz t e =
   let r = t.pos.(e) in
@@ -252,6 +266,93 @@ let interference ?(jobs = 1) t load =
   let per_tile = Par.map ~jobs (fun a -> tile_max t load a) t.nonempty in
   List.fold_left Float.max 0. per_tile
 
+let weight t e e' =
+  let r = t.pos.(e) in
+  (* Slab rows are sorted by link id: binary search inside the row. *)
+  let rec search lo hi =
+    if lo > hi then 0.
+    else
+      let mid = (lo + hi) / 2 in
+      let id = Int32.to_int (Bigarray.Array1.unsafe_get t.cols mid) in
+      if id = e' then Bigarray.Array1.unsafe_get t.wts mid
+      else if id < e' then search (mid + 1) hi
+      else search lo (mid - 1)
+  in
+  search t.row_ptr.(r) (t.row_ptr.(r + 1) - 1)
+
+let max_row_sum t =
+  let best = ref 0. in
+  for r = 0 to t.m - 1 do
+    let s = ref 0. in
+    for k = t.row_ptr.(r) to t.row_ptr.(r + 1) - 1 do
+      s := !s +. Bigarray.Array1.unsafe_get t.wts k
+    done;
+    if !s > !best then best := !s
+  done;
+  !best
+
+(* Counting-sort CSC, scattering links in ascending id order so each
+   column's row list comes out sorted by link id (see [transpose]'s type
+   comment — this is what makes ε = 0 byte-identical to dense under
+   Load_tracker). *)
+let transpose t =
+  match t.transposed with
+  | Some tr -> tr
+  | None ->
+    let n = t.row_ptr.(t.m) in
+    let col_ptr = Array.make (t.m + 1) 0 in
+    for k = 0 to n - 1 do
+      let c = Int32.to_int (Bigarray.Array1.unsafe_get t.cols k) in
+      col_ptr.(c + 1) <- col_ptr.(c + 1) + 1
+    done;
+    for c = 1 to t.m do
+      col_ptr.(c) <- col_ptr.(c) + col_ptr.(c - 1)
+    done;
+    let next = Array.copy col_ptr in
+    let t_rows = Bigarray.(Array1.create int32 c_layout (Int.max n 1)) in
+    let t_wts = Bigarray.(Array1.create float64 c_layout (Int.max n 1)) in
+    for e = 0 to t.m - 1 do
+      let r = t.pos.(e) in
+      for k = t.row_ptr.(r) to t.row_ptr.(r + 1) - 1 do
+        let c = Int32.to_int (Bigarray.Array1.unsafe_get t.cols k) in
+        let slot = next.(c) in
+        Bigarray.Array1.unsafe_set t_rows slot (Int32.of_int e);
+        Bigarray.Array1.unsafe_set t_wts slot
+          (Bigarray.Array1.unsafe_get t.wts k);
+        next.(c) <- slot + 1
+      done
+    done;
+    let tr = { col_ptr; t_rows; t_wts } in
+    t.transposed <- Some tr;
+    tr
+
+let ensure_transpose t = ignore (transpose t)
+
+let column_nnz t e' =
+  let tr = transpose t in
+  tr.col_ptr.(e' + 1) - tr.col_ptr.(e')
+
+let iter_column t e' f =
+  let tr = transpose t in
+  for k = tr.col_ptr.(e') to tr.col_ptr.(e' + 1) - 1 do
+    f (Int32.to_int (Bigarray.Array1.unsafe_get tr.t_rows k))
+      (Bigarray.Array1.unsafe_get tr.t_wts k)
+  done
+
+let as_measure ?(jobs = 1) t =
+  if jobs < 1 then invalid_arg "Tiled.as_measure: jobs must be >= 1";
+  Measure.of_ext ~m:t.m
+    ~nnz:(fun () -> nnz t)
+    ~row_nnz:(row_nnz t) ~iter_row:(iter_row t) ~weight:(weight t)
+    ~ensure_transpose:(fun () -> ensure_transpose t)
+    ~column_nnz:(column_nnz t) ~iter_column:(iter_column t)
+    ~interference_at:(fun load e -> interference_at t load e)
+    ~interference:(fun load -> interference ~jobs t load)
+    ~max_row_sum:(fun () -> max_row_sum t)
+    ~error_bound:t.max_row_bound
+    ~row_error:(fun e -> t.row_bound.(e))
+    ()
+
 let to_measure t =
   let rows = Array.make t.m [] in
   for r = t.m - 1 downto 0 do
@@ -268,65 +369,29 @@ let to_measure t =
 
 type measure = t
 
+(* The incremental tracker is Load_tracker over the [as_measure] view:
+   column pushes cost O(nnz(column)), reset is sparse, and the tracked
+   value is the exact sparse interference — the earlier dirty-tile
+   recomputation had O(occupied-tiles) resets and re-derived row dots in
+   slab order, which broke ε = 0 byte-identity with the dense backend. *)
 module Tracker = struct
-  type nonrec t = {
-    meas : measure;
-    load : float array;
-    tile_max : float array;  (* stale where dirty *)
-    dirty : Bytes.t;  (* per-tile flag, deduplicates dirty_list *)
-    mutable dirty_list : int list;
-  }
+  type nonrec t = { meas : measure; lt : Load_tracker.t }
+  type backing = measure
 
-  let create meas =
-    { meas;
-      load = Array.make meas.m 0.;
-      tile_max = Array.make (Tiling.tiles meas.tiling) 0.;
-      dirty = Bytes.make (Tiling.tiles meas.tiling) '\000';
-      dirty_list = [] }
+  let create ?jobs meas =
+    { meas; lt = Load_tracker.create ?jobs (as_measure ?jobs meas) }
 
   let measure tr = tr.meas
-  let load tr e = tr.load.(e)
-
-  let mark tr e =
-    let tg = tr.meas.tiling in
-    Tiling.iter_window tg (Tiling.tile_of tg e) ~radius:tr.meas.near (fun a ->
-        if Bytes.unsafe_get tr.dirty a = '\000' then begin
-          Bytes.unsafe_set tr.dirty a '\001';
-          tr.dirty_list <- a :: tr.dirty_list
-        end)
+  let load tr e = Load_tracker.load tr.lt e
 
   let add_scaled tr e c =
-    if e < 0 || e >= tr.meas.m then invalid_arg "Tiled.Tracker: link out of range";
-    if c <> 0. then begin
-      tr.load.(e) <- tr.load.(e) +. c;
-      mark tr e
-    end
+    if e < 0 || e >= tr.meas.m then
+      invalid_arg "Tiled.Tracker: link out of range";
+    Load_tracker.add_scaled tr.lt e c
 
   let add tr e = add_scaled tr e 1.
   let remove tr e = add_scaled tr e (-1.)
-
-  let flush ?(jobs = 1) tr =
-    match tr.dirty_list with
-    | [] -> ()
-    | ds ->
-      let ds = List.sort compare ds in
-      let maxes = Par.map ~jobs (fun a -> tile_max tr.meas tr.load a) ds in
-      List.iter2
-        (fun a v ->
-          tr.tile_max.(a) <- v;
-          Bytes.unsafe_set tr.dirty a '\000')
-        ds maxes;
-      tr.dirty_list <- []
-
-  let interference ?jobs tr =
-    flush ?jobs tr;
-    Array.fold_left Float.max 0. tr.tile_max
-
-  let interference_at tr e = dot_row tr.meas tr.load tr.meas.pos.(e)
-
-  let reset tr =
-    Array.fill tr.load 0 tr.meas.m 0.;
-    Array.fill tr.tile_max 0 (Array.length tr.tile_max) 0.;
-    Bytes.fill tr.dirty 0 (Bytes.length tr.dirty) '\000';
-    tr.dirty_list <- []
+  let interference_at tr e = Load_tracker.interference_at tr.lt e
+  let interference ?jobs tr = Load_tracker.interference ?jobs tr.lt
+  let reset tr = Load_tracker.reset tr.lt
 end

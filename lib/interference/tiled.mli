@@ -102,24 +102,64 @@ val interference_at : t -> float array -> int -> float
     tile-parallel; byte-identical for every [jobs]. *)
 val interference : ?jobs:int -> t -> float array -> float
 
-(** Convert to a dense-indexed {!Measure.t} (CSR with CSC transpose) so
-    the sparsified matrix can drive the existing protocol stack. O(nnz)
-    but allocates boxed rows — intended for m small enough that the
-    protocol itself is runnable. *)
+(** [weight t e e'] is the stored [W_sparse(e, e')] ([0.] where the
+    entry was dropped or never built). O(log row_nnz). *)
+val weight : t -> int -> int -> float
+
+(** Largest stored row sum [max_e Σ_e' W_sparse(e, e')]. *)
+val max_row_sum : t -> float
+
+(** Build the CSC (column) index now if it does not exist yet
+    (idempotent, O(m + nnz), stored in Bigarray slabs). Like
+    {!Measure.ensure_transpose}, force it before sharing the measure
+    across domains. *)
+val ensure_transpose : t -> unit
+
+(** Stored entries in column [e'] (forces the column index). *)
+val column_nnz : t -> int -> int
+
+(** [iter_column t e' f] calls [f e w] for every stored
+    [W_sparse(e, e') = w], in ascending [e] order — the same order as the
+    dense {!Measure.iter_column}, so incremental consumers sum in the
+    same float order and ε = 0 stays byte-identical to dense. *)
+val iter_column : t -> int -> (int -> float -> unit) -> unit
+
+(** [as_measure ?jobs t] — the sparse engine as a first-class
+    {!Measure.t} ({!Measure.of_ext}), sharing [t]'s slabs: no
+    densification, O(1) to build. The whole protocol stack (trackers,
+    static algorithms, channel, serving) runs on it directly;
+    [Measure.error_bound] reports {!max_row_bound} and
+    [Measure.row_error] the per-row {!row_bound}. [jobs] (default 1) is
+    captured for whole-vector [Measure.interference] calls, which
+    evaluate tile-parallel; results are byte-identical in [jobs]. Build
+    it {e once} per tiled measure and share the result — consumers cache
+    per-measure state by physical identity. *)
+val as_measure : ?jobs:int -> t -> Measure.t
+
+(** Convert to a dense-indexed {!Measure.t} (CSR with CSC transpose).
+    O(nnz) but allocates boxed rows — an opt-in escape hatch for
+    comparing against the dense backend at small m; the protocol stack
+    itself runs on {!as_measure}. *)
 val to_measure : t -> Measure.t
 
 type measure = t
 
 (** Incremental [‖W_sparse · R‖∞] under single-link load updates — the
-    tiled counterpart of {!Load_tracker}. Updates mark the tiles whose
-    rows can see the changed link (the near window); queries recompute
-    only dirty tiles, fanning out over {!Dps_par.Par}. The tracked value
+    tiled instance of {!Tracker_intf.S}. A thin wrapper over
+    {!Load_tracker} on the {!as_measure} view: updates push through the
+    sparse column index in O(nnz(column)), queries are O(1) amortized,
+    and reset is proportional to what was touched. The tracked value
     equals [interference meas load] exactly, for every [jobs]. *)
 module Tracker : sig
   type t
 
-  (** A fresh tracker over an all-zero load. *)
-  val create : measure -> t
+  (** The backend type, for {!Tracker_intf.S} conformance. *)
+  type backing = measure
+
+  (** A fresh tracker over an all-zero load. [jobs] (default 1) is the
+      fan-out for stale rescans and whole-vector evaluations; results
+      never depend on it. *)
+  val create : ?jobs:int -> measure -> t
 
   (** The measure the tracker was built over. *)
   val measure : t -> measure

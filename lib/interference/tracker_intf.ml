@@ -1,0 +1,13 @@
+module type S = sig
+  type t
+  type backing
+
+  val measure : t -> backing
+  val load : t -> int -> float
+  val add : t -> int -> unit
+  val remove : t -> int -> unit
+  val add_scaled : t -> int -> float -> unit
+  val interference_at : t -> int -> float
+  val interference : ?jobs:int -> t -> float
+  val reset : t -> unit
+end

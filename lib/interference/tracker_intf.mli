@@ -1,0 +1,47 @@
+(** The interference-backend interface: what the per-slot hot path
+    ([Channel.step], the protocol's failed-buffer accounting,
+    [Measure_greedy] admission) needs from an incremental
+    [I = ‖W·R‖∞] tracker.
+
+    Two implementations satisfy [S]: {!Load_tracker} (with
+    [backing = Measure.t] — dense CSR/CSC or an external sparse engine
+    behind {!Measure.of_ext}) and {!Tiled.Tracker} (with
+    [backing = Tiled.t], a thin wrapper over {!Load_tracker} on
+    {!Tiled.as_measure}). [test_tiled] pins both conformances with
+    compile-time module ascriptions.
+
+    Contract, shared by all implementations: loads start all-zero;
+    updates are exact; [interference] never returns below [0.]; results
+    are byte-identical in [jobs]; [reset] costs time proportional to
+    what was touched since the last reset, not O(m). *)
+module type S = sig
+  type t
+  type backing
+
+  (** The backend the tracker was created over (shared, not a copy) —
+      measure identity: callers cache trackers per backend using
+      physical equality on this value. *)
+  val measure : t -> backing
+
+  (** Current load of one link. *)
+  val load : t -> int -> float
+
+  (** One more packet on a link. *)
+  val add : t -> int -> unit
+
+  (** One packet off a link. *)
+  val remove : t -> int -> unit
+
+  (** Add an arbitrary (possibly negative) amount to a link's load. *)
+  val add_scaled : t -> int -> float -> unit
+
+  (** Exact [(W·R)(e)] under the current load. *)
+  val interference_at : t -> int -> float
+
+  (** Current [I = ‖W·R‖∞], never below [0.]; byte-identical in
+      [jobs]. *)
+  val interference : ?jobs:int -> t -> float
+
+  (** Back to the all-zero load. *)
+  val reset : t -> unit
+end

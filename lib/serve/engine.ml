@@ -87,11 +87,12 @@ type t = {
   mutable closed : bool;
 }
 
-let make_engine ?(sinks = []) cfg =
+let make_engine ?(sinks = []) ?(jobs = 1) cfg =
   if cfg.checkpoint_every < 0 then
     invalid_arg "Engine: checkpoint_every must be >= 0";
   if cfg.metrics_every < 0 then invalid_arg "Engine: metrics_every must be >= 0";
-  let built = Scenario.build cfg.scenario in
+  if jobs < 1 then invalid_arg "Engine: jobs must be >= 1";
+  let built = Scenario.build ~jobs cfg.scenario in
   let guard = Option.map Class_guard.parse cfg.guard in
   let plan =
     match cfg.faults with None -> Plan.empty | Some s -> Plan.parse s
@@ -125,7 +126,7 @@ let make_engine ?(sinks = []) cfg =
   in
   let channel =
     Channel.create ~rng:channel_rng ?measure:plan_measure ~telemetry:tel
-      ?faults ~oracle:built.Scenario.oracle ~m ()
+      ?faults ~jobs ~oracle:built.Scenario.oracle ~m ()
   in
   let class_stats =
     Array.of_list
@@ -159,7 +160,8 @@ let make_engine ?(sinks = []) cfg =
       if latency > cs.budget_slots then Metrics.incr cs.c_budget
   in
   let protocol =
-    Protocol.create ~telemetry:tel ~on_deliver built.Scenario.config ~channel
+    Protocol.create ~telemetry:tel ~on_deliver ~jobs built.Scenario.config
+      ~channel
   in
   { cfg;
     built;
@@ -659,8 +661,8 @@ let subscribed t = Option.map fst t.sub
 
 (* --------------------------------------------------- create / close *)
 
-let create ?sinks ?checkpoint_dir cfg =
-  let t = make_engine ?sinks cfg in
+let create ?sinks ?checkpoint_dir ?jobs cfg =
+  let t = make_engine ?sinks ?jobs cfg in
   (match checkpoint_dir with
   | None -> ()
   | Some dir ->
@@ -784,7 +786,7 @@ let apply_op t ~lineno j =
     end
   | other -> fail ("unknown op: " ^ other)
 
-let restore ?sinks ~dir () =
+let restore ?sinks ?jobs ~dir () =
   let* header_text =
     match read_file (header_path dir) with
     | text -> Ok text
@@ -839,7 +841,7 @@ let restore ?sinks ~dir () =
       metrics_every }
   in
   let* t =
-    match make_engine ?sinks cfg with
+    match make_engine ?sinks ?jobs cfg with
     | t -> Ok t
     | exception (Invalid_argument msg | Failure msg) ->
       Error ("checkpoint header: " ^ msg)

@@ -54,15 +54,23 @@ val default_config :
   unit ->
   config
 
-(** [create ?sinks ?checkpoint_dir cfg] — a fresh engine at frame 0.
-    The telemetry bundle is always enabled (an empty sink list is fine:
-    the metrics registry also backs {!status_fields}); with
+(** [create ?sinks ?checkpoint_dir ?jobs cfg] — a fresh engine at frame
+    0. The telemetry bundle is always enabled (an empty sink list is
+    fine: the metrics registry also backs {!status_fields}); with
     [checkpoint_dir] the journal is created ({e truncating} any previous
     one — {!restore} is the path that preserves) and an initial
-    checkpoint is written. Raises [Invalid_argument]/[Failure] on a bad
-    scenario, guard or fault spec. *)
+    checkpoint is written. [jobs] (default 1) parallelises sparse
+    scenario construction and the per-frame tracker rescans; it is an
+    execution knob, not state — results and journals are byte-identical
+    whatever it is, so it is {e not} recorded in checkpoint headers.
+    Raises [Invalid_argument]/[Failure] on a bad scenario, guard or
+    fault spec, or [jobs < 1]. *)
 val create :
-  ?sinks:Dps_telemetry.Sink.t list -> ?checkpoint_dir:string -> config -> t
+  ?sinks:Dps_telemetry.Sink.t list ->
+  ?checkpoint_dir:string ->
+  ?jobs:int ->
+  config ->
+  t
 
 (** Admission verdict for one injection batch. *)
 type outcome =
@@ -203,15 +211,17 @@ type restore_report = {
       (** a torn final journal line (crash mid-append) was discarded *)
 }
 
-(** [restore ?sinks ~dir ()] — rebuild from [dir]'s header and journal
-    by deterministic replay, then resume journaling in place (the torn
-    tail, if any, is truncated away first; a post-restore checkpoint
-    re-anchors the header). [Error] on a missing/corrupt header, a
-    malformed mid-stream journal line, a journal shorter than the
-    header records, or any replay outcome that disagrees with the
+(** [restore ?sinks ?jobs ~dir ()] — rebuild from [dir]'s header and
+    journal by deterministic replay, then resume journaling in place
+    (the torn tail, if any, is truncated away first; a post-restore
+    checkpoint re-anchors the header). [jobs] as in {!create} — replay
+    is byte-identical whatever it is. [Error] on a missing/corrupt
+    header, a malformed mid-stream journal line, a journal shorter than
+    the header records, or any replay outcome that disagrees with the
     journaled one. *)
 val restore :
   ?sinks:Dps_telemetry.Sink.t list ->
+  ?jobs:int ->
   dir:string ->
   unit ->
   (t * restore_report, string) result

@@ -68,7 +68,7 @@ let parse_topology s ~stations =
   | [ "mac" ] -> Topology.mac_channel ~stations
   | _ -> failwith "unknown topology (grid:RxC | line:N | random:N | mac)"
 
-let build_model ?sparse ?tile model g =
+let build_model ?sparse ?tile ?(jobs = 1) model g =
   match model with
   | Sinr_linear ->
     let phys = Physics.make (Params.make ~noise:1e-9 ()) (Power.linear 2.) g in
@@ -77,9 +77,14 @@ let build_model ?sparse ?tile model g =
     | Some epsilon ->
       (* The ε-sparsified tiled construction (docs/SCALING.md): same
          protocol downstream, the matrix just underestimates interference
-         by at most ε·||R||_inf. *)
-      let tiled = Sinr_measure.linear_power_tiled ?cell:tile ~epsilon phys in
-      (Tiled.to_measure tiled, Oracle.Sinr phys, Some tiled))
+         by at most ε·||R||_inf. [as_measure] shares the slab engine —
+         no densification ever happens on this path; [to_measure] stays
+         an opt-in escape hatch for dense comparison runs. Built once so
+         every consumer caches per-measure state off one identity. *)
+      let tiled =
+        Sinr_measure.linear_power_tiled ~jobs ?cell:tile ~epsilon phys
+      in
+      (Tiled.as_measure ~jobs tiled, Oracle.Sinr phys, Some tiled))
   | _ when sparse <> None ->
     failwith "--sparse is only supported for the sinr-linear model"
   | Sinr_sqrt ->
@@ -139,7 +144,7 @@ type built = {
   mac : bool;
 }
 
-let build spec =
+let build ?jobs spec =
   (match spec.sparse with
   | Some eps when eps < 0. -> failwith "--sparse epsilon must be >= 0"
   | None when spec.tile <> None -> failwith "--tile requires --sparse"
@@ -153,7 +158,7 @@ let build spec =
   let topology = if model = Mac then "mac" else spec.topology in
   let g = parse_topology topology ~stations:spec.stations in
   let measure, oracle, tiled =
-    build_model ?sparse:spec.sparse ?tile:spec.tile model g
+    build_model ?sparse:spec.sparse ?tile:spec.tile ?jobs model g
   in
   let oracle =
     if spec.loss > 0. then Oracle.Lossy (oracle, spec.loss) else oracle

@@ -52,11 +52,16 @@ type built = {
   mac : bool;  (** mac-model runs route single-hop station links *)
 }
 
-(** [build spec] — topology, interference model, oracle, algorithm and
-    sized protocol config, exactly as dps_run constructs them (same
-    seeds, same constants). Raises [Failure]/[Invalid_argument] with a
-    CLI-worded message on anything inconsistent. *)
-val build : t -> built
+(** [build ?jobs spec] — topology, interference model, oracle, algorithm
+    and sized protocol config, exactly as dps_run constructs them (same
+    seeds, same constants). A sparse spec builds the tiled engine and
+    wraps it via {!Dps_interference.Tiled.as_measure} — the dense matrix
+    is never materialised ([Measure.is_dense] on the result is [false]).
+    [jobs] (default 1) parallelises the tiled construction and is
+    captured as the measure's evaluation fan-out; results never depend
+    on it. Raises [Failure]/[Invalid_argument] with a CLI-worded message
+    on anything inconsistent. *)
+val build : ?jobs:int -> t -> built
 
 (** [parse_topology s ~stations] — dps_run's topology grammar. *)
 val parse_topology : string -> stations:int -> Dps_network.Graph.t

@@ -43,8 +43,9 @@ type t = {
   v_list_in : Intvec.t;  (* list-API shim: converted attempts *)
 }
 
-let create ?rng ?measure ?telemetry ?faults ~oracle ~m () =
+let create ?rng ?measure ?telemetry ?faults ?(jobs = 1) ~oracle ~m () =
   assert (m > 0);
+  if jobs < 1 then invalid_arg "Channel.create: jobs must be >= 1";
   (match measure with
   | Some w when Dps_interference.Measure.size w <> m ->
     invalid_arg "Channel.create: measure size differs from m"
@@ -53,6 +54,17 @@ let create ?rng ?measure ?telemetry ?faults ~oracle ~m () =
     match telemetry with
     | Some tl when Telemetry.enabled tl ->
       let reg = Telemetry.metrics tl in
+      (* Sparse-backend auditability: a measured channel whose measure is
+         an ε-sparsified backend underestimates each slot's attempt
+         interference by at most error_bound · ‖attempts‖∞ =
+         error_bound (attempt loads are 0/1). Registered only when the
+         slack is nonzero, so dense telemetry output is unchanged. *)
+      (match measure with
+      | Some w when Dps_interference.Measure.error_bound w > 0. ->
+        Metrics.set
+          (Metrics.gauge reg "channel.interference_error_bound")
+          (Dps_interference.Measure.error_bound w)
+      | _ -> ());
       Some
         { c_slots = Metrics.counter reg "channel.slots";
           c_busy = Metrics.counter reg "channel.busy_slots";
@@ -72,10 +84,10 @@ let create ?rng ?measure ?telemetry ?faults ~oracle ~m () =
     trace = Trace.create ~m;
     rng;
     counts = Array.make m 0;
-    tracker = Option.map Load_tracker.create measure;
+    tracker = Option.map (Load_tracker.create ~jobs) measure;
     faults;
     tel;
-    scratch = Scratch.create ~m;
+    scratch = Scratch.create ~jobs ~m ();
     v_filtered = Intvec.create ();
     v_active = Intvec.create ();
     v_winners = Intvec.create ();

@@ -49,13 +49,23 @@ type faults = {
     is a single branch. When [faults] is given its hook is applied to
     every slot as documented on {!faults} — transmissions it suppresses
     count as [outcome=denied] in the channel telemetry (the fault layer
-    keeps its own [fault.*] split). Raises [Invalid_argument] if the
-    measure size differs from [m]. *)
+    keeps its own [fault.*] split). [jobs] (default 1) is the stale-
+    rescan fan-out handed to the channel's trackers — results are
+    byte-identical whatever it is (docs/PARALLELISM.md). When the
+    measure is a sparse backend ([Measure.error_bound > 0]) and
+    telemetry is enabled, the one-time gauge
+    [channel.interference_error_bound] records how far below the true
+    dense value each slot's recorded attempt interference can sit
+    (attempt loads are 0/1, so the slack is exactly the measure's
+    error bound) — verdicts stay auditable without densifying. Raises
+    [Invalid_argument] if the measure size differs from [m] or
+    [jobs < 1]. *)
 val create :
   ?rng:Dps_prelude.Rng.t ->
   ?measure:Dps_interference.Measure.t ->
   ?telemetry:Dps_telemetry.Telemetry.t ->
   ?faults:faults ->
+  ?jobs:int ->
   oracle:Oracle.t ->
   m:int ->
   unit ->

@@ -27,6 +27,7 @@ module Intvec = Dps_prelude.Intvec
 
 type t = {
   m : int;
+  jobs : int;
   attempts : Intvec.t;
   active : Intvec.t;
   pending : Intvec.t;
@@ -42,9 +43,10 @@ type t = {
   mutable tracker : Load_tracker.t option;
 }
 
-let create ~m =
+let create ?(jobs = 1) ~m () =
   assert (m > 0);
   { m;
+    jobs;
     attempts = Intvec.create ();
     active = Intvec.create ();
     pending = Intvec.create ();
@@ -78,6 +80,6 @@ let tracker t measure =
   match t.tracker with
   | Some tr when Load_tracker.measure tr == measure -> tr
   | _ ->
-    let tr = Load_tracker.create measure in
+    let tr = Load_tracker.create ~jobs:t.jobs measure in
     t.tracker <- Some tr;
     tr

@@ -7,6 +7,7 @@
 
 type t = {
   m : int;  (** number of links *)
+  jobs : int;  (** rescan fan-out handed to the cached tracker *)
   attempts : Dps_prelude.Intvec.t;
       (** per-slot attempt links (cleared by the borrower) *)
   active : Dps_prelude.Intvec.t;  (** per-run active-link worklist *)
@@ -28,7 +29,10 @@ type t = {
       (** cached load tracker, use via {!tracker} *)
 }
 
-val create : m:int -> t
+val create : ?jobs:int -> m:int -> unit -> t
+(** [create ?jobs ~m ()] — fresh buffers for an [m]-link channel.
+    [jobs] (default 1) is the stale-rescan fan-out for the cached
+    tracker; results never depend on it. *)
 
 val ensure_n : t -> int -> unit
 (** Grow [na]/[nb] to hold at least [n] entries. *)

@@ -70,8 +70,9 @@ let test_busy_slots_mac () =
    stats) with nothing in flight. This is the regime the tentpole pins at
    strictly zero words per slot; busy regimes add only per-frame request
    batches, which the slope construction cancels anyway. *)
-let frame_delta ~oracle ~algorithm ~lambda ~m ~frame ~frames =
-  let measure_w = M.identity m in
+let frame_delta ?measure:measure_w ~oracle ~algorithm ~lambda ~m ~frame
+    ~frames () =
+  let measure_w = Option.value ~default:(M.identity m) measure_w in
   let config =
     Protocol.configure_with_frame ~algorithm ~measure:measure_w ~lambda
       ~max_hops:4 ~frame ()
@@ -90,11 +91,16 @@ let frame_delta ~oracle ~algorithm ~lambda ~m ~frame ~frames =
         Protocol.run_frame protocol rng ~inject_slot
       done)
 
-let slope_pin name ~oracle ~algorithm ~lambda ~t1 =
+let slope_pin ?measure:measure_w ?(m = 8) name ~oracle ~algorithm ~lambda ~t1
+    =
   let frames = 50 in
-  let d1 = frame_delta ~oracle ~algorithm ~lambda ~m:8 ~frame:t1 ~frames in
+  let d1 =
+    frame_delta ?measure:measure_w ~oracle ~algorithm ~lambda ~m ~frame:t1
+      ~frames ()
+  in
   let d2 =
-    frame_delta ~oracle ~algorithm ~lambda ~m:8 ~frame:(t1 + 512) ~frames
+    frame_delta ?measure:measure_w ~oracle ~algorithm ~lambda ~m
+      ~frame:(t1 + 512) ~frames ()
   in
   (* 512 extra slots per frame for 50 frames contributed nothing. *)
   Alcotest.(check (float 0.)) (name ^ ": zero words per slot") 0. (d2 -. d1);
@@ -116,6 +122,66 @@ let test_run_frame_decay () =
   slope_pin "mac/decay" ~oracle:Oracle.Mac
     ~algorithm:(Dps_mac.Decay.make ~delta:0.3 ()) ~lambda:0.01 ~t1:576
 
+(* ------------------------------------------------- sparse hot path *)
+
+(* The ext-backed measure (Tiled.as_measure) must obey the same budget
+   as the dense pins above: the protocol cannot tell the backends apart,
+   so neither may the allocator. Same slope construction, on a small
+   link cloud with the real SINR oracle. *)
+let sparse_fixture () =
+  let rng = Rng.create ~seed:5 () in
+  let g =
+    Dps_network.Topology.link_cloud rng ~links:8 ~side:12. ~length:1.
+  in
+  let phys =
+    Dps_sinr.Physics.make
+      (Dps_sinr.Params.make ~alpha:4. ~noise:1e-9 ())
+      (Dps_sinr.Power.linear 2.) g
+  in
+  (Dps_sinr.Sinr_measure.linear_power_tiled ~epsilon:0.1 phys, phys)
+
+let test_run_frame_sparse () =
+  let tiled, phys = sparse_fixture () in
+  let measure = Dps_interference.Tiled.as_measure tiled in
+  M.ensure_transpose measure;
+  slope_pin "sinr/oneshot sparse" ~measure ~oracle:(Oracle.Sinr phys)
+    ~algorithm:Dps_static.Oneshot.algorithm ~lambda:0.1 ~t1:64
+
+(* Steady-state tracker traffic: adds/removes on already-touched links
+   plus the stale-rescan interference query. Column iteration boxes the
+   weight at each callback on BOTH backends (the closure is opaque at
+   the call site), so the pin here is relative: the ext dispatch may
+   not allocate a single word more per round than the dense CSC walk
+   over the very same matrix — the closure record costs indirection,
+   never allocation. *)
+let test_sparse_tracker_ops () =
+  let module Load_tracker = Dps_interference.Load_tracker in
+  let module Tiled = Dps_interference.Tiled in
+  let tiled, _ = sparse_fixture () in
+  let rounds w =
+    M.ensure_transpose w;
+    let tr = Load_tracker.create w in
+    let ops () =
+      for _ = 1 to 10_000 do
+        Load_tracker.add tr 3;
+        Load_tracker.add tr 5;
+        ignore (Load_tracker.interference tr);
+        Load_tracker.remove tr 3;
+        Load_tracker.remove tr 5;
+        ignore (Load_tracker.interference tr)
+      done
+    in
+    ops ();
+    measure ops
+  in
+  let dense = rounds (Tiled.to_measure tiled) in
+  let sparse = rounds (Tiled.as_measure tiled) in
+  if sparse > dense then
+    Alcotest.failf
+      "ext backend allocates more than dense on identical traffic: %.0f vs \
+       %.0f words per 10k rounds"
+      sparse dense
+
 let () =
   let quick name f = Alcotest.test_case name `Quick f in
   Alcotest.run "alloc"
@@ -125,4 +191,9 @@ let () =
           quick "busy mac slots allocate nothing" test_busy_slots_mac ] );
       ( "protocol",
         [ quick "run_frame slope pin (wireline/oneshot)" test_run_frame_wireline;
-          quick "run_frame slope pin (mac/decay)" test_run_frame_decay ] ) ]
+          quick "run_frame slope pin (mac/decay)" test_run_frame_decay ] );
+      ( "sparse",
+        [ quick "run_frame slope pin (sinr/oneshot, ext backend)"
+            test_run_frame_sparse;
+          quick "tracker ops on the ext backend allocate nothing"
+            test_sparse_tracker_ops ] ) ]
